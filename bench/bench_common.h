@@ -1,0 +1,94 @@
+/// \file bench_common.h
+/// \brief Shared scaffolding for the paper-reproduction benchmarks.
+///
+/// Every bench binary reproduces one table or figure of the paper's §6.
+/// Experiments run in the simulated cluster; each google-benchmark entry
+/// reports the *simulated* seconds as manual time, so the numbers printed
+/// by the benchmark harness are directly comparable to the paper's. After
+/// the harness finishes, each binary prints a side-by-side
+/// paper-vs-measured table via PaperTable.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/testbed.h"
+
+namespace hail {
+namespace bench {
+
+/// Paper-scale testbed: the 10-node physical cluster with 20 GB/node of
+/// UserVisits (320 logical blocks of 64 MB) at real scale 1/2048.
+inline workload::TestbedConfig PaperUserVisitsConfig() {
+  workload::TestbedConfig config;
+  config.num_nodes = 10;
+  config.real_block_bytes = 32 * 1024;  // scale 2048 -> 64 MB logical
+  config.blocks_per_node = 320;         // 20 GB/node
+  config.seed = 42;
+  return config;
+}
+
+/// Synthetic dataset: 13 GB/node (203 logical blocks of 64 MB).
+inline workload::TestbedConfig PaperSyntheticConfig() {
+  workload::TestbedConfig config = PaperUserVisitsConfig();
+  config.blocks_per_node = 203;  // 13 GB/node
+  return config;
+}
+
+/// HAIL's per-replica index attributes for Bob's workload (§6.4.1).
+inline std::vector<int> BobSortColumns() {
+  return {workload::kVisitDate, workload::kSourceIP, workload::kAdRevenue};
+}
+
+/// \brief Collects (label, paper value, measured value) rows and prints an
+/// aligned comparison table with measured/paper ratios.
+class PaperTable {
+ public:
+  PaperTable(std::string title, std::string unit)
+      : title_(std::move(title)), unit_(std::move(unit)) {}
+
+  void Add(const std::string& label, double paper, double measured) {
+    rows_.push_back(Row{label, paper, measured});
+  }
+
+  void Print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::printf("%-34s %14s %14s %9s\n", "configuration",
+                ("paper [" + unit_ + "]").c_str(),
+                ("measured [" + unit_ + "]").c_str(), "ratio");
+    for (const Row& row : rows_) {
+      if (row.paper > 0) {
+        std::printf("%-34s %14.1f %14.1f %8.2fx\n", row.label.c_str(),
+                    row.paper, row.measured, row.measured / row.paper);
+      } else {
+        std::printf("%-34s %14s %14.1f %9s\n", row.label.c_str(), "-",
+                    row.measured, "-");
+      }
+    }
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    double paper;
+    double measured;
+  };
+  std::string title_;
+  std::string unit_;
+  std::vector<Row> rows_;
+};
+
+/// Reports a simulated duration as the benchmark's manual time.
+inline void ReportSimSeconds(benchmark::State& state, double seconds) {
+  for (auto _ : state) {
+    state.SetIterationTime(seconds);
+  }
+  state.counters["sim_seconds"] = seconds;
+}
+
+}  // namespace bench
+}  // namespace hail

@@ -1,0 +1,167 @@
+/// \file bench_fig7_synthetic.cc
+/// \brief Reproduces Figure 7: the Synthetic workload (selectivity study).
+///
+/// All six queries filter on the same attribute (@1), so HAIL cannot
+/// benefit from its two other indexes — this isolates selectivity (0.10
+/// vs 0.01) and projection width (19/9/1 attributes). Hadoop++ carries a
+/// trojan index on @1 and so index-scans every query; its row layout
+/// narrowly wins on the very selective Q2 family (tuple-reconstruction
+/// random I/O starts to bite HAIL), which the paper calls out explicitly.
+
+#include "bench_common.h"
+
+namespace hail {
+namespace bench {
+namespace {
+
+using mapreduce::JobResult;
+using mapreduce::System;
+using workload::Testbed;
+
+struct Fig7Results {
+  JobResult hadoop[6], hpp[6], hail[6];
+};
+
+const Fig7Results& Run() {
+  static const Fig7Results results = [] {
+    Fig7Results out;
+    const auto queries = workload::SyntheticQueries();
+    {
+      Testbed bed(PaperSyntheticConfig());
+      bed.LoadSynthetic();
+      HAIL_CHECK_OK(bed.UploadHadoop("/syn").status());
+      bed.FreeSourceTexts();
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto r = bed.RunQuery(System::kHadoop, "/syn", queries[i]);
+        HAIL_CHECK_OK(r.status());
+        out.hadoop[i] = *r;
+      }
+    }
+    {
+      Testbed bed(PaperSyntheticConfig());
+      bed.LoadSynthetic();
+      HAIL_CHECK_OK(bed.UploadHadoopPP("/syn", 0).status());
+      bed.FreeSourceTexts();
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto r = bed.RunQuery(System::kHadoopPP, "/syn", queries[i]);
+        HAIL_CHECK_OK(r.status());
+        out.hpp[i] = *r;
+      }
+    }
+    {
+      Testbed bed(PaperSyntheticConfig());
+      bed.LoadSynthetic();
+      HAIL_CHECK_OK(bed.UploadHail("/syn", {0, 1, 2}).status());
+      bed.FreeSourceTexts();
+      for (size_t i = 0; i < queries.size(); ++i) {
+        auto r = bed.RunQuery(System::kHail, "/syn", queries[i],
+                              /*hail_splitting=*/false);
+        HAIL_CHECK_OK(r.status());
+        out.hail[i] = *r;
+      }
+    }
+    return out;
+  }();
+  return results;
+}
+
+void BM_Fig7a_Hadoop(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hadoop[state.range(0)].end_to_end_seconds);
+}
+void BM_Fig7a_HadoopPP(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hpp[state.range(0)].end_to_end_seconds);
+}
+void BM_Fig7a_HAIL(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hail[state.range(0)].end_to_end_seconds);
+}
+void BM_Fig7b_Hadoop_RR(benchmark::State& state) {
+  ReportSimSeconds(state,
+                   Run().hadoop[state.range(0)].avg_record_reader_seconds);
+}
+void BM_Fig7b_HadoopPP_RR(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hpp[state.range(0)].avg_record_reader_seconds);
+}
+void BM_Fig7b_HAIL_RR(benchmark::State& state) {
+  ReportSimSeconds(state,
+                   Run().hail[state.range(0)].avg_record_reader_seconds);
+}
+
+BENCHMARK(BM_Fig7a_Hadoop)->DenseRange(0, 5)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig7a_HadoopPP)->DenseRange(0, 5)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig7a_HAIL)->DenseRange(0, 5)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig7b_Hadoop_RR)->DenseRange(0, 5)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig7b_HadoopPP_RR)
+    ->DenseRange(0, 5)
+    ->Iterations(1)
+    ->UseManualTime();
+BENCHMARK(BM_Fig7b_HAIL_RR)->DenseRange(0, 5)->Iterations(1)->UseManualTime();
+
+void PrintTables() {
+  const Fig7Results& r = Run();
+  const char* names[] = {"Syn-Q1a", "Syn-Q1b", "Syn-Q1c",
+                         "Syn-Q2a", "Syn-Q2b", "Syn-Q2c"};
+  const double paper_7a_hadoop[] = {572, 517, 473, 460, 446, 450};
+  const double paper_7a_hpp[] = {463, 433, 404, 403, 403, 409};
+  const double paper_7a_hail[] = {460, 466, 433, 433, 430, 433};
+  const double paper_7b_hadoop[] = {2116, 1885, 1708, 1652, 1615, 1610};
+  const double paper_7b_hpp[] = {572, 331, 282, 74, 60, 58};
+  const double paper_7b_hail[] = {495, 274, 139, 131, 78, 60};
+  {
+    PaperTable t("Figure 7(a): Synthetic end-to-end runtimes", "s");
+    for (int i = 0; i < 6; ++i) {
+      t.Add(std::string(names[i]) + " Hadoop", paper_7a_hadoop[i],
+            r.hadoop[i].end_to_end_seconds);
+      t.Add(std::string(names[i]) + " Hadoop++", paper_7a_hpp[i],
+            r.hpp[i].end_to_end_seconds);
+      t.Add(std::string(names[i]) + " HAIL", paper_7a_hail[i],
+            r.hail[i].end_to_end_seconds);
+    }
+    t.Print();
+  }
+  {
+    PaperTable t("Figure 7(b): Synthetic RecordReader times", "ms");
+    for (int i = 0; i < 6; ++i) {
+      t.Add(std::string(names[i]) + " Hadoop", paper_7b_hadoop[i],
+            r.hadoop[i].avg_record_reader_seconds * 1000);
+      t.Add(std::string(names[i]) + " Hadoop++", paper_7b_hpp[i],
+            r.hpp[i].avg_record_reader_seconds * 1000);
+      t.Add(std::string(names[i]) + " HAIL", paper_7b_hail[i],
+            r.hail[i].avg_record_reader_seconds * 1000);
+    }
+    t.Print();
+    std::printf(
+        "  Shape checks: selectivity moves RR times but *not* end-to-end "
+        "(framework overhead dominates):\n");
+    std::printf("    HAIL RR Q1a/Q2a: measured %.1fx (paper %.1fx)\n",
+                r.hail[0].avg_record_reader_seconds /
+                    r.hail[3].avg_record_reader_seconds,
+                495.0 / 131.0);
+    std::printf("    Hadoop++ beats HAIL on the very selective Q2 family: "
+                "measured %s (paper: yes, narrowly)\n",
+                r.hpp[3].avg_record_reader_seconds <
+                        r.hail[3].avg_record_reader_seconds
+                    ? "yes"
+                    : "no");
+  }
+  {
+    PaperTable t("Figure 7(c): framework overhead (Synthetic)", "s");
+    for (int i = 0; i < 6; ++i) {
+      t.Add(std::string(names[i]) + " Hadoop overhead", -1,
+            r.hadoop[i].overhead_seconds);
+      t.Add(std::string(names[i]) + " HAIL overhead", -1,
+            r.hail[i].overhead_seconds);
+    }
+    t.Print();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hail
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hail::bench::PrintTables();
+  return 0;
+}

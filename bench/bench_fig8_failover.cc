@@ -1,0 +1,133 @@
+/// \file bench_fig8_failover.cc
+/// \brief Reproduces Figure 8: fault-tolerance slowdown under node failure.
+///
+/// Protocol (§6.4.3): expiry interval 30 s; kill one node at 50% job
+/// progress; slowdown = (Tf - Tb)/Tb * 100. Three systems: Hadoop,
+/// HAIL (three different indexes: rescheduled tasks may lose their
+/// matching-index replica and fall back to scanning), and HAIL-1Idx
+/// (same index on all replicas: rescheduled tasks still index-scan).
+
+#include "bench_common.h"
+
+namespace hail {
+namespace bench {
+namespace {
+
+using mapreduce::RunOptions;
+using mapreduce::System;
+using workload::Testbed;
+
+struct FailoverCell {
+  double base = 0;
+  double failed = 0;
+  uint32_t fallback_scans = 0;
+  uint32_t rescheduled = 0;
+  double slowdown() const { return (failed - base) / base * 100.0; }
+};
+
+struct Fig8Results {
+  FailoverCell hadoop, hail, hail_1idx;
+};
+
+const Fig8Results& Run() {
+  static const Fig8Results results = [] {
+    Fig8Results out;
+    const workload::QueryDef q = workload::BobQueries()[0];
+    RunOptions failure;
+    failure.kill_node = 4;
+    failure.kill_at_progress = 0.5;
+    {
+      Testbed bed(PaperUserVisitsConfig());
+      bed.LoadUserVisits();
+      HAIL_CHECK_OK(bed.UploadHadoop("/uv").status());
+      bed.FreeSourceTexts();
+      auto base = bed.RunQuery(System::kHadoop, "/uv", q);
+      auto failed = bed.RunQuery(System::kHadoop, "/uv", q, false, failure);
+      HAIL_CHECK_OK(base.status());
+      HAIL_CHECK_OK(failed.status());
+      out.hadoop = {base->end_to_end_seconds, failed->end_to_end_seconds,
+                    failed->fallback_scans, failed->rescheduled_tasks};
+    }
+    {
+      Testbed bed(PaperUserVisitsConfig());
+      bed.LoadUserVisits();
+      HAIL_CHECK_OK(bed.UploadHail("/uv", BobSortColumns()).status());
+      bed.FreeSourceTexts();
+      auto base = bed.RunQuery(System::kHail, "/uv", q);
+      auto failed = bed.RunQuery(System::kHail, "/uv", q, false, failure);
+      HAIL_CHECK_OK(base.status());
+      HAIL_CHECK_OK(failed.status());
+      out.hail = {base->end_to_end_seconds, failed->end_to_end_seconds,
+                  failed->fallback_scans, failed->rescheduled_tasks};
+    }
+    {
+      Testbed bed(PaperUserVisitsConfig());
+      bed.LoadUserVisits();
+      // HAIL-1Idx: the same index (visitDate) on all three replicas.
+      HAIL_CHECK_OK(bed.UploadHail("/uv", {workload::kVisitDate,
+                                           workload::kVisitDate,
+                                           workload::kVisitDate})
+                        .status());
+      bed.FreeSourceTexts();
+      auto base = bed.RunQuery(System::kHail, "/uv", q);
+      auto failed = bed.RunQuery(System::kHail, "/uv", q, false, failure);
+      HAIL_CHECK_OK(base.status());
+      HAIL_CHECK_OK(failed.status());
+      out.hail_1idx = {base->end_to_end_seconds, failed->end_to_end_seconds,
+                       failed->fallback_scans, failed->rescheduled_tasks};
+    }
+    return out;
+  }();
+  return results;
+}
+
+void BM_Fig8_Hadoop_Failed(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hadoop.failed);
+  state.counters["slowdown_pct"] = Run().hadoop.slowdown();
+}
+void BM_Fig8_HAIL_Failed(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hail.failed);
+  state.counters["slowdown_pct"] = Run().hail.slowdown();
+}
+void BM_Fig8_HAIL1Idx_Failed(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hail_1idx.failed);
+  state.counters["slowdown_pct"] = Run().hail_1idx.slowdown();
+}
+
+BENCHMARK(BM_Fig8_Hadoop_Failed)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig8_HAIL_Failed)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig8_HAIL1Idx_Failed)->Iterations(1)->UseManualTime();
+
+void PrintTables() {
+  const Fig8Results& r = Run();
+  PaperTable t("Figure 8: fault tolerance (kill 1 node at 50% progress)",
+               "s");
+  t.Add("Hadoop baseline", 1099, r.hadoop.base);
+  t.Add("Hadoop with failure", 1099 * 1.103, r.hadoop.failed);
+  t.Add("HAIL baseline", 598, r.hail.base);
+  t.Add("HAIL with failure", 598 * 1.105, r.hail.failed);
+  t.Add("HAIL-1Idx baseline", 598, r.hail_1idx.base);
+  t.Add("HAIL-1Idx with failure", 598 * 1.055, r.hail_1idx.failed);
+  t.Print();
+  std::printf("  Slowdowns, paper vs measured:\n");
+  std::printf("    Hadoop     paper 10.3%%  measured %5.1f%%  (rescheduled "
+              "%u tasks)\n",
+              r.hadoop.slowdown(), r.hadoop.rescheduled);
+  std::printf("    HAIL       paper 10.5%%  measured %5.1f%%  (fallback "
+              "scans %u)\n",
+              r.hail.slowdown(), r.hail.fallback_scans);
+  std::printf("    HAIL-1Idx  paper  5.5%%  measured %5.1f%%  (fallback "
+              "scans %u — every replica keeps the index)\n",
+              r.hail_1idx.slowdown(), r.hail_1idx.fallback_scans);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hail
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hail::bench::PrintTables();
+  return 0;
+}

@@ -1,0 +1,214 @@
+/// \file bench_fig9_splitting.cc
+/// \brief Reproduces Figure 9: the HailSplitting policy (§6.5).
+///
+/// Same data and queries as Figures 6/7, but with HailSplitting enabled
+/// for HAIL: index-scan jobs get #nodes x #slots splits instead of one
+/// per block, collapsing thousands of map tasks to ~20 and with them the
+/// scheduling overhead. 9(a) Bob queries, 9(b) Synthetic queries, 9(c)
+/// total workload runtimes — the paper's headline 68x/39x.
+
+#include "bench_common.h"
+
+namespace hail {
+namespace bench {
+namespace {
+
+using mapreduce::JobResult;
+using mapreduce::System;
+using workload::Testbed;
+
+struct Fig9Results {
+  // Bob workload.
+  JobResult bob_hadoop[5], bob_hpp[5], bob_hail[5];
+  // Synthetic workload.
+  JobResult syn_hadoop[6], syn_hpp[6], syn_hail[6];
+};
+
+const Fig9Results& Run() {
+  static const Fig9Results results = [] {
+    Fig9Results out;
+    const auto bob = workload::BobQueries();
+    const auto syn = workload::SyntheticQueries();
+    // --- UserVisits ---
+    {
+      Testbed bed(PaperUserVisitsConfig());
+      bed.LoadUserVisits();
+      HAIL_CHECK_OK(bed.UploadHadoop("/uv").status());
+      bed.FreeSourceTexts();
+      for (size_t i = 0; i < bob.size(); ++i) {
+        auto r = bed.RunQuery(System::kHadoop, "/uv", bob[i]);
+        HAIL_CHECK_OK(r.status());
+        out.bob_hadoop[i] = *r;
+      }
+    }
+    {
+      Testbed bed(PaperUserVisitsConfig());
+      bed.LoadUserVisits();
+      HAIL_CHECK_OK(bed.UploadHadoopPP("/uv", workload::kSourceIP).status());
+      bed.FreeSourceTexts();
+      for (size_t i = 0; i < bob.size(); ++i) {
+        auto r = bed.RunQuery(System::kHadoopPP, "/uv", bob[i]);
+        HAIL_CHECK_OK(r.status());
+        out.bob_hpp[i] = *r;
+      }
+    }
+    {
+      Testbed bed(PaperUserVisitsConfig());
+      bed.LoadUserVisits();
+      HAIL_CHECK_OK(bed.UploadHail("/uv", BobSortColumns()).status());
+      bed.FreeSourceTexts();
+      for (size_t i = 0; i < bob.size(); ++i) {
+        auto r = bed.RunQuery(System::kHail, "/uv", bob[i],
+                              /*hail_splitting=*/true);
+        HAIL_CHECK_OK(r.status());
+        out.bob_hail[i] = *r;
+      }
+    }
+    // --- Synthetic ---
+    {
+      Testbed bed(PaperSyntheticConfig());
+      bed.LoadSynthetic();
+      HAIL_CHECK_OK(bed.UploadHadoop("/syn").status());
+      bed.FreeSourceTexts();
+      for (size_t i = 0; i < syn.size(); ++i) {
+        auto r = bed.RunQuery(System::kHadoop, "/syn", syn[i]);
+        HAIL_CHECK_OK(r.status());
+        out.syn_hadoop[i] = *r;
+      }
+    }
+    {
+      Testbed bed(PaperSyntheticConfig());
+      bed.LoadSynthetic();
+      HAIL_CHECK_OK(bed.UploadHadoopPP("/syn", 0).status());
+      bed.FreeSourceTexts();
+      for (size_t i = 0; i < syn.size(); ++i) {
+        auto r = bed.RunQuery(System::kHadoopPP, "/syn", syn[i]);
+        HAIL_CHECK_OK(r.status());
+        out.syn_hpp[i] = *r;
+      }
+    }
+    {
+      Testbed bed(PaperSyntheticConfig());
+      bed.LoadSynthetic();
+      HAIL_CHECK_OK(bed.UploadHail("/syn", {0, 1, 2}).status());
+      bed.FreeSourceTexts();
+      for (size_t i = 0; i < syn.size(); ++i) {
+        auto r = bed.RunQuery(System::kHail, "/syn", syn[i],
+                              /*hail_splitting=*/true);
+        HAIL_CHECK_OK(r.status());
+        out.syn_hail[i] = *r;
+      }
+    }
+    return out;
+  }();
+  return results;
+}
+
+void BM_Fig9a_HAIL(benchmark::State& state) {
+  const JobResult& r = Run().bob_hail[state.range(0)];
+  ReportSimSeconds(state, r.end_to_end_seconds);
+  state.counters["map_tasks"] = r.map_tasks;
+}
+void BM_Fig9b_HAIL(benchmark::State& state) {
+  const JobResult& r = Run().syn_hail[state.range(0)];
+  ReportSimSeconds(state, r.end_to_end_seconds);
+  state.counters["map_tasks"] = r.map_tasks;
+}
+void BM_Fig9c_Bob_Total_Hadoop(benchmark::State& state) {
+  double total = 0;
+  for (const auto& r : Run().bob_hadoop) total += r.end_to_end_seconds;
+  ReportSimSeconds(state, total);
+}
+void BM_Fig9c_Bob_Total_HAIL(benchmark::State& state) {
+  double total = 0;
+  for (const auto& r : Run().bob_hail) total += r.end_to_end_seconds;
+  ReportSimSeconds(state, total);
+}
+void BM_Fig9c_Syn_Total_Hadoop(benchmark::State& state) {
+  double total = 0;
+  for (const auto& r : Run().syn_hadoop) total += r.end_to_end_seconds;
+  ReportSimSeconds(state, total);
+}
+void BM_Fig9c_Syn_Total_HAIL(benchmark::State& state) {
+  double total = 0;
+  for (const auto& r : Run().syn_hail) total += r.end_to_end_seconds;
+  ReportSimSeconds(state, total);
+}
+
+BENCHMARK(BM_Fig9a_HAIL)->DenseRange(0, 4)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig9b_HAIL)->DenseRange(0, 5)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig9c_Bob_Total_Hadoop)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig9c_Bob_Total_HAIL)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig9c_Syn_Total_Hadoop)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig9c_Syn_Total_HAIL)->Iterations(1)->UseManualTime();
+
+double Total(const JobResult* rs, int n) {
+  double total = 0;
+  for (int i = 0; i < n; ++i) total += rs[i].end_to_end_seconds;
+  return total;
+}
+
+void PrintTables() {
+  const Fig9Results& r = Run();
+  {
+    PaperTable t("Figure 9(a): Bob queries with HailSplitting", "s");
+    const char* names[] = {"Bob-Q1", "Bob-Q2", "Bob-Q3", "Bob-Q4", "Bob-Q5"};
+    const double paper_hail[] = {16, 15, 15, 22, 65};
+    const double paper_hadoop[] = {1094, 1006, 942, 1099, 1099};
+    for (int i = 0; i < 5; ++i) {
+      t.Add(std::string(names[i]) + " Hadoop", paper_hadoop[i],
+            r.bob_hadoop[i].end_to_end_seconds);
+      t.Add(std::string(names[i]) + " HAIL(split)", paper_hail[i],
+            r.bob_hail[i].end_to_end_seconds);
+    }
+    t.Print();
+    double best = 0;
+    for (int i = 0; i < 5; ++i) {
+      best = std::max(best, r.bob_hadoop[i].end_to_end_seconds /
+                                r.bob_hail[i].end_to_end_seconds);
+    }
+    std::printf("  Max speedup vs Hadoop: paper up to 68x, measured %.0fx; "
+                "map tasks collapsed %u -> %u (paper 3200 -> 20)\n",
+                best, r.bob_hadoop[0].map_tasks, r.bob_hail[0].map_tasks);
+  }
+  {
+    PaperTable t("Figure 9(b): Synthetic queries with HailSplitting", "s");
+    const char* names[] = {"Syn-Q1a", "Syn-Q1b", "Syn-Q1c",
+                           "Syn-Q2a", "Syn-Q2b", "Syn-Q2c"};
+    const double paper_hail[] = {127, 63, 28, 57, 23, 17};
+    for (int i = 0; i < 6; ++i) {
+      t.Add(std::string(names[i]) + " HAIL(split)", paper_hail[i],
+            r.syn_hail[i].end_to_end_seconds);
+    }
+    t.Print();
+  }
+  {
+    PaperTable t("Figure 9(c): total workload runtimes", "s");
+    t.Add("Bob workload Hadoop", 5240, Total(r.bob_hadoop, 5));
+    t.Add("Bob workload Hadoop++", 4804, Total(r.bob_hpp, 5));
+    t.Add("Bob workload HAIL", 133, Total(r.bob_hail, 5));
+    t.Add("Synthetic workload Hadoop", 2918, Total(r.syn_hadoop, 6));
+    t.Add("Synthetic workload Hadoop++", 2655, Total(r.syn_hpp, 6));
+    t.Add("Synthetic workload HAIL", 315, Total(r.syn_hail, 6));
+    t.Print();
+    std::printf(
+        "  Bob total speedup vs Hadoop: paper 39x, measured %.0fx; vs "
+        "Hadoop++: paper 36x, measured %.0fx\n",
+        Total(r.bob_hadoop, 5) / Total(r.bob_hail, 5),
+        Total(r.bob_hpp, 5) / Total(r.bob_hail, 5));
+    std::printf(
+        "  Synthetic total speedup vs Hadoop: paper 9x, measured %.0fx\n",
+        Total(r.syn_hadoop, 6) / Total(r.syn_hail, 6));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hail
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hail::bench::PrintTables();
+  return 0;
+}

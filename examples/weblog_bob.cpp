@@ -1,0 +1,100 @@
+/// \file weblog_bob.cpp
+/// \brief Bob's exploratory web-log session from the paper's introduction.
+///
+/// Bob strolls through his logs with a *sequence* of differently-filtered
+/// queries — visitDate first, then a suspicious sourceIP, then adRevenue.
+/// A single-index system only helps one of them; HAIL's three divergent
+/// replicas cover all three. This example runs the session on stock
+/// Hadoop and on HAIL side by side and prints the story's numbers.
+///
+///   $ ./weblog_bob
+
+#include <cstdio>
+
+#include "workload/testbed.h"
+
+using namespace hail;
+using workload::QueryDef;
+
+namespace {
+
+workload::TestbedConfig SessionConfig() {
+  workload::TestbedConfig config;
+  config.num_nodes = 10;
+  config.real_block_bytes = 32 * 1024;
+  config.blocks_per_node = 64;  // a 4 GB/node log at paper block size
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<QueryDef> session = {
+      {"all sourceIPs visiting in 1999",
+       "@3 between(1999-01-01,2000-01-01)", "{@1}", 0},
+      {"all requests from 172.101.11.46", "@1 = 172.101.11.46",
+       "{@2,@3,@8}", 0},
+      {"low-revenue visits (adRevenue 1..10)", "@4 between(1,10)",
+       "{@8,@9,@4}", 0},
+  };
+
+  std::printf("Bob uploads his web log twice: once with stock Hadoop, once "
+              "with HAIL.\n\n");
+
+  double hadoop_upload = 0, hail_upload = 0;
+  std::vector<double> hadoop_times, hail_times;
+  std::vector<uint64_t> match_counts;
+
+  {
+    workload::Testbed bed(SessionConfig());
+    bed.LoadUserVisits();
+    auto up = bed.UploadHadoop("/weblog");
+    HAIL_CHECK_OK(up.status());
+    hadoop_upload = up->duration();
+    bed.FreeSourceTexts();
+    for (const QueryDef& q : session) {
+      auto r = bed.RunQuery(mapreduce::System::kHadoop, "/weblog", q);
+      HAIL_CHECK_OK(r.status());
+      hadoop_times.push_back(r->end_to_end_seconds);
+      match_counts.push_back(r->records_qualifying);
+    }
+  }
+  {
+    workload::Testbed bed(SessionConfig());
+    bed.LoadUserVisits();
+    auto up = bed.UploadHail("/weblog",
+                             {workload::kVisitDate, workload::kSourceIP,
+                              workload::kAdRevenue});
+    HAIL_CHECK_OK(up.status());
+    hail_upload = up->duration();
+    bed.FreeSourceTexts();
+    for (const QueryDef& q : session) {
+      auto r = bed.RunQuery(mapreduce::System::kHail, "/weblog", q,
+                            /*hail_splitting=*/true);
+      HAIL_CHECK_OK(r.status());
+      hail_times.push_back(r->end_to_end_seconds);
+    }
+  }
+
+  std::printf("%-42s %10s %10s %9s\n", "", "Hadoop", "HAIL", "speedup");
+  std::printf("%-42s %9.0fs %9.0fs %8.2fx\n", "upload (3 replicas)",
+              hadoop_upload, hail_upload, hadoop_upload / hail_upload);
+  double hadoop_total = hadoop_upload, hail_total = hail_upload;
+  for (size_t i = 0; i < session.size(); ++i) {
+    std::printf("%-42s %9.0fs %9.0fs %8.0fx   (%llu hits)\n",
+                session[i].name.c_str(), hadoop_times[i], hail_times[i],
+                hadoop_times[i] / hail_times[i],
+                static_cast<unsigned long long>(match_counts[i]));
+    hadoop_total += hadoop_times[i];
+    hail_total += hail_times[i];
+  }
+  std::printf("%-42s %9.0fs %9.0fs %8.1fx\n", "whole session (upload + 3 "
+              "queries)", hadoop_total, hail_total,
+              hadoop_total / hail_total);
+  std::printf(
+      "\nEvery query found a replica with a matching clustered index —\n"
+      "the win-win of §2.3: indexing cost hidden inside the upload, and\n"
+      "each exploration step answered in seconds instead of a coffee "
+      "break.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// \file hadooppp_upload.h
+/// \brief The Hadoop++ ingestion path: HDFS upload + two MapReduce jobs.
+///
+/// "Index creation in Hadoop++ is very expensive, as after uploading the
+/// input file to HDFS, Hadoop++ uses an additional MapReduce job to
+/// convert the data to binary format and to create the trojan index" (§5).
+/// This module reproduces that cost structure:
+///   phase 0 — stock HDFS text upload (reused from src/hdfs);
+///   phase 1 — conversion job: text -> binary rows, re-replicated;
+///   phase 2 — index job (only when an index is requested): sort + trojan
+///             index per logical block, re-replicated again.
+/// All replicas of a block end up byte-identical — Hadoop++ cannot give
+/// different replicas different indexes, which is HAIL's key advantage.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hdfs/dfs_client.h"
+#include "schema/schema.h"
+
+namespace hail {
+namespace hadooppp {
+
+struct HadoopPPUploadConfig {
+  Schema schema;
+  /// Attribute to build the trojan index on; -1 converts to binary only
+  /// (the paper's "0 indexes" Hadoop++ configuration).
+  int index_column = -1;
+  /// Real rows per trojan directory entry (logical density is billed from
+  /// CostConstants::trojan_rows_per_entry_logical).
+  uint32_t rows_per_entry = 8;
+};
+
+struct HadoopPPUploadReport {
+  sim::SimTime started = 0.0;
+  sim::SimTime completed = 0.0;
+  double hdfs_upload_seconds = 0.0;
+  double conversion_seconds = 0.0;
+  double index_seconds = 0.0;
+  uint32_t blocks = 0;
+  uint64_t text_real_bytes = 0;
+  uint64_t binary_real_bytes = 0;
+  double duration() const { return completed - started; }
+};
+
+/// Runs the full Hadoop++ ingestion for one file per client node.
+/// Data becomes queryable under each spec's dfs_path with
+/// ReplicaLayout::kRowBinary replicas.
+Result<HadoopPPUploadReport> HadoopPPUpload(
+    hdfs::MiniDfs* dfs, const HadoopPPUploadConfig& config,
+    const std::vector<hdfs::ParallelUploadSpec>& specs,
+    sim::SimTime start_time = 0.0);
+
+}  // namespace hadooppp
+}  // namespace hail

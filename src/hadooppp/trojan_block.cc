@@ -1,0 +1,64 @@
+#include "hadooppp/trojan_block.h"
+
+#include <cstring>
+
+#include "util/io.h"
+
+namespace hail {
+namespace hadooppp {
+
+std::string BuildTrojanBlock(std::string row_block, const TrojanIndex* index,
+                             int sort_column) {
+  ByteWriter w;
+  w.PutU32(kTrojanBlockMagic);
+  w.PutI32(index != nullptr ? sort_column : -1);
+  const std::string index_bytes = index != nullptr ? index->Serialize() : "";
+  const size_t layout_pos = w.size();
+  w.PutU64(0);  // index offset
+  w.PutU64(0);  // index bytes
+  w.PutU64(0);  // rows offset
+  const uint64_t index_offset = w.size();
+  w.PutBytes(index_bytes);
+  const uint64_t rows_offset = w.size();
+  w.PutBytes(row_block);
+
+  std::string out = w.Take();
+  const uint64_t index_len = index_bytes.size();
+  std::memcpy(out.data() + layout_pos, &index_offset, sizeof(uint64_t));
+  std::memcpy(out.data() + layout_pos + 8, &index_len, sizeof(uint64_t));
+  std::memcpy(out.data() + layout_pos + 16, &rows_offset, sizeof(uint64_t));
+  return out;
+}
+
+Result<TrojanBlockView> TrojanBlockView::Open(std::string_view data) {
+  TrojanBlockView view;
+  view.data_ = data;
+  ByteReader r(data);
+  HAIL_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kTrojanBlockMagic) {
+    return Status::Corruption("not a trojan block");
+  }
+  HAIL_ASSIGN_OR_RETURN(view.sort_column_, r.GetI32());
+  HAIL_ASSIGN_OR_RETURN(view.index_offset_, r.GetU64());
+  HAIL_ASSIGN_OR_RETURN(view.index_bytes_, r.GetU64());
+  HAIL_ASSIGN_OR_RETURN(view.rows_offset_, r.GetU64());
+  if (view.index_offset_ + view.index_bytes_ > data.size() ||
+      view.rows_offset_ > data.size()) {
+    return Status::Corruption("trojan block sections out of bounds");
+  }
+  return view;
+}
+
+Result<TrojanIndex> TrojanBlockView::ReadIndex() const {
+  if (!has_index()) {
+    return Status::FailedPrecondition("trojan block has no index");
+  }
+  return TrojanIndex::Deserialize(data_.substr(index_offset_, index_bytes_));
+}
+
+Result<RowBinaryBlockView> TrojanBlockView::OpenRows() const {
+  return RowBinaryBlockView::Open(data_.substr(rows_offset_));
+}
+
+}  // namespace hadooppp
+}  // namespace hail

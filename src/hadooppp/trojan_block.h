@@ -1,0 +1,57 @@
+/// \file trojan_block.h
+/// \brief Hadoop++'s physical block: trojan index + binary rows (paper §5).
+///
+/// Hadoop++ [12] converts text blocks to a binary row layout and appends a
+/// trojan index per *logical* block — every replica stores identical
+/// bytes, so only one attribute can ever be indexed. The block header must
+/// be read by the JobClient during the split phase (unlike HAIL, which
+/// keeps replica metadata in the namenode).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "index/trojan_index.h"
+#include "layout/row_binary.h"
+#include "util/result.h"
+
+namespace hail {
+namespace hadooppp {
+
+inline constexpr uint32_t kTrojanBlockMagic = 0x42505048;  // "HPPB"
+
+/// \brief Serialises header + trojan index + binary rows.
+/// \param row_block serialised RowBinaryBlock (rows sorted by the index
+///        key when \p index is non-null).
+std::string BuildTrojanBlock(std::string row_block, const TrojanIndex* index,
+                             int sort_column);
+
+/// \brief Zero-copy reader for a trojan block.
+class TrojanBlockView {
+ public:
+  static Result<TrojanBlockView> Open(std::string_view data);
+
+  bool has_index() const { return index_bytes_ > 0; }
+  int sort_column() const { return sort_column_; }
+  uint64_t index_bytes() const { return index_bytes_; }
+  uint64_t data_bytes() const { return data_.size() - rows_offset_; }
+  uint64_t total_bytes() const { return data_.size(); }
+
+  Result<TrojanIndex> ReadIndex() const;
+  Result<RowBinaryBlockView> OpenRows() const;
+  /// Offset of the row data section within the block (the trojan index's
+  /// byte ranges are relative to this).
+  uint64_t rows_offset() const { return rows_offset_; }
+
+ private:
+  std::string_view data_;
+  int sort_column_ = -1;
+  uint64_t index_offset_ = 0;
+  uint64_t index_bytes_ = 0;
+  uint64_t rows_offset_ = 0;
+};
+
+}  // namespace hadooppp
+}  // namespace hail

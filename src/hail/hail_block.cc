@@ -1,0 +1,65 @@
+#include "hail/hail_block.h"
+
+#include "util/io.h"
+
+namespace hail {
+
+std::string BuildHailBlock(const PaxBlock& sorted_pax,
+                           const ClusteredIndex* index, int sort_column) {
+  ByteWriter w;
+  w.PutU32(kHailBlockMagic);
+  w.PutU8(1);  // version
+  w.PutI32(index != nullptr ? sort_column : -1);
+  const std::string index_bytes = index != nullptr ? index->Serialize() : "";
+  // Index Metadata: where the index and the PAX payload live.
+  const size_t layout_pos = w.size();
+  w.PutU64(0);  // index offset
+  w.PutU64(0);  // index bytes
+  w.PutU64(0);  // pax offset
+  const uint64_t index_offset = w.size();
+  w.PutBytes(index_bytes);
+  const uint64_t pax_offset = w.size();
+  w.PutBytes(sorted_pax.Serialize());
+
+  std::string out = w.Take();
+  const uint64_t index_len = index_bytes.size();
+  std::memcpy(out.data() + layout_pos, &index_offset, sizeof(uint64_t));
+  std::memcpy(out.data() + layout_pos + 8, &index_len, sizeof(uint64_t));
+  std::memcpy(out.data() + layout_pos + 16, &pax_offset, sizeof(uint64_t));
+  return out;
+}
+
+Result<HailBlockView> HailBlockView::Open(std::string_view data) {
+  HailBlockView view;
+  view.data_ = data;
+  ByteReader r(data);
+  HAIL_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kHailBlockMagic) {
+    return Status::Corruption("not a HAIL block (bad magic)");
+  }
+  HAIL_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != 1) return Status::Corruption("unsupported HAIL block version");
+  HAIL_ASSIGN_OR_RETURN(view.sort_column_, r.GetI32());
+  HAIL_ASSIGN_OR_RETURN(view.index_offset_, r.GetU64());
+  HAIL_ASSIGN_OR_RETURN(view.index_bytes_, r.GetU64());
+  HAIL_ASSIGN_OR_RETURN(view.pax_offset_, r.GetU64());
+  if (view.index_offset_ + view.index_bytes_ > data.size() ||
+      view.pax_offset_ > data.size()) {
+    return Status::Corruption("HAIL block sections out of bounds");
+  }
+  return view;
+}
+
+Result<ClusteredIndex> HailBlockView::ReadIndex() const {
+  if (!has_index()) {
+    return Status::FailedPrecondition("HAIL block has no index");
+  }
+  return ClusteredIndex::Deserialize(
+      data_.substr(index_offset_, index_bytes_));
+}
+
+Result<PaxBlockView> HailBlockView::OpenPax() const {
+  return PaxBlockView::Open(data_.substr(pax_offset_));
+}
+
+}  // namespace hail

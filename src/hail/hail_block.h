@@ -1,0 +1,62 @@
+/// \file hail_block.h
+/// \brief The physical HAIL block: Index Metadata + Index + PAX data.
+///
+/// Figure 1's datanodes form a "HAIL Block" out of each reassembled PAX
+/// block: they sort it by the replica's sort key, build a sparse clustered
+/// index, and prepend Index Metadata describing what they created. Each
+/// replica of the same logical block therefore has different bytes (and
+/// different checksums), but the same logical record multiset — which is
+/// why failover is unaffected (§2.3).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "index/clustered_index.h"
+#include "layout/pax_block.h"
+#include "util/result.h"
+
+namespace hail {
+
+inline constexpr uint32_t kHailBlockMagic = 0x4B4C4248;  // "HBLK"
+
+/// \brief Builds the serialised HAIL block for one replica.
+///
+/// \param sorted_pax the block's records, already sorted by \p sort_column
+///        (or in arrival order when \p sort_column is -1).
+/// \param index clustered index over the sort column; null when unindexed.
+/// \param sort_column attribute the data is sorted by; -1 for none.
+std::string BuildHailBlock(const PaxBlock& sorted_pax,
+                           const ClusteredIndex* index, int sort_column);
+
+/// \brief Zero-copy reader for a serialised HAIL block.
+class HailBlockView {
+ public:
+  static Result<HailBlockView> Open(std::string_view data);
+
+  bool has_index() const { return index_bytes_ > 0; }
+  int sort_column() const { return sort_column_; }
+  /// Bytes of the Index Metadata header (everything before the index).
+  uint64_t header_bytes() const { return index_offset_; }
+  uint64_t index_bytes() const { return index_bytes_; }
+  uint64_t pax_bytes() const { return data_.size() - pax_offset_; }
+  uint64_t total_bytes() const { return data_.size(); }
+
+  /// Materialises the index ("we read the index entirely into main memory
+  /// (typically a few KB)", §4.3).
+  Result<ClusteredIndex> ReadIndex() const;
+
+  /// Opens the embedded PAX block.
+  Result<PaxBlockView> OpenPax() const;
+
+ private:
+  std::string_view data_;
+  int sort_column_ = -1;
+  uint64_t index_offset_ = 0;
+  uint64_t index_bytes_ = 0;
+  uint64_t pax_offset_ = 0;
+};
+
+}  // namespace hail

@@ -1,0 +1,287 @@
+#include "hail/hail_client.h"
+
+#include <algorithm>
+
+#include "hdfs/packet.h"
+#include "hdfs/upload_pipeline.h"
+#include "layout/pax_block.h"
+#include "schema/row_parser.h"
+
+namespace hail {
+
+std::vector<std::string_view> CutRowAlignedBlocks(std::string_view text,
+                                                  uint64_t block_size) {
+  std::vector<std::string_view> blocks;
+  size_t block_start = 0;
+  size_t pos = 0;
+  size_t last_row_end = 0;  // one past the newline of the last complete row
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    const size_t row_end = (nl == std::string_view::npos) ? text.size() : nl + 1;
+    if (row_end - block_start > block_size && last_row_end > block_start) {
+      // Adding this row would overflow: close the block at the previous
+      // row boundary ("we never split a row between two blocks", §3.1).
+      blocks.push_back(text.substr(block_start, last_row_end - block_start));
+      block_start = last_row_end;
+    }
+    last_row_end = row_end;
+    pos = row_end;
+  }
+  if (block_start < text.size()) {
+    blocks.push_back(text.substr(block_start));
+  }
+  return blocks;
+}
+
+namespace {
+
+/// State for one client uploading one file (mirrors hdfs::ClientCursor but
+/// with the HAIL conversion steps).
+struct HailCursor {
+  int client_node;
+  std::string dfs_path;
+  std::vector<std::string_view> blocks;
+  size_t next_block = 0;
+  sim::SimTime ready;  // client disk/CPU chain readiness
+  sim::SimTime completed = 0.0;
+  HailUploadReport stats;
+  bool done() const { return next_block >= blocks.size(); }
+};
+
+Result<bool> UploadNextHailBlock(hdfs::MiniDfs* dfs,
+                                 const HailUploadConfig& config,
+                                 HailCursor* cur) {
+  if (cur->done()) return false;
+  const hdfs::DfsConfig& cfg = dfs->config();
+  sim::SimCluster& cluster = dfs->cluster();
+  std::string_view text_block = cur->blocks[cur->next_block++];
+
+  const uint64_t logical_text_bytes = static_cast<uint64_t>(
+      static_cast<double>(text_block.size()) * cfg.scale_factor);
+
+  // ---- client side: read source, parse rows, build PAX (steps 1-2) ----
+  sim::SimNode& client = cluster.node(cur->client_node);
+  const sim::Interval read = client.src_disk().Schedule(
+      cur->ready, client.cost().DiskTransfer(logical_text_bytes));
+
+  PaxBlock pax = BuildPaxBlockFromText(config.schema, text_block, cfg.format);
+  const std::string client_block = pax.Serialize();
+  // Logical sizes come from the values-only payload: the real serialised
+  // block carries offset side-cars at scaled-down density, which must not
+  // be multiplied back up (DESIGN.md §2). At paper scale the sparse
+  // offset lists and the header are a few KB per 64 MB block.
+  constexpr uint64_t kLogicalBlockOverhead = 8 * 1024;
+  const uint64_t logical_pax_bytes =
+      static_cast<uint64_t>(static_cast<double>(pax.PayloadBytes()) *
+                            cfg.scale_factor) +
+      kLogicalBlockOverhead;
+  const uint64_t logical_fixed_bytes = static_cast<uint64_t>(
+      static_cast<double>(pax.FixedPayloadBytes()) * cfg.scale_factor);
+  const uint64_t logical_varlen_bytes = static_cast<uint64_t>(
+      static_cast<double>(pax.VarlenPayloadBytes()) * cfg.scale_factor);
+  const uint64_t logical_records = static_cast<uint64_t>(
+      static_cast<double>(pax.num_records()) * cfg.scale_factor);
+
+  const sim::Interval parse = client.cpu().Schedule(
+      read.end, client.cost().TextParse(logical_text_bytes) +
+                    client.cost().PaxBuild(logical_pax_bytes));
+
+  // ---- namenode: allocate block + targets (step 3) ----
+  HAIL_ASSIGN_OR_RETURN(hdfs::BlockAllocation alloc,
+                        dfs->namenode().AllocateBlock(
+                            cur->dfs_path, cur->client_node, cfg.replication));
+
+  // ---- functional packet pipeline (steps 4-8): cut into packets, send
+  // through the chain, reassemble in memory at each datanode ----
+  std::vector<hdfs::Packet> packets = hdfs::MakePackets(
+      alloc.block_id, client_block, cfg.chunk_bytes, cfg.packet_bytes);
+  const int tail = alloc.datanodes.back();
+
+  // Tail verifies each packet's chunk checksums (step 9).
+  for (const hdfs::Packet& p : packets) {
+    if (!hdfs::VerifyPacket(p, cfg.chunk_bytes)) {
+      return Status::Corruption("packet failed verification at DN" +
+                                std::to_string(tail));
+    }
+  }
+  // Reassemble the block from its packets (step 6) — every datanode does
+  // this in memory; one reassembly suffices functionally since the bytes
+  // are identical.
+  std::string reassembled;
+  reassembled.reserve(client_block.size());
+  for (const hdfs::Packet& p : packets) reassembled.append(p.data);
+  if (reassembled != client_block) {
+    return Status::Corruption("block reassembly mismatch");
+  }
+
+  // ---- timing: chain transfer (cut-through) ----
+  hdfs::ChainTiming chain = hdfs::BillChainTransfer(
+      &cluster, cur->client_node, parse.end, logical_pax_bytes,
+      alloc.datanodes);
+
+  // ---- per-replica: sort, index, recompute checksums, flush (step 7) ----
+  sim::SimTime block_done = 0.0;
+  uint64_t replica_bytes_total = 0;
+  for (size_t i = 0; i < alloc.datanodes.size(); ++i) {
+    const int dn_id = alloc.datanodes[i];
+    hdfs::Datanode& dn = dfs->datanode(dn_id);
+    sim::SimNode& node = cluster.node(dn_id);
+
+    const int sort_column =
+        i < config.sort_columns.size() ? config.sort_columns[i] : -1;
+
+    HAIL_ASSIGN_OR_RETURN(PaxBlock replica_pax,
+                          PaxBlock::Deserialize(reassembled));
+    double cpu_seconds = 0.0;
+    std::string hail_bytes;
+    uint64_t logical_index_bytes = 0;
+    hdfs::HailBlockReplicaInfo info;
+    info.layout = hdfs::ReplicaLayout::kPax;
+    if (sort_column >= 0 && replica_pax.num_records() > 0) {
+      replica_pax.SortByColumn(sort_column);
+      const ClusteredIndex index =
+          ClusteredIndex::Build(replica_pax.column(sort_column),
+                                cfg.format.varlen_partition_size);
+      hail_bytes = BuildHailBlock(replica_pax, &index, sort_column);
+      const bool string_key =
+          config.schema.field(sort_column).type == FieldType::kString;
+      cpu_seconds += node.cost().SortBlock(logical_records,
+                                           logical_fixed_bytes,
+                                           logical_varlen_bytes, string_key);
+      cpu_seconds += node.cost().IndexBuild(logical_records);
+      info.sort_column = sort_column;
+      info.index_kind = "clustered";
+      info.index_bytes = index.SerializedBytes();
+      // The paper-scale index root: one entry per 1024 values (§3.5).
+      const uint64_t key_width =
+          string_key ? 16 : FieldTypeWidth(config.schema.field(sort_column).type);
+      logical_index_bytes =
+          (logical_records / cluster.constants().index_partition_logical + 1) *
+          (key_width + 4);
+    } else {
+      hail_bytes = BuildHailBlock(replica_pax, nullptr, -1);
+    }
+
+    // Each datanode recomputes its own checksums: replicas differ
+    // physically, so DN1's CRCs are useless to DN2 (§3.2).
+    const uint64_t logical_replica_bytes =
+        logical_pax_bytes + logical_index_bytes;
+    cpu_seconds += node.cost().Crc(logical_replica_bytes);
+    if (dn_id == tail) {
+      // The tail also verified every incoming packet.
+      cpu_seconds += node.cost().Crc(logical_pax_bytes);
+    }
+
+    const std::vector<uint32_t> crcs =
+        hdfs::ComputeChunkChecksums(hail_bytes, cfg.chunk_bytes);
+    info.replica_bytes = hail_bytes.size();
+    replica_bytes_total += hail_bytes.size();
+
+    // Sorting/indexing/CRC runs on the datanode's bounded pool of
+    // pipeline worker threads, in parallel across blocks (§3.5: "on each
+    // data node several blocks may be indexed in parallel").
+    const sim::Interval work =
+        node.upload_cpu().Schedule(chain.arrival_complete[i], cpu_seconds);
+    const uint64_t logical_meta =
+        (logical_replica_bytes / cluster.constants().chunk_bytes + 1) * 4;
+    const sim::Interval flush = node.disk().Schedule(
+        work.end,
+        node.cost().DiskAccess(logical_replica_bytes + logical_meta));
+
+    dn.StoreBlock(alloc.block_id, std::move(hail_bytes), crcs);
+    HAIL_RETURN_NOT_OK(
+        dfs->namenode().RegisterReplica(alloc.block_id, dn_id, info));
+
+    // The block's final ACK is forwarded only after the flush (steps
+    // 10-15), so the client-visible completion waits for every replica.
+    block_done = std::max(block_done, flush.end);
+  }
+  dfs->namenode().SetBlockLogicalBytes(alloc.block_id, logical_pax_bytes);
+
+  // Client may start preparing the next block once its CPU freed up;
+  // pipeline back-pressure is enforced by the resource queues.
+  cur->ready = read.end;
+  cur->completed = std::max(cur->completed, block_done);
+  cur->stats.blocks += 1;
+  cur->stats.text_real_bytes += text_block.size();
+  cur->stats.pax_real_bytes += client_block.size();
+  cur->stats.replica_real_bytes += replica_bytes_total;
+  cur->stats.bad_records += pax.bad_records().size();
+  return true;
+}
+
+HailUploadReport MergeReports(const std::vector<HailCursor>& cursors,
+                              sim::SimTime start_time) {
+  HailUploadReport report;
+  report.started = start_time;
+  for (const HailCursor& cur : cursors) {
+    report.completed = std::max(report.completed, cur.completed);
+    report.blocks += cur.stats.blocks;
+    report.text_real_bytes += cur.stats.text_real_bytes;
+    report.pax_real_bytes += cur.stats.pax_real_bytes;
+    report.replica_real_bytes += cur.stats.replica_real_bytes;
+    report.bad_records += cur.stats.bad_records;
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<HailUploadReport> HailUploadTextFile(hdfs::MiniDfs* dfs,
+                                            const HailUploadConfig& config,
+                                            int client_node,
+                                            const std::string& dfs_path,
+                                            std::string_view text,
+                                            sim::SimTime start_time) {
+  if (static_cast<int>(config.sort_columns.size()) >
+      dfs->config().replication) {
+    return Status::InvalidArgument(
+        "more sort columns than replicas: HAIL creates at most one index "
+        "per replica");
+  }
+  std::vector<HailCursor> cursors(1);
+  cursors[0].client_node = client_node;
+  cursors[0].dfs_path = dfs_path;
+  cursors[0].blocks = CutRowAlignedBlocks(text, dfs->config().block_size);
+  cursors[0].ready = start_time;
+  while (!cursors[0].done()) {
+    HAIL_ASSIGN_OR_RETURN(bool more,
+                          UploadNextHailBlock(dfs, config, &cursors[0]));
+    if (!more) break;
+  }
+  return MergeReports(cursors, start_time);
+}
+
+Result<HailUploadReport> HailParallelUpload(
+    hdfs::MiniDfs* dfs, const HailUploadConfig& config,
+    const std::vector<hdfs::ParallelUploadSpec>& specs,
+    sim::SimTime start_time) {
+  if (static_cast<int>(config.sort_columns.size()) >
+      dfs->config().replication) {
+    return Status::InvalidArgument(
+        "more sort columns than replicas: HAIL creates at most one index "
+        "per replica");
+  }
+  std::vector<HailCursor> cursors;
+  cursors.reserve(specs.size());
+  for (const hdfs::ParallelUploadSpec& spec : specs) {
+    HailCursor cur;
+    cur.client_node = spec.client_node;
+    cur.dfs_path = spec.dfs_path;
+    cur.blocks = CutRowAlignedBlocks(spec.text, dfs->config().block_size);
+    cur.ready = start_time;
+    cursors.push_back(std::move(cur));
+  }
+  bool any = true;
+  while (any) {
+    any = false;
+    for (HailCursor& cur : cursors) {
+      if (cur.done()) continue;
+      HAIL_ASSIGN_OR_RETURN(bool more, UploadNextHailBlock(dfs, config, &cur));
+      any = any || more || !cur.done();
+    }
+  }
+  return MergeReports(cursors, start_time);
+}
+
+}  // namespace hail

@@ -1,0 +1,52 @@
+#include "hail/index_advisor.h"
+
+#include <algorithm>
+
+namespace hail {
+
+std::vector<IndexRecommendation> ScoreColumns(
+    const Schema& schema, const std::vector<WorkloadEntry>& workload) {
+  std::vector<IndexRecommendation> scores(
+      static_cast<size_t>(schema.num_fields()));
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    scores[static_cast<size_t>(c)].column = c;
+  }
+  for (const WorkloadEntry& entry : workload) {
+    bool primary = true;
+    // Serviceable filter columns in term order: the first one is what the
+    // HailRecordReader would actually use.
+    std::vector<int> seen;
+    for (const PredicateTerm& term : entry.annotation.filter.terms()) {
+      if (!term.ToKeyRange().has_value()) continue;
+      if (term.column < 0 || term.column >= schema.num_fields()) continue;
+      if (std::find(seen.begin(), seen.end(), term.column) != seen.end()) {
+        continue;
+      }
+      seen.push_back(term.column);
+      scores[static_cast<size_t>(term.column)].benefit +=
+          primary ? entry.weight : entry.weight * 0.5;
+      primary = false;
+    }
+  }
+  return scores;
+}
+
+std::vector<int> SuggestSortColumns(const Schema& schema,
+                                    const std::vector<WorkloadEntry>& workload,
+                                    int replication) {
+  std::vector<IndexRecommendation> scores = ScoreColumns(schema, workload);
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const IndexRecommendation& a,
+                      const IndexRecommendation& b) {
+                     return a.benefit > b.benefit;
+                   });
+  std::vector<int> columns;
+  for (const IndexRecommendation& rec : scores) {
+    if (rec.benefit <= 0.0) break;
+    if (static_cast<int>(columns.size()) >= replication) break;
+    columns.push_back(rec.column);
+  }
+  return columns;
+}
+
+}  // namespace hail

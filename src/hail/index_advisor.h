@@ -1,0 +1,55 @@
+/// \file index_advisor.h
+/// \brief Which attributes to index? (paper §3.4, deferred to future work).
+///
+/// "But what if Bob's dataset contains more attributes than the number of
+/// replicas?" The paper leaves the per-replica index-selection algorithm
+/// as future work; this module provides the obvious workload-driven
+/// greedy: score each attribute by the weight of the queries its clustered
+/// index would serve, and assign the top-k attributes to the k replicas,
+/// heaviest first. It deliberately respects HDFS's default replication
+/// (one index per replica) — the property classic index advisors [9,4,6,1]
+/// ignore.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "schema/schema.h"
+
+namespace hail {
+
+/// \brief One workload entry: an annotated query plus its frequency.
+struct WorkloadEntry {
+  QueryAnnotation annotation;
+  /// Relative frequency/importance (e.g. executions per day).
+  double weight = 1.0;
+};
+
+/// \brief Advisor output for one attribute.
+struct IndexRecommendation {
+  int column = -1;
+  /// Total workload weight served by a clustered index on this column.
+  double benefit = 0.0;
+};
+
+/// Scores every attribute of \p schema against the workload. An entry
+/// contributes its weight to the *first* index-serviceable filter column
+/// of its annotation (the column HAIL's reader would use, see
+/// QueryAnnotation::preferred_index_column), and half its weight to any
+/// further serviceable filter columns (a secondary index still allows an
+/// index scan when the primary is unavailable, e.g. after failures).
+std::vector<IndexRecommendation> ScoreColumns(
+    const Schema& schema, const std::vector<WorkloadEntry>& workload);
+
+/// Picks the per-replica sort columns for a replication factor: the top
+/// `replication` scored attributes with non-zero benefit, heaviest first
+/// (replica 0 = client-local replica serves the hottest query).
+/// Returns fewer than `replication` entries when the workload does not
+/// reference enough attributes — remaining replicas stay unsorted.
+std::vector<int> SuggestSortColumns(const Schema& schema,
+                                    const std::vector<WorkloadEntry>& workload,
+                                    int replication);
+
+}  // namespace hail

@@ -1,0 +1,66 @@
+/// \file datanode.h
+/// \brief A simulated HDFS datanode: local replica storage + read path.
+///
+/// The upload pipelines (hdfs::UploadPipeline for stock HDFS,
+/// hail::HailUploadPipeline for HAIL) drive packets *through* datanodes;
+/// the datanode itself owns the two files per replica (data + checksums)
+/// and the verified read path used by RecordReaders.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdfs/local_store.h"
+#include "hdfs/packet.h"
+#include "sim/cluster.h"
+#include "util/result.h"
+
+namespace hail {
+namespace hdfs {
+
+/// \brief One datanode: an id, a local store, and its simulated machine.
+class Datanode {
+ public:
+  Datanode(int id, sim::SimNode* sim_node) : id_(id), sim_(sim_node) {}
+
+  int id() const { return id_; }
+  sim::SimNode& sim() { return *sim_; }
+  const sim::SimNode& sim() const { return *sim_; }
+  LocalStore& store() { return store_; }
+  const LocalStore& store() const { return store_; }
+
+  /// Streaming flush of one packet (stock HDFS write path): appends the
+  /// chunk data to blk_<id> and the checksums to blk_<id>.meta.
+  void AppendPacket(const Packet& packet);
+
+  /// One-shot store of a finished block (HAIL path: after sort + index +
+  /// checksum recomputation). Overwrites any streamed state.
+  void StoreBlock(uint64_t block_id, std::string data,
+                  const std::vector<uint32_t>& crcs);
+
+  bool HasBlock(uint64_t block_id) const {
+    return store_.Exists(BlockFileName(block_id));
+  }
+
+  /// Reads a replica and verifies every chunk checksum against the meta
+  /// file ("these checksums are reused by HDFS whenever data is sent",
+  /// §3.2). Returns a view into the store.
+  Result<std::string_view> ReadBlockVerified(uint64_t block_id,
+                                             uint32_t chunk_bytes) const;
+
+  /// Reads without verification (used when billing partial reads whose
+  /// verification is accounted separately).
+  Result<std::string_view> ReadBlockRaw(uint64_t block_id) const;
+
+  Status DeleteBlock(uint64_t block_id);
+
+ private:
+  int id_;
+  sim::SimNode* sim_;
+  LocalStore store_;
+};
+
+}  // namespace hdfs
+}  // namespace hail

@@ -1,0 +1,79 @@
+/// \file dfs_client.h
+/// \brief The stock HDFS client: fixed-byte block cutting + upload loop.
+///
+/// "HDFS partitions the file into logical HDFS blocks using a constant
+/// block size... This is in contrast to standard HDFS which splits a file
+/// into HDFS blocks after a constant number of bytes" (§2.1/§3.1): rows
+/// *can* straddle block boundaries; the text RecordReader compensates at
+/// query time (first-partial-line skip / read-past-end), exactly like
+/// Hadoop's TextInputFormat.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hdfs/upload_pipeline.h"
+
+namespace hail {
+namespace hdfs {
+
+/// \brief Upload statistics for one file (and aggregates across clients).
+struct UploadReport {
+  sim::SimTime started = 0.0;
+  sim::SimTime completed = 0.0;
+  uint32_t blocks = 0;
+  uint64_t real_bytes = 0;
+  uint64_t logical_bytes = 0;
+  double duration() const { return completed - started; }
+};
+
+/// \brief A distributed filesystem handle shared by clients and readers.
+class MiniDfs {
+ public:
+  MiniDfs(sim::SimCluster* cluster, DfsConfig config);
+
+  Namenode& namenode() { return namenode_; }
+  const Namenode& namenode() const { return namenode_; }
+  Datanode& datanode(int id) { return *datanodes_[static_cast<size_t>(id)]; }
+  int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
+  sim::SimCluster& cluster() { return *cluster_; }
+  const DfsConfig& config() const { return config_; }
+  UploadPipeline& pipeline() { return pipeline_; }
+
+  std::vector<Datanode*> datanode_ptrs();
+
+  /// Kills a node at the given simulated time: marks it dead in both the
+  /// cluster (resources) and the namenode (locations).
+  void KillNode(int id, sim::SimTime when);
+
+ private:
+  sim::SimCluster* cluster_;
+  DfsConfig config_;
+  Namenode namenode_;
+  std::vector<std::unique_ptr<Datanode>> datanodes_;
+  UploadPipeline pipeline_;
+};
+
+/// \brief Uploads a text file the stock-HDFS way from one client node.
+///
+/// Bills the client's source-disk read and drives the block pipeline;
+/// blocks are cut after exactly `block_size` real bytes.
+Result<UploadReport> UploadTextFile(MiniDfs* dfs, int client_node,
+                                    const std::string& dfs_path,
+                                    std::string_view text,
+                                    sim::SimTime start_time = 0.0);
+
+/// \brief Runs one UploadTextFile per (client, file) pair, modelling the
+/// paper's parallel per-node ingestion. Returns the latest completion.
+struct ParallelUploadSpec {
+  int client_node;
+  std::string dfs_path;
+  std::string_view text;
+};
+Result<UploadReport> ParallelUploadText(MiniDfs* dfs,
+                                        const std::vector<ParallelUploadSpec>& specs,
+                                        sim::SimTime start_time = 0.0);
+
+}  // namespace hdfs
+}  // namespace hail

@@ -1,0 +1,59 @@
+#include "hdfs/local_store.h"
+
+namespace hail {
+namespace hdfs {
+
+void LocalStore::Put(const std::string& name, std::string bytes) {
+  auto it = files_.find(name);
+  if (it != files_.end()) {
+    total_bytes_ -= it->second.size();
+    it->second = std::move(bytes);
+    total_bytes_ += it->second.size();
+  } else {
+    total_bytes_ += bytes.size();
+    files_.emplace(name, std::move(bytes));
+  }
+}
+
+void LocalStore::Append(const std::string& name, std::string_view bytes) {
+  files_[name].append(bytes.data(), bytes.size());
+  total_bytes_ += bytes.size();
+}
+
+Result<std::string_view> LocalStore::Get(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return std::string_view(it->second);
+}
+
+bool LocalStore::Exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+Status LocalStore::Delete(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + name);
+  }
+  total_bytes_ -= it->second.size();
+  files_.erase(it);
+  return Status::OK();
+}
+
+void LocalStore::Clear() {
+  files_.clear();
+  total_bytes_ = 0;
+}
+
+std::string BlockFileName(uint64_t block_id) {
+  return "blk_" + std::to_string(block_id);
+}
+
+std::string BlockMetaFileName(uint64_t block_id) {
+  return "blk_" + std::to_string(block_id) + ".meta";
+}
+
+}  // namespace hdfs
+}  // namespace hail

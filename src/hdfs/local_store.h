@@ -1,0 +1,54 @@
+/// \file local_store.h
+/// \brief A datanode's local filesystem (in-memory).
+///
+/// HDFS keeps two files per replica: `blk_<id>` with the data and
+/// `blk_<id>.meta` with one CRC32C per 512-byte chunk (paper §3.2).
+/// The store holds real bytes; sizes reported to the simulator are real
+/// and get scaled by the caller.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace hail {
+namespace hdfs {
+
+/// \brief Simple in-memory file map with byte accounting.
+class LocalStore {
+ public:
+  /// Creates or truncates a file.
+  void Put(const std::string& name, std::string bytes);
+
+  /// Appends to a file (creating it when absent) — the streaming flush
+  /// path of the stock HDFS pipeline.
+  void Append(const std::string& name, std::string_view bytes);
+
+  /// Full contents; NotFound if absent.
+  Result<std::string_view> Get(const std::string& name) const;
+
+  bool Exists(const std::string& name) const;
+  Status Delete(const std::string& name);
+
+  /// Number of files.
+  size_t file_count() const { return files_.size(); }
+  /// Sum of file sizes (real bytes).
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  void Clear();
+
+ private:
+  std::map<std::string, std::string> files_;
+  uint64_t total_bytes_ = 0;
+};
+
+/// Standard replica file names.
+std::string BlockFileName(uint64_t block_id);
+std::string BlockMetaFileName(uint64_t block_id);
+
+}  // namespace hdfs
+}  // namespace hail

@@ -1,0 +1,174 @@
+#include "hdfs/namenode.h"
+
+#include <algorithm>
+
+namespace hail {
+namespace hdfs {
+
+Result<BlockAllocation> Namenode::AllocateBlock(const std::string& file,
+                                                int client_node,
+                                                int replication) {
+  if (replication < 1) {
+    return Status::InvalidArgument("replication must be >= 1");
+  }
+  if (replication > num_datanodes_) {
+    return Status::InvalidArgument("replication exceeds datanode count");
+  }
+  BlockAllocation alloc;
+  alloc.block_id = next_block_id_++;
+
+  // Default HDFS placement: first replica on the writer's node (when
+  // alive), the remaining replicas spread across the cluster. HDFS picks
+  // followers randomly; a rotating cursor gives the same long-run balance
+  // deterministically (every node receives an equal share of followers).
+  alloc.datanodes.reserve(static_cast<size_t>(replication));
+  const int local = client_node % num_datanodes_;
+  if (IsDatanodeAlive(local)) alloc.datanodes.push_back(local);
+  for (int i = 0; i < 2 * num_datanodes_ &&
+                  static_cast<int>(alloc.datanodes.size()) < replication;
+       ++i) {
+    const int candidate = placement_cursor_;
+    placement_cursor_ = (placement_cursor_ + 1) % num_datanodes_;
+    if (!IsDatanodeAlive(candidate)) continue;
+    if (std::find(alloc.datanodes.begin(), alloc.datanodes.end(), candidate) !=
+        alloc.datanodes.end()) {
+      continue;
+    }
+    alloc.datanodes.push_back(candidate);
+  }
+  if (static_cast<int>(alloc.datanodes.size()) < replication) {
+    return Status::FailedPrecondition("not enough alive datanodes");
+  }
+  files_[file].push_back(alloc.block_id);
+  return alloc;
+}
+
+Status Namenode::RegisterReplica(uint64_t block_id, int datanode,
+                                 const HailBlockReplicaInfo& info) {
+  if (datanode < 0 || datanode >= num_datanodes_) {
+    return Status::InvalidArgument("bad datanode id");
+  }
+  std::vector<int>& holders = dir_block_[block_id];
+  if (std::find(holders.begin(), holders.end(), datanode) == holders.end()) {
+    holders.push_back(datanode);
+  }
+  dir_rep_[{block_id, datanode}] = info;
+  return Status::OK();
+}
+
+void Namenode::SetBlockLogicalBytes(uint64_t block_id, uint64_t logical_bytes) {
+  block_logical_bytes_[block_id] = logical_bytes;
+}
+
+Result<std::vector<int>> Namenode::GetBlockDatanodes(uint64_t block_id) const {
+  auto it = dir_block_.find(block_id);
+  if (it == dir_block_.end()) {
+    return Status::NotFound("unknown block " + std::to_string(block_id));
+  }
+  std::vector<int> alive;
+  for (int dn : it->second) {
+    if (IsDatanodeAlive(dn)) alive.push_back(dn);
+  }
+  return alive;
+}
+
+Result<std::vector<BlockLocation>> Namenode::GetFileBlocks(
+    const std::string& file) const {
+  // Exact file, or all part files under the directory prefix.
+  std::vector<const std::vector<uint64_t>*> file_lists;
+  auto it = files_.find(file);
+  if (it != files_.end()) {
+    file_lists.push_back(&it->second);
+  } else {
+    const std::string prefix = file + "/";
+    // std::map iterates in lexicographic order, giving deterministic
+    // part-file ordering.
+    for (auto fit = files_.lower_bound(prefix);
+         fit != files_.end() && fit->first.compare(0, prefix.size(), prefix) == 0;
+         ++fit) {
+      file_lists.push_back(&fit->second);
+    }
+    if (file_lists.empty()) {
+      return Status::NotFound("no such file or directory: " + file);
+    }
+  }
+  std::vector<BlockLocation> out;
+  uint32_t file_id = 0;
+  for (const std::vector<uint64_t>* blocks : file_lists) {
+    for (uint64_t block_id : *blocks) {
+      BlockLocation loc;
+      loc.block_id = block_id;
+      loc.file_id = file_id;
+      HAIL_ASSIGN_OR_RETURN(loc.datanodes, GetBlockDatanodes(block_id));
+      auto sz = block_logical_bytes_.find(block_id);
+      loc.logical_bytes = sz == block_logical_bytes_.end() ? 0 : sz->second;
+      out.push_back(std::move(loc));
+    }
+    ++file_id;
+  }
+  return out;
+}
+
+Result<HailBlockReplicaInfo> Namenode::GetReplicaInfo(uint64_t block_id,
+                                                      int datanode) const {
+  auto it = dir_rep_.find({block_id, datanode});
+  if (it == dir_rep_.end()) {
+    return Status::NotFound("no replica info for block " +
+                            std::to_string(block_id) + " on dn " +
+                            std::to_string(datanode));
+  }
+  return it->second;
+}
+
+std::vector<int> Namenode::GetHostsWithIndex(uint64_t block_id,
+                                             int column) const {
+  std::vector<int> hosts;
+  auto it = dir_block_.find(block_id);
+  if (it == dir_block_.end()) return hosts;
+  for (int dn : it->second) {
+    if (!IsDatanodeAlive(dn)) continue;
+    auto rep = dir_rep_.find({block_id, dn});
+    if (rep == dir_rep_.end()) continue;
+    if (rep->second.has_index() && rep->second.sort_column == column) {
+      hosts.push_back(dn);
+    }
+  }
+  return hosts;
+}
+
+Result<std::vector<uint64_t>> Namenode::DeleteFile(const std::string& file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + file);
+  }
+  std::vector<uint64_t> blocks = std::move(it->second);
+  files_.erase(it);
+  for (uint64_t block_id : blocks) {
+    auto holders = dir_block_.find(block_id);
+    if (holders != dir_block_.end()) {
+      for (int dn : holders->second) {
+        dir_rep_.erase({block_id, dn});
+      }
+      dir_block_.erase(holders);
+    }
+    block_logical_bytes_.erase(block_id);
+  }
+  return blocks;
+}
+
+void Namenode::MarkDatanodeDead(int datanode) {
+  if (std::find(dead_.begin(), dead_.end(), datanode) == dead_.end()) {
+    dead_.push_back(datanode);
+  }
+}
+
+void Namenode::MarkDatanodeAlive(int datanode) {
+  dead_.erase(std::remove(dead_.begin(), dead_.end(), datanode), dead_.end());
+}
+
+bool Namenode::IsDatanodeAlive(int datanode) const {
+  return std::find(dead_.begin(), dead_.end(), datanode) == dead_.end();
+}
+
+}  // namespace hdfs
+}  // namespace hail

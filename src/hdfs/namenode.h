@@ -1,0 +1,125 @@
+/// \file namenode.h
+/// \brief The HDFS namenode plus HAIL's replica-directory extension (§3.3).
+///
+/// Stock HDFS keeps Dir_block: blockID -> set of datanodes, and treats all
+/// replicas as byte-equivalent. HAIL adds Dir_rep: (blockID, datanode) ->
+/// HailBlockReplicaInfo describing the sort order and index each physical
+/// replica carries, so the scheduler can route map tasks to the replica
+/// with the matching clustered index (getHostsWithIndex, §4.3).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace hail {
+namespace hdfs {
+
+/// \brief Physical layout of one replica.
+enum class ReplicaLayout : uint8_t {
+  kText = 0,       // raw rows (stock Hadoop)
+  kPax = 1,        // HAIL binary PAX
+  kRowBinary = 2,  // Hadoop++ binary rows
+};
+
+/// \brief HAILBlockReplicaInfo (paper §3.3): what one replica physically is.
+struct HailBlockReplicaInfo {
+  ReplicaLayout layout = ReplicaLayout::kText;
+  /// Column the replica is sorted+indexed by; -1 when unindexed.
+  int sort_column = -1;
+  /// "clustered", "trojan", or empty for none.
+  std::string index_kind;
+  /// Physical size of the replica's data file (real bytes).
+  uint64_t replica_bytes = 0;
+  /// Size of the embedded index (real bytes).
+  uint64_t index_bytes = 0;
+
+  bool has_index() const { return sort_column >= 0 && !index_kind.empty(); }
+};
+
+/// \brief Result of a block allocation: the new id plus pipeline targets.
+struct BlockAllocation {
+  uint64_t block_id = 0;
+  std::vector<int> datanodes;  // pipeline order: DN1 (head) first
+};
+
+/// \brief Location info for one block of a file (split phase input).
+struct BlockLocation {
+  uint64_t block_id = 0;
+  std::vector<int> datanodes;   // alive holders
+  uint64_t logical_bytes = 0;   // paper-scale size for split accounting
+  /// Distinguishes part files when a directory is read: record readers
+  /// must not chase row tails across file boundaries.
+  uint32_t file_id = 0;
+};
+
+/// \brief Central directory: files -> blocks -> replicas (+ HAIL Dir_rep).
+class Namenode {
+ public:
+  explicit Namenode(int num_datanodes) : num_datanodes_(num_datanodes) {}
+
+  /// Allocates a block id and chooses `replication` targets: the client's
+  /// local datanode first (HDFS default placement), then successive alive
+  /// nodes. Appends the block to the file's block list.
+  Result<BlockAllocation> AllocateBlock(const std::string& file,
+                                        int client_node, int replication);
+
+  /// Registers a finished replica (step 11/14 in Figure 1). Also records
+  /// the HAIL replica info in Dir_rep.
+  Status RegisterReplica(uint64_t block_id, int datanode,
+                         const HailBlockReplicaInfo& info);
+
+  /// Records the logical size of a block (billing metadata for splits).
+  void SetBlockLogicalBytes(uint64_t block_id, uint64_t logical_bytes);
+
+  /// Dir_block lookup: alive datanodes holding the block.
+  Result<std::vector<int>> GetBlockDatanodes(uint64_t block_id) const;
+
+  /// All blocks of a file, in order, with alive holders. When \p file
+  /// names no exact file but is a directory prefix (files named
+  /// "<file>/part-..."), the blocks of all part files are returned in
+  /// file-name order — mirroring how MapReduce jobs consume a directory
+  /// of per-node part files.
+  Result<std::vector<BlockLocation>> GetFileBlocks(const std::string& file) const;
+
+  /// Dir_rep lookup ("one main memory lookup for each replica", §3.3).
+  Result<HailBlockReplicaInfo> GetReplicaInfo(uint64_t block_id,
+                                              int datanode) const;
+
+  /// getHostsWithIndex (§4.3): alive datanodes whose replica of the block
+  /// carries an index on \p column. Empty when none exists.
+  std::vector<int> GetHostsWithIndex(uint64_t block_id, int column) const;
+
+  /// Failure handling: excludes the node from all lookups.
+  void MarkDatanodeDead(int datanode);
+  void MarkDatanodeAlive(int datanode);
+  bool IsDatanodeAlive(int datanode) const;
+
+  /// Removes a file from the namespace and returns its block ids so the
+  /// caller can reclaim the replicas from the datanodes.
+  Result<std::vector<uint64_t>> DeleteFile(const std::string& file);
+
+  bool FileExists(const std::string& file) const {
+    return files_.count(file) > 0;
+  }
+  uint64_t next_block_id() const { return next_block_id_; }
+  int num_datanodes() const { return num_datanodes_; }
+
+ private:
+  int num_datanodes_;
+  uint64_t next_block_id_ = 1;
+  int placement_cursor_ = 0;  // rotating follower placement
+  std::map<std::string, std::vector<uint64_t>> files_;
+  std::map<uint64_t, std::vector<int>> dir_block_;
+  std::map<uint64_t, uint64_t> block_logical_bytes_;
+  // Dir_rep: (blockID, datanode) -> replica info.
+  std::map<std::pair<uint64_t, int>, HailBlockReplicaInfo> dir_rep_;
+  std::vector<int> dead_;  // datanode ids currently dead
+};
+
+}  // namespace hdfs
+}  // namespace hail

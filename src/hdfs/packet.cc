@@ -1,0 +1,97 @@
+#include "hdfs/packet.h"
+
+#include "util/crc32c.h"
+#include "util/io.h"
+
+namespace hail {
+namespace hdfs {
+
+std::vector<Packet> MakePackets(uint64_t block_id, std::string_view block_bytes,
+                                uint32_t chunk_bytes, uint32_t packet_bytes) {
+  std::vector<Packet> packets;
+  const uint64_t total = block_bytes.size();
+  uint64_t pos = 0;
+  uint32_t seq = 0;
+  // Always emit at least one (possibly empty) packet so empty blocks still
+  // traverse the pipeline and produce a final ACK.
+  do {
+    Packet p;
+    p.block_id = block_id;
+    p.seq = seq++;
+    p.offset_in_block = pos;
+    const uint64_t payload = std::min<uint64_t>(packet_bytes, total - pos);
+    p.data.assign(block_bytes.data() + pos, payload);
+    for (uint64_t c = 0; c < payload; c += chunk_bytes) {
+      const uint64_t len = std::min<uint64_t>(chunk_bytes, payload - c);
+      p.chunk_crcs.push_back(crc32c::Value(p.data.data() + c, len));
+    }
+    pos += payload;
+    p.last_in_block = (pos >= total);
+    packets.push_back(std::move(p));
+  } while (pos < total);
+  return packets;
+}
+
+bool VerifyPacket(const Packet& packet, uint32_t chunk_bytes) {
+  size_t idx = 0;
+  const std::string& data = packet.data;
+  for (uint64_t c = 0; c < data.size(); c += chunk_bytes, ++idx) {
+    const uint64_t len = std::min<uint64_t>(chunk_bytes, data.size() - c);
+    if (idx >= packet.chunk_crcs.size()) return false;
+    if (crc32c::Value(data.data() + c, len) != packet.chunk_crcs[idx]) {
+      return false;
+    }
+  }
+  return idx == packet.chunk_crcs.size();
+}
+
+std::string SerializeChecksums(const std::vector<uint32_t>& crcs) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(crcs.size()));
+  for (uint32_t crc : crcs) w.PutU32(crc);
+  return w.Take();
+}
+
+Result<std::vector<uint32_t>> ParseChecksums(std::string_view meta) {
+  ByteReader r(meta);
+  HAIL_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  std::vector<uint32_t> crcs;
+  crcs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    HAIL_ASSIGN_OR_RETURN(uint32_t crc, r.GetU32());
+    crcs.push_back(crc);
+  }
+  return crcs;
+}
+
+std::vector<uint32_t> ComputeChunkChecksums(std::string_view bytes,
+                                            uint32_t chunk_bytes) {
+  std::vector<uint32_t> crcs;
+  for (uint64_t c = 0; c < bytes.size(); c += chunk_bytes) {
+    const uint64_t len = std::min<uint64_t>(chunk_bytes, bytes.size() - c);
+    crcs.push_back(crc32c::Value(bytes.data() + c, len));
+  }
+  return crcs;
+}
+
+Status VerifyBlockChecksums(std::string_view data,
+                            const std::vector<uint32_t>& crcs,
+                            uint32_t chunk_bytes) {
+  const size_t expected =
+      (data.size() + chunk_bytes - 1) / chunk_bytes;
+  if (crcs.size() != expected) {
+    return Status::Corruption("checksum count mismatch");
+  }
+  size_t idx = 0;
+  for (uint64_t c = 0; c < data.size(); c += chunk_bytes, ++idx) {
+    const uint64_t len = std::min<uint64_t>(chunk_bytes, data.size() - c);
+    if (crc32c::Value(data.data() + c, len) != crcs[idx]) {
+      return Status::Corruption("chunk " + std::to_string(idx) +
+                                " checksum mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hdfs
+}  // namespace hail

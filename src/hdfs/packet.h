@@ -1,0 +1,60 @@
+/// \file packet.h
+/// \brief HDFS wire format: packets of checksummed chunks (paper §3.2).
+///
+/// "While uploading a block, the data is further partitioned into chunks of
+/// constant size 512B. Chunks are collected into packets. A packet is a
+/// sequence of chunks plus a checksum for each of the chunks." Only the
+/// last datanode in the chain verifies; ACKs flow back with each node
+/// appending its ID, and the client checks that ACKs arrive in order.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace hail {
+namespace hdfs {
+
+/// \brief One packet: up to `packet_bytes` of chunk data plus per-chunk CRCs.
+struct Packet {
+  uint64_t block_id = 0;
+  uint32_t seq = 0;          // 0-based within the block
+  bool last_in_block = false;
+  uint64_t offset_in_block = 0;
+  std::string data;                 // chunk payloads, concatenated
+  std::vector<uint32_t> chunk_crcs;  // one CRC32C per chunk
+};
+
+/// \brief Acknowledgement travelling tail -> head -> client. Each datanode
+/// appends its ID; the client verifies both ordering and the ID chain.
+struct Ack {
+  uint32_t seq = 0;
+  bool last_in_block = false;
+  std::vector<int> datanode_ids;  // appended tail-first
+};
+
+/// Splits \p block_bytes into packets with per-chunk CRC32C checksums.
+std::vector<Packet> MakePackets(uint64_t block_id, std::string_view block_bytes,
+                                uint32_t chunk_bytes, uint32_t packet_bytes);
+
+/// Recomputes and compares every chunk checksum.
+bool VerifyPacket(const Packet& packet, uint32_t chunk_bytes);
+
+/// Serialises the checksums of a whole block (contents of blk_*.meta).
+std::string SerializeChecksums(const std::vector<uint32_t>& crcs);
+Result<std::vector<uint32_t>> ParseChecksums(std::string_view meta);
+
+/// Computes per-chunk CRC32Cs for a byte range.
+std::vector<uint32_t> ComputeChunkChecksums(std::string_view bytes,
+                                            uint32_t chunk_bytes);
+
+/// Verifies data against a parsed checksum list.
+Status VerifyBlockChecksums(std::string_view data,
+                            const std::vector<uint32_t>& crcs,
+                            uint32_t chunk_bytes);
+
+}  // namespace hdfs
+}  // namespace hail

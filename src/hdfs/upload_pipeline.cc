@@ -1,0 +1,150 @@
+#include "hdfs/upload_pipeline.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hail {
+namespace hdfs {
+
+ChainTiming BillChainTransfer(sim::SimCluster* cluster, int client,
+                              sim::SimTime ready, uint64_t logical_bytes,
+                              const std::vector<int>& targets) {
+  ChainTiming timing;
+  timing.arrival_complete.reserve(targets.size());
+
+  // One-packet lag between hops models cut-through forwarding: DN2 starts
+  // receiving as soon as DN1 has the first packet, not the whole block.
+  const sim::CostModel& client_cost = cluster->node(client).cost();
+  const double packet_lag =
+      client_cost.NetTransfer(cluster->constants().packet_bytes);
+
+  sim::SimTime hop_ready = ready;
+  int sender = client;
+  for (int target : targets) {
+    sim::Resource& out = cluster->node(sender).nic_send();
+    sim::Resource& in = cluster->node(target).nic_recv();
+    const double duration =
+        cluster->node(sender).cost().NetTransfer(logical_bytes);
+    // Sender and receiver sides are booked independently (socket buffers
+    // decouple them); the block has fully arrived when both finish. This
+    // keeps each NIC timeline densely packed instead of forcing joint
+    // start times that would fragment the FIFO schedules.
+    const sim::Interval out_iv = out.Schedule(hop_ready, duration);
+    const sim::Interval in_iv = in.Schedule(hop_ready, duration);
+    const sim::SimTime end = std::max(out_iv.end, in_iv.end);
+    timing.arrival_complete.push_back(end);
+    // The next hop starts one packet behind this one (cut-through).
+    hop_ready = std::max(out_iv.start, in_iv.start) + packet_lag;
+    sender = target;
+  }
+  return timing;
+}
+
+Result<BlockWriteResult> UploadPipeline::WriteBlock(
+    int client, sim::SimTime ready, uint64_t block_id,
+    std::string_view block_bytes, uint64_t logical_bytes,
+    const std::vector<int>& targets) {
+  if (targets.empty()) {
+    return Status::InvalidArgument("pipeline requires at least one target");
+  }
+  for (int t : targets) {
+    if (t < 0 || t >= static_cast<int>(datanodes_.size())) {
+      return Status::InvalidArgument("bad pipeline target");
+    }
+    if (!cluster_->node(t).alive()) {
+      return Status::FailedPrecondition("pipeline target " +
+                                        std::to_string(t) + " is dead");
+    }
+  }
+
+  // ---- functional path: packets through the chain ----
+  std::vector<Packet> packets = MakePackets(
+      block_id, block_bytes, config_.chunk_bytes, config_.packet_bytes);
+
+  const int tail = targets.back();
+  std::vector<Ack> acks;
+  acks.reserve(packets.size());
+  for (const Packet& p : packets) {
+    // Every datanode in the chain appends data + checksums to its two
+    // replica files as the packet passes through (streaming flush).
+    for (int dn : targets) {
+      datanodes_[static_cast<size_t>(dn)]->AppendPacket(p);
+    }
+    // Only the tail verifies (DN2 believes DN3, DN1 believes DN2, the
+    // client believes DN1).
+    if (!VerifyPacket(p, config_.chunk_bytes)) {
+      return Status::Corruption("packet " + std::to_string(p.seq) +
+                                " failed checksum verification at DN" +
+                                std::to_string(tail));
+    }
+    // ACK travels tail -> head, IDs appended along the way.
+    Ack ack;
+    ack.seq = p.seq;
+    ack.last_in_block = p.last_in_block;
+    for (auto it = targets.rbegin(); it != targets.rend(); ++it) {
+      ack.datanode_ids.push_back(*it);
+    }
+    acks.push_back(std::move(ack));
+  }
+
+  // Client-side ACK validation: in-order sequence numbers, full chain.
+  uint32_t expected_seq = 0;
+  for (const Ack& ack : acks) {
+    if (ack.seq != expected_seq++) {
+      return Status::Corruption("out-of-order ACK: upload failed");
+    }
+    if (static_cast<int>(ack.datanode_ids.size()) !=
+        static_cast<int>(targets.size())) {
+      return Status::Corruption("ACK chain incomplete");
+    }
+  }
+
+  // ---- register replicas ----
+  HailBlockReplicaInfo info;
+  info.layout = ReplicaLayout::kText;
+  info.replica_bytes = block_bytes.size();
+  for (int dn : targets) {
+    HAIL_RETURN_NOT_OK(namenode_->RegisterReplica(block_id, dn, info));
+  }
+  namenode_->SetBlockLogicalBytes(block_id, logical_bytes);
+
+  // ---- timing ----
+  ChainTiming chain =
+      BillChainTransfer(cluster_, client, ready, logical_bytes, targets);
+
+  // Checksum bytes on disk: 4 bytes per 512-byte chunk (paper scale).
+  const uint64_t logical_meta =
+      (logical_bytes / cluster_->constants().chunk_bytes + 1) * 4;
+
+  sim::SimTime done = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    sim::SimNode& node = cluster_->node(targets[i]);
+    // Flush overlaps receive: the disk starts streaming as packets land,
+    // so it is booked from one packet after the hop began receiving.
+    const sim::SimTime flush_ready =
+        chain.arrival_complete[i] -
+        node.cost().NetTransfer(logical_bytes) +
+        node.cost().NetTransfer(cluster_->constants().packet_bytes);
+    const sim::Interval flush = node.disk().Schedule(
+        flush_ready, node.cost().DiskTransfer(logical_bytes + logical_meta));
+    sim::SimTime replica_done = std::max(flush.end, chain.arrival_complete[i]);
+    if (targets[i] == tail) {
+      // Tail verifies every chunk's CRC32C.
+      const sim::Interval verify = node.cpu().Schedule(
+          chain.arrival_complete[i], node.cost().Crc(logical_bytes));
+      replica_done = std::max(replica_done, verify.end);
+    }
+    done = std::max(done, replica_done);
+  }
+
+  BlockWriteResult result;
+  result.completed = done;
+  result.replica_physical_bytes =
+      block_bytes.size() + (block_bytes.size() / config_.chunk_bytes + 1) * 4;
+  result.packets = static_cast<uint32_t>(packets.size());
+  return result;
+}
+
+}  // namespace hdfs
+}  // namespace hail

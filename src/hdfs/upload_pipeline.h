@@ -1,0 +1,82 @@
+/// \file upload_pipeline.h
+/// \brief The stock HDFS write pipeline (paper §3.2) plus shared billing.
+///
+/// Functional path: the client cuts a block into packets (512 B chunks,
+/// per-chunk CRC32C), sends them to DN1, which forwards to DN2, which
+/// forwards to DN3. Every datanode flushes data and checksums to two local
+/// files as packets arrive; only the tail verifies. ACKs flow back through
+/// the chain, each node appending its ID, and the client validates order
+/// and chain membership.
+///
+/// Timing: transfers are cut-through (a downstream hop starts one packet
+/// behind the upstream hop, not after the whole block), flushes overlap
+/// receive, and the block completes when every replica is flushed and the
+/// final ACK reaches the client.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hdfs/datanode.h"
+#include "hdfs/dfs_config.h"
+#include "hdfs/namenode.h"
+#include "sim/cluster.h"
+#include "util/result.h"
+
+namespace hail {
+namespace hdfs {
+
+/// \brief Outcome of writing one block through the pipeline.
+struct BlockWriteResult {
+  /// Simulated time the client received the block's final ACK.
+  sim::SimTime completed = 0.0;
+  /// Real bytes stored per replica (data file + meta file).
+  uint64_t replica_physical_bytes = 0;
+  /// Packets that traversed the pipeline.
+  uint32_t packets = 0;
+};
+
+/// \brief Per-hop arrival times of a chain transfer (shared with HAIL).
+struct ChainTiming {
+  /// arrival_complete[i]: when target i has received the whole block.
+  std::vector<sim::SimTime> arrival_complete;
+};
+
+/// Bills a cut-through transfer of \p logical_bytes from \p client through
+/// the \p targets chain. Books client nic_send plus each hop's NIC pair.
+ChainTiming BillChainTransfer(sim::SimCluster* cluster, int client,
+                              sim::SimTime ready, uint64_t logical_bytes,
+                              const std::vector<int>& targets);
+
+/// \brief Stock HDFS block writer.
+class UploadPipeline {
+ public:
+  UploadPipeline(sim::SimCluster* cluster, Namenode* namenode,
+                 std::vector<Datanode*> datanodes, DfsConfig config)
+      : cluster_(cluster),
+        namenode_(namenode),
+        datanodes_(std::move(datanodes)),
+        config_(config) {}
+
+  /// Writes one raw (text) block: functional packet pipeline + billing.
+  /// \p ready is when the client has the block bytes in hand.
+  /// \p logical_bytes is the paper-scale size used for cost accounting.
+  Result<BlockWriteResult> WriteBlock(int client, sim::SimTime ready,
+                                      uint64_t block_id,
+                                      std::string_view block_bytes,
+                                      uint64_t logical_bytes,
+                                      const std::vector<int>& targets);
+
+  const DfsConfig& config() const { return config_; }
+
+ private:
+  sim::SimCluster* cluster_;
+  Namenode* namenode_;
+  std::vector<Datanode*> datanodes_;
+  DfsConfig config_;
+};
+
+}  // namespace hdfs
+}  // namespace hail

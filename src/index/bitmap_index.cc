@@ -1,0 +1,125 @@
+#include "index/bitmap_index.h"
+
+#include <algorithm>
+
+#include "util/io.h"
+
+namespace hail {
+
+namespace {
+constexpr uint32_t kBitmapMagic = 0x504D4248;  // "HBMP"
+
+void SetBit(std::vector<uint64_t>* words, uint32_t row) {
+  const size_t word = row / 64;
+  if (words->size() <= word) words->resize(word + 1, 0);
+  (*words)[word] |= (1ull << (row % 64));
+}
+
+void AppendSetBits(const std::vector<uint64_t>& words, uint32_t num_records,
+                   std::vector<uint32_t>* out) {
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      const uint32_t row = static_cast<uint32_t>(w * 64 + bit);
+      if (row < num_records) out->push_back(row);
+      bits &= bits - 1;
+    }
+  }
+}
+}  // namespace
+
+std::string BitmapIndex::KeyOf(const Value& v) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_double()) return v.ToText(FieldType::kDouble);
+  if (v.is_int64()) return v.ToText(FieldType::kInt64);
+  return v.ToText(FieldType::kInt32);
+}
+
+BitmapIndex BitmapIndex::Build(const ColumnVector& values) {
+  BitmapIndex index;
+  index.num_records_ = static_cast<uint32_t>(values.size());
+  index.type_ = values.type();
+  for (uint32_t r = 0; r < index.num_records_; ++r) {
+    SetBit(&index.bitmaps_[KeyOf(values.GetValue(r))], r);
+  }
+  return index;
+}
+
+std::vector<uint32_t> BitmapIndex::Lookup(const Value& v) const {
+  std::vector<uint32_t> out;
+  auto it = bitmaps_.find(KeyOf(v));
+  if (it == bitmaps_.end()) return out;
+  AppendSetBits(it->second, num_records_, &out);
+  return out;
+}
+
+std::vector<uint32_t> BitmapIndex::LookupAny(
+    const std::vector<Value>& values) const {
+  // OR the bitsets, then enumerate once (the classic bitmap win).
+  std::vector<uint64_t> merged;
+  for (const Value& v : values) {
+    auto it = bitmaps_.find(KeyOf(v));
+    if (it == bitmaps_.end()) continue;
+    if (merged.size() < it->second.size()) merged.resize(it->second.size(), 0);
+    for (size_t w = 0; w < it->second.size(); ++w) merged[w] |= it->second[w];
+  }
+  std::vector<uint32_t> out;
+  AppendSetBits(merged, num_records_, &out);
+  return out;
+}
+
+uint64_t BitmapIndex::Count(const Value& v) const {
+  auto it = bitmaps_.find(KeyOf(v));
+  if (it == bitmaps_.end()) return 0;
+  uint64_t count = 0;
+  for (uint64_t word : it->second) count += __builtin_popcountll(word);
+  return count;
+}
+
+std::string BitmapIndex::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kBitmapMagic);
+  w.PutU8(static_cast<uint8_t>(type_));
+  w.PutU32(num_records_);
+  w.PutU32(static_cast<uint32_t>(bitmaps_.size()));
+  for (const auto& [key, words] : bitmaps_) {
+    w.PutLengthPrefixed(key);
+    w.PutU32(static_cast<uint32_t>(words.size()));
+    for (uint64_t word : words) w.PutU64(word);
+  }
+  return w.Take();
+}
+
+Result<BitmapIndex> BitmapIndex::Deserialize(std::string_view data) {
+  ByteReader r(data);
+  HAIL_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kBitmapMagic) return Status::Corruption("not a bitmap index");
+  BitmapIndex index;
+  HAIL_ASSIGN_OR_RETURN(uint8_t type_byte, r.GetU8());
+  index.type_ = static_cast<FieldType>(type_byte);
+  HAIL_ASSIGN_OR_RETURN(index.num_records_, r.GetU32());
+  HAIL_ASSIGN_OR_RETURN(uint32_t cardinality, r.GetU32());
+  for (uint32_t i = 0; i < cardinality; ++i) {
+    HAIL_ASSIGN_OR_RETURN(std::string_view key, r.GetLengthPrefixed());
+    HAIL_ASSIGN_OR_RETURN(uint32_t num_words, r.GetU32());
+    std::vector<uint64_t> words;
+    words.reserve(num_words);
+    for (uint32_t w = 0; w < num_words; ++w) {
+      HAIL_ASSIGN_OR_RETURN(uint64_t word, r.GetU64());
+      words.push_back(word);
+    }
+    index.bitmaps_[std::string(key)] = std::move(words);
+  }
+  return index;
+}
+
+uint64_t BitmapIndex::SerializedBytes() const {
+  uint64_t bytes = 4 + 1 + 4 + 4;
+  for (const auto& [key, words] : bitmaps_) {
+    bytes += 4 + key.size() + 4 + 8ull * words.size();
+  }
+  return bytes;
+}
+
+}  // namespace hail

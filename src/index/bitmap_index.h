@@ -1,0 +1,61 @@
+/// \file bitmap_index.h
+/// \brief Bitmap index for low-cardinality attributes (paper §3.5's
+/// future-work extension).
+///
+/// "An interesting direction for future work would be to extend HAIL to
+/// support additional indexes ... including bitmap indexes for low
+/// cardinality domains." One bitset per distinct value over the block's
+/// rows; equality and IN-set lookups return row ids by scanning set bits.
+/// Compact for domains like countryCode (tens of values over hundreds of
+/// thousands of rows: cardinality x rows / 8 bytes), and unlike the
+/// clustered index it does not require the block to be sorted by the
+/// attribute — it can ride along on any replica.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "layout/column_vector.h"
+#include "schema/value.h"
+#include "util/result.h"
+
+namespace hail {
+
+/// \brief One bitset per distinct value of an (unsorted) column.
+class BitmapIndex {
+ public:
+  /// Builds over a column in block order. Intended for low-cardinality
+  /// domains; building is O(rows), size is O(cardinality * rows / 64).
+  static BitmapIndex Build(const ColumnVector& values);
+
+  uint32_t num_records() const { return num_records_; }
+  size_t cardinality() const { return bitmaps_.size(); }
+
+  /// Row ids holding exactly \p v (ascending order).
+  std::vector<uint32_t> Lookup(const Value& v) const;
+
+  /// Row ids holding any of \p values (ascending, deduplicated).
+  std::vector<uint32_t> LookupAny(const std::vector<Value>& values) const;
+
+  /// Number of rows holding \p v — free from the bitmap's popcount.
+  uint64_t Count(const Value& v) const;
+
+  std::string Serialize() const;
+  static Result<BitmapIndex> Deserialize(std::string_view data);
+  uint64_t SerializedBytes() const;
+
+ private:
+  /// Values are keyed by their text rendering (types are homogeneous per
+  /// column, so the rendering is a total order-preserving key).
+  static std::string KeyOf(const Value& v);
+
+  uint32_t num_records_ = 0;
+  FieldType type_ = FieldType::kInt32;
+  std::map<std::string, std::vector<uint64_t>> bitmaps_;  // key -> bitset
+};
+
+}  // namespace hail

@@ -1,0 +1,120 @@
+/// \file clustered_index.h
+/// \brief HAIL's sparse clustered index (paper §3.5, Figure 2).
+///
+/// Built over a block whose records are *sorted* by the key attribute.
+/// The index is a single root directory: the first key of every partition
+/// of `partition_size` values. All but the first child pointer are implicit
+/// because partitions are contiguous on disk (leaf offset = leaf id × leaf
+/// size). A range lookup determines the first and last qualifying partition
+/// entirely in main memory, so the reader scans exactly the qualifying
+/// partitions and post-filters — never the whole range.
+///
+/// The paper motivates the single-level design: for block sizes below
+/// ~5 GB the root directory is so small (KBs) that a second level would
+/// only add an extra disk seek (see bench_index_micro for the ablation).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "layout/column_vector.h"
+#include "schema/value.h"
+#include "util/io.h"
+#include "util/result.h"
+
+namespace hail {
+
+/// \brief Half-open, partition-aligned row range returned by index lookups.
+struct RowRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;  // exclusive
+  bool empty() const { return begin >= end; }
+  uint32_t size() const { return empty() ? 0 : end - begin; }
+};
+
+/// \brief Inclusive key-range query against an index.
+struct KeyRange {
+  std::optional<Value> lo;  // nullopt = unbounded below
+  std::optional<Value> hi;  // nullopt = unbounded above
+
+  static KeyRange Equal(Value v) { return KeyRange{v, v}; }
+  static KeyRange Between(Value lo, Value hi) {
+    return KeyRange{std::move(lo), std::move(hi)};
+  }
+  static KeyRange AtLeast(Value lo) {
+    return KeyRange{std::move(lo), std::nullopt};
+  }
+  static KeyRange AtMost(Value hi) {
+    return KeyRange{std::nullopt, std::move(hi)};
+  }
+  static KeyRange All() { return KeyRange{}; }
+};
+
+/// \brief The sparse single-root clustered index of Figure 2.
+class ClusteredIndex {
+ public:
+  /// Builds over \p sorted_keys (must already be sorted ascending).
+  /// \p partition_size is the number of values per partition (paper: 1024).
+  static ClusteredIndex Build(const ColumnVector& sorted_keys,
+                              uint32_t partition_size);
+
+  FieldType key_type() const { return first_keys_.type(); }
+  uint32_t partition_size() const { return partition_size_; }
+  uint32_t num_records() const { return num_records_; }
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(first_keys_.size());
+  }
+
+  /// In-memory first/last partition determination (steps 1 & 2 in Fig. 2).
+  /// Returns a conservative partition-aligned row range containing every
+  /// record whose key lies in \p range; the caller post-filters.
+  RowRange Lookup(const KeyRange& range) const;
+
+  /// Serialises the root directory ("Index" + "Index Metadata" in Fig. 1).
+  std::string Serialize() const;
+  static Result<ClusteredIndex> Deserialize(std::string_view data);
+
+  /// Size of the serialised root directory in bytes.
+  uint64_t SerializedBytes() const;
+
+ private:
+  ClusteredIndex(FieldType type, uint32_t partition_size)
+      : first_keys_(type), partition_size_(partition_size) {}
+
+  ColumnVector first_keys_;  // first key of each partition
+  uint32_t partition_size_ = 0;
+  uint32_t num_records_ = 0;
+};
+
+/// \brief Two-level variant used only for the §3.5 multi-level ablation.
+///
+/// The root holds every `fanout`-th directory key; a lookup first searches
+/// the root, then one directory page — costing one extra seek when the
+/// directory does not fit in memory. HAIL never uses this in its pipeline;
+/// bench_index_micro shows the crossover block size (~5 GB).
+class TwoLevelIndex {
+ public:
+  static TwoLevelIndex Build(const ColumnVector& sorted_keys,
+                             uint32_t partition_size, uint32_t fanout);
+
+  RowRange Lookup(const KeyRange& range) const;
+  uint32_t num_partitions() const { return leaf_.num_partitions(); }
+  uint32_t fanout() const { return fanout_; }
+  /// Directory pages that a lookup touches (1 root page is cached; each
+  /// additional page would cost one seek on disk).
+  int directory_pages_touched() const { return 2; }
+
+ private:
+  TwoLevelIndex(ClusteredIndex leaf, ColumnVector root_keys, uint32_t fanout)
+      : leaf_(std::move(leaf)), root_keys_(std::move(root_keys)),
+        fanout_(fanout) {}
+
+  ClusteredIndex leaf_;
+  ColumnVector root_keys_;
+  uint32_t fanout_;
+};
+
+}  // namespace hail

@@ -1,0 +1,115 @@
+/// \file key_search.h
+/// \brief Typed binary search over sorted key columns (shared by indexes).
+
+#pragma once
+
+#include <cstddef>
+
+#include "layout/column_vector.h"
+#include "schema/value.h"
+
+namespace hail {
+namespace key_search {
+
+/// True when the value should compare as an exact integer (no widening to
+/// double, which loses precision above 2^53).
+inline bool IsIntegral(const Value& v) { return v.is_int32() || v.is_int64(); }
+
+inline int64_t AsInt64(const Value& v) {
+  return v.is_int32() ? v.as_int32() : v.as_int64();
+}
+
+/// keys[i] < v, with numeric widening so int literals match any numeric
+/// column type.
+inline bool KeyLessThanValue(const ColumnVector& keys, size_t i,
+                             const Value& v) {
+  switch (keys.type()) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      if (IsIntegral(v)) return keys.i32()[i] < AsInt64(v);
+      return static_cast<double>(keys.i32()[i]) < v.AsNumeric();
+    case FieldType::kInt64:
+      if (IsIntegral(v)) return keys.i64()[i] < AsInt64(v);
+      return static_cast<double>(keys.i64()[i]) < v.AsNumeric();
+    case FieldType::kDouble:
+      return keys.f64()[i] < v.AsNumeric();
+    case FieldType::kString:
+      return keys.str()[i] < v.as_string();
+  }
+  return false;
+}
+
+inline bool ValueLessThanKey(const Value& v, const ColumnVector& keys,
+                             size_t i) {
+  switch (keys.type()) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      if (IsIntegral(v)) return AsInt64(v) < keys.i32()[i];
+      return v.AsNumeric() < static_cast<double>(keys.i32()[i]);
+    case FieldType::kInt64:
+      if (IsIntegral(v)) return AsInt64(v) < keys.i64()[i];
+      return v.AsNumeric() < static_cast<double>(keys.i64()[i]);
+    case FieldType::kDouble:
+      return v.AsNumeric() < keys.f64()[i];
+    case FieldType::kString:
+      return v.as_string() < keys.str()[i];
+  }
+  return false;
+}
+
+/// First index whose key is >= v.
+inline size_t LowerBoundIndex(const ColumnVector& keys, const Value& v) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (KeyLessThanValue(keys, mid, v)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First index whose key is > v.
+inline size_t UpperBoundIndex(const ColumnVector& keys, const Value& v) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (ValueLessThanKey(v, keys, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// \brief First/last qualifying partition for a key range over partition
+/// start keys, following Figure 2's in-memory determination. Returns false
+/// when nothing qualifies.
+inline bool QualifyingPartitions(const ColumnVector& first_keys,
+                                 const std::optional<Value>& lo,
+                                 const std::optional<Value>& hi,
+                                 size_t* first_partition,
+                                 size_t* last_partition) {
+  if (first_keys.size() == 0) return false;
+  size_t first = 0;
+  if (lo.has_value()) {
+    const size_t lb = LowerBoundIndex(first_keys, *lo);
+    first = (lb == 0) ? 0 : lb - 1;
+  }
+  size_t last = first_keys.size() - 1;
+  if (hi.has_value()) {
+    const size_t ub = UpperBoundIndex(first_keys, *hi);
+    if (ub == 0) return false;
+    last = ub - 1;
+  }
+  if (first > last) return false;
+  *first_partition = first;
+  *last_partition = last;
+  return true;
+}
+
+}  // namespace key_search
+}  // namespace hail

@@ -1,0 +1,133 @@
+#include "index/trojan_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "index/key_search.h"
+
+namespace hail {
+
+namespace {
+constexpr uint32_t kTrojanMagic = 0x4A525448;  // "HTRJ"
+}  // namespace
+
+TrojanIndex TrojanIndex::Build(const ColumnVector& sorted_keys,
+                               const std::vector<uint64_t>& row_offsets,
+                               uint64_t data_bytes, uint32_t rows_per_entry) {
+  assert(rows_per_entry > 0);
+  assert(sorted_keys.size() == row_offsets.size());
+  TrojanIndex index(sorted_keys.type(), rows_per_entry);
+  index.num_records_ = static_cast<uint32_t>(sorted_keys.size());
+  index.data_bytes_ = data_bytes;
+  for (uint32_t r = 0; r < index.num_records_; r += rows_per_entry) {
+    index.entry_keys_.Append(sorted_keys.GetValue(r));
+    index.entry_offsets_.push_back(row_offsets[r]);
+  }
+  return index;
+}
+
+TrojanIndex::LookupResult TrojanIndex::Lookup(const KeyRange& range) const {
+  LookupResult out;
+  if (num_records_ == 0) return out;
+
+  // A directory entry plays the role of a partition of rows_per_entry_ rows.
+  size_t first = 0, last = 0;
+  if (!key_search::QualifyingPartitions(entry_keys_, range.lo, range.hi,
+                                        &first, &last)) {
+    return out;
+  }
+  const uint32_t first_entry = static_cast<uint32_t>(first);
+  const uint32_t last_entry = static_cast<uint32_t>(last);  // inclusive
+  out.first_row = first_entry * rows_per_entry_;
+  out.end_row = std::min<uint32_t>((last_entry + 1) * rows_per_entry_,
+                                   num_records_);
+  out.bytes.begin = entry_offsets_[first_entry];
+  out.bytes.end = (last_entry + 1 < entry_offsets_.size())
+                      ? entry_offsets_[last_entry + 1]
+                      : data_bytes_;
+  return out;
+}
+
+std::string TrojanIndex::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kTrojanMagic);
+  w.PutU8(static_cast<uint8_t>(entry_keys_.type()));
+  w.PutU32(rows_per_entry_);
+  w.PutU32(num_records_);
+  w.PutU64(data_bytes_);
+  w.PutU32(num_entries());
+  for (uint32_t i = 0; i < num_entries(); ++i) {
+    switch (entry_keys_.type()) {
+      case FieldType::kInt32:
+      case FieldType::kDate:
+        w.PutI32(entry_keys_.i32()[i]);
+        break;
+      case FieldType::kInt64:
+        w.PutI64(entry_keys_.i64()[i]);
+        break;
+      case FieldType::kDouble:
+        w.PutF64(entry_keys_.f64()[i]);
+        break;
+      case FieldType::kString:
+        w.PutLengthPrefixed(entry_keys_.str()[i]);
+        break;
+    }
+    w.PutU64(entry_offsets_[i]);
+  }
+  return w.Take();
+}
+
+Result<TrojanIndex> TrojanIndex::Deserialize(std::string_view data) {
+  ByteReader r(data);
+  HAIL_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kTrojanMagic) return Status::Corruption("not a trojan index");
+  HAIL_ASSIGN_OR_RETURN(uint8_t type_byte, r.GetU8());
+  const FieldType type = static_cast<FieldType>(type_byte);
+  HAIL_ASSIGN_OR_RETURN(uint32_t rows_per_entry, r.GetU32());
+  if (rows_per_entry == 0) return Status::Corruption("zero rows per entry");
+  TrojanIndex index(type, rows_per_entry);
+  HAIL_ASSIGN_OR_RETURN(index.num_records_, r.GetU32());
+  HAIL_ASSIGN_OR_RETURN(index.data_bytes_, r.GetU64());
+  HAIL_ASSIGN_OR_RETURN(uint32_t n, r.GetU32());
+  index.entry_offsets_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    switch (type) {
+      case FieldType::kInt32:
+      case FieldType::kDate: {
+        HAIL_ASSIGN_OR_RETURN(int32_t v, r.GetI32());
+        index.entry_keys_.Append(Value(v));
+        break;
+      }
+      case FieldType::kInt64: {
+        HAIL_ASSIGN_OR_RETURN(int64_t v, r.GetI64());
+        index.entry_keys_.Append(Value(v));
+        break;
+      }
+      case FieldType::kDouble: {
+        HAIL_ASSIGN_OR_RETURN(double v, r.GetF64());
+        index.entry_keys_.Append(Value(v));
+        break;
+      }
+      case FieldType::kString: {
+        HAIL_ASSIGN_OR_RETURN(std::string_view s, r.GetLengthPrefixed());
+        index.entry_keys_.Append(Value(std::string(s)));
+        break;
+      }
+    }
+    HAIL_ASSIGN_OR_RETURN(uint64_t off, r.GetU64());
+    index.entry_offsets_.push_back(off);
+  }
+  return index;
+}
+
+uint64_t TrojanIndex::SerializedBytes() const {
+  uint64_t bytes = 4 + 1 + 4 + 4 + 8 + 4;
+  bytes += entry_keys_.SerializedValueBytes();
+  if (entry_keys_.type() == FieldType::kString) {
+    bytes += 4ull * num_entries();
+  }
+  bytes += 8ull * num_entries();
+  return bytes;
+}
+
+}  // namespace hail

@@ -1,0 +1,117 @@
+#include "index/unclustered_index.h"
+
+#include "index/key_search.h"
+#include "util/io.h"
+
+namespace hail {
+
+namespace {
+constexpr uint32_t kUnclusteredMagic = 0x43554948;  // "HIUC"
+}  // namespace
+
+UnclusteredIndex UnclusteredIndex::Build(const ColumnVector& keys) {
+  UnclusteredIndex index(keys.type());
+  index.num_records_ = static_cast<uint32_t>(keys.size());
+  const std::vector<uint32_t> perm = ArgSortColumn(keys);
+  index.row_ids_ = perm;
+  for (uint32_t src : perm) {
+    index.sorted_keys_.Append(keys.GetValue(src));
+  }
+  return index;
+}
+
+std::vector<uint32_t> UnclusteredIndex::Lookup(const KeyRange& range) const {
+  std::vector<uint32_t> out;
+  if (num_records_ == 0) return out;
+  size_t begin = 0;
+  size_t end = sorted_keys_.size();
+  if (range.lo.has_value()) {
+    begin = key_search::LowerBoundIndex(sorted_keys_, *range.lo);
+  }
+  if (range.hi.has_value()) {
+    end = key_search::UpperBoundIndex(sorted_keys_, *range.hi);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    out.push_back(row_ids_[i]);
+  }
+  return out;
+}
+
+std::string UnclusteredIndex::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kUnclusteredMagic);
+  w.PutU8(static_cast<uint8_t>(sorted_keys_.type()));
+  w.PutU32(num_records_);
+  for (uint32_t i = 0; i < num_records_; ++i) {
+    switch (sorted_keys_.type()) {
+      case FieldType::kInt32:
+      case FieldType::kDate:
+        w.PutI32(sorted_keys_.i32()[i]);
+        break;
+      case FieldType::kInt64:
+        w.PutI64(sorted_keys_.i64()[i]);
+        break;
+      case FieldType::kDouble:
+        w.PutF64(sorted_keys_.f64()[i]);
+        break;
+      case FieldType::kString:
+        w.PutLengthPrefixed(sorted_keys_.str()[i]);
+        break;
+    }
+    w.PutU32(row_ids_[i]);
+  }
+  return w.Take();
+}
+
+Result<UnclusteredIndex> UnclusteredIndex::Deserialize(std::string_view data) {
+  ByteReader r(data);
+  HAIL_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kUnclusteredMagic) {
+    return Status::Corruption("not an unclustered index");
+  }
+  HAIL_ASSIGN_OR_RETURN(uint8_t type_byte, r.GetU8());
+  const FieldType type = static_cast<FieldType>(type_byte);
+  UnclusteredIndex index(type);
+  HAIL_ASSIGN_OR_RETURN(index.num_records_, r.GetU32());
+  index.row_ids_.reserve(index.num_records_);
+  for (uint32_t i = 0; i < index.num_records_; ++i) {
+    switch (type) {
+      case FieldType::kInt32:
+      case FieldType::kDate: {
+        HAIL_ASSIGN_OR_RETURN(int32_t v, r.GetI32());
+        index.sorted_keys_.Append(Value(v));
+        break;
+      }
+      case FieldType::kInt64: {
+        HAIL_ASSIGN_OR_RETURN(int64_t v, r.GetI64());
+        index.sorted_keys_.Append(Value(v));
+        break;
+      }
+      case FieldType::kDouble: {
+        HAIL_ASSIGN_OR_RETURN(double v, r.GetF64());
+        index.sorted_keys_.Append(Value(v));
+        break;
+      }
+      case FieldType::kString: {
+        HAIL_ASSIGN_OR_RETURN(std::string_view s, r.GetLengthPrefixed());
+        index.sorted_keys_.Append(Value(std::string(s)));
+        break;
+      }
+    }
+    HAIL_ASSIGN_OR_RETURN(uint32_t row, r.GetU32());
+    index.row_ids_.push_back(row);
+  }
+  return index;
+}
+
+uint64_t UnclusteredIndex::SerializedBytes() const {
+  uint64_t bytes = 4 + 1 + 4;
+  bytes += sorted_keys_.SerializedValueBytes();
+  if (sorted_keys_.type() == FieldType::kString) {
+    bytes += 4ull * num_records_;
+  }
+  bytes += 4ull * num_records_;
+  return bytes;
+}
+
+}  // namespace hail

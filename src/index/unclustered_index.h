@@ -1,0 +1,49 @@
+/// \file unclustered_index.h
+/// \brief Dense unclustered index — the §3.5 ablation, not used by HAIL.
+///
+/// The paper explains why HAIL rejects unclustered indexes: they are dense
+/// by definition (one entry per record, ~10-20% of the block size), cost
+/// more write I/O at upload, and trigger random I/O per qualifying record
+/// at query time, so they only pay off for very selective queries.
+/// bench_index_micro quantifies all three claims against the clustered
+/// index.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/clustered_index.h"
+#include "layout/column_vector.h"
+#include "util/result.h"
+
+namespace hail {
+
+/// \brief Dense (key, rowid) index over an *unsorted* block.
+class UnclusteredIndex {
+ public:
+  /// Builds over the key column of a block in its original (unsorted) order.
+  static UnclusteredIndex Build(const ColumnVector& keys);
+
+  uint32_t num_records() const { return num_records_; }
+
+  /// Row ids (in block order) whose key lies in \p range. Rows come back
+  /// sorted by key, i.e. in *random* block order — each hit is a separate
+  /// random access, which is exactly the §3.5 problem.
+  std::vector<uint32_t> Lookup(const KeyRange& range) const;
+
+  std::string Serialize() const;
+  static Result<UnclusteredIndex> Deserialize(std::string_view data);
+  uint64_t SerializedBytes() const;
+
+ private:
+  explicit UnclusteredIndex(FieldType type) : sorted_keys_(type) {}
+
+  ColumnVector sorted_keys_;        // all keys, sorted
+  std::vector<uint32_t> row_ids_;   // row id of each sorted key
+  uint32_t num_records_ = 0;
+};
+
+}  // namespace hail

@@ -1,0 +1,157 @@
+#include "layout/column_vector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace hail {
+
+size_t ColumnVector::size() const {
+  switch (type_) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      return i32_.size();
+    case FieldType::kInt64:
+      return i64_.size();
+    case FieldType::kDouble:
+      return f64_.size();
+    case FieldType::kString:
+      return str_.size();
+  }
+  return 0;
+}
+
+void ColumnVector::Append(const Value& v) {
+  switch (type_) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      i32_.push_back(v.as_int32());
+      break;
+    case FieldType::kInt64:
+      i64_.push_back(v.as_int64());
+      break;
+    case FieldType::kDouble:
+      f64_.push_back(v.as_double());
+      break;
+    case FieldType::kString:
+      str_.push_back(v.as_string());
+      break;
+  }
+}
+
+Value ColumnVector::GetValue(size_t row) const {
+  switch (type_) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      return Value(i32_[row]);
+    case FieldType::kInt64:
+      return Value(i64_[row]);
+    case FieldType::kDouble:
+      return Value(f64_[row]);
+    case FieldType::kString:
+      return Value(str_[row]);
+  }
+  return Value();
+}
+
+namespace {
+template <typename T>
+void Permute(std::vector<T>* data, const std::vector<uint32_t>& perm) {
+  std::vector<T> out;
+  out.reserve(data->size());
+  for (uint32_t src : perm) {
+    out.push_back(std::move((*data)[src]));
+  }
+  *data = std::move(out);
+}
+}  // namespace
+
+void ColumnVector::ApplyPermutation(const std::vector<uint32_t>& perm) {
+  assert(perm.size() == size());
+  switch (type_) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      Permute(&i32_, perm);
+      break;
+    case FieldType::kInt64:
+      Permute(&i64_, perm);
+      break;
+    case FieldType::kDouble:
+      Permute(&f64_, perm);
+      break;
+    case FieldType::kString:
+      Permute(&str_, perm);
+      break;
+  }
+}
+
+uint64_t ColumnVector::SerializedValueBytes() const {
+  switch (type_) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      return i32_.size() * sizeof(int32_t);
+    case FieldType::kInt64:
+      return i64_.size() * sizeof(int64_t);
+    case FieldType::kDouble:
+      return f64_.size() * sizeof(double);
+    case FieldType::kString: {
+      uint64_t bytes = 0;
+      for (const std::string& s : str_) bytes += s.size() + 1;  // NUL
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  switch (type_) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      i32_.reserve(n);
+      break;
+    case FieldType::kInt64:
+      i64_.reserve(n);
+      break;
+    case FieldType::kDouble:
+      f64_.reserve(n);
+      break;
+    case FieldType::kString:
+      str_.reserve(n);
+      break;
+  }
+}
+
+std::vector<uint32_t> ArgSortColumn(const ColumnVector& column) {
+  std::vector<uint32_t> perm(column.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  switch (column.type()) {
+    case FieldType::kInt32:
+    case FieldType::kDate: {
+      const auto& v = column.i32();
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](uint32_t a, uint32_t b) { return v[a] < v[b]; });
+      break;
+    }
+    case FieldType::kInt64: {
+      const auto& v = column.i64();
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](uint32_t a, uint32_t b) { return v[a] < v[b]; });
+      break;
+    }
+    case FieldType::kDouble: {
+      const auto& v = column.f64();
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](uint32_t a, uint32_t b) { return v[a] < v[b]; });
+      break;
+    }
+    case FieldType::kString: {
+      const auto& v = column.str();
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](uint32_t a, uint32_t b) { return v[a] < v[b]; });
+      break;
+    }
+  }
+  return perm;
+}
+
+}  // namespace hail

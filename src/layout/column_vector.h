@@ -1,0 +1,57 @@
+/// \file column_vector.h
+/// \brief In-memory typed column storage used while building/sorting blocks.
+///
+/// A PAX block under construction holds one ColumnVector per attribute.
+/// Sorting a block (upload pipeline, §3.5) argsorts the key column and then
+/// applies the permutation to every ColumnVector ("we build a sort index to
+/// reorganize all other columns").
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "schema/value.h"
+
+namespace hail {
+
+/// \brief One attribute's values for all records of a block.
+class ColumnVector {
+ public:
+  explicit ColumnVector(FieldType type) : type_(type) {}
+
+  FieldType type() const { return type_; }
+  size_t size() const;
+
+  void Append(const Value& v);
+  Value GetValue(size_t row) const;
+
+  /// Direct typed access (callers must match type()).
+  const std::vector<int32_t>& i32() const { return i32_; }
+  const std::vector<int64_t>& i64() const { return i64_; }
+  const std::vector<double>& f64() const { return f64_; }
+  const std::vector<std::string>& str() const { return str_; }
+
+  /// Reorders values so new[i] = old[perm[i]].
+  void ApplyPermutation(const std::vector<uint32_t>& perm);
+
+  /// Total bytes this column occupies when serialised (values only).
+  uint64_t SerializedValueBytes() const;
+
+  void Reserve(size_t n);
+
+ private:
+  FieldType type_;
+  std::vector<int32_t> i32_;    // kInt32 and kDate
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> str_;
+};
+
+/// \brief Stable argsort of a column: returns perm with
+/// column[perm[0]] <= column[perm[1]] <= ...
+std::vector<uint32_t> ArgSortColumn(const ColumnVector& column);
+
+}  // namespace hail

@@ -1,0 +1,362 @@
+#include "layout/pax_block.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hail {
+
+PaxBlock::PaxBlock(Schema schema, BlockFormatOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  columns_.reserve(static_cast<size_t>(schema_.num_fields()));
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    columns_.emplace_back(schema_.field(i).type);
+  }
+}
+
+void PaxBlock::AppendRow(const std::vector<Value>& values) {
+  assert(values.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].Append(values[i]);
+  }
+}
+
+void PaxBlock::AppendBadRecord(std::string_view raw) {
+  bad_records_.emplace_back(raw);
+}
+
+std::vector<Value> PaxBlock::GetRow(uint32_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const ColumnVector& col : columns_) {
+    out.push_back(col.GetValue(row));
+  }
+  return out;
+}
+
+std::vector<uint32_t> PaxBlock::SortByColumn(int key_column) {
+  std::vector<uint32_t> perm =
+      ArgSortColumn(columns_[static_cast<size_t>(key_column)]);
+  for (ColumnVector& col : columns_) {
+    col.ApplyPermutation(perm);
+  }
+  return perm;
+}
+
+uint64_t PaxBlock::PayloadBytes() const {
+  uint64_t bytes = 0;
+  for (const ColumnVector& col : columns_) {
+    bytes += col.SerializedValueBytes();
+  }
+  for (const std::string& bad : bad_records_) {
+    bytes += bad.size();
+  }
+  return bytes;
+}
+
+uint64_t PaxBlock::FixedPayloadBytes() const {
+  uint64_t bytes = 0;
+  for (const ColumnVector& col : columns_) {
+    if (IsFixedSize(col.type())) bytes += col.SerializedValueBytes();
+  }
+  return bytes;
+}
+
+uint64_t PaxBlock::VarlenPayloadBytes() const {
+  uint64_t bytes = 0;
+  for (const ColumnVector& col : columns_) {
+    if (!IsFixedSize(col.type())) bytes += col.SerializedValueBytes();
+  }
+  return bytes;
+}
+
+std::string PaxBlock::Serialize() const {
+  ByteWriter w;
+  const uint32_t n = num_records();
+  const int ncols = num_columns();
+
+  w.PutU32(kPaxMagic);
+  w.PutU8(0);  // layout kind: PAX
+  w.PutLengthPrefixed(schema_.ToString());
+  w.PutU32(n);
+  w.PutU32(options_.varlen_partition_size);
+  w.PutU32(static_cast<uint32_t>(bad_records_.size()));
+  w.PutU32(static_cast<uint32_t>(ncols));
+  // Back-patched directory: per column (type, offset, bytes); then the
+  // bad-section offset.
+  const size_t dir_pos = w.size();
+  for (int i = 0; i < ncols; ++i) {
+    w.PutU8(static_cast<uint8_t>(schema_.field(i).type));
+    w.PutU64(0);  // minipage offset
+    w.PutU64(0);  // minipage bytes
+  }
+  const size_t bad_off_pos = w.size();
+  w.PutU64(0);
+
+  std::vector<uint64_t> col_offsets(static_cast<size_t>(ncols));
+  std::vector<uint64_t> col_bytes(static_cast<size_t>(ncols));
+
+  const uint32_t part = options_.varlen_partition_size;
+  for (int i = 0; i < ncols; ++i) {
+    const ColumnVector& col = columns_[static_cast<size_t>(i)];
+    col_offsets[static_cast<size_t>(i)] = w.size();
+    switch (col.type()) {
+      case FieldType::kInt32:
+      case FieldType::kDate:
+        w.PutBytes(std::string_view(
+            reinterpret_cast<const char*>(col.i32().data()),
+            col.i32().size() * sizeof(int32_t)));
+        break;
+      case FieldType::kInt64:
+        w.PutBytes(std::string_view(
+            reinterpret_cast<const char*>(col.i64().data()),
+            col.i64().size() * sizeof(int64_t)));
+        break;
+      case FieldType::kDouble:
+        w.PutBytes(std::string_view(
+            reinterpret_cast<const char*>(col.f64().data()),
+            col.f64().size() * sizeof(double)));
+        break;
+      case FieldType::kString: {
+        // Sparse offsets: one per partition of `part` values, relative to
+        // the start of the value bytes ("we only store every n-th offset",
+        // §3.5).
+        const auto& strs = col.str();
+        const uint32_t num_offsets =
+            n == 0 ? 0 : (n + part - 1) / part;
+        w.PutU32(num_offsets);
+        std::vector<uint64_t> offsets(num_offsets);
+        uint64_t pos = 0;
+        for (uint32_t r = 0; r < n; ++r) {
+          if (r % part == 0) offsets[r / part] = pos;
+          pos += strs[r].size() + 1;
+        }
+        for (uint64_t off : offsets) w.PutU64(off);
+        w.PutU64(pos);  // total value bytes
+        for (uint32_t r = 0; r < n; ++r) {
+          w.PutBytes(strs[r]);
+          w.PutU8(0);
+        }
+        break;
+      }
+    }
+    col_bytes[static_cast<size_t>(i)] =
+        w.size() - col_offsets[static_cast<size_t>(i)];
+  }
+
+  const uint64_t bad_offset = w.size();
+  for (const std::string& bad : bad_records_) {
+    w.PutLengthPrefixed(bad);
+  }
+
+  // Patch the directory.
+  size_t cursor = dir_pos;
+  for (int i = 0; i < ncols; ++i) {
+    cursor += 1;  // type byte
+    std::memcpy(w.buffer().data() + cursor, &col_offsets[static_cast<size_t>(i)],
+                sizeof(uint64_t));
+    cursor += 8;
+    std::memcpy(w.buffer().data() + cursor, &col_bytes[static_cast<size_t>(i)],
+                sizeof(uint64_t));
+    cursor += 8;
+  }
+  std::memcpy(w.buffer().data() + bad_off_pos, &bad_offset, sizeof(uint64_t));
+
+  return w.Take();
+}
+
+Result<PaxBlock> PaxBlock::Deserialize(std::string_view data) {
+  HAIL_ASSIGN_OR_RETURN(PaxBlockView view, PaxBlockView::Open(data));
+  BlockFormatOptions options;
+  options.varlen_partition_size = view.varlen_partition_size();
+  PaxBlock block(view.schema(), options);
+  for (uint32_t r = 0; r < view.num_records(); ++r) {
+    HAIL_ASSIGN_OR_RETURN(std::vector<Value> row, view.GetRow(r));
+    block.AppendRow(row);
+  }
+  for (uint32_t b = 0; b < view.num_bad_records(); ++b) {
+    HAIL_ASSIGN_OR_RETURN(std::string_view raw, view.GetBadRecord(b));
+    block.AppendBadRecord(raw);
+  }
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// PaxBlockView
+// ---------------------------------------------------------------------------
+
+Result<PaxBlockView> PaxBlockView::Open(std::string_view data) {
+  PaxBlockView view;
+  view.data_ = data;
+  ByteReader r(data);
+  HAIL_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kPaxMagic) {
+    return Status::Corruption("not a PAX block (bad magic)");
+  }
+  HAIL_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+  if (kind != 0) {
+    return Status::Corruption("unsupported layout kind");
+  }
+  HAIL_ASSIGN_OR_RETURN(std::string_view schema_text, r.GetLengthPrefixed());
+  HAIL_ASSIGN_OR_RETURN(view.schema_, Schema::Parse(schema_text));
+  HAIL_ASSIGN_OR_RETURN(view.num_records_, r.GetU32());
+  HAIL_ASSIGN_OR_RETURN(view.varlen_partition_, r.GetU32());
+  if (view.varlen_partition_ == 0) {
+    return Status::Corruption("zero varlen partition size");
+  }
+  HAIL_ASSIGN_OR_RETURN(view.num_bad_records_, r.GetU32());
+  HAIL_ASSIGN_OR_RETURN(uint32_t ncols, r.GetU32());
+  if (ncols != static_cast<uint32_t>(view.schema_.num_fields())) {
+    return Status::Corruption("column count does not match schema");
+  }
+  view.cols_.resize(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    ColumnInfo& ci = view.cols_[i];
+    HAIL_ASSIGN_OR_RETURN(uint8_t type_byte, r.GetU8());
+    ci.type = static_cast<FieldType>(type_byte);
+    HAIL_ASSIGN_OR_RETURN(ci.minipage_offset, r.GetU64());
+    HAIL_ASSIGN_OR_RETURN(ci.minipage_bytes, r.GetU64());
+    if (ci.minipage_offset + ci.minipage_bytes > data.size()) {
+      return Status::Corruption("minipage out of bounds");
+    }
+  }
+  HAIL_ASSIGN_OR_RETURN(view.bad_section_offset_, r.GetU64());
+  if (view.bad_section_offset_ > data.size()) {
+    return Status::Corruption("bad-record section out of bounds");
+  }
+
+  // Resolve varlen internals.
+  for (uint32_t i = 0; i < ncols; ++i) {
+    ColumnInfo& ci = view.cols_[i];
+    if (ci.type != FieldType::kString) continue;
+    ByteReader vr(data);
+    HAIL_RETURN_NOT_OK(vr.SeekTo(ci.minipage_offset));
+    HAIL_ASSIGN_OR_RETURN(ci.num_offsets, vr.GetU32());
+    ci.offsets_pos = vr.position();
+    HAIL_RETURN_NOT_OK(vr.SeekTo(ci.offsets_pos + 8ull * ci.num_offsets));
+    HAIL_ASSIGN_OR_RETURN(ci.values_bytes, vr.GetU64());
+    ci.values_pos = vr.position();
+    if (ci.values_pos + ci.values_bytes > data.size()) {
+      return Status::Corruption("varlen values out of bounds");
+    }
+  }
+  return view;
+}
+
+Result<Value> PaxBlockView::GetFixedValue(int column, uint32_t row) const {
+  const ColumnInfo& ci = cols_[static_cast<size_t>(column)];
+  if (row >= num_records_) return Status::OutOfRange("row out of range");
+  const char* base = data_.data() + ci.minipage_offset;
+  switch (ci.type) {
+    case FieldType::kInt32:
+    case FieldType::kDate: {
+      int32_t v;
+      std::memcpy(&v, base + row * sizeof(int32_t), sizeof(v));
+      return Value(v);
+    }
+    case FieldType::kInt64: {
+      int64_t v;
+      std::memcpy(&v, base + row * sizeof(int64_t), sizeof(v));
+      return Value(v);
+    }
+    case FieldType::kDouble: {
+      double v;
+      std::memcpy(&v, base + row * sizeof(double), sizeof(v));
+      return Value(v);
+    }
+    case FieldType::kString:
+      return Status::InvalidArgument("GetFixedValue on string column");
+  }
+  return Status::Corruption("unknown column type");
+}
+
+Result<std::string_view> PaxBlockView::GetString(int column,
+                                                 uint32_t row) const {
+  const ColumnInfo& ci = cols_[static_cast<size_t>(column)];
+  if (ci.type != FieldType::kString) {
+    return Status::InvalidArgument("GetString on fixed-size column");
+  }
+  if (row >= num_records_) return Status::OutOfRange("row out of range");
+  // §3.5: "we scan the partition floor(rowID / n) entirely from disk...
+  // then, in main memory we post-filter the partition".
+  const uint32_t partition = row / varlen_partition_;
+  uint64_t offset;
+  std::memcpy(&offset, data_.data() + ci.offsets_pos + 8ull * partition,
+              sizeof(offset));
+  const char* cursor = data_.data() + ci.values_pos + offset;
+  const char* end = data_.data() + ci.values_pos + ci.values_bytes;
+  uint32_t current = partition * varlen_partition_;
+  while (current < row) {
+    // Skip one zero-terminated value.
+    while (cursor < end && *cursor != '\0') ++cursor;
+    if (cursor >= end) return Status::Corruption("varlen scan out of bounds");
+    ++cursor;  // NUL
+    ++current;
+  }
+  const char* value_start = cursor;
+  while (cursor < end && *cursor != '\0') ++cursor;
+  if (cursor > end) return Status::Corruption("varlen value out of bounds");
+  return std::string_view(value_start,
+                          static_cast<size_t>(cursor - value_start));
+}
+
+Result<Value> PaxBlockView::GetAnyValue(int column, uint32_t row) const {
+  const ColumnInfo& ci = cols_[static_cast<size_t>(column)];
+  if (ci.type == FieldType::kString) {
+    HAIL_ASSIGN_OR_RETURN(std::string_view s, GetString(column, row));
+    return Value(std::string(s));
+  }
+  return GetFixedValue(column, row);
+}
+
+Result<std::vector<Value>> PaxBlockView::GetRow(uint32_t row) const {
+  std::vector<Value> out;
+  out.reserve(cols_.size());
+  for (int i = 0; i < num_columns(); ++i) {
+    HAIL_ASSIGN_OR_RETURN(Value v, GetAnyValue(i, row));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<std::string_view> PaxBlockView::GetBadRecord(uint32_t i) const {
+  if (i >= num_bad_records_) return Status::OutOfRange("bad record index");
+  ByteReader r(data_);
+  HAIL_RETURN_NOT_OK(r.SeekTo(bad_section_offset_));
+  for (uint32_t k = 0; k < i; ++k) {
+    HAIL_ASSIGN_OR_RETURN(std::string_view skip, r.GetLengthPrefixed());
+    (void)skip;
+  }
+  return r.GetLengthPrefixed();
+}
+
+uint64_t PaxBlockView::EstimateColumnReadBytes(int column,
+                                               uint64_t rows_touched) const {
+  const ColumnInfo& ci = cols_[static_cast<size_t>(column)];
+  if (num_records_ == 0 || rows_touched == 0) return 0;
+  if (rows_touched >= num_records_) return ci.minipage_bytes;
+  // Partition-granular: assume each touched row costs one partition read,
+  // capped at the full minipage.
+  const uint32_t partitions =
+      (num_records_ + varlen_partition_ - 1) / varlen_partition_;
+  const uint64_t partition_bytes = ci.minipage_bytes / partitions;
+  const uint64_t cost = rows_touched * partition_bytes;
+  return cost > ci.minipage_bytes ? ci.minipage_bytes : cost;
+}
+
+PaxBlock BuildPaxBlockFromText(const Schema& schema, std::string_view text,
+                               BlockFormatOptions options) {
+  PaxBlock block(schema, options);
+  RowParser parser(schema);
+  for (std::string_view row : SplitRows(text)) {
+    if (row.empty()) continue;
+    ParsedRow parsed = parser.Parse(row);
+    if (parsed.ok) {
+      block.AppendRow(parsed.values);
+    } else {
+      block.AppendBadRecord(row);
+    }
+  }
+  return block;
+}
+
+}  // namespace hail

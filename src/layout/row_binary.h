@@ -1,0 +1,76 @@
+/// \file row_binary.h
+/// \brief Binary row layout used by the Hadoop++ baseline (paper §5, [12]).
+///
+/// Hadoop++'s conversion MapReduce job rewrites text blocks into binary
+/// rows; its trojan index then points into this layout by byte offset.
+/// Unlike PAX, reading any attribute drags the whole row from disk, which
+/// is why Hadoop++ only narrowly wins on very selective queries (Fig. 7b).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/schema.h"
+#include "schema/value.h"
+#include "util/io.h"
+#include "util/result.h"
+
+namespace hail {
+
+inline constexpr uint32_t kRowBinaryMagic = 0x50505248;  // "HRPP"
+
+/// \brief Streaming builder for a binary-row block.
+class RowBinaryBlockBuilder {
+ public:
+  explicit RowBinaryBlockBuilder(Schema schema);
+
+  /// Appends one row; records its byte offset (relative to the data
+  /// section) for index construction.
+  void AddRow(const std::vector<Value>& values);
+
+  uint32_t num_records() const {
+    return static_cast<uint32_t>(row_offsets_.size());
+  }
+  const std::vector<uint64_t>& row_offsets() const { return row_offsets_; }
+
+  /// Bytes of encoded row data so far (excluding header).
+  uint64_t data_bytes() const { return rows_.size(); }
+
+  /// Serialises header + row data. The builder is left empty.
+  std::string Finish();
+
+ private:
+  Schema schema_;
+  ByteWriter rows_;
+  std::vector<uint64_t> row_offsets_;
+};
+
+/// \brief Zero-copy reader for a binary-row block.
+class RowBinaryBlockView {
+ public:
+  static Result<RowBinaryBlockView> Open(std::string_view data);
+
+  const Schema& schema() const { return schema_; }
+  uint32_t num_records() const { return num_records_; }
+  uint64_t total_bytes() const { return data_.size(); }
+  /// Offset (absolute) of the first row.
+  uint64_t data_start() const { return data_start_; }
+
+  /// Decodes the row starting at absolute offset \p pos; advances \p pos
+  /// past the row.
+  Result<std::vector<Value>> DecodeRowAt(uint64_t* pos) const;
+
+  /// Decodes all rows (test/reference path).
+  Result<std::vector<std::vector<Value>>> DecodeAll() const;
+
+ private:
+  std::string_view data_;
+  Schema schema_;
+  uint32_t num_records_ = 0;
+  uint64_t data_start_ = 0;
+};
+
+}  // namespace hail

@@ -1,0 +1,53 @@
+/// \file input_format.h
+/// \brief Split computation: default Hadoop policy vs HailSplitting (§4.3).
+///
+/// Default: one input split per HDFS block, located at the block's
+/// replica holders. HailSplitting: for index-scan jobs, cluster blocks by
+/// the node holding their matching-index replica, then create as many
+/// splits per node as it has map slots — collapsing thousands of map
+/// tasks into (#nodes x #slots), which §6.5 shows is worth up to 68x.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdfs/dfs_client.h"
+#include "mapreduce/job.h"
+
+namespace hail {
+namespace mapreduce {
+
+/// \brief One unit of map-task input.
+struct InputSplit {
+  /// Block ids this split covers (1 for default splitting, many for
+  /// HailSplitting).
+  std::vector<uint64_t> blocks;
+  /// Position of each block within the file (text boundary handling).
+  std::vector<uint32_t> block_indexes;
+  /// Nodes the scheduler should prefer (replica holders, or the node
+  /// with the matching index under HAIL scheduling).
+  std::vector<int> preferred_nodes;
+  uint64_t logical_bytes = 0;
+};
+
+/// \brief Splits plus everything a reader needs about the file.
+struct JobPlan {
+  std::vector<InputSplit> splits;
+  /// All blocks of the input file in order (readers chase row tails across
+  /// block boundaries; the engine resolves next-block ids from here).
+  std::vector<hdfs::BlockLocation> file_blocks;
+  /// Simulated cost of the split phase itself, billed before scheduling
+  /// starts (Hadoop++ pays per-block header reads here).
+  double split_phase_seconds = 0.0;
+  /// Index column the job will use, -1 for full scans.
+  int index_column = -1;
+};
+
+/// Computes the plan for a job: default splitting for full scans and for
+/// kHadoop/kHadoopPP; HailSplitting for kHail jobs with
+/// spec.hail_splitting and an index-serviceable filter.
+Result<JobPlan> ComputeJobPlan(hdfs::MiniDfs* dfs, const JobSpec& spec);
+
+}  // namespace mapreduce
+}  // namespace hail

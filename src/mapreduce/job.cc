@@ -1,0 +1,54 @@
+#include "mapreduce/job.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hail {
+namespace mapreduce {
+
+namespace {
+const Value& LookupAttr(const std::vector<Value>& values,
+                        const std::vector<int>& attrs, int attr_position) {
+  const int idx = attr_position - 1;  // 1-based like the paper's getInt(1)
+  if (attrs.empty()) {
+    return values.at(static_cast<size_t>(idx));
+  }
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i] == idx) return values[i];
+  }
+  throw std::out_of_range("attribute @" + std::to_string(attr_position) +
+                          " not in projection");
+}
+}  // namespace
+
+const Value& HailRecord::Get(int attr_position) const {
+  return LookupAttr(values_, attrs_, attr_position);
+}
+
+int64_t HailRecord::GetInt(int attr_position) const {
+  const Value& v = Get(attr_position);
+  return v.is_int32() ? v.as_int32() : v.as_int64();
+}
+
+double HailRecord::GetDouble(int attr_position) const {
+  return Get(attr_position).AsNumeric();
+}
+
+const std::string& HailRecord::GetString(int attr_position) const {
+  return Get(attr_position).as_string();
+}
+
+std::string_view SystemName(System system) {
+  switch (system) {
+    case System::kHadoop:
+      return "Hadoop";
+    case System::kHadoopPP:
+      return "Hadoop++";
+    case System::kHail:
+      return "HAIL";
+  }
+  return "?";
+}
+
+}  // namespace mapreduce
+}  // namespace hail

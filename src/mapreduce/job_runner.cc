@@ -1,0 +1,302 @@
+#include "mapreduce/job_runner.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace hail {
+namespace mapreduce {
+
+namespace {
+
+enum class TaskStatus { kPending, kRunning, kDone };
+
+struct TaskState {
+  const InputSplit* split = nullptr;
+  TaskStatus status = TaskStatus::kPending;
+  int attempt = 0;
+  int run_on = -1;
+  double rr_seconds = 0.0;
+  // Statistics and output of the last *successful* attempt.
+  std::unique_ptr<MapOutput> output;
+  uint64_t records_seen = 0;
+  uint64_t records_qualifying = 0;
+  uint64_t bad_records = 0;
+  bool fallback_scan = false;
+  int reschedules = 0;
+};
+
+/// The whole mutable state of one job execution (shared by the event
+/// closures).
+struct Engine {
+  hdfs::MiniDfs* dfs;
+  const JobSpec* spec;
+  const RunOptions* options;
+  JobPlan plan;
+  std::unique_ptr<RecordReader> reader;
+
+  sim::EventQueue events;
+  std::vector<TaskState> tasks;
+  std::deque<size_t> pending;  // task indexes awaiting a slot
+  std::vector<int> free_slots;  // per node
+  uint32_t completed = 0;
+  bool killed = false;
+  bool done = false;
+  sim::SimTime finish_time = 0.0;
+
+  const sim::CostConstants& constants() const {
+    return dfs->cluster().constants();
+  }
+
+  void Heartbeat(int node);
+  void OnTaskComplete(size_t task_id, int attempt, int node,
+                      sim::SimTime started);
+  void OnFailureDetected(int node);
+  Status AssignTask(size_t task_id, int node);
+  Status first_error;  // readers can fail; surfaced after the run
+};
+
+void Engine::Heartbeat(int node) {
+  if (done || !dfs->cluster().node(node).alive()) return;
+  int assigned = 0;
+  while (free_slots[static_cast<size_t>(node)] > 0 &&
+         assigned < constants().tasks_per_heartbeat && !pending.empty()) {
+    // Locality first: scan the queue for a split preferring this node.
+    size_t pick = pending.front();
+    size_t pick_pos = 0;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const TaskState& t = tasks[pending[i]];
+      const auto& pref = t.split->preferred_nodes;
+      if (std::find(pref.begin(), pref.end(), node) != pref.end()) {
+        pick = pending[i];
+        pick_pos = i;
+        break;
+      }
+    }
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+    Status st = AssignTask(pick, node);
+    if (!st.ok()) {
+      // A reader failure is fatal for the run: stop scheduling so the
+      // event loop drains instead of heartbeating forever.
+      if (first_error.ok()) first_error = st;
+      done = true;
+      return;
+    }
+    ++assigned;
+  }
+}
+
+Status Engine::AssignTask(size_t task_id, int node) {
+  TaskState& task = tasks[task_id];
+  task.status = TaskStatus::kRunning;
+  task.attempt += 1;
+  task.run_on = node;
+  free_slots[static_cast<size_t>(node)] -= 1;
+
+  // Functional read happens now; the simulated duration covers setup +
+  // record reading + cleanup.
+  auto output = std::make_unique<MapOutput>(spec->collect_output);
+  ReadContext ctx;
+  ctx.dfs = dfs;
+  ctx.spec = spec;
+  ctx.plan = &plan;
+  ctx.task_node = node;
+  ctx.out = output.get();
+  Result<TaskCost> cost = reader->ReadSplit(*task.split, &ctx);
+  if (!cost.ok()) return cost.status();
+
+  task.output = std::move(output);
+  task.records_seen = ctx.records_seen;
+  task.records_qualifying = ctx.records_qualifying;
+  task.bad_records = ctx.bad_records;
+  task.fallback_scan = ctx.fallback_scan;
+  // RecordReader time = one-time reader construction + the data access.
+  task.rr_seconds =
+      constants().task_rr_init_ms / 1000.0 + cost->total();
+
+  const double duration = constants().task_setup_s + cost->total() +
+                          constants().task_cleanup_s;
+  const int attempt = task.attempt;
+  const sim::SimTime started = events.Now();
+  events.ScheduleAfter(duration, [this, task_id, attempt, node, started] {
+    OnTaskComplete(task_id, attempt, node, started);
+  });
+  return Status::OK();
+}
+
+void Engine::OnTaskComplete(size_t task_id, int attempt, int node,
+                            sim::SimTime started) {
+  (void)started;
+  if (done) return;
+  TaskState& task = tasks[task_id];
+  if (task.status != TaskStatus::kRunning || task.attempt != attempt) {
+    return;  // stale completion of a superseded attempt
+  }
+  if (!dfs->cluster().node(node).alive()) {
+    return;  // node died mid-run; the failure detector requeues it
+  }
+  task.status = TaskStatus::kDone;
+  free_slots[static_cast<size_t>(node)] += 1;
+  ++completed;
+
+  // Failure injection: kill the victim once the job crosses the progress
+  // threshold ("we kill all Java processes ... after 50% of work
+  // progress", §6.4.3).
+  if (options->kill_node >= 0 && !killed &&
+      static_cast<double>(completed) >=
+          options->kill_at_progress * static_cast<double>(tasks.size())) {
+    killed = true;
+    const int victim = options->kill_node;
+    dfs->KillNode(victim, events.Now());
+    events.ScheduleAfter(constants().expiry_interval_s,
+                         [this, victim] { OnFailureDetected(victim); });
+  }
+
+  if (completed == tasks.size()) {
+    done = true;
+    finish_time = events.Now() + constants().job_cleanup_s;
+    return;
+  }
+  // Out-of-band heartbeat: the freed slot asks for work shortly after
+  // completion instead of waiting for the periodic beat.
+  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                       [this, node] { Heartbeat(node); });
+}
+
+void Engine::OnFailureDetected(int node) {
+  if (done) return;
+  // Lost in-flight tasks and completed map outputs on the dead node are
+  // re-executed elsewhere.
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    TaskState& task = tasks[i];
+    if (task.run_on != node) continue;
+    if (task.status == TaskStatus::kRunning) {
+      task.status = TaskStatus::kPending;
+      task.reschedules += 1;
+      pending.push_back(i);
+    } else if (task.status == TaskStatus::kDone) {
+      task.status = TaskStatus::kPending;
+      task.reschedules += 1;
+      task.output.reset();
+      --completed;
+      pending.push_back(i);
+    }
+  }
+}
+
+}  // namespace
+
+Result<JobResult> JobRunner::Run(const JobSpec& spec,
+                                 const RunOptions& options) {
+  sim::SimCluster& cluster = dfs_->cluster();
+  // Jobs are measured on a fresh clock: reset resources and revive nodes.
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    cluster.node(i).ResetResources();
+    if (!cluster.node(i).alive()) {
+      cluster.node(i).set_alive(true);
+      dfs_->namenode().MarkDatanodeAlive(i);
+    }
+  }
+
+  Engine eng;
+  eng.dfs = dfs_;
+  eng.spec = &spec;
+  eng.options = &options;
+  HAIL_ASSIGN_OR_RETURN(eng.plan, ComputeJobPlan(dfs_, spec));
+  eng.reader = MakeRecordReader(spec.system);
+  if (eng.plan.splits.empty()) {
+    return Status::InvalidArgument("job '" + spec.name + "' has no input");
+  }
+
+  const sim::CostConstants& c = cluster.constants();
+  eng.tasks.resize(eng.plan.splits.size());
+  for (size_t i = 0; i < eng.plan.splits.size(); ++i) {
+    eng.tasks[i].split = &eng.plan.splits[i];
+    eng.pending.push_back(i);
+  }
+  eng.free_slots.resize(static_cast<size_t>(cluster.num_nodes()));
+  int total_slots = 0;
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    eng.free_slots[static_cast<size_t>(i)] =
+        cluster.node(i).alive() ? cluster.node(i).profile().map_slots : 0;
+    total_slots += eng.free_slots[static_cast<size_t>(i)];
+  }
+  if (total_slots == 0) {
+    return Status::FailedPrecondition("no alive TaskTrackers");
+  }
+
+  // Job submission: startup + split phase, then periodic heartbeats.
+  const double t0 = c.job_startup_s + eng.plan.split_phase_seconds;
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    if (!cluster.node(i).alive()) continue;
+    const double stagger = c.heartbeat_interval_s *
+                           (static_cast<double>(i) + 1.0) /
+                           static_cast<double>(cluster.num_nodes());
+    // Each TaskTracker re-schedules its own periodic heartbeat.
+    struct Beat {
+      Engine* eng;
+      int node;
+      double interval;
+      void operator()() const {
+        eng->Heartbeat(node);
+        // Starvation guard: a job that cannot make progress (all replicas
+        // of a pending block dead, or a logic error) must not heartbeat
+        // forever.
+        if (eng->events.executed() > 50'000'000 && eng->first_error.ok()) {
+          eng->first_error = Status::Unknown("scheduler starved (event cap)");
+          eng->done = true;
+        }
+        if (!eng->done) {
+          Engine* e = eng;
+          int n = node;
+          double iv = interval;
+          eng->events.ScheduleAfter(interval, Beat{e, n, iv});
+        }
+      }
+    };
+    eng.events.ScheduleAt(t0 + stagger, Beat{&eng, i, c.heartbeat_interval_s});
+  }
+  eng.events.RunUntilEmpty();
+  HAIL_RETURN_NOT_OK(eng.first_error);
+  if (!eng.done) {
+    return Status::Unknown("job '" + spec.name +
+                           "' did not complete (scheduler starved)");
+  }
+
+  // ---- assemble the result ----
+  JobResult result;
+  result.job_name = spec.name;
+  result.end_to_end_seconds = eng.finish_time;
+  result.map_tasks = static_cast<uint32_t>(eng.tasks.size());
+
+  double rr_sum = 0.0;
+  for (const TaskState& task : eng.tasks) {
+    rr_sum += task.rr_seconds;
+    result.records_seen += task.records_seen;
+    result.records_qualifying += task.records_qualifying;
+    result.bad_records_seen += task.bad_records;
+    result.rescheduled_tasks += static_cast<uint32_t>(task.reschedules);
+    if (task.fallback_scan) result.fallback_scans += 1;
+    if (task.output != nullptr) {
+      result.output_count += task.output->count();
+      if (spec.collect_output) {
+        for (std::string& row : task.output->rows()) {
+          result.output_rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  result.avg_record_reader_seconds =
+      rr_sum / static_cast<double>(eng.tasks.size());
+  // T_ideal = #MapTasks / #ParallelMapTasks * Avg(T_RecordReader) (§6.4.1).
+  result.ideal_seconds = static_cast<double>(eng.tasks.size()) /
+                         static_cast<double>(total_slots) *
+                         result.avg_record_reader_seconds;
+  result.overhead_seconds = result.end_to_end_seconds - result.ideal_seconds;
+  return result;
+}
+
+}  // namespace mapreduce
+}  // namespace hail

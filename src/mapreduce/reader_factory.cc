@@ -1,0 +1,23 @@
+#include "mapreduce/record_reader.h"
+
+namespace hail {
+namespace mapreduce {
+
+std::unique_ptr<RecordReader> MakeTextRecordReader();
+std::unique_ptr<RecordReader> MakeHailRecordReader();
+std::unique_ptr<RecordReader> MakeTrojanRecordReader();
+
+std::unique_ptr<RecordReader> MakeRecordReader(System system) {
+  switch (system) {
+    case System::kHadoop:
+      return MakeTextRecordReader();
+    case System::kHail:
+      return MakeHailRecordReader();
+    case System::kHadoopPP:
+      return MakeTrojanRecordReader();
+  }
+  return nullptr;
+}
+
+}  // namespace mapreduce
+}  // namespace hail

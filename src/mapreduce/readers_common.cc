@@ -1,0 +1,55 @@
+#include "mapreduce/record_reader.h"
+
+#include "schema/row_parser.h"
+
+namespace hail {
+namespace mapreduce {
+
+namespace {
+
+/// Default map function: emit projected attributes as a delimited row
+/// (used when the job does not install its own map). Matches what the
+/// equivalence tests compare across systems.
+void DefaultMap(const JobSpec& spec, const HailRecord& record,
+                MapOutput* out) {
+  if (record.bad()) return;  // default behaviour: ignore bad records
+  const std::vector<int>* proj = nullptr;
+  std::vector<int> all;
+  if (spec.annotation.has_value() && !spec.annotation->projection.empty()) {
+    proj = &spec.annotation->projection;
+  } else {
+    all.resize(static_cast<size_t>(spec.schema.num_fields()));
+    for (int i = 0; i < spec.schema.num_fields(); ++i) all[static_cast<size_t>(i)] = i;
+    proj = &all;
+  }
+  std::string row;
+  for (size_t i = 0; i < proj->size(); ++i) {
+    if (i > 0) row += spec.schema.delimiter();
+    const int attr = (*proj)[i];
+    row += record.Get(attr + 1).ToText(spec.schema.field(attr).type);
+  }
+  out->Emit(std::move(row));
+}
+
+}  // namespace
+
+bool InvokeMap(const ReadContext& ctx, const HailRecord& record,
+               bool already_filtered) {
+  const JobSpec& spec = *ctx.spec;
+  if (!record.bad() && !already_filtered && spec.annotation.has_value() &&
+      spec.annotation->has_filter()) {
+    // Stock Hadoop: Bob's map function string-splits the row and filters
+    // by hand (§4.1). The engine applies the same predicate for result
+    // equivalence.
+    if (!spec.annotation->filter.Matches(record.values())) return false;
+  }
+  if (spec.map) {
+    spec.map(record, ctx.out);
+  } else {
+    DefaultMap(spec, record, ctx.out);
+  }
+  return true;
+}
+
+}  // namespace mapreduce
+}  // namespace hail

@@ -1,0 +1,77 @@
+/// \file record_reader.h
+/// \brief RecordReader UDF interface (paper §4.2/§4.3).
+///
+/// A record reader consumes one input split: it chooses a replica, reads
+/// (part of) each block, produces HailRecords for the map function, and
+/// returns the I/O + CPU cost the task incurred. The three concrete
+/// readers mirror the paper's systems:
+///  - TextRecordReader: stock Hadoop full scan over text blocks, with
+///    LineRecordReader boundary semantics;
+///  - HailRecordReader: index scan over HAIL blocks with post-filtering
+///    and PAX->row reconstruction (full scan fallback when no suitable
+///    index survives);
+///  - TrojanRecordReader: Hadoop++ index scan over trojan blocks.
+
+#pragma once
+
+#include <memory>
+
+#include "hdfs/dfs_client.h"
+#include "mapreduce/input_format.h"
+#include "mapreduce/job.h"
+
+namespace hail {
+namespace mapreduce {
+
+/// \brief Simulated cost of one map task's data access.
+struct TaskCost {
+  double disk_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double net_seconds = 0.0;
+  uint64_t logical_bytes_read = 0;
+
+  double total() const { return disk_seconds + cpu_seconds + net_seconds; }
+  void Add(const TaskCost& other) {
+    disk_seconds += other.disk_seconds;
+    cpu_seconds += other.cpu_seconds;
+    net_seconds += other.net_seconds;
+    logical_bytes_read += other.logical_bytes_read;
+  }
+};
+
+/// \brief Everything a reader needs, plus per-task statistics it fills in.
+struct ReadContext {
+  hdfs::MiniDfs* dfs = nullptr;
+  const JobSpec* spec = nullptr;
+  const JobPlan* plan = nullptr;
+  /// Node the map task runs on (locality decisions + cost model).
+  int task_node = 0;
+  MapOutput* out = nullptr;
+
+  // -- statistics the reader reports back --
+  uint64_t records_seen = 0;
+  uint64_t records_qualifying = 0;
+  uint64_t bad_records = 0;
+  /// True when any block of the split had to be scanned without an index.
+  bool fallback_scan = false;
+};
+
+/// \brief Abstract reader: one call per map task.
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+  virtual Result<TaskCost> ReadSplit(const InputSplit& split,
+                                     ReadContext* ctx) = 0;
+};
+
+/// Creates the reader matching the job's system.
+std::unique_ptr<RecordReader> MakeRecordReader(System system);
+
+/// Invokes the job's map function (or the default projector) on a record,
+/// applying the annotation filter first for text records (Bob's manual
+/// filter in stock Hadoop). Returns true when the record qualified.
+bool InvokeMap(const ReadContext& ctx, const HailRecord& record,
+               bool already_filtered);
+
+}  // namespace mapreduce
+}  // namespace hail

@@ -1,0 +1,146 @@
+#include "mapreduce/record_reader.h"
+#include "schema/row_parser.h"
+
+namespace hail {
+namespace mapreduce {
+
+namespace {
+
+/// Picks the replica to read: local when possible ("it is the local HDFS
+/// client ... that decides from which datanode a map task will read",
+/// §4.2), else the first alive holder.
+int ChooseReplica(const std::vector<int>& holders, int task_node) {
+  for (int dn : holders) {
+    if (dn == task_node) return dn;
+  }
+  return holders.empty() ? -1 : holders.front();
+}
+
+/// \brief Stock Hadoop: full scan over text blocks.
+///
+/// Reproduces LineRecordReader's boundary rules in the "line belongs to
+/// the split containing its first byte" formulation: a reader skips a
+/// partial first line (the previous block's reader finishes it) and reads
+/// past its block's end to complete its own last line.
+class TextRecordReader : public RecordReader {
+ public:
+  Result<TaskCost> ReadSplit(const InputSplit& split,
+                             ReadContext* ctx) override {
+    TaskCost cost;
+    RowParser parser(ctx->spec->schema);
+    for (size_t b = 0; b < split.blocks.size(); ++b) {
+      HAIL_RETURN_NOT_OK(
+          ReadOneBlock(split.block_indexes[b], &parser, ctx, &cost));
+    }
+    return cost;
+  }
+
+ private:
+  Status ReadOneBlock(uint32_t block_index, RowParser* parser,
+                      ReadContext* ctx, TaskCost* cost) {
+    const hdfs::BlockLocation& loc =
+        ctx->plan->file_blocks[block_index];
+    const int dn = ChooseReplica(loc.datanodes, ctx->task_node);
+    if (dn < 0) {
+      return Status::FailedPrecondition(
+          "no alive replica for block " + std::to_string(loc.block_id));
+    }
+    const hdfs::DfsConfig& cfg = ctx->dfs->config();
+    HAIL_ASSIGN_OR_RETURN(std::string_view data,
+                          ctx->dfs->datanode(dn).ReadBlockVerified(
+                              loc.block_id, cfg.chunk_bytes));
+
+    // Boundary rule part 1: if the previous block (of the *same* part
+    // file) does not end in a newline, our first line fragment belongs to
+    // the previous reader.
+    size_t begin = 0;
+    if (block_index > 0 &&
+        ctx->plan->file_blocks[block_index - 1].file_id == loc.file_id) {
+      const hdfs::BlockLocation& prev =
+          ctx->plan->file_blocks[block_index - 1];
+      const int prev_dn = ChooseReplica(prev.datanodes, ctx->task_node);
+      if (prev_dn < 0) {
+        return Status::FailedPrecondition("no alive replica for prev block");
+      }
+      HAIL_ASSIGN_OR_RETURN(
+          std::string_view prev_data,
+          ctx->dfs->datanode(prev_dn).ReadBlockRaw(prev.block_id));
+      if (!prev_data.empty() && prev_data.back() != '\n') {
+        const size_t nl = data.find('\n');
+        begin = (nl == std::string_view::npos) ? data.size() : nl + 1;
+      }
+    }
+
+    // Boundary rule part 2: finish our last line from following blocks.
+    std::string content(data.substr(begin));
+    if (!content.empty() && content.back() != '\n') {
+      for (uint32_t next = block_index + 1;
+           next < ctx->plan->file_blocks.size(); ++next) {
+        const hdfs::BlockLocation& nloc = ctx->plan->file_blocks[next];
+        if (nloc.file_id != loc.file_id) break;  // never cross part files
+        const int ndn = ChooseReplica(nloc.datanodes, ctx->task_node);
+        if (ndn < 0) break;
+        HAIL_ASSIGN_OR_RETURN(std::string_view ndata,
+                              ctx->dfs->datanode(ndn).ReadBlockRaw(
+                                  nloc.block_id));
+        const size_t nl = ndata.find('\n');
+        if (nl == std::string_view::npos) {
+          content.append(ndata);  // a row spanning >1 whole block
+          continue;
+        }
+        content.append(ndata.substr(0, nl));
+        break;
+      }
+    }
+
+    // Parse + hand every row to the map function (filtering happens in
+    // Bob's map code for stock Hadoop).
+    uint64_t records = 0;
+    for (std::string_view row : SplitRows(content)) {
+      if (row.empty()) continue;
+      ++records;
+      ParsedRow parsed = parser->Parse(row);
+      if (parsed.ok) {
+        if (InvokeMap(*ctx, HailRecord::FullRow(std::move(parsed.values)),
+                      /*already_filtered=*/false)) {
+          ++ctx->records_qualifying;
+        }
+      } else {
+        ++ctx->bad_records;
+        InvokeMap(*ctx, HailRecord::BadRecord(std::string(row)),
+                  /*already_filtered=*/false);
+      }
+    }
+    ctx->records_seen += records;
+
+    // ---- cost ----
+    const double scale = cfg.scale_factor;
+    const uint64_t logical_bytes = loc.logical_bytes;
+    const uint64_t logical_records =
+        static_cast<uint64_t>(static_cast<double>(records) * scale);
+    const sim::CostModel& disk_cost = ctx->dfs->cluster().node(dn).cost();
+    const sim::CostModel& cpu_cost =
+        ctx->dfs->cluster().node(ctx->task_node).cost();
+    cost->disk_seconds += ctx->dfs->cluster().constants().block_open_ms / 1000.0;
+    cost->disk_seconds += disk_cost.DiskAccess(logical_bytes);
+    cost->cpu_seconds += cpu_cost.Crc(logical_bytes) +
+                         cpu_cost.ScanParse(logical_records) +
+                         cpu_cost.MapCalls(logical_records);
+    if (dn != ctx->task_node) {
+      cost->net_seconds += cpu_cost.NetTransfer(logical_bytes);
+    }
+    cost->logical_bytes_read += logical_bytes;
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+// Defined in readers_common.cc-adjacent factory; see MakeRecordReader in
+// reader_factory.cc.
+std::unique_ptr<RecordReader> MakeTextRecordReader() {
+  return std::make_unique<TextRecordReader>();
+}
+
+}  // namespace mapreduce
+}  // namespace hail

@@ -1,0 +1,87 @@
+#include "schema/row_parser.h"
+
+#include "util/string_util.h"
+
+namespace hail {
+
+ParsedRow RowParser::Parse(std::string_view row) const {
+  ParsedRow out;
+  const auto parts = SplitString(row, schema_.delimiter());
+  if (static_cast<int>(parts.size()) != schema_.num_fields()) {
+    return out;  // wrong arity -> bad record
+  }
+  out.values.reserve(parts.size());
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    const std::string_view text = parts[static_cast<size_t>(i)];
+    switch (schema_.field(i).type) {
+      case FieldType::kInt32: {
+        auto v = ParseInt64(text);
+        if (!v.ok() || *v < INT32_MIN || *v > INT32_MAX) {
+          out.values.clear();
+          return out;
+        }
+        out.values.emplace_back(static_cast<int32_t>(*v));
+        break;
+      }
+      case FieldType::kInt64: {
+        auto v = ParseInt64(text);
+        if (!v.ok()) {
+          out.values.clear();
+          return out;
+        }
+        out.values.emplace_back(*v);
+        break;
+      }
+      case FieldType::kDouble: {
+        auto v = ParseDouble(text);
+        if (!v.ok()) {
+          out.values.clear();
+          return out;
+        }
+        out.values.emplace_back(*v);
+        break;
+      }
+      case FieldType::kString: {
+        out.values.emplace_back(std::string(text));
+        break;
+      }
+      case FieldType::kDate: {
+        auto v = ParseDateToDays(text);
+        if (!v.ok()) {
+          out.values.clear();
+          return out;
+        }
+        out.values.emplace_back(*v);
+        break;
+      }
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+std::string RowParser::Render(const std::vector<Value>& values) const {
+  std::string out;
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    if (i > 0) out += schema_.delimiter();
+    out += values[static_cast<size_t>(i)].ToText(schema_.field(i).type);
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitRows(std::string_view data) {
+  std::vector<std::string_view> rows;
+  size_t start = 0;
+  while (start < data.size()) {
+    size_t pos = data.find('\n', start);
+    if (pos == std::string_view::npos) {
+      rows.push_back(data.substr(start));
+      break;
+    }
+    rows.push_back(data.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return rows;
+}
+
+}  // namespace hail

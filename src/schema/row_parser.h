@@ -1,0 +1,55 @@
+/// \file row_parser.h
+/// \brief Parses delimited text rows against a Schema (paper §3.1).
+///
+/// The HAIL client runs this while uploading: rows that fail to parse
+/// ("bad records") are separated into the block's bad-record section and
+/// later handed to map functions with a flag, exactly as §4.3 describes.
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "schema/schema.h"
+#include "schema/value.h"
+#include "util/result.h"
+
+namespace hail {
+
+/// \brief Outcome of parsing one text row.
+struct ParsedRow {
+  /// Typed values in schema order; empty when !ok.
+  std::vector<Value> values;
+  /// False for bad records.
+  bool ok = false;
+};
+
+/// \brief Reusable text-row parser for one schema.
+///
+/// Holds the schema by value so constructing from a temporary (e.g.
+/// `RowParser parser(UserVisitsSchema());`) is safe.
+class RowParser {
+ public:
+  explicit RowParser(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Parses one row (without trailing newline). Never fails hard: schema
+  /// mismatches yield ParsedRow{.ok = false}.
+  ParsedRow Parse(std::string_view row) const;
+
+  /// Renders values back into a text row (inverse of Parse for good rows).
+  std::string Render(const std::vector<Value>& values) const;
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  Schema schema_;
+};
+
+/// \brief Splits a byte buffer into newline-terminated rows.
+///
+/// Used by the HAIL client's content-aware block cutting: HDFS splits after
+/// a constant number of bytes, HAIL never splits a row across blocks
+/// (paper §3.1, step (1) of Figure 1).
+std::vector<std::string_view> SplitRows(std::string_view data);
+
+}  // namespace hail

@@ -1,0 +1,39 @@
+#include "schema/value.h"
+
+#include <cstdio>
+
+namespace hail {
+
+std::string Value::ToText(FieldType type) const {
+  char buf[32];
+  switch (type) {
+    case FieldType::kInt32:
+      std::snprintf(buf, sizeof(buf), "%d", as_int32());
+      return buf;
+    case FieldType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(as_int64()));
+      return buf;
+    case FieldType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%.6g", as_double());
+      return buf;
+    case FieldType::kString:
+      return as_string();
+    case FieldType::kDate:
+      return DaysToDateString(as_int32());
+  }
+  return {};
+}
+
+bool Value::operator<(const Value& other) const {
+  // Values of mixed numeric types compare numerically; strings compare
+  // lexicographically and sort after numbers (only same-type comparisons
+  // occur in practice).
+  const bool a_str = is_string();
+  const bool b_str = other.is_string();
+  if (a_str != b_str) return !a_str;
+  if (a_str) return as_string() < other.as_string();
+  return AsNumeric() < other.AsNumeric();
+}
+
+}  // namespace hail

@@ -1,0 +1,26 @@
+#include "sim/cost_model.h"
+
+#include <cmath>
+
+namespace hail {
+namespace sim {
+
+double CostModel::SortBlock(uint64_t logical_records,
+                            uint64_t logical_fixed_bytes,
+                            uint64_t logical_varlen_bytes,
+                            bool string_key) const {
+  if (logical_records < 2) return 0.0;
+  const double n = static_cast<double>(logical_records);
+  const double cmp_ns =
+      string_key ? c_.sort_cmp_string_ns : c_.sort_cmp_fixed_ns;
+  const double cmp_s = n * std::log2(n) * cmp_ns * 1e-9;
+  const double reorg_s =
+      static_cast<double>(logical_fixed_bytes) * c_.reorg_fixed_ns_per_byte *
+          1e-9 +
+      static_cast<double>(logical_varlen_bytes) * c_.reorg_varlen_ns_per_byte *
+          1e-9;
+  return (cmp_s + reorg_s) / p_.cpu_factor;
+}
+
+}  // namespace sim
+}  // namespace hail

@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace hail {
+namespace sim {
+
+void EventQueue::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::RunUntilEmpty() {
+  while (!events_.empty()) {
+    // The callback may schedule more events, so move it out before popping.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+SimTime EventQueue::RunUntil(SimTime deadline) {
+  while (!events_.empty() && events_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < deadline && events_.empty()) {
+    // Nothing left before the deadline; clock stays at the last event.
+  }
+  return now_;
+}
+
+}  // namespace sim
+}  // namespace hail

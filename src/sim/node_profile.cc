@@ -1,0 +1,55 @@
+#include "sim/node_profile.h"
+
+namespace hail {
+namespace sim {
+
+NodeProfile NodeProfile::Physical() {
+  NodeProfile p;
+  p.name = "physical";
+  p.cpu_factor = 1.0;
+  p.cores = 4;
+  p.map_slots = 2;
+  p.disk_mbps = 44.5;   // effective HDFS write rate incl. checksum files
+  p.disk_seek_ms = 5.0;
+  p.net_mbps = 240.0;   // 3x GbE bonded, minus TCP/framing overhead
+  return p;
+}
+
+NodeProfile NodeProfile::EC2Large() {
+  NodeProfile p;
+  p.name = "m1.large";
+  p.cpu_factor = 0.55;  // 2008-era virtualised cores
+  p.cores = 2;
+  p.map_slots = 2;
+  p.disk_mbps = 33.5;   // instance storage, noisy neighbours
+  p.disk_seek_ms = 6.0;
+  p.net_mbps = 90.0;
+  return p;
+}
+
+NodeProfile NodeProfile::EC2XLarge() {
+  NodeProfile p;
+  p.name = "m1.xlarge";
+  p.cpu_factor = 0.7;
+  p.cores = 4;
+  p.map_slots = 4;
+  p.disk_mbps = 47.5;
+  p.disk_seek_ms = 5.5;
+  p.net_mbps = 110.0;
+  return p;
+}
+
+NodeProfile NodeProfile::EC2ClusterQuad() {
+  NodeProfile p;
+  p.name = "cc1.4xlarge";
+  p.cpu_factor = 1.15;
+  p.cores = 8;
+  p.map_slots = 8;
+  p.disk_mbps = 48.0;   // still disk-bound for writes
+  p.disk_seek_ms = 5.0;
+  p.net_mbps = 700.0;   // 10 GbE
+  return p;
+}
+
+}  // namespace sim
+}  // namespace hail

@@ -1,0 +1,81 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <mutex>
+
+namespace hail {
+namespace crc32c {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0x82f63b78;  // reflected CRC32C polynomial
+
+struct Tables {
+  // table[k][b]: CRC of byte b followed by k zero bytes.
+  std::array<std::array<uint32_t, 256>, 8> t;
+};
+
+const Tables& GetTables() {
+  static const Tables tables = [] {
+    Tables tb{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
+      }
+      tb.t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        tb.t[k][i] = (tb.t[k - 1][i] >> 8) ^ tb.t[0][tb.t[k - 1][i] & 0xff];
+      }
+    }
+    return tb;
+  }();
+  return tables;
+}
+
+inline uint32_t LoadU32LE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const void* data, size_t size) {
+  const Tables& tb = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~init_crc;
+
+  // Process one byte at a time until 8-byte aligned work remains.
+  while (size >= 8) {
+    const uint32_t lo = LoadU32LE(p) ^ crc;
+    const uint32_t hi = LoadU32LE(p + 4);
+    crc = tb.t[7][lo & 0xff] ^ tb.t[6][(lo >> 8) & 0xff] ^
+          tb.t[5][(lo >> 16) & 0xff] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][hi & 0xff] ^ tb.t[2][(hi >> 8) & 0xff] ^
+          tb.t[1][(hi >> 16) & 0xff] ^ tb.t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p) & 0xff];
+    ++p;
+    --size;
+  }
+  return ~crc;
+}
+
+uint32_t Mask(uint32_t crc) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t Unmask(uint32_t masked) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  const uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace hail

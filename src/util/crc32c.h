@@ -1,0 +1,34 @@
+/// \file crc32c.h
+/// \brief CRC32C (Castagnoli) checksums, the algorithm HDFS uses per chunk.
+///
+/// Software slicing-by-8 implementation; tables are built once at first use.
+/// HDFS stores one CRC32C per 512-byte chunk of every block replica
+/// (paper §3.2); HAIL recomputes these after per-replica sorting because the
+/// physical bytes differ between replicas of the same logical block.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hail {
+namespace crc32c {
+
+/// Extends \p init_crc with \p size bytes at \p data and returns the new CRC.
+/// Pass 0 as \p init_crc for a fresh checksum.
+uint32_t Extend(uint32_t init_crc, const void* data, size_t size);
+
+/// Computes the CRC32C of the given buffer.
+inline uint32_t Value(const void* data, size_t size) {
+  return Extend(0, data, size);
+}
+
+/// Masks a CRC so that a CRC of CRC-bearing data does not degenerate
+/// (RocksDB/LevelDB idiom; HDFS stores raw CRCs, we expose both).
+uint32_t Mask(uint32_t crc);
+
+/// Inverse of Mask().
+uint32_t Unmask(uint32_t masked);
+
+}  // namespace crc32c
+}  // namespace hail

@@ -1,0 +1,68 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace hail {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Logger::GetLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void Logger::Emit(LogLevel level, const char* file, int line,
+                  const std::string& message) {
+  std::string out;
+  out.reserve(message.size() + 64);
+  out += "[";
+  out += LevelName(level);
+  out += "] ";
+  out += Basename(file);
+  out += ":";
+  out += std::to_string(line);
+  out += " ";
+  out += message;
+  out += "\n";
+  std::cerr << out;
+}
+
+namespace internal {
+
+void FatalStatus(const char* file, int line, const Status& st) {
+  Logger::Emit(LogLevel::kError, file, line,
+               "HAIL_CHECK_OK failed: " + st.ToString());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace hail

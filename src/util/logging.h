@@ -1,0 +1,57 @@
+/// \file logging.h
+/// \brief Minimal leveled logger used across the library.
+///
+/// Logging is off by default at DEBUG level; benches and examples raise the
+/// level explicitly. The logger writes to stderr and is safe to call from
+/// multiple threads (each line is written with a single ostream op).
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hail {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// \brief Process-wide log settings.
+class Logger {
+ public:
+  /// Sets the minimum level that is emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Emits one formatted line (used by the HAIL_LOG macro).
+  static void Emit(LogLevel level, const char* file, int line,
+                   const std::string& message);
+};
+
+namespace internal {
+
+/// RAII line builder behind HAIL_LOG; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hail
+
+#define HAIL_LOG(level)                                               \
+  if (::hail::LogLevel::level < ::hail::Logger::GetLevel()) {         \
+  } else                                                              \
+    ::hail::internal::LogMessage(::hail::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,42 @@
+/// \file macros.h
+/// \brief Error-propagation and misc macros (Arrow/RocksDB idiom).
+
+#pragma once
+
+#define HAIL_CONCAT_IMPL(x, y) x##y
+#define HAIL_CONCAT(x, y) HAIL_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Status; returns it from the enclosing
+/// function if it is not OK.
+#define HAIL_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::hail::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define HAIL_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).ValueOrDie()
+
+/// Evaluates an expression returning Result<T>; assigns the value to `lhs`
+/// or returns the error status from the enclosing function.
+#define HAIL_ASSIGN_OR_RETURN(lhs, rexpr) \
+  HAIL_ASSIGN_OR_RETURN_IMPL(HAIL_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+/// Aborts the process when a must-succeed expression fails. Reserved for
+/// invariant violations (never for user input).
+#define HAIL_CHECK_OK(expr)                                            \
+  do {                                                                 \
+    ::hail::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                   \
+      ::hail::internal::FatalStatus(__FILE__, __LINE__, _st);          \
+    }                                                                  \
+  } while (false)
+
+namespace hail {
+class Status;
+namespace internal {
+[[noreturn]] void FatalStatus(const char* file, int line, const Status& st);
+}  // namespace internal
+}  // namespace hail

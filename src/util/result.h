@@ -1,0 +1,80 @@
+/// \file result.h
+/// \brief Result<T>: a value or an error Status (Arrow idiom).
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace hail {
+
+/// \brief Holds either a successfully computed value of type T or the
+/// Status describing why the computation failed.
+///
+/// Typical usage:
+/// \code
+///   Result<int> ParsePort(std::string_view s);
+///   ...
+///   HAIL_ASSIGN_OR_RETURN(int port, ParsePort(text));
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables `return status;`).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status carries no value");
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status: OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or \p fallback when errored.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace hail

@@ -1,0 +1,119 @@
+#include "util/string_util.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hail {
+
+std::vector<std::string_view> SplitString(std::string_view input, char delimiter) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(input.substr(start));
+      break;
+    }
+    parts.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t' || s[begin] == '\r' ||
+                         s[begin] == '\n')) {
+    ++begin;
+  }
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t' ||
+                         s[end - 1] == '\r' || s[end - 1] == '\n')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  int64_t value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || s.empty()) {
+    return Status::InvalidArgument("not an integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty double");
+  // std::from_chars for double is not universally available; strtod needs a
+  // NUL-terminated buffer.
+  std::string buf(s);
+  errno = 0;
+  char* endptr = nullptr;
+  const double value = std::strtod(buf.c_str(), &endptr);
+  if (errno != 0 || endptr != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a double: '" + buf + "'");
+  }
+  return value;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f ms", seconds * 1000.0);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f s", seconds);
+  }
+  return buf;
+}
+
+std::string FormatCount(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  const size_t len = digits.size();
+  for (size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace hail

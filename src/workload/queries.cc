@@ -1,0 +1,58 @@
+#include "workload/queries.h"
+
+namespace hail {
+namespace workload {
+
+std::vector<QueryDef> BobQueries() {
+  // SELECT sourceIP FROM UserVisits
+  //   WHERE visitDate BETWEEN '1999-01-01' AND '2000-01-01'
+  // SELECT searchWord, duration, adRevenue FROM UserVisits WHERE ...
+  return {
+      {"Bob-Q1", "@3 between(1999-01-01,2000-01-01)", "{@1}", 3.1e-2},
+      {"Bob-Q2", "@1 = 172.101.11.46", "{@8,@9,@4}", 3.2e-8},
+      {"Bob-Q3", "@1 = 172.101.11.46 and @3 = 1992-12-22", "{@8,@9,@4}",
+       6e-9},
+      {"Bob-Q4", "@4 between(1,10)", "{@8,@9,@4}", 1.7e-2},
+      {"Bob-Q5", "@4 between(1,100)", "{@8,@9,@4}", 2.04e-1},
+  };
+}
+
+std::vector<QueryDef> SyntheticQueries() {
+  // Table 1: selectivities 0.10 / 0.01 with 19, 9 and 1 projected
+  // attributes; all filter on the first attribute. Attribute domain is
+  // [0, 10^7), so prefix ranges give exact selectivities.
+  const std::string sel10 = "@1 < 1000000";
+  const std::string sel01 = "@1 < 100000";
+  std::string proj9 = "{@1,@2,@3,@4,@5,@6,@7,@8,@9}";
+  return {
+      {"Syn-Q1a", sel10, "", 0.10},
+      {"Syn-Q1b", sel10, proj9, 0.10},
+      {"Syn-Q1c", sel10, "{@1}", 0.10},
+      {"Syn-Q2a", sel01, "", 0.01},
+      {"Syn-Q2b", sel01, proj9, 0.01},
+      {"Syn-Q2c", sel01, "{@1}", 0.01},
+  };
+}
+
+Result<mapreduce::JobSpec> MakeQueryJob(const Schema& schema,
+                                        const std::string& input_file,
+                                        mapreduce::System system,
+                                        const QueryDef& query,
+                                        bool hail_splitting,
+                                        bool collect_output) {
+  mapreduce::JobSpec spec;
+  spec.name = query.name;
+  spec.input_file = input_file;
+  spec.schema = schema;
+  spec.system = system;
+  HAIL_ASSIGN_OR_RETURN(
+      QueryAnnotation annotation,
+      ParseAnnotation(schema, query.filter, query.projection));
+  spec.annotation = std::move(annotation);
+  spec.hail_splitting = hail_splitting;
+  spec.collect_output = collect_output;
+  return spec;
+}
+
+}  // namespace workload
+}  // namespace hail

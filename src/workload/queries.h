@@ -1,0 +1,39 @@
+/// \file queries.h
+/// \brief The paper's query catalogue: Bob-Q1..Q5 and Syn-Q1a..Q2c (§6.2).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/job.h"
+#include "schema/schema.h"
+#include "util/result.h"
+
+namespace hail {
+namespace workload {
+
+/// \brief One benchmark query: a filter + projection over a dataset.
+struct QueryDef {
+  std::string name;
+  std::string filter;      // @HailQuery filter text
+  std::string projection;  // @HailQuery projection text ("" = all attrs)
+  double paper_selectivity = 0.0;
+};
+
+/// Bob's five UserVisits queries with the paper's selectivities.
+std::vector<QueryDef> BobQueries();
+
+/// The six Synthetic queries of Table 1 (all filter on @1).
+std::vector<QueryDef> SyntheticQueries();
+
+/// Builds a runnable JobSpec for a query on a given system.
+Result<mapreduce::JobSpec> MakeQueryJob(const Schema& schema,
+                                        const std::string& input_file,
+                                        mapreduce::System system,
+                                        const QueryDef& query,
+                                        bool hail_splitting = false,
+                                        bool collect_output = false);
+
+}  // namespace workload
+}  // namespace hail

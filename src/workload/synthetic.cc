@@ -1,0 +1,44 @@
+#include "workload/synthetic.h"
+
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace hail {
+namespace workload {
+
+Schema SyntheticSchema(int num_attributes) {
+  std::vector<Field> fields;
+  fields.reserve(static_cast<size_t>(num_attributes));
+  for (int i = 0; i < num_attributes; ++i) {
+    fields.push_back(Field{"attr" + std::to_string(i + 1), FieldType::kInt32});
+  }
+  return Schema(std::move(fields));
+}
+
+std::string GenerateSyntheticText(const SyntheticConfig& config) {
+  Random rng(config.seed);
+  std::string out;
+  out.reserve(config.rows * 150);
+  char buf[16];
+  for (uint64_t r = 0; r < config.rows; ++r) {
+    for (int a = 0; a < config.num_attributes; ++a) {
+      if (a > 0) out += ',';
+      std::snprintf(buf, sizeof(buf), "%d",
+                    static_cast<int>(rng.Uniform(
+                        static_cast<uint64_t>(config.max_value))));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+int32_t SyntheticBoundForSelectivity(const SyntheticConfig& config, double s) {
+  return static_cast<int32_t>(static_cast<double>(config.max_value) * s);
+}
+
+double SyntheticAvgRowBytes() { return 19 * 6.9 + 18 + 1; }
+
+}  // namespace workload
+}  // namespace hail

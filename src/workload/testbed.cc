@@ -1,0 +1,130 @@
+#include "workload/testbed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hail {
+namespace workload {
+
+namespace {
+
+hdfs::DfsConfig MakeDfsConfig(const TestbedConfig& tb) {
+  hdfs::DfsConfig cfg;
+  cfg.block_size = tb.real_block_bytes;
+  cfg.replication = tb.replication;
+  cfg.scale_factor = static_cast<double>(tb.logical_block_bytes) /
+                     static_cast<double>(tb.real_block_bytes);
+  // Keep the number of index partitions per block at the paper's density:
+  // 1024 logical values per partition, scaled down with the block.
+  const double real_partition =
+      1024.0 / cfg.scale_factor;
+  cfg.format.varlen_partition_size = static_cast<uint32_t>(
+      std::clamp(std::lround(real_partition), 1l, 1024l));
+  return cfg;
+}
+
+}  // namespace
+
+Testbed::Testbed(const TestbedConfig& config) : config_(config) {
+  sim::ClusterConfig cc;
+  cc.num_nodes = config.num_nodes;
+  cc.profile = config.profile;
+  cc.constants = config.constants;
+  cc.hardware_variance = config.hardware_variance;
+  cc.seed = config.seed;
+  cluster_ = std::make_unique<sim::SimCluster>(cc);
+  dfs_ = std::make_unique<hdfs::MiniDfs>(cluster_.get(), MakeDfsConfig(config));
+}
+
+uint64_t Testbed::RowsPerNode(double avg_row_bytes) const {
+  const double bytes = static_cast<double>(config_.blocks_per_node) *
+                       static_cast<double>(config_.real_block_bytes);
+  return static_cast<uint64_t>(bytes / avg_row_bytes);
+}
+
+void Testbed::LoadUserVisits() {
+  schema_ = UserVisitsSchema();
+  texts_.clear();
+  const int copies = config_.share_text_across_nodes ? 1 : config_.num_nodes;
+  for (int i = 0; i < copies; ++i) {
+    UserVisitsConfig uv;
+    uv.rows = RowsPerNode(UserVisitsAvgRowBytes());
+    uv.seed = config_.seed + static_cast<uint64_t>(i) * 977;
+    uv.scale_factor = scale_factor();
+    texts_.push_back(GenerateUserVisitsText(uv));
+  }
+}
+
+void Testbed::LoadSynthetic() {
+  schema_ = SyntheticSchema();
+  texts_.clear();
+  const int copies = config_.share_text_across_nodes ? 1 : config_.num_nodes;
+  for (int i = 0; i < copies; ++i) {
+    SyntheticConfig syn;
+    syn.rows = RowsPerNode(SyntheticAvgRowBytes());
+    syn.seed = config_.seed + static_cast<uint64_t>(i) * 977;
+    texts_.push_back(GenerateSyntheticText(syn));
+  }
+}
+
+std::vector<hdfs::ParallelUploadSpec> Testbed::MakeSpecs(
+    const std::string& path) {
+  std::vector<hdfs::ParallelUploadSpec> specs;
+  specs.reserve(static_cast<size_t>(config_.num_nodes));
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    const std::string& text =
+        texts_[config_.share_text_across_nodes
+                   ? 0
+                   : static_cast<size_t>(i)];
+    // Each node writes its own part file under the dataset directory
+    // (queries read the whole directory), like a distributed generator.
+    char part[32];
+    std::snprintf(part, sizeof(part), "/part-%05d", i);
+    specs.push_back(hdfs::ParallelUploadSpec{i, path + part, text});
+  }
+  return specs;
+}
+
+Result<hdfs::UploadReport> Testbed::UploadHadoop(const std::string& dfs_path) {
+  if (texts_.empty()) return Status::FailedPrecondition("no dataset loaded");
+  return hdfs::ParallelUploadText(dfs_.get(), MakeSpecs(dfs_path));
+}
+
+Result<HailUploadReport> Testbed::UploadHail(const std::string& dfs_path,
+                                             std::vector<int> sort_columns) {
+  if (texts_.empty()) return Status::FailedPrecondition("no dataset loaded");
+  HailUploadConfig config;
+  config.schema = schema_;
+  config.sort_columns = std::move(sort_columns);
+  return HailParallelUpload(dfs_.get(), config, MakeSpecs(dfs_path));
+}
+
+Result<hadooppp::HadoopPPUploadReport> Testbed::UploadHadoopPP(
+    const std::string& dfs_path, int index_column) {
+  if (texts_.empty()) return Status::FailedPrecondition("no dataset loaded");
+  hadooppp::HadoopPPUploadConfig config;
+  config.schema = schema_;
+  config.index_column = index_column;
+  return hadooppp::HadoopPPUpload(dfs_.get(), config, MakeSpecs(dfs_path));
+}
+
+void Testbed::FreeSourceTexts() {
+  texts_.clear();
+  texts_.shrink_to_fit();
+}
+
+Result<mapreduce::JobResult> Testbed::RunQuery(
+    mapreduce::System system, const std::string& dfs_path,
+    const QueryDef& query, bool hail_splitting,
+    const mapreduce::RunOptions& options, bool collect_output) {
+  HAIL_ASSIGN_OR_RETURN(
+      mapreduce::JobSpec spec,
+      MakeQueryJob(schema_, dfs_path, system, query, hail_splitting,
+                   collect_output));
+  mapreduce::JobRunner runner(dfs_.get());
+  return runner.Run(spec, options);
+}
+
+}  // namespace workload
+}  // namespace hail

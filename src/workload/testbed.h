@@ -1,0 +1,92 @@
+/// \file testbed.h
+/// \brief Shared experiment scaffolding for tests, benches and examples.
+///
+/// A Testbed bundles a simulated cluster, a MiniDfs, and per-node source
+/// datasets, and exposes the three systems' ingestion paths plus query
+/// execution. Benches configure it at paper scale (20 GB/node logical via
+/// the scale model); tests at toy scale.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hadooppp/hadooppp_upload.h"
+#include "hail/hail_client.h"
+#include "hdfs/dfs_client.h"
+#include "mapreduce/job_runner.h"
+#include "workload/queries.h"
+#include "workload/synthetic.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace workload {
+
+struct TestbedConfig {
+  int num_nodes = 10;
+  sim::NodeProfile profile = sim::NodeProfile::Physical();
+  int replication = 3;
+  /// Paper-scale block size (64 MB default).
+  uint64_t logical_block_bytes = 64ull * 1024 * 1024;
+  /// Real bytes per block in this process; scale = logical/real.
+  uint64_t real_block_bytes = 32 * 1024;
+  /// Logical blocks generated per node (paper: 20 GB/node / 64 MB = 320).
+  uint32_t blocks_per_node = 320;
+  double hardware_variance = 0.0;
+  uint64_t seed = 42;
+  /// One generated text shared by all nodes (memory saver); set false to
+  /// give each node distinct rows.
+  bool share_text_across_nodes = true;
+  sim::CostConstants constants;
+};
+
+/// \brief One experiment environment (cluster + DFS + datasets).
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config);
+
+  sim::SimCluster& cluster() { return *cluster_; }
+  hdfs::MiniDfs& dfs() { return *dfs_; }
+  const TestbedConfig& config() const { return config_; }
+  const Schema& schema() const { return schema_; }
+  double scale_factor() const {
+    return static_cast<double>(config_.logical_block_bytes) /
+           static_cast<double>(config_.real_block_bytes);
+  }
+
+  /// Generates the UserVisits / Synthetic source texts for every node.
+  void LoadUserVisits();
+  void LoadSynthetic();
+
+  /// Upload paths (one per system). `sort_columns` holds HAIL's per-replica
+  /// index attributes; `index_column` the single trojan attribute.
+  Result<hdfs::UploadReport> UploadHadoop(const std::string& dfs_path);
+  Result<HailUploadReport> UploadHail(const std::string& dfs_path,
+                                      std::vector<int> sort_columns);
+  Result<hadooppp::HadoopPPUploadReport> UploadHadoopPP(
+      const std::string& dfs_path, int index_column);
+
+  /// Frees the generated source texts (after upload, to cap memory).
+  void FreeSourceTexts();
+
+  /// Runs one catalogue query as a MapReduce job.
+  Result<mapreduce::JobResult> RunQuery(
+      mapreduce::System system, const std::string& dfs_path,
+      const QueryDef& query, bool hail_splitting = false,
+      const mapreduce::RunOptions& options = {},
+      bool collect_output = false);
+
+ private:
+  std::vector<hdfs::ParallelUploadSpec> MakeSpecs(const std::string& path);
+  uint64_t RowsPerNode(double avg_row_bytes) const;
+
+  TestbedConfig config_;
+  std::unique_ptr<sim::SimCluster> cluster_;
+  std::unique_ptr<hdfs::MiniDfs> dfs_;
+  Schema schema_;
+  std::vector<std::string> texts_;  // size 1 when shared
+};
+
+}  // namespace workload
+}  // namespace hail

@@ -1,0 +1,183 @@
+/// \file extensions_test.cc
+/// \brief Tests for the paper's future-work extensions we implemented:
+/// the §3.4 index advisor and the §3.5 bitmap index.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hail/index_advisor.h"
+#include "index/bitmap_index.h"
+#include "util/random.h"
+#include "workload/queries.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Index advisor (§3.4)
+// ---------------------------------------------------------------------------
+
+WorkloadEntry Entry(const Schema& schema, const std::string& filter,
+                    double weight) {
+  WorkloadEntry e;
+  e.annotation = *ParseAnnotation(schema, filter, "");
+  e.weight = weight;
+  return e;
+}
+
+TEST(IndexAdvisorTest, BobsWorkloadGetsBobsIndexes) {
+  const Schema schema = workload::UserVisitsSchema();
+  std::vector<WorkloadEntry> workload;
+  for (const workload::QueryDef& q : workload::BobQueries()) {
+    workload.push_back(Entry(schema, q.filter, 1.0));
+  }
+  const auto columns = SuggestSortColumns(schema, workload, 3);
+  // The advisor must pick exactly the paper's §6.4.1 configuration
+  // (visitDate, sourceIP, adRevenue — in some order).
+  std::set<int> got(columns.begin(), columns.end());
+  EXPECT_EQ(got, (std::set<int>{workload::kVisitDate, workload::kSourceIP,
+                                workload::kAdRevenue}));
+}
+
+TEST(IndexAdvisorTest, WeightsDetermineOrder) {
+  const Schema schema = workload::UserVisitsSchema();
+  std::vector<WorkloadEntry> workload = {
+      Entry(schema, "@4 between(1,10)", 10.0),   // adRevenue, hot
+      Entry(schema, "@3 = 1999-05-05", 1.0),     // visitDate, cold
+  };
+  const auto columns = SuggestSortColumns(schema, workload, 3);
+  ASSERT_EQ(columns.size(), 2u);  // only two referenced attributes
+  EXPECT_EQ(columns[0], workload::kAdRevenue);  // replica 0 = hottest
+  EXPECT_EQ(columns[1], workload::kVisitDate);
+}
+
+TEST(IndexAdvisorTest, MoreAttributesThanReplicasPicksTopK) {
+  const Schema schema = workload::UserVisitsSchema();
+  std::vector<WorkloadEntry> workload = {
+      Entry(schema, "@3 = 2001-01-01", 5.0),
+      Entry(schema, "@4 >= 100", 4.0),
+      Entry(schema, "@1 = 1.2.3.4", 3.0),
+      Entry(schema, "@9 >= 5000", 2.0),
+      Entry(schema, "@6 = USA", 1.0),
+  };
+  const auto columns = SuggestSortColumns(schema, workload, 3);
+  ASSERT_EQ(columns.size(), 3u);
+  EXPECT_EQ(columns[0], workload::kVisitDate);
+  EXPECT_EQ(columns[1], workload::kAdRevenue);
+  EXPECT_EQ(columns[2], workload::kSourceIP);
+}
+
+TEST(IndexAdvisorTest, SecondaryFilterColumnsGetPartialCredit) {
+  const Schema schema = workload::UserVisitsSchema();
+  // Bob-Q3 filters on sourceIP AND visitDate; sourceIP is primary.
+  std::vector<WorkloadEntry> workload = {
+      Entry(schema, "@1 = 172.101.11.46 and @3 = 1992-12-22", 2.0),
+  };
+  const auto scores = ScoreColumns(schema, workload);
+  EXPECT_DOUBLE_EQ(scores[workload::kSourceIP].benefit, 2.0);
+  EXPECT_DOUBLE_EQ(scores[workload::kVisitDate].benefit, 1.0);
+}
+
+TEST(IndexAdvisorTest, NonServiceablePredicatesScoreNothing) {
+  const Schema schema = workload::UserVisitsSchema();
+  std::vector<WorkloadEntry> workload = {
+      Entry(schema, "@9 != 5", 100.0),  // != cannot use a clustered index
+  };
+  EXPECT_TRUE(SuggestSortColumns(schema, workload, 3).empty());
+}
+
+TEST(IndexAdvisorTest, EmptyWorkload) {
+  const Schema schema = workload::UserVisitsSchema();
+  EXPECT_TRUE(SuggestSortColumns(schema, {}, 3).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap index (§3.5 future work)
+// ---------------------------------------------------------------------------
+
+TEST(BitmapIndexTest, EqualityLookupExact) {
+  ColumnVector col(FieldType::kString);
+  const std::vector<std::string> countries = {"USA", "DEU", "USA", "FRA",
+                                              "DEU", "USA"};
+  for (const auto& c : countries) col.Append(Value(c));
+  const BitmapIndex index = BitmapIndex::Build(col);
+  EXPECT_EQ(index.cardinality(), 3u);
+  EXPECT_EQ(index.Lookup(Value(std::string("USA"))),
+            (std::vector<uint32_t>{0, 2, 5}));
+  EXPECT_EQ(index.Lookup(Value(std::string("DEU"))),
+            (std::vector<uint32_t>{1, 4}));
+  EXPECT_TRUE(index.Lookup(Value(std::string("JPN"))).empty());
+  EXPECT_EQ(index.Count(Value(std::string("USA"))), 3u);
+}
+
+TEST(BitmapIndexTest, LookupAnyMergesBitsets) {
+  ColumnVector col(FieldType::kInt32);
+  for (int v : {1, 2, 3, 1, 2, 3, 1}) col.Append(Value(int32_t{v}));
+  const BitmapIndex index = BitmapIndex::Build(col);
+  EXPECT_EQ(index.LookupAny({Value(int32_t{1}), Value(int32_t{3})}),
+            (std::vector<uint32_t>{0, 2, 3, 5, 6}));
+}
+
+TEST(BitmapIndexTest, SerializeRoundTrip) {
+  Random rng(5);
+  ColumnVector col(FieldType::kInt32);
+  for (int i = 0; i < 1000; ++i) {
+    col.Append(Value(static_cast<int32_t>(rng.Uniform(8))));
+  }
+  const BitmapIndex index = BitmapIndex::Build(col);
+  const std::string bytes = index.Serialize();
+  EXPECT_EQ(bytes.size(), index.SerializedBytes());
+  auto back = BitmapIndex::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  for (int v = 0; v < 8; ++v) {
+    EXPECT_EQ(back->Lookup(Value(int32_t{v})), index.Lookup(Value(int32_t{v})));
+  }
+  EXPECT_TRUE(BitmapIndex::Deserialize("junk").status().IsCorruption());
+}
+
+TEST(BitmapIndexTest, AgreesWithNaiveScan) {
+  Random rng(9);
+  ColumnVector col(FieldType::kString);
+  const char* langs[] = {"en", "de", "fr", "zh", "pt-br"};
+  std::vector<std::string> data;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(langs[rng.Uniform(5)]);
+    col.Append(Value(data.back()));
+  }
+  const BitmapIndex index = BitmapIndex::Build(col);
+  for (const char* lang : langs) {
+    std::vector<uint32_t> expected;
+    for (uint32_t r = 0; r < 500; ++r) {
+      if (data[r] == lang) expected.push_back(r);
+    }
+    EXPECT_EQ(index.Lookup(Value(std::string(lang))), expected) << lang;
+  }
+}
+
+TEST(BitmapIndexTest, CompactForLowCardinality) {
+  // §3.5's motivation: for low-cardinality domains the bitmap is far
+  // smaller than a dense unclustered index (8B+ per row).
+  Random rng(13);
+  ColumnVector col(FieldType::kInt32);
+  const int rows = 100000;
+  for (int i = 0; i < rows; ++i) {
+    col.Append(Value(static_cast<int32_t>(rng.Uniform(10))));
+  }
+  const BitmapIndex index = BitmapIndex::Build(col);
+  // ~10 bitsets * rows/8 bytes ~ 125 KB vs ~800 KB dense.
+  EXPECT_LT(index.SerializedBytes(), static_cast<uint64_t>(rows) * 8 / 4);
+}
+
+TEST(BitmapIndexTest, EmptyColumn) {
+  ColumnVector col(FieldType::kInt32);
+  const BitmapIndex index = BitmapIndex::Build(col);
+  EXPECT_EQ(index.cardinality(), 0u);
+  EXPECT_TRUE(index.Lookup(Value(int32_t{1})).empty());
+  auto back = BitmapIndex::Deserialize(index.Serialize());
+  ASSERT_TRUE(back.ok());
+}
+
+}  // namespace
+}  // namespace hail

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "hail/hail_block.h"
+#include "hadooppp/trojan_block.h"
+#include "layout/row_binary.h"
+#include "schema/row_parser.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace {
+
+PaxBlock MakeSortedBlock(int rows, int sort_column, uint64_t seed = 3) {
+  workload::UserVisitsConfig cfg;
+  cfg.rows = static_cast<uint64_t>(rows);
+  cfg.seed = seed;
+  PaxBlock block = BuildPaxBlockFromText(
+      workload::UserVisitsSchema(), workload::GenerateUserVisitsText(cfg),
+      BlockFormatOptions{16});
+  block.SortByColumn(sort_column);
+  return block;
+}
+
+TEST(HailBlockTest, RoundTripWithIndex) {
+  PaxBlock block = MakeSortedBlock(300, workload::kVisitDate);
+  const ClusteredIndex index =
+      ClusteredIndex::Build(block.column(workload::kVisitDate), 16);
+  const std::string bytes =
+      BuildHailBlock(block, &index, workload::kVisitDate);
+
+  auto view = HailBlockView::Open(bytes);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->has_index());
+  EXPECT_EQ(view->sort_column(), workload::kVisitDate);
+  EXPECT_GT(view->index_bytes(), 0u);
+  EXPECT_EQ(view->total_bytes(), bytes.size());
+
+  auto back_index = view->ReadIndex();
+  ASSERT_TRUE(back_index.ok());
+  EXPECT_EQ(back_index->num_records(), 300u);
+  EXPECT_EQ(back_index->partition_size(), 16u);
+
+  auto pax = view->OpenPax();
+  ASSERT_TRUE(pax.ok());
+  EXPECT_EQ(pax->num_records(), 300u);
+  // Spot-check row equivalence through the view.
+  for (uint32_t r : {0u, 150u, 299u}) {
+    auto row = pax->GetRow(r);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(*row, block.GetRow(r));
+  }
+}
+
+TEST(HailBlockTest, UnindexedBlock) {
+  PaxBlock block = MakeSortedBlock(50, workload::kSourceIP);
+  const std::string bytes = BuildHailBlock(block, nullptr, -1);
+  auto view = HailBlockView::Open(bytes);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(view->has_index());
+  EXPECT_EQ(view->sort_column(), -1);
+  EXPECT_TRUE(view->ReadIndex().status().IsFailedPrecondition());
+  auto pax = view->OpenPax();
+  ASSERT_TRUE(pax.ok());
+  EXPECT_EQ(pax->num_records(), 50u);
+}
+
+TEST(HailBlockTest, IndexLookupFindsSortedRows) {
+  PaxBlock block = MakeSortedBlock(500, workload::kVisitDate);
+  const ClusteredIndex index =
+      ClusteredIndex::Build(block.column(workload::kVisitDate), 16);
+  const std::string bytes =
+      BuildHailBlock(block, &index, workload::kVisitDate);
+  auto view = HailBlockView::Open(bytes);
+  ASSERT_TRUE(view.ok());
+  auto idx = view->ReadIndex();
+  ASSERT_TRUE(idx.ok());
+  auto pax = view->OpenPax();
+  ASSERT_TRUE(pax.ok());
+
+  const int32_t lo = *ParseDateToDays("1995-01-01");
+  const int32_t hi = *ParseDateToDays("1997-01-01");
+  const RowRange range = idx->Lookup(KeyRange::Between(Value(lo), Value(hi)));
+  // Every qualifying row must be inside the returned range.
+  for (uint32_t r = 0; r < pax->num_records(); ++r) {
+    const int32_t day = pax->GetFixedValue(workload::kVisitDate, r)->as_int32();
+    if (day >= lo && day <= hi) {
+      EXPECT_GE(r, range.begin);
+      EXPECT_LT(r, range.end);
+    }
+  }
+}
+
+TEST(HailBlockTest, CorruptionDetected) {
+  PaxBlock block = MakeSortedBlock(20, workload::kVisitDate);
+  const ClusteredIndex index =
+      ClusteredIndex::Build(block.column(workload::kVisitDate), 16);
+  std::string bytes = BuildHailBlock(block, &index, workload::kVisitDate);
+  EXPECT_TRUE(HailBlockView::Open(bytes.substr(0, 8)).status().IsCorruption());
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_TRUE(HailBlockView::Open(bad_magic).status().IsCorruption());
+  // Truncating the PAX payload breaks the embedded open.
+  auto view = HailBlockView::Open(
+      std::string_view(bytes).substr(0, bytes.size() - 16));
+  if (view.ok()) {
+    EXPECT_FALSE(view->OpenPax().ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trojan block (Hadoop++ physical format)
+// ---------------------------------------------------------------------------
+
+TEST(TrojanBlockTest, RoundTripWithIndex) {
+  const Schema schema = workload::UserVisitsSchema();
+  workload::UserVisitsConfig cfg;
+  cfg.rows = 200;
+  RowParser parser(schema);
+  const std::string text = workload::GenerateUserVisitsText(cfg);
+  std::vector<std::vector<Value>> rows;
+  for (std::string_view row : SplitRows(text)) {
+    if (row.empty()) continue;
+    rows.push_back(parser.Parse(row).values);
+  }
+  const int col = workload::kDuration;
+  std::stable_sort(rows.begin(), rows.end(),
+                   [col](const auto& a, const auto& b) {
+                     return a[col] < b[col];
+                   });
+  RowBinaryBlockBuilder builder(schema);
+  ColumnVector keys(FieldType::kInt32);
+  for (const auto& row : rows) {
+    keys.Append(row[col]);
+    builder.AddRow(row);
+  }
+  const auto offsets = builder.row_offsets();
+  const uint64_t data_bytes = builder.data_bytes();
+  const TrojanIndex index = TrojanIndex::Build(keys, offsets, data_bytes, 8);
+  const std::string bytes =
+      hadooppp::BuildTrojanBlock(builder.Finish(), &index, col);
+
+  auto view = hadooppp::TrojanBlockView::Open(bytes);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->has_index());
+  EXPECT_EQ(view->sort_column(), col);
+  auto rows_view = view->OpenRows();
+  ASSERT_TRUE(rows_view.ok());
+  EXPECT_EQ(rows_view->num_records(), 200u);
+
+  // Index scan through the view returns exactly the qualifying rows.
+  auto idx = view->ReadIndex();
+  ASSERT_TRUE(idx.ok());
+  const auto hit =
+      idx->Lookup(KeyRange::Between(Value(int32_t{1000}), Value(int32_t{5000})));
+  uint64_t pos = rows_view->data_start() + hit.bytes.begin;
+  uint32_t found = 0;
+  for (uint32_t r = hit.first_row; r < hit.end_row; ++r) {
+    auto row = rows_view->DecodeRowAt(&pos);
+    ASSERT_TRUE(row.ok());
+    const int32_t v = (*row)[col].as_int32();
+    if (v >= 1000 && v <= 5000) ++found;
+  }
+  uint32_t expected = 0;
+  for (const auto& row : rows) {
+    const int32_t v = row[col].as_int32();
+    if (v >= 1000 && v <= 5000) ++expected;
+  }
+  EXPECT_EQ(found, expected);
+  EXPECT_GT(found, 0u);
+}
+
+TEST(TrojanBlockTest, CorruptionDetected) {
+  RowBinaryBlockBuilder builder(workload::UserVisitsSchema());
+  std::string bytes = hadooppp::BuildTrojanBlock(builder.Finish(), nullptr, -1);
+  bytes[1] ^= 0x80;
+  EXPECT_TRUE(hadooppp::TrojanBlockView::Open(bytes).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace hail

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hail/hail_block.h"
+#include "hail/hail_client.h"
+#include "hdfs/dfs_client.h"
+#include "schema/row_parser.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace {
+
+struct Env {
+  std::unique_ptr<sim::SimCluster> cluster;
+  std::unique_ptr<hdfs::MiniDfs> dfs;
+  Schema schema = workload::UserVisitsSchema();
+};
+
+Env MakeEnv(int nodes = 4, uint64_t block_size = 8192) {
+  sim::ClusterConfig cc;
+  cc.num_nodes = nodes;
+  Env env;
+  env.cluster = std::make_unique<sim::SimCluster>(cc);
+  hdfs::DfsConfig cfg;
+  cfg.block_size = block_size;
+  cfg.replication = 3;
+  cfg.scale_factor = 512.0;
+  cfg.packet_bytes = 2048;
+  cfg.format.varlen_partition_size = 8;
+  env.dfs = std::make_unique<hdfs::MiniDfs>(env.cluster.get(), cfg);
+  return env;
+}
+
+std::string UVText(uint64_t rows, uint64_t seed = 1) {
+  workload::UserVisitsConfig cfg;
+  cfg.rows = rows;
+  cfg.seed = seed;
+  cfg.scale_factor = 512.0;
+  return workload::GenerateUserVisitsText(cfg);
+}
+
+/// Canonical text rendering of every record in a PAX block, sorted, for
+/// multiset comparison across replicas.
+std::vector<std::string> SortedRowSet(const Schema& schema,
+                                      std::string_view hail_bytes) {
+  auto view = HailBlockView::Open(hail_bytes);
+  EXPECT_TRUE(view.ok());
+  auto pax_view = view->OpenPax();
+  EXPECT_TRUE(pax_view.ok());
+  auto pax = PaxBlock::Deserialize(
+      hail_bytes.substr(hail_bytes.size() - pax_view->total_bytes()));
+  EXPECT_TRUE(pax.ok());
+  RowParser parser(schema);
+  std::vector<std::string> rows;
+  for (uint32_t r = 0; r < pax->num_records(); ++r) {
+    rows.push_back(parser.Render(pax->GetRow(r)));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(CutRowAlignedBlocksTest, NeverSplitsRows) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) {
+    text += "row-" + std::to_string(i) + "-" + std::string(20, 'x') + "\n";
+  }
+  const auto blocks = CutRowAlignedBlocks(text, 256);
+  ASSERT_GT(blocks.size(), 1u);
+  std::string joined;
+  for (const auto& b : blocks) {
+    EXPECT_LE(b.size(), 256u);
+    EXPECT_EQ(b.back(), '\n');  // each block ends at a row boundary
+    joined += std::string(b);
+  }
+  EXPECT_EQ(joined, text);  // lossless
+}
+
+TEST(CutRowAlignedBlocksTest, OverlongRowGetsOwnBlock) {
+  std::string text = std::string(600, 'a') + "\nshort\n";
+  const auto blocks = CutRowAlignedBlocks(text, 256);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].size(), 601u);
+  EXPECT_EQ(blocks[1], "short\n");
+}
+
+TEST(CutRowAlignedBlocksTest, MissingTrailingNewline) {
+  const auto blocks = CutRowAlignedBlocks("a\nb\nc", 4);
+  std::string joined;
+  for (const auto& b : blocks) joined += std::string(b);
+  EXPECT_EQ(joined, "a\nb\nc");
+}
+
+TEST(HailUploadTest, CreatesDivergentReplicasWithSameRecords) {
+  Env env = MakeEnv();
+  const std::string text = UVText(200);
+  HailUploadConfig config;
+  config.schema = env.schema;
+  config.sort_columns = {workload::kVisitDate, workload::kSourceIP,
+                         workload::kAdRevenue};
+  auto report = HailUploadTextFile(env.dfs.get(), config, 0, "/uv", text);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->blocks, 1u);
+  EXPECT_EQ(report->bad_records, 0u);
+
+  auto blocks = env.dfs->namenode().GetFileBlocks("/uv");
+  ASSERT_TRUE(blocks.ok());
+  for (const auto& loc : *blocks) {
+    ASSERT_EQ(loc.datanodes.size(), 3u);
+    std::map<int, std::string> replica_bytes;
+    std::vector<std::vector<std::string>> row_sets;
+    for (int dn : loc.datanodes) {
+      // Every replica passes its own checksum verification...
+      auto bytes = env.dfs->datanode(dn).ReadBlockVerified(loc.block_id, 512);
+      ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+      replica_bytes[dn] = std::string(*bytes);
+      row_sets.push_back(SortedRowSet(env.schema, *bytes));
+    }
+    // ...replicas are physically different (different sort orders) ...
+    auto it = replica_bytes.begin();
+    const std::string& first = it->second;
+    bool any_different = false;
+    for (++it; it != replica_bytes.end(); ++it) {
+      if (it->second != first) any_different = true;
+    }
+    EXPECT_TRUE(any_different) << "replicas should diverge physically";
+    // ... yet hold the same logical record multiset (failover intact).
+    for (size_t i = 1; i < row_sets.size(); ++i) {
+      EXPECT_EQ(row_sets[i], row_sets[0]);
+    }
+  }
+}
+
+TEST(HailUploadTest, ReplicasAreSortedByTheirColumn) {
+  Env env = MakeEnv();
+  const std::string text = UVText(300, 2);
+  HailUploadConfig config;
+  config.schema = env.schema;
+  config.sort_columns = {workload::kVisitDate, workload::kDuration};
+  ASSERT_TRUE(
+      HailUploadTextFile(env.dfs.get(), config, 0, "/uv", text).ok());
+
+  auto blocks = env.dfs->namenode().GetFileBlocks("/uv");
+  ASSERT_TRUE(blocks.ok());
+  for (const auto& loc : *blocks) {
+    for (size_t i = 0; i < loc.datanodes.size(); ++i) {
+      const int dn = loc.datanodes[i];
+      auto info = env.dfs->namenode().GetReplicaInfo(loc.block_id, dn);
+      ASSERT_TRUE(info.ok());
+      auto bytes = env.dfs->datanode(dn).ReadBlockRaw(loc.block_id);
+      ASSERT_TRUE(bytes.ok());
+      auto view = HailBlockView::Open(*bytes);
+      ASSERT_TRUE(view.ok());
+      EXPECT_EQ(view->sort_column(), info->sort_column);
+      if (info->sort_column < 0) continue;
+      // Verify physical order matches the registered sort column.
+      auto pax_view = view->OpenPax();
+      ASSERT_TRUE(pax_view.ok());
+      Value prev;
+      bool have_prev = false;
+      for (uint32_t r = 0; r < pax_view->num_records(); ++r) {
+        auto v = pax_view->GetAnyValue(info->sort_column, r);
+        ASSERT_TRUE(v.ok());
+        if (have_prev) {
+          EXPECT_FALSE(*v < prev) << "row " << r << " out of order";
+        }
+        prev = *v;
+        have_prev = true;
+      }
+    }
+  }
+}
+
+TEST(HailUploadTest, DirRepKnowsEveryReplica) {
+  Env env = MakeEnv();
+  const std::string text = UVText(150, 3);
+  HailUploadConfig config;
+  config.schema = env.schema;
+  config.sort_columns = {workload::kVisitDate, workload::kSourceIP,
+                         workload::kAdRevenue};
+  ASSERT_TRUE(HailUploadTextFile(env.dfs.get(), config, 1, "/uv", text).ok());
+  auto blocks = env.dfs->namenode().GetFileBlocks("/uv");
+  ASSERT_TRUE(blocks.ok());
+  for (const auto& loc : *blocks) {
+    // getHostsWithIndex finds exactly one replica per indexed column.
+    for (int column : {workload::kVisitDate, workload::kSourceIP,
+                       workload::kAdRevenue}) {
+      EXPECT_EQ(
+          env.dfs->namenode().GetHostsWithIndex(loc.block_id, column).size(),
+          1u)
+          << "column " << column;
+    }
+    EXPECT_TRUE(env.dfs->namenode()
+                    .GetHostsWithIndex(loc.block_id, workload::kDestURL)
+                    .empty());
+  }
+}
+
+TEST(HailUploadTest, BadRecordsArePreservedNotDropped) {
+  Env env = MakeEnv();
+  std::string text = UVText(50, 4);
+  text += "this,is,not,a,valid,user,visit\n";
+  text += "neither-is-this\n";
+  text += UVText(50, 5);
+  HailUploadConfig config;
+  config.schema = env.schema;
+  config.sort_columns = {workload::kVisitDate};
+  auto report = HailUploadTextFile(env.dfs.get(), config, 0, "/uv", text);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->bad_records, 2u);  // counted once per block (not replica)
+
+  // Bad records are stored in the block's bad section on every replica.
+  auto blocks = env.dfs->namenode().GetFileBlocks("/uv");
+  ASSERT_TRUE(blocks.ok());
+  uint64_t bad_seen = 0;
+  for (const auto& loc : *blocks) {
+    auto bytes = env.dfs->datanode(loc.datanodes[0]).ReadBlockRaw(loc.block_id);
+    ASSERT_TRUE(bytes.ok());
+    auto view = HailBlockView::Open(*bytes);
+    ASSERT_TRUE(view.ok());
+    auto pax = view->OpenPax();
+    ASSERT_TRUE(pax.ok());
+    bad_seen += pax->num_bad_records();
+  }
+  EXPECT_EQ(bad_seen, 2u);
+}
+
+TEST(HailUploadTest, MoreSortColumnsThanReplicasRejected) {
+  Env env = MakeEnv();
+  const std::string text = UVText(10, 6);
+  HailUploadConfig config;
+  config.schema = env.schema;
+  config.sort_columns = {0, 1, 2, 3};  // replication is 3
+  EXPECT_TRUE(HailUploadTextFile(env.dfs.get(), config, 0, "/uv", text)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(HailUploadTest, ZeroIndexesStillConvertsToPax) {
+  Env env = MakeEnv();
+  const std::string text = UVText(80, 7);
+  HailUploadConfig config;
+  config.schema = env.schema;
+  config.sort_columns = {};  // HAIL with 0 indexes (Fig. 4 leftmost bars)
+  auto report = HailUploadTextFile(env.dfs.get(), config, 0, "/uv", text);
+  ASSERT_TRUE(report.ok());
+  auto blocks = env.dfs->namenode().GetFileBlocks("/uv");
+  ASSERT_TRUE(blocks.ok());
+  for (const auto& loc : *blocks) {
+    for (int dn : loc.datanodes) {
+      auto info = env.dfs->namenode().GetReplicaInfo(loc.block_id, dn);
+      ASSERT_TRUE(info.ok());
+      EXPECT_EQ(info->layout, hdfs::ReplicaLayout::kPax);
+      EXPECT_FALSE(info->has_index());
+    }
+  }
+}
+
+TEST(HailUploadTest, UploadTimeGrowsMildlyWithIndexCount) {
+  // §6.3.1: indexes are almost free — CPU work hides behind the
+  // I/O-bound pipeline. Sorting 3 replicas must cost well under 2x of
+  // sorting none.
+  double durations[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    Env env = MakeEnv();
+    const std::string text = UVText(400, 8);
+    HailUploadConfig config;
+    config.schema = env.schema;
+    if (variant == 1) {
+      config.sort_columns = {workload::kVisitDate, workload::kSourceIP,
+                             workload::kAdRevenue};
+    }
+    auto report = HailUploadTextFile(env.dfs.get(), config, 0, "/uv", text);
+    ASSERT_TRUE(report.ok());
+    durations[variant] = report->duration();
+  }
+  EXPECT_GT(durations[1], durations[0]);          // not free
+  EXPECT_LT(durations[1], durations[0] * 1.5);    // but nearly
+}
+
+}  // namespace
+}  // namespace hail

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "hdfs/dfs_client.h"
+#include "hdfs/packet.h"
+#include "sim/cluster.h"
+#include "util/random.h"
+
+namespace hail {
+namespace hdfs {
+namespace {
+
+struct Env {
+  std::unique_ptr<sim::SimCluster> cluster;
+  std::unique_ptr<MiniDfs> dfs;
+};
+
+Env MakeEnv(int nodes = 4, uint64_t block_size = 4096, int replication = 3) {
+  sim::ClusterConfig cc;
+  cc.num_nodes = nodes;
+  Env env;
+  env.cluster = std::make_unique<sim::SimCluster>(cc);
+  DfsConfig cfg;
+  cfg.block_size = block_size;
+  cfg.replication = replication;
+  cfg.scale_factor = 1024.0;
+  cfg.packet_bytes = 1024;
+  env.dfs = std::make_unique<MiniDfs>(env.cluster.get(), cfg);
+  return env;
+}
+
+std::string MakeData(size_t bytes, uint64_t seed) {
+  Random rng(seed);
+  std::string out;
+  out.reserve(bytes);
+  while (out.size() < bytes) {
+    out += rng.NextString(40);
+    out += '\n';
+  }
+  out.resize(bytes);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Packets
+// ---------------------------------------------------------------------------
+
+TEST(PacketTest, SplitsIntoChunkedPackets) {
+  const std::string data = MakeData(3000, 1);
+  auto packets = MakePackets(7, data, 512, 1024);
+  ASSERT_EQ(packets.size(), 3u);  // ceil(3000/1024)
+  EXPECT_EQ(packets[0].data.size(), 1024u);
+  EXPECT_EQ(packets[0].chunk_crcs.size(), 2u);  // 1024/512
+  EXPECT_EQ(packets[2].data.size(), 3000u - 2048u);
+  EXPECT_TRUE(packets[2].last_in_block);
+  EXPECT_FALSE(packets[0].last_in_block);
+  // Reassembly is exact.
+  std::string joined;
+  for (const auto& p : packets) joined += p.data;
+  EXPECT_EQ(joined, data);
+}
+
+TEST(PacketTest, VerifyDetectsCorruption) {
+  const std::string data = MakeData(2048, 2);
+  auto packets = MakePackets(1, data, 512, 1024);
+  EXPECT_TRUE(VerifyPacket(packets[0], 512));
+  packets[0].data[100] ^= 0x1;
+  EXPECT_FALSE(VerifyPacket(packets[0], 512));
+}
+
+TEST(PacketTest, EmptyBlockStillProducesFinalPacket) {
+  auto packets = MakePackets(1, "", 512, 1024);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_TRUE(packets[0].last_in_block);
+  EXPECT_TRUE(packets[0].data.empty());
+}
+
+TEST(PacketTest, ChecksumFileRoundTrip) {
+  const std::string data = MakeData(5000, 3);
+  auto crcs = ComputeChunkChecksums(data, 512);
+  EXPECT_EQ(crcs.size(), 10u);  // ceil(5000/512)
+  auto parsed = ParseChecksums(SerializeChecksums(crcs));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, crcs);
+  EXPECT_TRUE(VerifyBlockChecksums(data, crcs, 512).ok());
+  std::string tampered = data;
+  tampered[4999] ^= 0x2;
+  EXPECT_TRUE(VerifyBlockChecksums(tampered, crcs, 512).IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Namenode
+// ---------------------------------------------------------------------------
+
+TEST(NamenodeTest, AllocatesLocalFirst) {
+  Namenode nn(5);
+  auto alloc = nn.AllocateBlock("/f", 2, 3);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->datanodes.size(), 3u);
+  EXPECT_EQ(alloc->datanodes[0], 2);  // writer-local replica
+  // All targets distinct.
+  std::set<int> uniq(alloc->datanodes.begin(), alloc->datanodes.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(NamenodeTest, RejectsBadReplication) {
+  Namenode nn(3);
+  EXPECT_FALSE(nn.AllocateBlock("/f", 0, 0).ok());
+  EXPECT_FALSE(nn.AllocateBlock("/f", 0, 4).ok());
+}
+
+TEST(NamenodeTest, ReplicaRegistrationAndDirRep) {
+  Namenode nn(3);
+  auto alloc = nn.AllocateBlock("/f", 0, 3);
+  ASSERT_TRUE(alloc.ok());
+  HailBlockReplicaInfo info;
+  info.layout = ReplicaLayout::kPax;
+  info.sort_column = 2;
+  info.index_kind = "clustered";
+  ASSERT_TRUE(nn.RegisterReplica(alloc->block_id, 1, info).ok());
+  auto got = nn.GetReplicaInfo(alloc->block_id, 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->sort_column, 2);
+  EXPECT_TRUE(got->has_index());
+  EXPECT_FALSE(nn.GetReplicaInfo(alloc->block_id, 0).ok());
+}
+
+TEST(NamenodeTest, GetHostsWithIndexFiltersByColumnAndLiveness) {
+  Namenode nn(4);
+  auto alloc = nn.AllocateBlock("/f", 0, 3);
+  ASSERT_TRUE(alloc.ok());
+  for (int i = 0; i < 3; ++i) {
+    HailBlockReplicaInfo info;
+    info.layout = ReplicaLayout::kPax;
+    info.sort_column = i;  // replica i indexed on column i
+    info.index_kind = "clustered";
+    ASSERT_TRUE(nn.RegisterReplica(alloc->block_id,
+                                   alloc->datanodes[static_cast<size_t>(i)],
+                                   info)
+                    .ok());
+  }
+  auto hosts = nn.GetHostsWithIndex(alloc->block_id, 1);
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], alloc->datanodes[1]);
+  // Dead nodes disappear from every lookup.
+  nn.MarkDatanodeDead(alloc->datanodes[1]);
+  EXPECT_TRUE(nn.GetHostsWithIndex(alloc->block_id, 1).empty());
+  auto holders = nn.GetBlockDatanodes(alloc->block_id);
+  ASSERT_TRUE(holders.ok());
+  EXPECT_EQ(holders->size(), 2u);
+  nn.MarkDatanodeAlive(alloc->datanodes[1]);
+  EXPECT_EQ(nn.GetHostsWithIndex(alloc->block_id, 1).size(), 1u);
+}
+
+TEST(NamenodeTest, AllocationAvoidsDeadNodes) {
+  Namenode nn(4);
+  nn.MarkDatanodeDead(1);
+  for (int i = 0; i < 10; ++i) {
+    auto alloc = nn.AllocateBlock("/f", 1, 3);
+    ASSERT_TRUE(alloc.ok());
+    for (int dn : alloc->datanodes) EXPECT_NE(dn, 1);
+  }
+  nn.MarkDatanodeDead(2);
+  nn.MarkDatanodeDead(3);
+  EXPECT_FALSE(nn.AllocateBlock("/f", 0, 3).ok());  // only 1 alive
+}
+
+// ---------------------------------------------------------------------------
+// Upload pipeline (functional)
+// ---------------------------------------------------------------------------
+
+TEST(UploadTest, ReplicasAreByteIdenticalAndVerified) {
+  Env env = MakeEnv();
+  const std::string data = MakeData(10000, 4);
+  auto report = UploadTextFile(env.dfs.get(), 0, "/logs", data);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->blocks, 3u);  // ceil(10000/4096)
+  EXPECT_GT(report->duration(), 0.0);
+
+  auto blocks = env.dfs->namenode().GetFileBlocks("/logs");
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 3u);
+  std::string reassembled;
+  for (const auto& loc : *blocks) {
+    ASSERT_EQ(loc.datanodes.size(), 3u);
+    // Stock HDFS: all replicas byte-identical, checksums verify.
+    std::string first;
+    for (int dn : loc.datanodes) {
+      auto bytes = env.dfs->datanode(dn).ReadBlockVerified(loc.block_id, 512);
+      ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+      if (first.empty()) {
+        first = std::string(*bytes);
+      } else {
+        EXPECT_EQ(*bytes, first);
+      }
+    }
+    reassembled += first;
+  }
+  EXPECT_EQ(reassembled, data);  // fixed-byte cutting: concatenation exact
+}
+
+TEST(UploadTest, LogicalBytesScaleWithScaleFactor) {
+  Env env = MakeEnv();
+  const std::string data = MakeData(8192, 5);
+  auto report = UploadTextFile(env.dfs.get(), 1, "/f", data);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->real_bytes, 8192u);
+  EXPECT_EQ(report->logical_bytes, 8192u * 1024u);
+}
+
+TEST(UploadTest, CorruptionFailsVerifiedRead) {
+  Env env = MakeEnv();
+  const std::string data = MakeData(4096, 6);
+  ASSERT_TRUE(UploadTextFile(env.dfs.get(), 0, "/f", data).ok());
+  auto blocks = env.dfs->namenode().GetFileBlocks("/f");
+  ASSERT_TRUE(blocks.ok());
+  const uint64_t id = (*blocks)[0].block_id;
+  const int dn = (*blocks)[0].datanodes[0];
+  // Corrupt the stored replica behind the datanode's back.
+  auto raw = env.dfs->datanode(dn).ReadBlockRaw(id);
+  ASSERT_TRUE(raw.ok());
+  std::string tampered(*raw);
+  tampered[17] ^= 0x4;
+  env.dfs->datanode(dn).store().Put(BlockFileName(id), tampered);
+  EXPECT_TRUE(env.dfs->datanode(dn)
+                  .ReadBlockVerified(id, 512)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(UploadTest, ParallelUploadFromAllNodes) {
+  Env env = MakeEnv(4);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 4; ++i) texts.push_back(MakeData(6000, 10 + i));
+  std::vector<ParallelUploadSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    specs.push_back(ParallelUploadSpec{i, "/n" + std::to_string(i), texts[i]});
+  }
+  auto report = ParallelUploadText(env.dfs.get(), specs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->blocks, 8u);  // 2 per client
+  EXPECT_EQ(report->real_bytes, 24000u);
+  // Parallel upload should take far less than 4x a single client's time
+  // (clients overlap); sanity: duration > 0.
+  EXPECT_GT(report->duration(), 0.0);
+}
+
+TEST(UploadTest, ReplicationFactorRespected) {
+  Env env = MakeEnv(5, 4096, 5);
+  const std::string data = MakeData(4096, 20);
+  ASSERT_TRUE(UploadTextFile(env.dfs.get(), 0, "/f", data).ok());
+  auto blocks = env.dfs->namenode().GetFileBlocks("/f");
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ((*blocks)[0].datanodes.size(), 5u);
+}
+
+TEST(UploadTest, UploadTimingIsDiskBound) {
+  // The stock pipeline is I/O bound (§2.3): upload duration must track
+  // the disk model, and the disks must be the busiest resource.
+  Env env = MakeEnv(4, 4096);
+  const std::string data = MakeData(64 * 1024, 21);
+  auto report = UploadTextFile(env.dfs.get(), 0, "/f", data);
+  ASSERT_TRUE(report.ok());
+  double max_disk = 0.0, max_cpu = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    max_disk = std::max(max_disk, env.cluster->node(i).disk().busy_time());
+    max_cpu = std::max(max_cpu, env.cluster->node(i).cpu().busy_time());
+  }
+  EXPECT_GT(max_disk, max_cpu);  // I/O-bound
+  EXPECT_GE(report->duration(), max_disk * 0.5);
+}
+
+}  // namespace
+}  // namespace hdfs
+}  // namespace hail

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "query/predicate.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace {
+
+Schema UV() { return workload::UserVisitsSchema(); }
+
+TEST(AnnotationParseTest, BobQ1) {
+  // @HailQuery(filter="@3 between(1999-01-01,2000-01-01)", projection={@1})
+  auto ann = ParseAnnotation(UV(), "@3 between(1999-01-01,2000-01-01)", "{@1}");
+  ASSERT_TRUE(ann.ok());
+  ASSERT_EQ(ann->filter.terms().size(), 1u);
+  const PredicateTerm& t = ann->filter.terms()[0];
+  EXPECT_EQ(t.column, 2);  // @3 -> visitDate (0-based 2)
+  EXPECT_EQ(t.op, CompareOp::kBetween);
+  EXPECT_EQ(t.literal.as_int32(), *ParseDateToDays("1999-01-01"));
+  EXPECT_EQ(t.literal_hi.as_int32(), *ParseDateToDays("2000-01-01"));
+  EXPECT_EQ(ann->projection, (std::vector<int>{0}));
+  EXPECT_EQ(ann->preferred_index_column(), 2);
+}
+
+TEST(AnnotationParseTest, EqualityOnString) {
+  auto ann = ParseAnnotation(UV(), "@1 = 172.101.11.46", "{@8,@9,@4}");
+  ASSERT_TRUE(ann.ok());
+  EXPECT_EQ(ann->filter.terms()[0].column, 0);
+  EXPECT_EQ(ann->filter.terms()[0].literal.as_string(), "172.101.11.46");
+  EXPECT_EQ(ann->projection, (std::vector<int>{7, 8, 3}));
+}
+
+TEST(AnnotationParseTest, ConjunctionBobQ3) {
+  auto ann = ParseAnnotation(UV(), "@1 = 172.101.11.46 and @3 = 1992-12-22",
+                             "{@8}");
+  ASSERT_TRUE(ann.ok());
+  ASSERT_EQ(ann->filter.terms().size(), 2u);
+  EXPECT_EQ(ann->filter.terms()[0].column, 0);
+  EXPECT_EQ(ann->filter.terms()[1].column, 2);
+  // The index column is the first serviceable filter attribute.
+  EXPECT_EQ(ann->preferred_index_column(), 0);
+}
+
+TEST(AnnotationParseTest, ComparatorZoo) {
+  auto ann = ParseAnnotation(UV(), "@4 >= 1 and @4 <= 10 and @9 != 5", "");
+  ASSERT_TRUE(ann.ok());
+  ASSERT_EQ(ann->filter.terms().size(), 3u);
+  EXPECT_EQ(ann->filter.terms()[0].op, CompareOp::kGe);
+  EXPECT_EQ(ann->filter.terms()[1].op, CompareOp::kLe);
+  EXPECT_EQ(ann->filter.terms()[2].op, CompareOp::kNe);
+  EXPECT_TRUE(ann->projection.empty());
+}
+
+TEST(AnnotationParseTest, QuotedLiterals) {
+  auto ann = ParseAnnotation(UV(), "@1 = '172.101.11.46'", "");
+  ASSERT_TRUE(ann.ok());
+  EXPECT_EQ(ann->filter.terms()[0].literal.as_string(), "172.101.11.46");
+}
+
+TEST(AnnotationParseTest, Errors) {
+  EXPECT_FALSE(ParseAnnotation(UV(), "@99 = 1", "").ok());   // out of range
+  EXPECT_FALSE(ParseAnnotation(UV(), "@0 = 1", "").ok());    // 1-based
+  EXPECT_FALSE(ParseAnnotation(UV(), "visitDate = 1", "").ok());
+  EXPECT_FALSE(ParseAnnotation(UV(), "@3 between(1999-01-01)", "").ok());
+  EXPECT_FALSE(ParseAnnotation(UV(), "@9 ~ 5", "").ok());
+  EXPECT_FALSE(ParseAnnotation(UV(), "", "{@77}").ok());
+  EXPECT_FALSE(ParseAnnotation(UV(), "@9 = notanint", "").ok());
+}
+
+TEST(AnnotationParseTest, EmptyAnnotationMeansFullScan) {
+  auto ann = ParseAnnotation(UV(), "", "");
+  ASSERT_TRUE(ann.ok());
+  EXPECT_FALSE(ann->has_filter());
+  EXPECT_EQ(ann->preferred_index_column(), -1);
+}
+
+TEST(PredicateEvalTest, TermSemantics) {
+  PredicateTerm t;
+  t.column = 0;
+  t.op = CompareOp::kBetween;
+  t.literal = Value(int32_t{10});
+  t.literal_hi = Value(int32_t{20});
+  EXPECT_TRUE(t.Matches(Value(int32_t{10})));   // inclusive low
+  EXPECT_TRUE(t.Matches(Value(int32_t{20})));   // inclusive high
+  EXPECT_FALSE(t.Matches(Value(int32_t{9})));
+  EXPECT_FALSE(t.Matches(Value(int32_t{21})));
+
+  t.op = CompareOp::kLt;
+  EXPECT_TRUE(t.Matches(Value(int32_t{9})));
+  EXPECT_FALSE(t.Matches(Value(int32_t{10})));
+  t.op = CompareOp::kNe;
+  EXPECT_TRUE(t.Matches(Value(int32_t{11})));
+  EXPECT_FALSE(t.Matches(Value(int32_t{10})));
+}
+
+TEST(PredicateEvalTest, NumericWidening) {
+  PredicateTerm t;
+  t.column = 0;
+  t.op = CompareOp::kEq;
+  t.literal = Value(int32_t{5});
+  EXPECT_TRUE(t.Matches(Value(int64_t{5})));
+  EXPECT_TRUE(t.Matches(Value(5.0)));
+  EXPECT_FALSE(t.Matches(Value(5.5)));
+}
+
+TEST(PredicateEvalTest, ConjunctionMatchesRow) {
+  auto ann = ParseAnnotation(UV(), "@4 between(1,10) and @9 >= 100", "");
+  ASSERT_TRUE(ann.ok());
+  std::vector<Value> row{
+      Value(std::string("1.2.3.4")), Value(std::string("http://x")),
+      Value(*ParseDateToDays("2001-01-01")), Value(5.0),
+      Value(std::string("UA")),      Value(std::string("USA")),
+      Value(std::string("en")),      Value(std::string("word")),
+      Value(int32_t{150})};
+  EXPECT_TRUE(ann->filter.Matches(row));
+  row[3] = Value(50.0);
+  EXPECT_FALSE(ann->filter.Matches(row));
+  row[3] = Value(5.0);
+  row[8] = Value(int32_t{50});
+  EXPECT_FALSE(ann->filter.Matches(row));
+}
+
+TEST(PredicateEvalTest, KeyRangeIntersection) {
+  auto ann = ParseAnnotation(UV(), "@9 >= 10 and @9 <= 20 and @9 >= 12", "");
+  ASSERT_TRUE(ann.ok());
+  auto range = ann->filter.KeyRangeFor(8);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->lo->as_int32(), 12);  // tightest lower bound wins
+  EXPECT_EQ(range->hi->as_int32(), 20);
+  EXPECT_FALSE(ann->filter.KeyRangeFor(0).has_value());
+}
+
+TEST(PredicateEvalTest, NeIsNotIndexServiceable) {
+  auto ann = ParseAnnotation(UV(), "@9 != 5", "");
+  ASSERT_TRUE(ann.ok());
+  EXPECT_FALSE(ann->filter.KeyRangeFor(8).has_value());
+  EXPECT_EQ(ann->preferred_index_column(), -1);
+}
+
+TEST(PredicateEvalTest, ToStringRoundTrip) {
+  const std::string filter = "@3 between(1999-01-01,2000-01-01) and @9 >= 42";
+  auto ann = ParseAnnotation(UV(), filter, "");
+  ASSERT_TRUE(ann.ok());
+  auto reparsed = ParseAnnotation(UV(), ann->filter.ToString(UV()), "");
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->filter.terms().size(), ann->filter.terms().size());
+  EXPECT_EQ(reparsed->filter.terms()[0].literal.as_int32(),
+            ann->filter.terms()[0].literal.as_int32());
+}
+
+}  // namespace
+}  // namespace hail

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "schema/row_parser.h"
+#include "schema/schema.h"
+#include "schema/value.h"
+
+namespace hail {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", FieldType::kInt32},
+                 {"name", FieldType::kString},
+                 {"score", FieldType::kDouble},
+                 {"joined", FieldType::kDate},
+                 {"visits", FieldType::kInt64}});
+}
+
+TEST(SchemaTest, RoundTripsThroughText) {
+  const Schema s = TestSchema();
+  const std::string text = s.ToString();
+  EXPECT_EQ(text, "id:int32,name:string,score:double,joined:date,visits:int64");
+  auto parsed = Schema::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, s);
+}
+
+TEST(SchemaTest, RejectsBadText) {
+  EXPECT_FALSE(Schema::Parse("").ok());
+  EXPECT_FALSE(Schema::Parse("id").ok());
+  EXPECT_FALSE(Schema::Parse("id:int128").ok());
+  EXPECT_FALSE(Schema::Parse(":int32").ok());
+}
+
+TEST(SchemaTest, FieldIndexLookup) {
+  const Schema s = TestSchema();
+  EXPECT_EQ(s.FieldIndex("score"), 2);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+}
+
+TEST(SchemaTest, EstimatedRowWidth) {
+  const Schema s = TestSchema();
+  // 4 (int32) + 16 (string est) + 8 (double) + 4 (date) + 8 (int64)
+  EXPECT_EQ(s.EstimatedRowWidth(16), 40u);
+}
+
+TEST(DateTest, ParsesAndFormats) {
+  EXPECT_EQ(*ParseDateToDays("1970-01-01"), 0);
+  EXPECT_EQ(*ParseDateToDays("1970-01-02"), 1);
+  EXPECT_EQ(*ParseDateToDays("1969-12-31"), -1);
+  EXPECT_EQ(DaysToDateString(*ParseDateToDays("1999-01-01")), "1999-01-01");
+  EXPECT_EQ(DaysToDateString(*ParseDateToDays("2000-02-29")), "2000-02-29");
+}
+
+TEST(DateTest, OrderingMatchesCalendar) {
+  EXPECT_LT(*ParseDateToDays("1999-01-01"), *ParseDateToDays("1999-01-02"));
+  EXPECT_LT(*ParseDateToDays("1999-12-31"), *ParseDateToDays("2000-01-01"));
+}
+
+TEST(DateTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDateToDays("1999-13-01").ok());
+  EXPECT_FALSE(ParseDateToDays("1999-02-30").ok());
+  EXPECT_FALSE(ParseDateToDays("99-01-01").ok());
+  EXPECT_FALSE(ParseDateToDays("1999/01/01").ok());
+  EXPECT_FALSE(ParseDateToDays("abcd-ef-gh").ok());
+}
+
+TEST(DateTest, LeapYearRules) {
+  EXPECT_TRUE(ParseDateToDays("2000-02-29").ok());   // div by 400
+  EXPECT_FALSE(ParseDateToDays("1900-02-29").ok());  // div by 100 only
+  EXPECT_TRUE(ParseDateToDays("2012-02-29").ok());   // div by 4
+  EXPECT_FALSE(ParseDateToDays("2011-02-29").ok());
+}
+
+TEST(ValueTest, ComparesNumerically) {
+  EXPECT_TRUE(Value(int32_t{1}) < Value(int32_t{2}));
+  EXPECT_TRUE(Value(1.5) < Value(int64_t{2}));
+  EXPECT_FALSE(Value(int32_t{2}) < Value(int32_t{2}));
+}
+
+TEST(ValueTest, ComparesStrings) {
+  EXPECT_TRUE(Value(std::string("abc")) < Value(std::string("abd")));
+  EXPECT_TRUE(Value(std::string("abc")) == Value(std::string("abc")));
+}
+
+TEST(ValueTest, RendersToText) {
+  EXPECT_EQ(Value(int32_t{42}).ToText(FieldType::kInt32), "42");
+  EXPECT_EQ(Value(std::string("x")).ToText(FieldType::kString), "x");
+  EXPECT_EQ(Value(*ParseDateToDays("1999-06-15")).ToText(FieldType::kDate),
+            "1999-06-15");
+}
+
+TEST(RowParserTest, ParsesGoodRow) {
+  const Schema s = TestSchema();
+  RowParser parser(s);
+  ParsedRow row = parser.Parse("7,alice,3.5,2001-09-09,12345678901");
+  ASSERT_TRUE(row.ok);
+  EXPECT_EQ(row.values[0].as_int32(), 7);
+  EXPECT_EQ(row.values[1].as_string(), "alice");
+  EXPECT_DOUBLE_EQ(row.values[2].as_double(), 3.5);
+  EXPECT_EQ(row.values[4].as_int64(), 12345678901);
+}
+
+TEST(RowParserTest, BadRecordsDetected) {
+  const Schema s = TestSchema();
+  RowParser parser(s);
+  EXPECT_FALSE(parser.Parse("7,alice,3.5,2001-09-09").ok);        // arity
+  EXPECT_FALSE(parser.Parse("x,alice,3.5,2001-09-09,1").ok);      // int
+  EXPECT_FALSE(parser.Parse("7,alice,pi,2001-09-09,1").ok);       // double
+  EXPECT_FALSE(parser.Parse("7,alice,3.5,not-a-date,1").ok);      // date
+  EXPECT_FALSE(parser.Parse("").ok);
+}
+
+TEST(RowParserTest, RenderInvertsParse) {
+  const Schema s = TestSchema();
+  RowParser parser(s);
+  const std::string original = "7,alice,3.5,2001-09-09,99";
+  ParsedRow row = parser.Parse(original);
+  ASSERT_TRUE(row.ok);
+  EXPECT_EQ(parser.Render(row.values), original);
+}
+
+TEST(RowParserTest, Int32OverflowIsBad) {
+  const Schema s = TestSchema();
+  RowParser parser(s);
+  EXPECT_FALSE(parser.Parse("4294967296,x,1.0,2001-01-01,1").ok);
+}
+
+TEST(SplitRowsTest, HandlesTrailingNewline) {
+  auto rows = SplitRows("a\nb\nc\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2], "c");
+  rows = SplitRows("a\nb\nc");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2], "c");
+  EXPECT_TRUE(SplitRows("").empty());
+}
+
+}  // namespace
+}  // namespace hail

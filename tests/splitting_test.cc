@@ -1,0 +1,215 @@
+/// \file splitting_test.cc
+/// \brief Detailed checks of split computation and Hadoop++ ingestion.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hadooppp/hadooppp_upload.h"
+#include "hadooppp/trojan_block.h"
+#include "mapreduce/input_format.h"
+#include "workload/testbed.h"
+
+namespace hail {
+namespace mapreduce {
+namespace {
+
+using workload::Testbed;
+using workload::TestbedConfig;
+
+TestbedConfig Config4() {
+  TestbedConfig config;
+  config.num_nodes = 4;
+  config.real_block_bytes = 8 * 1024;
+  config.logical_block_bytes = 4 * 1024 * 1024;
+  config.blocks_per_node = 6;
+  config.seed = 7;
+  return config;
+}
+
+Result<JobPlan> PlanFor(Testbed& bed, System system, const std::string& path,
+                        const std::string& filter, bool splitting) {
+  workload::QueryDef q{"plan", filter, "", 0};
+  HAIL_ASSIGN_OR_RETURN(JobSpec spec,
+                        workload::MakeQueryJob(bed.schema(), path, system, q,
+                                               splitting));
+  return ComputeJobPlan(&bed.dfs(), spec);
+}
+
+TEST(JobPlanTest, DefaultSplittingOneTaskPerBlock) {
+  Testbed bed(Config4());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHadoop("/d").ok());
+  auto plan = PlanFor(bed, System::kHadoop, "/d",
+                      "@3 between(1999-01-01,2000-01-01)", false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->splits.size(), plan->file_blocks.size());
+  for (size_t i = 0; i < plan->splits.size(); ++i) {
+    EXPECT_EQ(plan->splits[i].blocks.size(), 1u);
+    EXPECT_EQ(plan->splits[i].blocks[0], plan->file_blocks[i].block_id);
+    // Locations are the replica holders.
+    EXPECT_EQ(plan->splits[i].preferred_nodes,
+              plan->file_blocks[i].datanodes);
+  }
+  EXPECT_DOUBLE_EQ(plan->split_phase_seconds, 0.0);
+}
+
+TEST(JobPlanTest, HailSplittingCoversEveryBlockExactlyOnce) {
+  Testbed bed(Config4());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  auto plan = PlanFor(bed, System::kHail, "/d",
+                      "@3 between(1999-01-01,2000-01-01)", true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT(plan->splits.size(), plan->file_blocks.size());
+  std::multiset<uint64_t> covered;
+  for (const InputSplit& split : plan->splits) {
+    EXPECT_FALSE(split.blocks.empty());
+    EXPECT_EQ(split.preferred_nodes.size(), 1u);  // the index-home node
+    for (uint64_t b : split.blocks) covered.insert(b);
+  }
+  std::multiset<uint64_t> expected;
+  for (const auto& loc : plan->file_blocks) expected.insert(loc.block_id);
+  EXPECT_EQ(covered, expected);  // exactly-once coverage
+}
+
+TEST(JobPlanTest, HailSplittingGroupsByIndexHome) {
+  Testbed bed(Config4());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  auto plan = PlanFor(bed, System::kHail, "/d",
+                      "@3 between(1999-01-01,2000-01-01)", true);
+  ASSERT_TRUE(plan.ok());
+  for (const InputSplit& split : plan->splits) {
+    const int home = split.preferred_nodes[0];
+    for (uint64_t b : split.blocks) {
+      const auto hosts = bed.dfs().namenode().GetHostsWithIndex(
+          b, workload::kVisitDate);
+      ASSERT_EQ(hosts.size(), 1u);
+      EXPECT_EQ(hosts[0], home) << "block routed away from its index";
+    }
+  }
+  // Per node, at most map_slots splits (the §4.3 policy).
+  std::map<int, int> per_node;
+  for (const InputSplit& split : plan->splits) {
+    per_node[split.preferred_nodes[0]]++;
+  }
+  for (const auto& [node, count] : per_node) {
+    EXPECT_LE(count, bed.cluster().node(node).profile().map_slots);
+  }
+}
+
+TEST(JobPlanTest, NonServiceableFilterUsesDefaultSplitting) {
+  Testbed bed(Config4());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  // != is not index-serviceable.
+  auto plan = PlanFor(bed, System::kHail, "/d", "@9 != 5", true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->splits.size(), plan->file_blocks.size());
+  EXPECT_EQ(plan->index_column, -1);
+}
+
+TEST(JobPlanTest, HadoopPPPaysHeaderReadsInSplitPhase) {
+  Testbed bed(Config4());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHadoopPP("/d", workload::kSourceIP).ok());
+  auto plan = PlanFor(bed, System::kHadoopPP, "/d", "@1 = 172.101.11.46",
+                      false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->split_phase_seconds, 0.0);
+  // One header read per block, 15 ms each (calibrated constant).
+  EXPECT_NEAR(plan->split_phase_seconds,
+              static_cast<double>(plan->file_blocks.size()) * 0.015, 1e-9);
+}
+
+TEST(JobPlanTest, MissingInputIsNotFound) {
+  Testbed bed(Config4());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHadoop("/d").ok());
+  auto plan = PlanFor(bed, System::kHadoop, "/does-not-exist", "", false);
+  EXPECT_TRUE(plan.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Hadoop++ ingestion details
+// ---------------------------------------------------------------------------
+
+TEST(HadoopPPUploadTest, ReplicasIdenticalAndSorted) {
+  Testbed bed(Config4());
+  bed.LoadUserVisits();
+  auto report = bed.UploadHadoopPP("/d", workload::kDuration);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->conversion_seconds, 0.0);
+  EXPECT_GT(report->index_seconds, 0.0);
+  EXPECT_GT(report->hdfs_upload_seconds, 0.0);
+
+  auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok());
+  for (const auto& loc : *blocks) {
+    ASSERT_EQ(loc.datanodes.size(), 3u);
+    std::string first;
+    for (int dn : loc.datanodes) {
+      auto bytes = bed.dfs().datanode(dn).ReadBlockVerified(loc.block_id, 512);
+      ASSERT_TRUE(bytes.ok());
+      if (first.empty()) {
+        first = std::string(*bytes);
+      } else {
+        // The defining Hadoop++ limitation: every replica byte-identical.
+        EXPECT_EQ(*bytes, first);
+      }
+    }
+    auto view = hadooppp::TrojanBlockView::Open(first);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view->sort_column(), workload::kDuration);
+    auto rows = view->OpenRows();
+    ASSERT_TRUE(rows.ok());
+    auto decoded = rows->DecodeAll();
+    ASSERT_TRUE(decoded.ok());
+    int32_t prev = INT32_MIN;
+    for (const auto& row : *decoded) {
+      EXPECT_GE(row[workload::kDuration].as_int32(), prev);
+      prev = row[workload::kDuration].as_int32();
+    }
+  }
+}
+
+TEST(HadoopPPUploadTest, StagingFilesAreCleanedUp) {
+  Testbed bed(Config4());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHadoopPP("/d", -1).ok());
+  // No staging leftovers in the namespace or on the datanodes beyond the
+  // converted dataset.
+  EXPECT_TRUE(bed.dfs()
+                  .namenode()
+                  .GetFileBlocks("/.hpp_staging/d")
+                  .status()
+                  .IsNotFound());
+  auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok());
+  size_t expected_files = 0;
+  for (const auto& loc : *blocks) expected_files += loc.datanodes.size() * 2;
+  size_t actual_files = 0;
+  for (int i = 0; i < bed.cluster().num_nodes(); ++i) {
+    actual_files += bed.dfs().datanode(i).store().file_count();
+  }
+  EXPECT_EQ(actual_files, expected_files);
+}
+
+TEST(HadoopPPUploadTest, IndexJobOnlyRunsWhenIndexRequested) {
+  Testbed bed(Config4());
+  bed.LoadUserVisits();
+  auto report = bed.UploadHadoopPP("/d", -1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->conversion_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report->index_seconds, 0.0);
+  // Unindexed trojan blocks still answer queries by full scan.
+  auto r = bed.RunQuery(System::kHadoopPP, "/d", workload::BobQueries()[0],
+                        false, {}, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->output_count, 0u);
+}
+
+}  // namespace
+}  // namespace mapreduce
+}  // namespace hail

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "util/crc32c.h"
+#include "util/io.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace hail {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::IOError("disk on fire");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "disk on fire");
+  EXPECT_EQ(st.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status st = Status::NotFound("x");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy, st);
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsNotFound());
+}
+
+TEST(StatusTest, WithContextPrefixes) {
+  Status st = Status::Corruption("bad byte").WithContext("block 7");
+  EXPECT_EQ(st.message(), "block 7: bad byte");
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  HAIL_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*QuarterEven(8), 2);
+  EXPECT_TRUE(QuarterEven(6).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C
+// ---------------------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vectors.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c::Value(zeros.data(), zeros.size()), 0x8a9136aau);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(crc32c::Value(ones.data(), ones.size()), 0x62a8ab43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(crc32c::Value(ascending.data(), ascending.size()), 0x46dd794eu);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "hello world, this is hail";
+  const uint32_t whole = crc32c::Value(data.data(), data.size());
+  uint32_t partial = crc32c::Extend(0, data.data(), 5);
+  partial = crc32c::Extend(partial, data.data() + 5, data.size() - 5);
+  EXPECT_EQ(whole, partial);
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+    EXPECT_NE(crc32c::Mask(crc), crc);
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::string data(1024, 'x');
+  const uint32_t clean = crc32c::Value(data.data(), data.size());
+  data[512] ^= 0x01;
+  EXPECT_NE(crc32c::Value(data.data(), data.size()), clean);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  EXPECT_EQ(*ParseInt64("-123"), -123);
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64(" 1").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(FormatBytes(64ull * 1024 * 1024), "64.0 MB");
+  EXPECT_EQ(FormatCount(3200), "3,200");
+  EXPECT_EQ(FormatCount(42), "42");
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyFair) {
+  Random rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomTest, ZipfSkewsLow) {
+  ZipfGenerator zipf(1000, 0.9, 5);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (zipf.Next() < 10) ++low;
+  }
+  // Heavily skewed: the 1% lowest ranks get far more than 1% of draws.
+  EXPECT_GT(low, 1000);
+}
+
+// ---------------------------------------------------------------------------
+// ByteWriter / ByteReader
+// ---------------------------------------------------------------------------
+
+TEST(IoTest, RoundTripsScalars) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(1ull << 40);
+  w.PutI32(-5);
+  w.PutI64(-6);
+  w.PutF64(2.5);
+  w.PutLengthPrefixed("abc");
+  ByteReader r(w.buffer());
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 1ull << 40);
+  EXPECT_EQ(*r.GetI32(), -5);
+  EXPECT_EQ(*r.GetI64(), -6);
+  EXPECT_DOUBLE_EQ(*r.GetF64(), 2.5);
+  EXPECT_EQ(*r.GetLengthPrefixed(), "abc");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(IoTest, TruncationIsCorruption) {
+  ByteWriter w;
+  w.PutU32(1);
+  ByteReader r(w.buffer());
+  EXPECT_TRUE(r.GetU64().status().IsCorruption());
+}
+
+TEST(IoTest, SeekBounds) {
+  ByteReader r("abcd");
+  EXPECT_TRUE(r.SeekTo(4).ok());
+  EXPECT_TRUE(r.SeekTo(5).IsCorruption());
+}
+
+}  // namespace
+}  // namespace hail

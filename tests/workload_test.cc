@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "schema/row_parser.h"
+#include "workload/queries.h"
+#include "workload/synthetic.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace workload {
+namespace {
+
+TEST(UserVisitsGenTest, RowsParseAgainstSchema) {
+  UserVisitsConfig cfg;
+  cfg.rows = 500;
+  const std::string text = GenerateUserVisitsText(cfg);
+  RowParser parser(UserVisitsSchema());
+  uint64_t rows = 0;
+  for (std::string_view row : SplitRows(text)) {
+    if (row.empty()) continue;
+    ++rows;
+    EXPECT_TRUE(parser.Parse(row).ok) << row;
+  }
+  EXPECT_EQ(rows, 500u);
+}
+
+TEST(UserVisitsGenTest, Deterministic) {
+  UserVisitsConfig cfg;
+  cfg.rows = 100;
+  cfg.seed = 5;
+  const std::string first = GenerateUserVisitsText(cfg);
+  EXPECT_EQ(first, GenerateUserVisitsText(cfg));
+  cfg.seed = 6;
+  EXPECT_NE(first, GenerateUserVisitsText(cfg));
+}
+
+TEST(UserVisitsGenTest, AvgRowBytesAccurate) {
+  UserVisitsConfig cfg;
+  cfg.rows = 2000;
+  const std::string text = GenerateUserVisitsText(cfg);
+  const double avg = static_cast<double>(text.size()) / 2000.0;
+  EXPECT_NEAR(avg, UserVisitsAvgRowBytes(), 20.0);
+}
+
+TEST(UserVisitsGenTest, Q1SelectivityMatchesPaper) {
+  UserVisitsConfig cfg;
+  cfg.rows = 50000;
+  const std::string text = GenerateUserVisitsText(cfg);
+  RowParser parser(UserVisitsSchema());
+  const int32_t lo = *ParseDateToDays("1999-01-01");
+  const int32_t hi = *ParseDateToDays("2000-01-01");
+  uint64_t hits = 0;
+  for (std::string_view row : SplitRows(text)) {
+    if (row.empty()) continue;
+    auto parsed = parser.Parse(row);
+    const int32_t d = parsed.values[kVisitDate].as_int32();
+    if (d >= lo && d <= hi) ++hits;
+  }
+  // Paper: 3.1e-2. Allow generous sampling noise.
+  EXPECT_NEAR(static_cast<double>(hits) / 50000.0, 3.1e-2, 0.6e-2);
+}
+
+TEST(UserVisitsGenTest, Q4Q5SelectivitiesMatchPaper) {
+  UserVisitsConfig cfg;
+  cfg.rows = 50000;
+  const std::string text = GenerateUserVisitsText(cfg);
+  RowParser parser(UserVisitsSchema());
+  uint64_t q4 = 0, q5 = 0;
+  for (std::string_view row : SplitRows(text)) {
+    if (row.empty()) continue;
+    auto parsed = parser.Parse(row);
+    const double rev = parsed.values[kAdRevenue].as_double();
+    if (rev >= 1 && rev <= 10) ++q4;
+    if (rev >= 1 && rev <= 100) ++q5;
+  }
+  EXPECT_NEAR(static_cast<double>(q4) / 50000.0, 1.7e-2, 0.5e-2);
+  EXPECT_NEAR(static_cast<double>(q5) / 50000.0, 2.04e-1, 0.3e-1);
+}
+
+TEST(UserVisitsGenTest, NeedleDensityScalesWithScaleFactor) {
+  UserVisitsConfig cfg;
+  cfg.rows = 200000;
+  cfg.scale_factor = 2048.0;  // needle every ~15.2k rows
+  const std::string text = GenerateUserVisitsText(cfg);
+  uint64_t needles = 0;
+  for (std::string_view row : SplitRows(text)) {
+    if (row.substr(0, 13) == kNeedleIP) ++needles;
+  }
+  // 200000 / 15258 ~ 13.
+  EXPECT_GE(needles, 9u);
+  EXPECT_LE(needles, 17u);
+}
+
+TEST(UserVisitsGenTest, Q3NeedleRowsExist) {
+  UserVisitsConfig cfg;
+  cfg.rows = 200000;
+  cfg.scale_factor = 2048.0;
+  const std::string text = GenerateUserVisitsText(cfg);
+  RowParser parser(UserVisitsSchema());
+  uint64_t q3 = 0;
+  for (std::string_view row : SplitRows(text)) {
+    if (row.substr(0, 13) != kNeedleIP) continue;
+    auto parsed = parser.Parse(row);
+    if (parsed.values[kVisitDate].as_int32() == *ParseDateToDays(kNeedleDate)) {
+      ++q3;
+    }
+  }
+  EXPECT_GE(q3, 1u);  // ~1/5 of needles
+}
+
+TEST(SyntheticGenTest, RowsParseAndSelectivitiesHold) {
+  SyntheticConfig cfg;
+  cfg.rows = 20000;
+  const std::string text = GenerateSyntheticText(cfg);
+  RowParser parser(SyntheticSchema());
+  const int32_t bound10 = SyntheticBoundForSelectivity(cfg, 0.10);
+  uint64_t rows = 0, hits = 0;
+  for (std::string_view row : SplitRows(text)) {
+    if (row.empty()) continue;
+    auto parsed = parser.Parse(row);
+    ASSERT_TRUE(parsed.ok);
+    ASSERT_EQ(parsed.values.size(), 19u);
+    ++rows;
+    if (parsed.values[0].as_int32() < bound10) ++hits;
+  }
+  EXPECT_EQ(rows, 20000u);
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.10, 0.01);
+}
+
+TEST(SyntheticGenTest, BinaryRepresentationShrinks) {
+  // Fig 4(b)'s premise: integer rows shrink under binary conversion.
+  SyntheticConfig cfg;
+  cfg.rows = 1000;
+  const std::string text = GenerateSyntheticText(cfg);
+  const double text_per_row = static_cast<double>(text.size()) / 1000.0;
+  const double binary_per_row = 19.0 * 4.0;
+  EXPECT_LT(binary_per_row / text_per_row, 0.65);
+}
+
+TEST(QueryCatalogTest, BobQueriesWellFormed) {
+  const Schema schema = UserVisitsSchema();
+  const auto queries = BobQueries();
+  ASSERT_EQ(queries.size(), 5u);
+  for (const QueryDef& q : queries) {
+    auto spec = MakeQueryJob(schema, "/uv", mapreduce::System::kHail, q);
+    ASSERT_TRUE(spec.ok()) << q.name;
+    EXPECT_TRUE(spec->annotation->has_filter()) << q.name;
+  }
+  // Q1 filters on visitDate, Q2/Q3 on sourceIP, Q4/Q5 on adRevenue.
+  auto a0 = ParseAnnotation(schema, queries[0].filter, "");
+  EXPECT_EQ(a0->preferred_index_column(), kVisitDate);
+  auto a1 = ParseAnnotation(schema, queries[1].filter, "");
+  EXPECT_EQ(a1->preferred_index_column(), kSourceIP);
+  auto a3 = ParseAnnotation(schema, queries[3].filter, "");
+  EXPECT_EQ(a3->preferred_index_column(), kAdRevenue);
+}
+
+TEST(QueryCatalogTest, SyntheticQueriesFilterSameAttribute) {
+  const Schema schema = SyntheticSchema();
+  const auto queries = SyntheticQueries();
+  ASSERT_EQ(queries.size(), 6u);
+  for (const QueryDef& q : queries) {
+    auto ann = ParseAnnotation(schema, q.filter, q.projection);
+    ASSERT_TRUE(ann.ok());
+    // "All queries use the same attribute for filtering" (§6.2).
+    EXPECT_EQ(ann->preferred_index_column(), 0) << q.name;
+  }
+  // Projection widths 19 / 9 / 1 (Table 1).
+  auto a = ParseAnnotation(schema, queries[0].filter, queries[0].projection);
+  EXPECT_TRUE(a->projection.empty());  // all attributes
+  auto b = ParseAnnotation(schema, queries[1].filter, queries[1].projection);
+  EXPECT_EQ(b->projection.size(), 9u);
+  auto c = ParseAnnotation(schema, queries[2].filter, queries[2].projection);
+  EXPECT_EQ(c->projection.size(), 1u);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace hail
