@@ -1,8 +1,14 @@
 /// \file key_search.h
 /// \brief Typed binary search over sorted key columns (shared by indexes).
+///
+/// The probe entry points (LowerBoundIndex / UpperBoundIndex) resolve the
+/// key-column type and the literal's numeric kind ONCE, then run a tight
+/// binary search over the raw typed vector — no Value boxing and no
+/// per-iteration variant dispatch in the inner loop.
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 #include "layout/column_vector.h"
@@ -19,70 +25,79 @@ inline int64_t AsInt64(const Value& v) {
   return v.is_int32() ? v.as_int32() : v.as_int64();
 }
 
-/// keys[i] < v, with numeric widening so int literals match any numeric
-/// column type.
-inline bool KeyLessThanValue(const ColumnVector& keys, size_t i,
-                             const Value& v) {
-  switch (keys.type()) {
-    case FieldType::kInt32:
-    case FieldType::kDate:
-      if (IsIntegral(v)) return keys.i32()[i] < AsInt64(v);
-      return static_cast<double>(keys.i32()[i]) < v.AsNumeric();
-    case FieldType::kInt64:
-      if (IsIntegral(v)) return keys.i64()[i] < AsInt64(v);
-      return static_cast<double>(keys.i64()[i]) < v.AsNumeric();
-    case FieldType::kDouble:
-      return keys.f64()[i] < v.AsNumeric();
-    case FieldType::kString:
-      return keys.str()[i] < v.as_string();
-  }
-  return false;
-}
-
-inline bool ValueLessThanKey(const Value& v, const ColumnVector& keys,
-                             size_t i) {
-  switch (keys.type()) {
-    case FieldType::kInt32:
-    case FieldType::kDate:
-      if (IsIntegral(v)) return AsInt64(v) < keys.i32()[i];
-      return v.AsNumeric() < static_cast<double>(keys.i32()[i]);
-    case FieldType::kInt64:
-      if (IsIntegral(v)) return AsInt64(v) < keys.i64()[i];
-      return v.AsNumeric() < static_cast<double>(keys.i64()[i]);
-    case FieldType::kDouble:
-      return v.AsNumeric() < keys.f64()[i];
-    case FieldType::kString:
-      return v.as_string() < keys.str()[i];
-  }
-  return false;
-}
-
-/// First index whose key is >= v.
-inline size_t LowerBoundIndex(const ColumnVector& keys, const Value& v) {
+/// Raw typed binary searches. T is the key storage type, L the widened
+/// comparison type (int64_t or double) the caller resolved from the
+/// literal; each iteration is one cast + one compare.
+template <typename T, typename L>
+inline size_t LowerBoundRaw(const std::vector<T>& keys, L v) {
   size_t lo = 0, hi = keys.size();
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
-    if (KeyLessThanValue(keys, mid, v)) {
+    if (static_cast<L>(keys[mid]) < v) {
       lo = mid + 1;
     } else {
       hi = mid;
     }
   }
   return lo;
+}
+
+template <typename T, typename L>
+inline size_t UpperBoundRaw(const std::vector<T>& keys, L v) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (v < static_cast<L>(keys[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// First index whose key is >= v. Numeric widening matches
+/// query/predicate.cc's CompareValues: int-vs-int compares as int64,
+/// anything involving a double compares as double.
+inline size_t LowerBoundIndex(const ColumnVector& keys, const Value& v) {
+  switch (keys.type()) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      if (IsIntegral(v)) return LowerBoundRaw<int32_t, int64_t>(keys.i32(), AsInt64(v));
+      return LowerBoundRaw<int32_t, double>(keys.i32(), v.AsNumeric());
+    case FieldType::kInt64:
+      if (IsIntegral(v)) return LowerBoundRaw<int64_t, int64_t>(keys.i64(), AsInt64(v));
+      return LowerBoundRaw<int64_t, double>(keys.i64(), v.AsNumeric());
+    case FieldType::kDouble:
+      return LowerBoundRaw<double, double>(keys.f64(), v.AsNumeric());
+    case FieldType::kString: {
+      const std::vector<std::string>& s = keys.str();
+      return static_cast<size_t>(
+          std::lower_bound(s.begin(), s.end(), v.as_string()) - s.begin());
+    }
+  }
+  return 0;
 }
 
 /// First index whose key is > v.
 inline size_t UpperBoundIndex(const ColumnVector& keys, const Value& v) {
-  size_t lo = 0, hi = keys.size();
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    if (ValueLessThanKey(v, keys, mid)) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
+  switch (keys.type()) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      if (IsIntegral(v)) return UpperBoundRaw<int32_t, int64_t>(keys.i32(), AsInt64(v));
+      return UpperBoundRaw<int32_t, double>(keys.i32(), v.AsNumeric());
+    case FieldType::kInt64:
+      if (IsIntegral(v)) return UpperBoundRaw<int64_t, int64_t>(keys.i64(), AsInt64(v));
+      return UpperBoundRaw<int64_t, double>(keys.i64(), v.AsNumeric());
+    case FieldType::kDouble:
+      return UpperBoundRaw<double, double>(keys.f64(), v.AsNumeric());
+    case FieldType::kString: {
+      const std::vector<std::string>& s = keys.str();
+      return static_cast<size_t>(
+          std::upper_bound(s.begin(), s.end(), v.as_string()) - s.begin());
     }
   }
-  return lo;
+  return 0;
 }
 
 /// \brief First/last qualifying partition for a key range over partition

@@ -34,6 +34,13 @@ class ColumnVector {
   const std::vector<double>& f64() const { return f64_; }
   const std::vector<std::string>& str() const { return str_; }
 
+  /// Mutable typed access for bulk decode paths (block deserialisation
+  /// memcpys whole minipages instead of appending row by row).
+  std::vector<int32_t>& mutable_i32() { return i32_; }
+  std::vector<int64_t>& mutable_i64() { return i64_; }
+  std::vector<double>& mutable_f64() { return f64_; }
+  std::vector<std::string>& mutable_str() { return str_; }
+
   /// Reorders values so new[i] = old[perm[i]].
   void ApplyPermutation(const std::vector<uint32_t>& perm);
 

@@ -98,6 +98,11 @@ std::string PaxBlock::Serialize() const {
   const uint32_t part = options_.varlen_partition_size;
   for (int i = 0; i < ncols; ++i) {
     const ColumnVector& col = columns_[static_cast<size_t>(i)];
+    // Align each minipage to 8 bytes so typed batch accessors read aligned
+    // values whenever the enclosing buffer is itself aligned. The pad lives
+    // between the recorded extents of adjacent minipages, so per-column
+    // byte accounting is unchanged.
+    while (w.size() % 8 != 0) w.PutU8(0);
     col_offsets[static_cast<size_t>(i)] = w.size();
     switch (col.type()) {
       case FieldType::kInt32:
@@ -169,12 +174,49 @@ Result<PaxBlock> PaxBlock::Deserialize(std::string_view data) {
   BlockFormatOptions options;
   options.varlen_partition_size = view.varlen_partition_size();
   PaxBlock block(view.schema(), options);
-  for (uint32_t r = 0; r < view.num_records(); ++r) {
-    HAIL_ASSIGN_OR_RETURN(std::vector<Value> row, view.GetRow(r));
-    block.AppendRow(row);
+  const uint32_t n = view.num_records();
+  // Bulk per-column decode: fixed-size minipages are one memcpy each,
+  // string minipages one sequential pass — no per-row Value round trip.
+  for (int c = 0; c < view.num_columns(); ++c) {
+    ColumnVector& col = block.columns_[static_cast<size_t>(c)];
+    switch (col.type()) {
+      case FieldType::kInt32:
+      case FieldType::kDate: {
+        HAIL_ASSIGN_OR_RETURN(ColumnSpan<int32_t> span, view.Int32Span(c));
+        std::vector<int32_t>& out = col.mutable_i32();
+        out.resize(n);
+        if (n > 0) std::memcpy(out.data(), span.raw_bytes(), n * sizeof(int32_t));
+        break;
+      }
+      case FieldType::kInt64: {
+        HAIL_ASSIGN_OR_RETURN(ColumnSpan<int64_t> span, view.Int64Span(c));
+        std::vector<int64_t>& out = col.mutable_i64();
+        out.resize(n);
+        if (n > 0) std::memcpy(out.data(), span.raw_bytes(), n * sizeof(int64_t));
+        break;
+      }
+      case FieldType::kDouble: {
+        HAIL_ASSIGN_OR_RETURN(ColumnSpan<double> span, view.DoubleSpan(c));
+        std::vector<double>& out = col.mutable_f64();
+        out.resize(n);
+        if (n > 0) std::memcpy(out.data(), span.raw_bytes(), n * sizeof(double));
+        break;
+      }
+      case FieldType::kString: {
+        HAIL_ASSIGN_OR_RETURN(VarlenCursor cursor, view.OpenVarlenCursor(c));
+        std::vector<std::string>& out = col.mutable_str();
+        out.reserve(n);
+        for (uint32_t r = 0; r < n; ++r) {
+          HAIL_ASSIGN_OR_RETURN(std::string_view s, cursor.Get(r));
+          out.emplace_back(s);
+        }
+        break;
+      }
+    }
   }
-  for (uint32_t b = 0; b < view.num_bad_records(); ++b) {
-    HAIL_ASSIGN_OR_RETURN(std::string_view raw, view.GetBadRecord(b));
+  HAIL_ASSIGN_OR_RETURN(BadRecordCursor bad, view.OpenBadRecords());
+  while (!bad.Done()) {
+    HAIL_ASSIGN_OR_RETURN(std::string_view raw, bad.Next());
     block.AppendBadRecord(raw);
   }
   return block;
@@ -215,8 +257,16 @@ Result<PaxBlockView> PaxBlockView::Open(std::string_view data) {
     ci.type = static_cast<FieldType>(type_byte);
     HAIL_ASSIGN_OR_RETURN(ci.minipage_offset, r.GetU64());
     HAIL_ASSIGN_OR_RETURN(ci.minipage_bytes, r.GetU64());
-    if (ci.minipage_offset + ci.minipage_bytes > data.size()) {
+    // Overflow-safe form of offset + bytes > size: a crafted directory
+    // must not wrap past the bulk-decode memcpy bounds.
+    if (ci.minipage_bytes > data.size() ||
+        ci.minipage_offset > data.size() - ci.minipage_bytes) {
       return Status::Corruption("minipage out of bounds");
+    }
+    if (IsFixedSize(ci.type) &&
+        ci.minipage_bytes < static_cast<uint64_t>(view.num_records_) *
+                                FieldTypeWidth(ci.type)) {
+      return Status::Corruption("fixed minipage truncated");
     }
   }
   HAIL_ASSIGN_OR_RETURN(view.bad_section_offset_, r.GetU64());
@@ -234,12 +284,112 @@ Result<PaxBlockView> PaxBlockView::Open(std::string_view data) {
     ci.offsets_pos = vr.position();
     HAIL_RETURN_NOT_OK(vr.SeekTo(ci.offsets_pos + 8ull * ci.num_offsets));
     HAIL_ASSIGN_OR_RETURN(ci.values_bytes, vr.GetU64());
-    ci.values_pos = vr.position();
-    if (ci.values_pos + ci.values_bytes > data.size()) {
+    ci.values_pos = vr.position();  // <= data.size() by construction
+    if (ci.values_bytes > data.size() - ci.values_pos) {
       return Status::Corruption("varlen values out of bounds");
     }
   }
   return view;
+}
+
+namespace {
+
+template <typename T>
+Result<ColumnSpan<T>> MakeFixedSpan(std::string_view data,
+                                    uint64_t minipage_offset,
+                                    uint32_t num_records, bool type_matches) {
+  if (!type_matches) {
+    return Status::InvalidArgument("typed span does not match column type");
+  }
+  return ColumnSpan<T>(data.data() + minipage_offset, num_records);
+}
+
+}  // namespace
+
+Result<ColumnSpan<int32_t>> PaxBlockView::Int32Span(int column) const {
+  const ColumnInfo& ci = cols_[static_cast<size_t>(column)];
+  return MakeFixedSpan<int32_t>(
+      data_, ci.minipage_offset, num_records_,
+      ci.type == FieldType::kInt32 || ci.type == FieldType::kDate);
+}
+
+Result<ColumnSpan<int64_t>> PaxBlockView::Int64Span(int column) const {
+  const ColumnInfo& ci = cols_[static_cast<size_t>(column)];
+  return MakeFixedSpan<int64_t>(data_, ci.minipage_offset, num_records_,
+                                ci.type == FieldType::kInt64);
+}
+
+Result<ColumnSpan<double>> PaxBlockView::DoubleSpan(int column) const {
+  const ColumnInfo& ci = cols_[static_cast<size_t>(column)];
+  return MakeFixedSpan<double>(data_, ci.minipage_offset, num_records_,
+                               ci.type == FieldType::kDouble);
+}
+
+Result<VarlenCursor> PaxBlockView::OpenVarlenCursor(int column) const {
+  const ColumnInfo& ci = cols_[static_cast<size_t>(column)];
+  if (ci.type != FieldType::kString) {
+    return Status::InvalidArgument("OpenVarlenCursor on fixed-size column");
+  }
+  VarlenCursor cursor;
+  cursor.values_ = data_.data() + ci.values_pos;
+  cursor.end_ = cursor.values_ + ci.values_bytes;
+  cursor.offsets_ = data_.data() + ci.offsets_pos;
+  cursor.num_offsets_ = ci.num_offsets;
+  cursor.partition_size_ = varlen_partition_;
+  cursor.num_records_ = num_records_;
+  cursor.cursor_ = cursor.values_;
+  return cursor;
+}
+
+Result<std::string_view> VarlenCursor::Get(uint32_t row) {
+  if (row >= num_records_) return Status::OutOfRange("row out of range");
+  const uint32_t partition = row / partition_size_;
+  if (row < current_row_ || partition != current_row_ / partition_size_) {
+    // Backward or cross-partition jump: re-seek via the sparse offset.
+    if (partition >= num_offsets_) {
+      return Status::Corruption("varlen partition offset missing");
+    }
+    uint64_t offset;
+    std::memcpy(&offset, offsets_ + 8ull * partition, sizeof(offset));
+    if (offset > static_cast<uint64_t>(end_ - values_)) {
+      return Status::Corruption("varlen partition offset out of bounds");
+    }
+    cursor_ = values_ + offset;
+    current_row_ = partition * partition_size_;
+    ++partition_seeks_;
+  }
+  while (current_row_ < row) {
+    // Skip one zero-terminated value.
+    while (cursor_ < end_ && *cursor_ != '\0') ++cursor_;
+    if (cursor_ >= end_) return Status::Corruption("varlen scan out of bounds");
+    ++cursor_;  // NUL
+    ++current_row_;
+    ++decode_steps_;
+  }
+  const char* value_start = cursor_;
+  while (cursor_ < end_ && *cursor_ != '\0') ++cursor_;
+  if (cursor_ >= end_) {
+    // Well-formed minipages NUL-terminate every value, including the last;
+    // running off the end is corruption, same as in the skip loop above.
+    return Status::Corruption("varlen value not terminated");
+  }
+  std::string_view out(value_start,
+                       static_cast<size_t>(cursor_ - value_start));
+  ++cursor_;  // NUL
+  ++current_row_;
+  ++decode_steps_;
+  return out;
+}
+
+Result<BadRecordCursor> PaxBlockView::OpenBadRecords() const {
+  // bad_section_offset_ was bounds-checked in Open().
+  return BadRecordCursor(data_.substr(bad_section_offset_), num_bad_records_);
+}
+
+Result<std::string_view> BadRecordCursor::Next() {
+  if (remaining_ == 0) return Status::OutOfRange("no bad records left");
+  --remaining_;
+  return reader_.GetLengthPrefixed();
 }
 
 Result<Value> PaxBlockView::GetFixedValue(int column, uint32_t row) const {
@@ -271,32 +421,12 @@ Result<Value> PaxBlockView::GetFixedValue(int column, uint32_t row) const {
 
 Result<std::string_view> PaxBlockView::GetString(int column,
                                                  uint32_t row) const {
-  const ColumnInfo& ci = cols_[static_cast<size_t>(column)];
-  if (ci.type != FieldType::kString) {
-    return Status::InvalidArgument("GetString on fixed-size column");
-  }
-  if (row >= num_records_) return Status::OutOfRange("row out of range");
   // §3.5: "we scan the partition floor(rowID / n) entirely from disk...
-  // then, in main memory we post-filter the partition".
-  const uint32_t partition = row / varlen_partition_;
-  uint64_t offset;
-  std::memcpy(&offset, data_.data() + ci.offsets_pos + 8ull * partition,
-              sizeof(offset));
-  const char* cursor = data_.data() + ci.values_pos + offset;
-  const char* end = data_.data() + ci.values_pos + ci.values_bytes;
-  uint32_t current = partition * varlen_partition_;
-  while (current < row) {
-    // Skip one zero-terminated value.
-    while (cursor < end && *cursor != '\0') ++cursor;
-    if (cursor >= end) return Status::Corruption("varlen scan out of bounds");
-    ++cursor;  // NUL
-    ++current;
-  }
-  const char* value_start = cursor;
-  while (cursor < end && *cursor != '\0') ++cursor;
-  if (cursor > end) return Status::Corruption("varlen value out of bounds");
-  return std::string_view(value_start,
-                          static_cast<size_t>(cursor - value_start));
+  // then, in main memory we post-filter the partition". A throwaway
+  // cursor performs exactly that — one partition-offset seek plus a
+  // forward scan — so the varlen decode exists in one place.
+  HAIL_ASSIGN_OR_RETURN(VarlenCursor cursor, OpenVarlenCursor(column));
+  return cursor.Get(row);
 }
 
 Result<Value> PaxBlockView::GetAnyValue(int column, uint32_t row) const {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -91,6 +92,103 @@ class PaxBlock {
   std::vector<std::string> bad_records_;
 };
 
+/// \brief Zero-copy typed view over one fixed-size minipage.
+///
+/// Wraps the serialised value bytes directly — no decode, no copy. Loads
+/// go through memcpy so they stay well-defined even when the block buffer
+/// is not aligned for T (the serialiser pads minipages to 8 bytes, but a
+/// view may sit inside a larger HAIL-block buffer); GCC/Clang compile the
+/// 4/8-byte memcpy to a single unaligned load, so the filter kernels in
+/// query/vectorized.cc auto-vectorise over these spans.
+template <typename T>
+class ColumnSpan {
+ public:
+  ColumnSpan() = default;
+  ColumnSpan(const char* base, uint32_t size) : base_(base), size_(size) {}
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T operator[](uint32_t i) const {
+    T v;
+    std::memcpy(&v, base_ + static_cast<size_t>(i) * sizeof(T), sizeof(T));
+    return v;
+  }
+
+  /// Start of the serialised values (for bulk memcpy decode).
+  const char* raw_bytes() const { return base_; }
+
+ private:
+  const char* base_ = nullptr;
+  uint32_t size_ = 0;
+};
+
+/// \brief Sequential decoder for one varlen (string) minipage.
+///
+/// GetString() on the view re-scans the partition from its sparse offset
+/// on *every* call — O(partition) per access, O(n * partition) for a full
+/// column scan. The cursor instead remembers where the last decode ended:
+/// monotonically non-decreasing row accesses (the scan engine's selection
+/// vectors are always ascending) decode each value at most once, O(n)
+/// total. Random jumps re-seek via the sparse partition offsets, so worst
+/// case still matches the §3.5 path. `decode_steps()` counts values
+/// walked, which the property tests and bench_scan_micro use to verify
+/// the O(n) claim.
+class VarlenCursor {
+ public:
+  VarlenCursor() = default;
+
+  bool valid() const { return values_ != nullptr; }
+  uint32_t num_records() const { return num_records_; }
+
+  /// Returns the value of \p row; the view's buffer must stay alive.
+  Result<std::string_view> Get(uint32_t row);
+
+  /// Total zero-terminated values walked (skips + reads) since creation.
+  uint64_t decode_steps() const { return decode_steps_; }
+  /// Times the cursor had to jump via a sparse partition offset.
+  uint64_t partition_seeks() const { return partition_seeks_; }
+
+ private:
+  friend class PaxBlockView;
+
+  const char* values_ = nullptr;   // start of the value bytes
+  const char* end_ = nullptr;      // one past the value bytes
+  const char* offsets_ = nullptr;  // sparse u64 offset array
+  uint32_t num_offsets_ = 0;
+  uint32_t partition_size_ = 1;
+  uint32_t num_records_ = 0;
+
+  const char* cursor_ = nullptr;   // start of value `current_row_`
+  uint32_t current_row_ = 0;
+  uint64_t decode_steps_ = 0;
+  uint64_t partition_seeks_ = 0;
+};
+
+/// \brief Sequential reader over the bad-record section.
+///
+/// GetBadRecord(i) re-skips records 0..i-1 on every call — O(i) each,
+/// O(n^2) for the "hand every bad record to the map function" loop. The
+/// cursor walks the section once.
+class BadRecordCursor {
+ public:
+  BadRecordCursor() = default;
+
+  uint32_t remaining() const { return remaining_; }
+  bool Done() const { return remaining_ == 0; }
+
+  /// Raw text of the next bad record; Done() must be false.
+  Result<std::string_view> Next();
+
+ private:
+  friend class PaxBlockView;
+  BadRecordCursor(std::string_view section, uint32_t count)
+      : reader_(section), remaining_(count) {}
+
+  ByteReader reader_{std::string_view()};
+  uint32_t remaining_ = 0;
+};
+
 /// \brief Zero-copy reader over a serialised PAX block.
 ///
 /// Random access to fixed-size values is O(1); string access follows the
@@ -124,6 +222,22 @@ class PaxBlockView {
     return ci.type == FieldType::kString ? ci.values_bytes
                                          : ci.minipage_bytes;
   }
+
+  // -- Batch accessors (the vectorized scan engine's read path) --
+
+  /// Zero-copy typed view over a fixed-size minipage. Type must match:
+  /// Int32Span serves kInt32 and kDate columns.
+  Result<ColumnSpan<int32_t>> Int32Span(int column) const;
+  Result<ColumnSpan<int64_t>> Int64Span(int column) const;
+  Result<ColumnSpan<double>> DoubleSpan(int column) const;
+
+  /// Sequential decoder for a string column (O(n) full-column access).
+  Result<VarlenCursor> OpenVarlenCursor(int column) const;
+
+  /// Sequential reader over the bad-record section (O(n) total).
+  Result<BadRecordCursor> OpenBadRecords() const;
+
+  // -- Row-at-a-time accessors (parse/reconstruct boundary, tests) --
 
   /// Reads one fixed-size value.
   Result<Value> GetFixedValue(int column, uint32_t row) const;
@@ -162,7 +276,6 @@ class PaxBlockView {
   uint32_t varlen_partition_ = kDefaultVarlenPartition;
   uint64_t bad_section_offset_ = 0;
   std::vector<ColumnInfo> cols_;
-  std::vector<uint64_t> bad_offsets_;  // lazily built on first access
 };
 
 /// \brief Parses text rows into a PAX block (the HAIL client's conversion

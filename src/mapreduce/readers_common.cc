@@ -40,8 +40,13 @@ bool InvokeMap(const ReadContext& ctx, const HailRecord& record,
       spec.annotation->has_filter()) {
     // Stock Hadoop: Bob's map function string-splits the row and filters
     // by hand (§4.1). The engine applies the same predicate for result
-    // equivalence.
-    if (!spec.annotation->filter.Matches(record.values())) return false;
+    // equivalence — through the split's compiled matcher when the reader
+    // installed one.
+    const bool match =
+        ctx.row_matcher != nullptr
+            ? ctx.row_matcher->MatchesRow(record.values())
+            : spec.annotation->filter.Matches(record.values());
+    if (!match) return false;
   }
   if (spec.map) {
     spec.map(record, ctx.out);

@@ -19,6 +19,7 @@
 #include "hdfs/dfs_client.h"
 #include "mapreduce/input_format.h"
 #include "mapreduce/job.h"
+#include "query/vectorized.h"
 
 namespace hail {
 namespace mapreduce {
@@ -47,6 +48,11 @@ struct ReadContext {
   /// Node the map task runs on (locality decisions + cost model).
   int task_node = 0;
   MapOutput* out = nullptr;
+
+  /// Optional pre-compiled annotation filter, installed by row-major
+  /// readers for the duration of a split so InvokeMap evaluates the
+  /// per-row filter without Predicate::Matches' per-term type dispatch.
+  const CompiledPredicate* row_matcher = nullptr;
 
   // -- statistics the reader reports back --
   uint64_t records_seen = 0;

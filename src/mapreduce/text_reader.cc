@@ -16,6 +16,17 @@ int ChooseReplica(const std::vector<int>& holders, int task_node) {
   return holders.empty() ? -1 : holders.front();
 }
 
+/// Clears the context's row-matcher pointer on every exit path so it never
+/// dangles into reader-local state.
+class RowMatcherScope {
+ public:
+  explicit RowMatcherScope(ReadContext* ctx) : ctx_(ctx) {}
+  ~RowMatcherScope() { ctx_->row_matcher = nullptr; }
+
+ private:
+  ReadContext* ctx_;
+};
+
 /// \brief Stock Hadoop: full scan over text blocks.
 ///
 /// Reproduces LineRecordReader's boundary rules in the "line belongs to
@@ -28,6 +39,19 @@ class TextRecordReader : public RecordReader {
                              ReadContext* ctx) override {
     TaskCost cost;
     RowParser parser(ctx->spec->schema);
+    // Compile the annotation filter once per split; InvokeMap then skips
+    // the per-row, per-term type dispatch of Predicate::Matches. A filter
+    // that cannot be compiled against the schema fails the split, same as
+    // the HAIL reader.
+    CompiledPredicate matcher;
+    RowMatcherScope scope(ctx);
+    if (ctx->spec->annotation.has_value() &&
+        ctx->spec->annotation->has_filter()) {
+      HAIL_ASSIGN_OR_RETURN(
+          matcher, CompiledPredicate::Compile(ctx->spec->annotation->filter,
+                                              ctx->spec->schema));
+      ctx->row_matcher = &matcher;
+    }
     for (size_t b = 0; b < split.blocks.size(); ++b) {
       HAIL_RETURN_NOT_OK(
           ReadOneBlock(split.block_indexes[b], &parser, ctx, &cost));

@@ -23,15 +23,30 @@ class TrojanRecordReader : public RecordReader {
   Result<TaskCost> ReadSplit(const InputSplit& split,
                              ReadContext* ctx) override {
     TaskCost cost;
+    // Compile the annotation filter once per split (it depends only on
+    // the job spec); a filter that cannot be compiled against the schema
+    // fails the split, same as the HAIL reader.
+    const Predicate* filter = ctx->spec->annotation.has_value()
+                                  ? &ctx->spec->annotation->filter
+                                  : nullptr;
+    CompiledPredicate compiled;
+    const bool has_filter = filter != nullptr && !filter->empty();
+    if (has_filter) {
+      HAIL_ASSIGN_OR_RETURN(compiled,
+                            CompiledPredicate::Compile(*filter,
+                                                       ctx->spec->schema));
+    }
     for (size_t b = 0; b < split.blocks.size(); ++b) {
-      HAIL_RETURN_NOT_OK(ReadOneBlock(split.block_indexes[b], ctx, &cost));
+      HAIL_RETURN_NOT_OK(ReadOneBlock(split.block_indexes[b],
+                                      has_filter ? &compiled : nullptr, ctx,
+                                      &cost));
     }
     return cost;
   }
 
  private:
-  Status ReadOneBlock(uint32_t block_index, ReadContext* ctx,
-                      TaskCost* cost) {
+  Status ReadOneBlock(uint32_t block_index, const CompiledPredicate* filter,
+                      ReadContext* ctx, TaskCost* cost) {
     const hdfs::BlockLocation& loc = ctx->plan->file_blocks[block_index];
     if (loc.datanodes.empty()) {
       return Status::FailedPrecondition(
@@ -62,6 +77,7 @@ class TrojanRecordReader : public RecordReader {
     uint32_t first_row = 0;
     uint32_t end_row = rows.num_records();
     uint64_t range_bytes_real = rows.total_bytes() - rows.data_start();
+    uint64_t range_start_offset = 0;
     bool index_scan = false;
     if (index_column >= 0 && view.has_index() &&
         view.sort_column() == index_column &&
@@ -74,6 +90,7 @@ class TrojanRecordReader : public RecordReader {
         first_row = hit.first_row;
         end_row = hit.end_row;
         range_bytes_real = hit.bytes.empty() ? 0 : hit.bytes.end - hit.bytes.begin;
+        range_start_offset = hit.bytes.begin;
         index_scan = true;
       }
     } else if (index_column >= 0) {
@@ -81,25 +98,12 @@ class TrojanRecordReader : public RecordReader {
     }
 
     // ---- functional: decode the row range, filter, map ----
-    const Predicate* filter = ctx->spec->annotation.has_value()
-                                  ? &ctx->spec->annotation->filter
-                                  : nullptr;
     uint64_t qualifying = 0;
-    uint64_t pos = rows.data_start();
-    if (index_scan) {
-      // Skip to the range start via the index's byte offset.
-      HAIL_ASSIGN_OR_RETURN(TrojanIndex index, view.ReadIndex());
-      const TrojanIndex::LookupResult hit = index.Lookup(
-          *ctx->spec->annotation->filter.KeyRangeFor(index_column));
-      pos = rows.data_start() + hit.bytes.begin;
-    }
+    // Skip to the range start via the index's byte offset.
+    uint64_t pos = rows.data_start() + range_start_offset;
     for (uint32_t r = first_row; r < end_row; ++r) {
       HAIL_ASSIGN_OR_RETURN(std::vector<Value> row, rows.DecodeRowAt(&pos));
-      bool match = true;
-      if (filter != nullptr && !filter->empty()) {
-        match = filter->Matches(row);
-      }
-      if (!match) continue;
+      if (filter != nullptr && !filter->MatchesRow(row)) continue;
       ++qualifying;
       InvokeMap(*ctx, HailRecord::FullRow(std::move(row)),
                 /*already_filtered=*/true);

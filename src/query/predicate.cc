@@ -12,9 +12,7 @@ namespace {
 /// widening (matching index/key_search.h semantics).
 int CompareValues(const Value& v, const Value& literal) {
   if (v.is_string() || literal.is_string()) {
-    const std::string& a = v.as_string();
-    const std::string& b = literal.as_string();
-    return a < b ? -1 : (a == b ? 0 : 1);
+    return ThreeWayCompareStrings(v.as_string(), literal.as_string());
   }
   const bool both_int = (v.is_int32() || v.is_int64()) &&
                         (literal.is_int32() || literal.is_int64());
@@ -33,23 +31,10 @@ int CompareValues(const Value& v, const Value& literal) {
 
 bool PredicateTerm::Matches(const Value& v) const {
   const int cmp = CompareValues(v, literal);
-  switch (op) {
-    case CompareOp::kEq:
-      return cmp == 0;
-    case CompareOp::kNe:
-      return cmp != 0;
-    case CompareOp::kLt:
-      return cmp < 0;
-    case CompareOp::kLe:
-      return cmp <= 0;
-    case CompareOp::kGt:
-      return cmp > 0;
-    case CompareOp::kGe:
-      return cmp >= 0;
-    case CompareOp::kBetween:
-      return cmp >= 0 && CompareValues(v, literal_hi) <= 0;
+  if (op == CompareOp::kBetween) {
+    return cmp >= 0 && CompareValues(v, literal_hi) <= 0;
   }
-  return false;
+  return OpMatchesCompare(cmp, op);
 }
 
 std::optional<KeyRange> PredicateTerm::ToKeyRange() const {
@@ -197,6 +182,12 @@ Result<Value> ParseLiteral(std::string_view text, FieldType type) {
   switch (type) {
     case FieldType::kInt32: {
       HAIL_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      // Match RowParser::Parse: out-of-range INT32 literals are rejected,
+      // not silently truncated.
+      if (v < INT32_MIN || v > INT32_MAX) {
+        return Status::InvalidArgument("INT32 literal out of range: '" +
+                                       std::string(text) + "'");
+      }
       return Value(static_cast<int32_t>(v));
     }
     case FieldType::kInt64: {
@@ -222,13 +213,16 @@ std::vector<std::string_view> SplitConjunction(std::string_view filter) {
   std::vector<std::string_view> parts;
   size_t start = 0;
   int paren_depth = 0;
-  for (size_t i = 0; i + 5 <= filter.size(); ++i) {
+  // Scan every position: the old `i + 5 <= size` bound stopped short of
+  // a conjunction whose right operand ends the string, mis-parsing the
+  // whole tail as one term.
+  for (size_t i = 0; i < filter.size(); ++i) {
     const char c = filter[i];
     if (c == '(') ++paren_depth;
     if (c == ')') --paren_depth;
     if (paren_depth == 0 && (c == 'a' || c == 'A') && i > 0 &&
-        filter[i - 1] == ' ' && i + 4 <= filter.size()) {
-      std::string_view word = filter.substr(i, 3);
+        filter[i - 1] == ' ' && i + 3 <= filter.size()) {
+      const std::string_view word = filter.substr(i, 3);
       if ((word == "and" || word == "AND" || word == "And") &&
           i + 3 < filter.size() && filter[i + 3] == ' ') {
         parts.push_back(filter.substr(start, i - start));

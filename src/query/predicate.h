@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "index/clustered_index.h"
@@ -33,6 +34,37 @@ enum class CompareOp : uint8_t {
   kGe,
   kBetween,  // inclusive on both ends
 };
+
+/// Applies a non-between comparison operator to a three-way compare
+/// result (-1/0/1). kBetween has two literals and is handled by callers
+/// via decomposition into kGe + kLe. Shared by the interpreted
+/// (PredicateTerm::Matches) and compiled (query/vectorized.cc) paths so
+/// the operator semantics exist exactly once.
+inline bool OpMatchesCompare(int cmp, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    case CompareOp::kBetween:
+      return false;
+  }
+  return false;
+}
+
+/// Three-way string comparison shared by the interpreted and compiled
+/// evaluation paths.
+inline int ThreeWayCompareStrings(std::string_view a, std::string_view b) {
+  return a < b ? -1 : (a == b ? 0 : 1);
+}
 
 /// \brief One term: <attribute> <op> <literal(s)>.
 struct PredicateTerm {

@@ -67,6 +67,42 @@ TEST(AnnotationParseTest, Errors) {
   EXPECT_FALSE(ParseAnnotation(UV(), "@9 = notanint", "").ok());
 }
 
+TEST(AnnotationParseTest, Int32LiteralRangeChecked) {
+  // @9 (duration) is INT32; ParseLiteral used to static_cast out-of-range
+  // literals into garbage while RowParser::Parse rejected the same text.
+  EXPECT_TRUE(ParseAnnotation(UV(), "@9 = 4000000000", "").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseAnnotation(UV(), "@9 = -4000000000", "").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseAnnotation(UV(), "@9 between(0,4000000000)", "").status()
+                  .IsInvalidArgument());
+  // Boundary values still parse.
+  auto ann = ParseAnnotation(UV(), "@9 between(-2147483648,2147483647)", "");
+  ASSERT_TRUE(ann.ok());
+  EXPECT_EQ(ann->filter.terms()[0].literal.as_int32(), INT32_MIN);
+  EXPECT_EQ(ann->filter.terms()[0].literal_hi.as_int32(), INT32_MAX);
+}
+
+TEST(AnnotationParseTest, ConjunctionNearStringEnd) {
+  // The old SplitConjunction loop bound (i + 5 <= size) stopped scanning
+  // 5 bytes short of the end, so a conjunction at the very tail of the
+  // (untrimmed) string was folded into the last literal. A dangling "and"
+  // is still rejected — as a term error, never silently mis-split.
+  EXPECT_TRUE(ParseAnnotation(UV(), "@9 >= 42 and ", "").status()
+                  .IsInvalidArgument());
+
+  // Minimal-width right operands split correctly.
+  auto two = ParseAnnotation(UV(), "@9 >= 42 and @4<=9", "");
+  ASSERT_TRUE(two.ok());
+  ASSERT_EQ(two->filter.terms().size(), 2u);
+  EXPECT_EQ(two->filter.terms()[1].column, 3);
+  EXPECT_EQ(two->filter.terms()[1].op, CompareOp::kLe);
+
+  auto caps = ParseAnnotation(UV(), "@4 >= 1 AND @9 = 2", "");
+  ASSERT_TRUE(caps.ok());
+  EXPECT_EQ(caps->filter.terms().size(), 2u);
+}
+
 TEST(AnnotationParseTest, EmptyAnnotationMeansFullScan) {
   auto ann = ParseAnnotation(UV(), "", "");
   ASSERT_TRUE(ann.ok());
