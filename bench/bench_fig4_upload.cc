@@ -6,8 +6,16 @@
 /// indexes; Hadoop++ can create at most one (via two extra expensive
 /// MapReduce jobs); HAIL creates 0..3 clustered indexes, one per replica,
 /// piggybacked on the upload pipeline.
+///
+/// Also measures real (wall-clock) client-side ingest throughput — text
+/// parse + PAX build — comparing the seed row-at-a-time Value path
+/// against the ColumnarAppender path the upload pipeline now uses, and
+/// writes machine-readable results to BENCH_upload.json.
+
+#include <chrono>
 
 #include "bench_common.h"
+#include "schema/row_parser.h"
 
 namespace hail {
 namespace bench {
@@ -65,6 +73,109 @@ const Fig4Results& Synthetic() {
   static const Fig4Results r = RunDataset(true);
   return r;
 }
+
+// ---------------------------------------------------------------------------
+// Client-side ingest microbench: parse + PAX build, real wall-clock time.
+// ---------------------------------------------------------------------------
+
+/// The seed ingest path: row-at-a-time Value parsing + boxed appends.
+PaxBlock RowAtATimeBuild(const Schema& schema, std::string_view text) {
+  PaxBlock block(schema, {});
+  RowParser parser(schema);
+  for (std::string_view row : SplitRows(text)) {
+    if (row.empty()) continue;
+    ParsedRow parsed = parser.Parse(row);
+    if (parsed.ok) {
+      block.AppendRow(parsed.values);
+    } else {
+      block.AppendBadRecord(row);
+    }
+  }
+  return block;
+}
+
+struct IngestData {
+  Schema schema;
+  std::string text;
+  static const IngestData& Get() {
+    static const IngestData d = [] {
+      IngestData data;
+      data.schema = workload::UserVisitsSchema();
+      workload::UserVisitsConfig uv;
+      uv.rows = 50000;  // ~7 MB of text
+      uv.seed = 9;
+      data.text = workload::GenerateUserVisitsText(uv);
+      return data;
+    }();
+    return d;
+  }
+};
+
+struct IngestResults {
+  double row_ms = 0;       // seed row-at-a-time path
+  double columnar_ms = 0;  // ColumnarAppender path
+  uint64_t rows = 0;
+  bool identical = false;  // both paths serialise to the same bytes
+  double speedup() const { return row_ms / columnar_ms; }
+};
+
+const IngestResults& MeasureIngest() {
+  static const IngestResults results = [] {
+    const IngestData& d = IngestData::Get();
+    using clock = std::chrono::steady_clock;
+    IngestResults out;
+    std::string row_bytes, col_bytes;
+    // Best of 3: steady-state parse throughput, not first-touch page
+    // faults.
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = clock::now();
+      PaxBlock block = RowAtATimeBuild(d.schema, d.text);
+      auto t1 = clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (rep == 0 || ms < out.row_ms) out.row_ms = ms;
+      if (rep == 0) {
+        out.rows = block.num_records();
+        row_bytes = block.Serialize();
+      }
+    }
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = clock::now();
+      PaxBlock block = BuildPaxBlockFromText(d.schema, d.text, {});
+      auto t1 = clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (rep == 0 || ms < out.columnar_ms) out.columnar_ms = ms;
+      if (rep == 0) col_bytes = block.Serialize();
+    }
+    out.identical = row_bytes == col_bytes;
+    return out;
+  }();
+  return results;
+}
+
+void BM_Ingest_RowAtATime(benchmark::State& state) {
+  const IngestData& d = IngestData::Get();
+  for (auto _ : state) {
+    PaxBlock block = RowAtATimeBuild(d.schema, d.text);
+    benchmark::DoNotOptimize(block.num_records());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d.text.size()));
+}
+
+void BM_Ingest_Columnar(benchmark::State& state) {
+  const IngestData& d = IngestData::Get();
+  for (auto _ : state) {
+    PaxBlock block = BuildPaxBlockFromText(d.schema, d.text, {});
+    benchmark::DoNotOptimize(block.num_records());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d.text.size()));
+}
+
+BENCHMARK(BM_Ingest_RowAtATime);
+BENCHMARK(BM_Ingest_Columnar);
 
 void BM_Fig4a_Hadoop(benchmark::State& state) {
   ReportSimSeconds(state, UserVisits().hadoop);
@@ -127,6 +238,65 @@ void PrintTables() {
         "indexes (paper: 1.6x; binary/text ratio %.2f)\n",
         r.hadoop / r.hail[3], r.hail_binary_ratio);
   }
+  {
+    const IngestResults& ing = MeasureIngest();
+    const IngestData& d = IngestData::Get();
+    const double mb = static_cast<double>(d.text.size()) / (1024.0 * 1024.0);
+    std::printf(
+        "\n=== Client-side ingest (parse + PAX build, %.1f MB UserVisits) "
+        "===\n",
+        mb);
+    std::printf("%-34s %10.2f ms %10.1f MB/s\n", "row-at-a-time (seed path)",
+                ing.row_ms, mb / (ing.row_ms / 1000.0));
+    std::printf("%-34s %10.2f ms %10.1f MB/s\n", "columnar (ColumnarAppender)",
+                ing.columnar_ms, mb / (ing.columnar_ms / 1000.0));
+    std::printf("%-34s %10.2fx\n", "speedup", ing.speedup());
+    std::printf("identical serialised blocks: %s\n",
+                ing.identical ? "yes" : "NO — INGEST PATHS DIVERGE");
+  }
+}
+
+void WriteJson(const char* path) {
+  const IngestResults& ing = MeasureIngest();
+  const Fig4Results& uv = UserVisits();
+  const Fig4Results& syn = Synthetic();
+  FILE* json = std::fopen(path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path);
+    return;
+  }
+  std::fprintf(
+      json,
+      "{\n"
+      "  \"fig4a_uservisits_sim_seconds\": {\n"
+      "    \"hadoop\": %.6f,\n"
+      "    \"hadooppp_0idx\": %.6f,\n"
+      "    \"hadooppp_1idx\": %.6f,\n"
+      "    \"hail\": [%.6f, %.6f, %.6f, %.6f]\n"
+      "  },\n"
+      "  \"fig4b_synthetic_sim_seconds\": {\n"
+      "    \"hadoop\": %.6f,\n"
+      "    \"hadooppp_0idx\": %.6f,\n"
+      "    \"hadooppp_1idx\": %.6f,\n"
+      "    \"hail\": [%.6f, %.6f, %.6f, %.6f]\n"
+      "  },\n"
+      "  \"ingest_microbench\": {\n"
+      "    \"text_bytes\": %llu,\n"
+      "    \"rows\": %llu,\n"
+      "    \"row_at_a_time_ms\": %.3f,\n"
+      "    \"columnar_ms\": %.3f,\n"
+      "    \"speedup\": %.2f,\n"
+      "    \"identical_output\": %s\n"
+      "  }\n"
+      "}\n",
+      uv.hadoop, uv.hpp[0], uv.hpp[1], uv.hail[0], uv.hail[1], uv.hail[2],
+      uv.hail[3], syn.hadoop, syn.hpp[0], syn.hpp[1], syn.hail[0],
+      syn.hail[1], syn.hail[2], syn.hail[3],
+      static_cast<unsigned long long>(IngestData::Get().text.size()),
+      static_cast<unsigned long long>(ing.rows), ing.row_ms, ing.columnar_ms,
+      ing.speedup(), ing.identical ? "true" : "false");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", path);
 }
 
 }  // namespace
@@ -137,5 +307,15 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   hail::bench::PrintTables();
-  return 0;
+  const char* json_path = "BENCH_upload.json";
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      json_path = argv[i];
+      break;
+    }
+  }
+  hail::bench::WriteJson(json_path);
+  // The ingest paths must agree byte for byte; a nonzero exit makes the
+  // CI smoke a real guard, like bench_scan_micro's result check.
+  return hail::bench::MeasureIngest().identical ? 0 : 1;
 }

@@ -4,9 +4,7 @@
 
 #include "hadooppp/trojan_block.h"
 #include "hail/hail_client.h"  // CutRowAlignedBlocks
-#include "hdfs/packet.h"
-#include "layout/column_vector.h"
-#include "schema/row_parser.h"
+#include "hdfs/replica_transform.h"
 
 namespace hail {
 namespace hadooppp {
@@ -98,86 +96,48 @@ Result<HadoopPPUploadReport> HadoopPPUpload(
   report.text_real_bytes = text_report.real_bytes;
 
   // ---- phase 1: conversion MapReduce job (text -> binary rows) ----
-  // Functional: build the binary (and optionally indexed) blocks for real.
-  // The conversion and index jobs are billed as phase-level passes below.
-  RowParser parser(config.schema);
+  // Functional: build the binary (and optionally indexed) blocks for real
+  // via the shared replica-layout policy (columnar parse, typed sort, one
+  // conversion per block). The conversion and index jobs are billed as
+  // phase-level passes below, so the blocks are distributed with
+  // StoreTransformedReplicas instead of the chain pipeline.
   PhaseTotals conv;
   conv.parse_text = true;
   uint64_t binary_logical_bytes = 0;
+
+  TrojanTransformParams tparams;
+  tparams.schema = config.schema;
+  tparams.index_column = config.index_column;
+  tparams.rows_per_entry = config.rows_per_entry;
+  tparams.chunk_bytes = cfg.chunk_bytes;
+  const std::vector<hdfs::Datanode*> datanodes = dfs->datanode_ptrs();
 
   for (const hdfs::ParallelUploadSpec& spec : specs) {
     const std::vector<std::string_view> blocks =
         CutRowAlignedBlocks(spec.text, cfg.block_size);
     for (std::string_view text_block : blocks) {
-      // Parse rows (bad rows are dropped by Hadoop++'s converter — it has
-      // no bad-record section; they would fail its binary serialiser).
-      RowBinaryBlockBuilder builder(config.schema);
-      ColumnVector keys(config.index_column >= 0
-                            ? config.schema.field(config.index_column).type
-                            : FieldType::kInt32);
-      std::vector<std::vector<Value>> rows;
-      for (std::string_view row : SplitRows(text_block)) {
-        if (row.empty()) continue;
-        ParsedRow parsed = parser.Parse(row);
-        if (!parsed.ok) continue;
-        rows.push_back(std::move(parsed.values));
-      }
-
-      std::string block_bytes;
-      int sort_column = -1;
-      if (config.index_column >= 0) {
-        // Phase 2 work, done in place: sort rows by the index key and
-        // build the trojan directory.
-        const int col = config.index_column;
-        std::stable_sort(rows.begin(), rows.end(),
-                         [col](const std::vector<Value>& a,
-                               const std::vector<Value>& b) {
-                           return a[static_cast<size_t>(col)] <
-                                  b[static_cast<size_t>(col)];
-                         });
-        for (const auto& row : rows) {
-          keys.Append(row[static_cast<size_t>(col)]);
-          builder.AddRow(row);
-        }
-        const std::vector<uint64_t> offsets = builder.row_offsets();
-        const uint64_t data_bytes = builder.data_bytes();
-        const TrojanIndex index = TrojanIndex::Build(
-            keys, offsets, data_bytes, config.rows_per_entry);
-        block_bytes =
-            BuildTrojanBlock(builder.Finish(), &index, config.index_column);
-        sort_column = config.index_column;
-      } else {
-        for (const auto& row : rows) builder.AddRow(row);
-        block_bytes = BuildTrojanBlock(builder.Finish(), nullptr, -1);
-      }
-
-      const uint64_t logical_bytes = static_cast<uint64_t>(
-          static_cast<double>(block_bytes.size()) * cfg.scale_factor);
-      binary_logical_bytes += logical_bytes;
-      conv.logical_records += static_cast<uint64_t>(
-          static_cast<double>(rows.size()) * cfg.scale_factor);
-      conv.map_tasks += 1;
-      report.blocks += 1;
-      report.binary_real_bytes += block_bytes.size();
+      TrojanReplicaTransformer transformer(tparams);
 
       // Store identical bytes on every replica (the defining limitation).
       HAIL_ASSIGN_OR_RETURN(
           hdfs::BlockAllocation alloc,
           dfs->namenode().AllocateBlock(spec.dfs_path, spec.client_node,
                                         cfg.replication));
-      const std::vector<uint32_t> crcs =
-          hdfs::ComputeChunkChecksums(block_bytes, cfg.chunk_bytes);
-      hdfs::HailBlockReplicaInfo info;
-      info.layout = hdfs::ReplicaLayout::kRowBinary;
-      info.sort_column = sort_column;
-      info.index_kind = sort_column >= 0 ? "trojan" : "";
-      info.replica_bytes = block_bytes.size();
-      for (int dn : alloc.datanodes) {
-        dfs->datanode(dn).StoreBlock(alloc.block_id, block_bytes, crcs);
-        HAIL_RETURN_NOT_OK(
-            dfs->namenode().RegisterReplica(alloc.block_id, dn, info));
-      }
-      dfs->namenode().SetBlockLogicalBytes(alloc.block_id, logical_bytes);
+      HAIL_RETURN_NOT_OK(transformer.BeginBlock(text_block));
+      const uint64_t logical_bytes = static_cast<uint64_t>(
+          static_cast<double>(transformer.binary_bytes()) * cfg.scale_factor);
+      HAIL_ASSIGN_OR_RETURN(
+          uint64_t stored,
+          hdfs::StoreTransformedReplicas(&dfs->namenode(), datanodes, alloc,
+                                         logical_bytes, &transformer));
+      (void)stored;
+
+      binary_logical_bytes += logical_bytes;
+      conv.logical_records += static_cast<uint64_t>(
+          static_cast<double>(transformer.num_rows()) * cfg.scale_factor);
+      conv.map_tasks += 1;
+      report.blocks += 1;
+      report.binary_real_bytes += transformer.binary_bytes();
     }
   }
   conv.logical_input_bytes = text_report.logical_bytes;

@@ -12,9 +12,12 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "hdfs/replica_transform.h"
 #include "index/trojan_index.h"
 #include "layout/row_binary.h"
+#include "schema/schema.h"
 #include "util/result.h"
 
 namespace hail {
@@ -27,6 +30,53 @@ inline constexpr uint32_t kTrojanBlockMagic = 0x42505048;  // "HPPB"
 ///        key when \p index is non-null).
 std::string BuildTrojanBlock(std::string row_block, const TrojanIndex* index,
                              int sort_column);
+
+/// \brief Configuration of the Hadoop++ conversion policy.
+struct TrojanTransformParams {
+  Schema schema;
+  /// Attribute the trojan index is built on; -1 converts to binary only.
+  int index_column = -1;
+  /// Real rows per trojan directory entry.
+  uint32_t rows_per_entry = 8;
+  /// Real chunk size for the block's checksums.
+  uint32_t chunk_bytes = 512;
+};
+
+/// \brief The Hadoop++ per-replica layout policy (paper §5).
+///
+/// BeginBlock converts one text block to the trojan layout exactly once:
+/// rows parse straight into typed columns (bad rows are dropped — the
+/// Hadoop++ converter has no bad-record section), the key column is
+/// argsorted without Value boxing, and rows are emitted in sorted order
+/// from the columns. Every BuildReplica returns the same bytes — Hadoop++
+/// cannot give different replicas different indexes, which is HAIL's key
+/// advantage. Distributed through hdfs::StoreTransformedReplicas since
+/// its cost is billed at MapReduce phase level, not through the chain.
+class TrojanReplicaTransformer : public hdfs::ReplicaTransformer {
+ public:
+  /// \p params must outlive the transformer (one params struct typically
+  /// serves a whole upload; the transformer is per block). The rvalue
+  /// overload is deleted so a temporary cannot silently dangle.
+  explicit TrojanReplicaTransformer(const TrojanTransformParams& params)
+      : params_(params) {}
+  explicit TrojanReplicaTransformer(TrojanTransformParams&&) = delete;
+
+  Status BeginBlock(std::string_view text_block) override;
+  Result<hdfs::ReplicaBlock> BuildReplica(
+      size_t replica_index, const hdfs::ReplicaWorkContext& ctx) override;
+
+  /// Size of the converted block (phase-level billing input).
+  uint64_t binary_bytes() const { return block_bytes_.size(); }
+  /// Rows that survived conversion.
+  uint32_t num_rows() const { return num_rows_; }
+
+ private:
+  const TrojanTransformParams& params_;
+  std::string block_bytes_;
+  std::vector<uint32_t> chunk_crcs_;
+  hdfs::HailBlockReplicaInfo info_;
+  uint32_t num_rows_ = 0;
+};
 
 /// \brief Zero-copy reader for a trojan block.
 class TrojanBlockView {

@@ -1,8 +1,81 @@
 #include "hail/hail_block.h"
 
+#include "hdfs/packet.h"
 #include "util/io.h"
 
 namespace hail {
+
+Status HailReplicaTransformer::BeginBlock(std::string_view reassembled) {
+  // The single decode this block will ever see: every replica below is a
+  // permutation of these columns.
+  HAIL_ASSIGN_OR_RETURN(PaxBlock base, PaxBlock::Deserialize(reassembled));
+  base_.emplace(std::move(base));
+  return Status::OK();
+}
+
+Result<hdfs::ReplicaBlock> HailReplicaTransformer::BuildReplica(
+    size_t replica_index, const hdfs::ReplicaWorkContext& ctx) {
+  if (!base_.has_value()) {
+    return Status::FailedPrecondition("BuildReplica before BeginBlock");
+  }
+  if (ctx.cost == nullptr) {
+    return Status::InvalidArgument(
+        "HAIL replicas are billed through the pipeline; missing cost model");
+  }
+  const int sort_column =
+      replica_index < params_.sort_columns.size()
+          ? params_.sort_columns[replica_index]
+          : -1;
+
+  hdfs::ReplicaBlock out;
+  out.info.layout = hdfs::ReplicaLayout::kPax;
+  uint64_t logical_index_bytes = 0;
+  if (sort_column >= 0 && base_->num_records() > 0) {
+    // Extract the replica's sort keys once from the shared column and
+    // permute all columns into this replica's order (raw typed argsort —
+    // see ArgSortColumn — not Value comparisons).
+    const std::vector<uint32_t> perm =
+        ArgSortColumn(base_->column(sort_column));
+    const PaxBlock sorted = base_->PermutedCopy(perm);
+    const ClusteredIndex index = ClusteredIndex::Build(
+        sorted.column(sort_column), params_.varlen_partition_size);
+    out.bytes = BuildHailBlock(sorted, &index, sort_column);
+    const bool string_key =
+        base_->schema().field(sort_column).type == FieldType::kString;
+    out.cpu_seconds +=
+        ctx.cost->SortBlock(params_.logical_records,
+                            params_.logical_fixed_bytes,
+                            params_.logical_varlen_bytes, string_key);
+    out.cpu_seconds += ctx.cost->IndexBuild(params_.logical_records);
+    out.info.sort_column = sort_column;
+    out.info.index_kind = "clustered";
+    out.info.index_bytes = index.SerializedBytes();
+    // The paper-scale index root: one entry per 1024 values (§3.5).
+    const uint64_t key_width =
+        string_key
+            ? 16
+            : FieldTypeWidth(base_->schema().field(sort_column).type);
+    logical_index_bytes =
+        (params_.logical_records / params_.index_partition_logical + 1) *
+        (key_width + 4);
+  } else {
+    out.bytes = BuildHailBlock(*base_, nullptr, -1);
+  }
+
+  // Each datanode recomputes its own checksums: replicas differ
+  // physically, so DN1's CRCs are useless to DN2 (§3.2).
+  const uint64_t logical_replica_bytes =
+      params_.logical_pax_bytes + logical_index_bytes;
+  out.cpu_seconds += ctx.cost->Crc(logical_replica_bytes);
+  if (ctx.is_tail) {
+    // The tail also verified every incoming packet.
+    out.cpu_seconds += ctx.cost->Crc(params_.logical_pax_bytes);
+  }
+  out.chunk_crcs = hdfs::ComputeChunkChecksums(out.bytes, params_.chunk_bytes);
+  out.info.replica_bytes = out.bytes.size();
+  out.logical_bytes = logical_replica_bytes;
+  return out;
+}
 
 std::string BuildHailBlock(const PaxBlock& sorted_pax,
                            const ClusteredIndex* index, int sort_column) {

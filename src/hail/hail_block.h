@@ -11,9 +11,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "hdfs/replica_transform.h"
 #include "index/clustered_index.h"
 #include "layout/pax_block.h"
 #include "util/result.h"
@@ -30,6 +33,50 @@ inline constexpr uint32_t kHailBlockMagic = 0x4B4C4248;  // "HBLK"
 /// \param sort_column attribute the data is sorted by; -1 for none.
 std::string BuildHailBlock(const PaxBlock& sorted_pax,
                            const ClusteredIndex* index, int sort_column);
+
+/// \brief Everything the HAIL transformer needs besides the block bytes.
+///
+/// The logical_* sizes are the paper-scale quantities of the block being
+/// written, computed client-side from the values-only payload (DESIGN.md
+/// §2) and carried here so datanode-side billing uses the exact same
+/// numbers.
+struct HailTransformParams {
+  /// sort_columns[i] is the attribute replica i is sorted/indexed by;
+  /// missing entries (and -1) keep arrival order, unindexed.
+  std::vector<int> sort_columns;
+  /// Real chunk size for per-replica checksum recomputation.
+  uint32_t chunk_bytes = 512;
+  /// Values per index/varlen partition in the real (scaled-down) block.
+  uint32_t varlen_partition_size = kDefaultVarlenPartition;
+  /// Logical values per index partition (paper: 1024, §3.5).
+  uint32_t index_partition_logical = 1024;
+  uint64_t logical_pax_bytes = 0;
+  uint64_t logical_fixed_bytes = 0;
+  uint64_t logical_varlen_bytes = 0;
+  uint64_t logical_records = 0;
+};
+
+/// \brief The HAIL per-replica layout policy (steps 6-9 of Figure 1).
+///
+/// BeginBlock decodes the reassembled PAX block exactly once (asserted by
+/// PaxBlock::deserialize_count() in tests); each BuildReplica derives its
+/// replica by argsorting the shared key column and applying the
+/// permutation to the shared columnar data — no per-replica re-decode, no
+/// Value-boxed comparisons anywhere in the sort or index build.
+class HailReplicaTransformer : public hdfs::ReplicaTransformer {
+ public:
+  explicit HailReplicaTransformer(HailTransformParams params)
+      : params_(std::move(params)) {}
+
+  Status BeginBlock(std::string_view reassembled) override;
+  Result<hdfs::ReplicaBlock> BuildReplica(
+      size_t replica_index, const hdfs::ReplicaWorkContext& ctx) override;
+
+ private:
+  HailTransformParams params_;
+  /// Shared arrival-order columnar data, decoded once per block.
+  std::optional<PaxBlock> base_;
+};
 
 /// \brief Zero-copy reader for a serialised HAIL block.
 class HailBlockView {

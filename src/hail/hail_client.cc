@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "hdfs/packet.h"
+#include "hdfs/replica_transform.h"
 #include "hdfs/upload_pipeline.h"
 #include "layout/pax_block.h"
 #include "schema/row_parser.h"
@@ -59,7 +59,8 @@ Result<bool> UploadNextHailBlock(hdfs::MiniDfs* dfs,
   const uint64_t logical_text_bytes = static_cast<uint64_t>(
       static_cast<double>(text_block.size()) * cfg.scale_factor);
 
-  // ---- client side: read source, parse rows, build PAX (steps 1-2) ----
+  // ---- client side: read source, parse rows, build PAX (steps 1-2);
+  // BuildPaxBlockFromText parses straight into typed columns ----
   sim::SimNode& client = cluster.node(cur->client_node);
   const sim::Interval read = client.src_disk().Schedule(
       cur->ready, client.cost().DiskTransfer(logical_text_bytes));
@@ -68,19 +69,11 @@ Result<bool> UploadNextHailBlock(hdfs::MiniDfs* dfs,
   const std::string client_block = pax.Serialize();
   // Logical sizes come from the values-only payload: the real serialised
   // block carries offset side-cars at scaled-down density, which must not
-  // be multiplied back up (DESIGN.md §2). At paper scale the sparse
-  // offset lists and the header are a few KB per 64 MB block.
-  constexpr uint64_t kLogicalBlockOverhead = 8 * 1024;
+  // be multiplied back up (DESIGN.md §2).
   const uint64_t logical_pax_bytes =
       static_cast<uint64_t>(static_cast<double>(pax.PayloadBytes()) *
                             cfg.scale_factor) +
-      kLogicalBlockOverhead;
-  const uint64_t logical_fixed_bytes = static_cast<uint64_t>(
-      static_cast<double>(pax.FixedPayloadBytes()) * cfg.scale_factor);
-  const uint64_t logical_varlen_bytes = static_cast<uint64_t>(
-      static_cast<double>(pax.VarlenPayloadBytes()) * cfg.scale_factor);
-  const uint64_t logical_records = static_cast<uint64_t>(
-      static_cast<double>(pax.num_records()) * cfg.scale_factor);
+      hdfs::kLogicalBlockOverhead;
 
   const sim::Interval parse = client.cpu().Schedule(
       read.end, client.cost().TextParse(logical_text_bytes) +
@@ -91,121 +84,42 @@ Result<bool> UploadNextHailBlock(hdfs::MiniDfs* dfs,
                         dfs->namenode().AllocateBlock(
                             cur->dfs_path, cur->client_node, cfg.replication));
 
-  // ---- functional packet pipeline (steps 4-8): cut into packets, send
-  // through the chain, reassemble in memory at each datanode ----
-  std::vector<hdfs::Packet> packets = hdfs::MakePackets(
-      alloc.block_id, client_block, cfg.chunk_bytes, cfg.packet_bytes);
-  const int tail = alloc.datanodes.back();
+  // ---- steps 4-15 live in the shared transport: packets, ACKs, chain
+  // timing, then one HailReplicaTransformer decode + per-replica
+  // sort/index/flush on the datanodes ----
+  HailTransformParams params;
+  params.sort_columns = config.sort_columns;
+  params.chunk_bytes = cfg.chunk_bytes;
+  params.varlen_partition_size = cfg.format.varlen_partition_size;
+  params.index_partition_logical = cluster.constants().index_partition_logical;
+  params.logical_pax_bytes = logical_pax_bytes;
+  params.logical_fixed_bytes = static_cast<uint64_t>(
+      static_cast<double>(pax.FixedPayloadBytes()) * cfg.scale_factor);
+  params.logical_varlen_bytes = static_cast<uint64_t>(
+      static_cast<double>(pax.VarlenPayloadBytes()) * cfg.scale_factor);
+  params.logical_records = static_cast<uint64_t>(
+      static_cast<double>(pax.num_records()) * cfg.scale_factor);
+  HailReplicaTransformer transformer(std::move(params));
 
-  // Tail verifies each packet's chunk checksums (step 9).
-  for (const hdfs::Packet& p : packets) {
-    if (!hdfs::VerifyPacket(p, cfg.chunk_bytes)) {
-      return Status::Corruption("packet failed verification at DN" +
-                                std::to_string(tail));
-    }
-  }
-  // Reassemble the block from its packets (step 6) — every datanode does
-  // this in memory; one reassembly suffices functionally since the bytes
-  // are identical.
-  std::string reassembled;
-  reassembled.reserve(client_block.size());
-  for (const hdfs::Packet& p : packets) reassembled.append(p.data);
-  if (reassembled != client_block) {
-    return Status::Corruption("block reassembly mismatch");
-  }
-
-  // ---- timing: chain transfer (cut-through) ----
-  hdfs::ChainTiming chain = hdfs::BillChainTransfer(
-      &cluster, cur->client_node, parse.end, logical_pax_bytes,
-      alloc.datanodes);
-
-  // ---- per-replica: sort, index, recompute checksums, flush (step 7) ----
-  sim::SimTime block_done = 0.0;
-  uint64_t replica_bytes_total = 0;
-  for (size_t i = 0; i < alloc.datanodes.size(); ++i) {
-    const int dn_id = alloc.datanodes[i];
-    hdfs::Datanode& dn = dfs->datanode(dn_id);
-    sim::SimNode& node = cluster.node(dn_id);
-
-    const int sort_column =
-        i < config.sort_columns.size() ? config.sort_columns[i] : -1;
-
-    HAIL_ASSIGN_OR_RETURN(PaxBlock replica_pax,
-                          PaxBlock::Deserialize(reassembled));
-    double cpu_seconds = 0.0;
-    std::string hail_bytes;
-    uint64_t logical_index_bytes = 0;
-    hdfs::HailBlockReplicaInfo info;
-    info.layout = hdfs::ReplicaLayout::kPax;
-    if (sort_column >= 0 && replica_pax.num_records() > 0) {
-      replica_pax.SortByColumn(sort_column);
-      const ClusteredIndex index =
-          ClusteredIndex::Build(replica_pax.column(sort_column),
-                                cfg.format.varlen_partition_size);
-      hail_bytes = BuildHailBlock(replica_pax, &index, sort_column);
-      const bool string_key =
-          config.schema.field(sort_column).type == FieldType::kString;
-      cpu_seconds += node.cost().SortBlock(logical_records,
-                                           logical_fixed_bytes,
-                                           logical_varlen_bytes, string_key);
-      cpu_seconds += node.cost().IndexBuild(logical_records);
-      info.sort_column = sort_column;
-      info.index_kind = "clustered";
-      info.index_bytes = index.SerializedBytes();
-      // The paper-scale index root: one entry per 1024 values (§3.5).
-      const uint64_t key_width =
-          string_key ? 16 : FieldTypeWidth(config.schema.field(sort_column).type);
-      logical_index_bytes =
-          (logical_records / cluster.constants().index_partition_logical + 1) *
-          (key_width + 4);
-    } else {
-      hail_bytes = BuildHailBlock(replica_pax, nullptr, -1);
-    }
-
-    // Each datanode recomputes its own checksums: replicas differ
-    // physically, so DN1's CRCs are useless to DN2 (§3.2).
-    const uint64_t logical_replica_bytes =
-        logical_pax_bytes + logical_index_bytes;
-    cpu_seconds += node.cost().Crc(logical_replica_bytes);
-    if (dn_id == tail) {
-      // The tail also verified every incoming packet.
-      cpu_seconds += node.cost().Crc(logical_pax_bytes);
-    }
-
-    const std::vector<uint32_t> crcs =
-        hdfs::ComputeChunkChecksums(hail_bytes, cfg.chunk_bytes);
-    info.replica_bytes = hail_bytes.size();
-    replica_bytes_total += hail_bytes.size();
-
-    // Sorting/indexing/CRC runs on the datanode's bounded pool of
-    // pipeline worker threads, in parallel across blocks (§3.5: "on each
-    // data node several blocks may be indexed in parallel").
-    const sim::Interval work =
-        node.upload_cpu().Schedule(chain.arrival_complete[i], cpu_seconds);
-    const uint64_t logical_meta =
-        (logical_replica_bytes / cluster.constants().chunk_bytes + 1) * 4;
-    const sim::Interval flush = node.disk().Schedule(
-        work.end,
-        node.cost().DiskAccess(logical_replica_bytes + logical_meta));
-
-    dn.StoreBlock(alloc.block_id, std::move(hail_bytes), crcs);
-    HAIL_RETURN_NOT_OK(
-        dfs->namenode().RegisterReplica(alloc.block_id, dn_id, info));
-
-    // The block's final ACK is forwarded only after the flush (steps
-    // 10-15), so the client-visible completion waits for every replica.
-    block_done = std::max(block_done, flush.end);
-  }
-  dfs->namenode().SetBlockLogicalBytes(alloc.block_id, logical_pax_bytes);
+  HAIL_ASSIGN_OR_RETURN(
+      hdfs::BlockWriteResult result,
+      dfs->pipeline().WriteBlock(cur->client_node, parse.end, alloc.block_id,
+                                 client_block, logical_pax_bytes,
+                                 alloc.datanodes, &transformer));
 
   // Client may start preparing the next block once its CPU freed up;
   // pipeline back-pressure is enforced by the resource queues.
   cur->ready = read.end;
-  cur->completed = std::max(cur->completed, block_done);
+  cur->completed = std::max(cur->completed, result.completed);
   cur->stats.blocks += 1;
+  if (text_block.size() > cfg.block_size) {
+    // A single row longer than the block size: CutRowAlignedBlocks
+    // isolates it in its own oversized block (see hail_client.h).
+    cur->stats.oversized_blocks += 1;
+  }
   cur->stats.text_real_bytes += text_block.size();
   cur->stats.pax_real_bytes += client_block.size();
-  cur->stats.replica_real_bytes += replica_bytes_total;
+  cur->stats.replica_real_bytes += result.replica_bytes_total;
   cur->stats.bad_records += pax.bad_records().size();
   return true;
 }
@@ -221,6 +135,7 @@ HailUploadReport MergeReports(const std::vector<HailCursor>& cursors,
     report.pax_real_bytes += cur.stats.pax_real_bytes;
     report.replica_real_bytes += cur.stats.replica_real_bytes;
     report.bad_records += cur.stats.bad_records;
+    report.oversized_blocks += cur.stats.oversized_blocks;
   }
   return report;
 }

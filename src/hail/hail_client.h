@@ -46,6 +46,9 @@ struct HailUploadReport {
   uint64_t pax_real_bytes = 0;       // serialised PAX payload (pre-index)
   uint64_t replica_real_bytes = 0;   // stored bytes across all replicas
   uint64_t bad_records = 0;
+  /// Blocks whose text exceeded the configured block size because a
+  /// single row was longer than the block (see CutRowAlignedBlocks).
+  uint32_t oversized_blocks = 0;
   double duration() const { return completed - started; }
   /// Binary/text size ratio: < 1 when PAX conversion shrinks the data
   /// (Synthetic), ~1 when it does not (UserVisits).
@@ -72,8 +75,17 @@ Result<HailUploadReport> HailParallelUpload(
     sim::SimTime start_time = 0.0);
 
 /// \brief Content-aware block cutting: greedily packs whole rows into
-/// blocks of at most \p block_size text bytes (a single over-long row
-/// still becomes its own block). Exposed for tests.
+/// blocks of at most \p block_size text bytes (§3.1: "we never split a
+/// row between two blocks").
+///
+/// Defined behaviour for rows longer than \p block_size: the over-long
+/// row is emitted as its **own oversized block** — it is never split and
+/// never merged with neighbouring rows (the preceding block closes at the
+/// previous row boundary; the following row starts a fresh block). Every
+/// returned block therefore either fits in \p block_size or consists of
+/// exactly one row; a missing trailing newline does not change the
+/// cutting. Uploads surface the case via
+/// HailUploadReport::oversized_blocks instead of silently absorbing it.
 std::vector<std::string_view> CutRowAlignedBlocks(std::string_view text,
                                                   uint64_t block_size);
 

@@ -1,0 +1,49 @@
+#include "hdfs/replica_transform.h"
+
+namespace hail {
+namespace hdfs {
+
+Status IdentityTransformer::BeginBlock(std::string_view block_bytes) {
+  block_bytes_ = block_bytes.size();
+  return Status::OK();
+}
+
+Result<ReplicaBlock> IdentityTransformer::BuildReplica(
+    size_t replica_index, const ReplicaWorkContext& ctx) {
+  (void)replica_index;
+  (void)ctx;
+  // The pipeline streamed the bytes to disk packet by packet; only the
+  // Dir_rep record is produced here.
+  ReplicaBlock out;
+  out.info.layout = ReplicaLayout::kText;
+  out.info.replica_bytes = block_bytes_;
+  return out;
+}
+
+Result<uint64_t> StoreTransformedReplicas(
+    Namenode* namenode, const std::vector<Datanode*>& datanodes,
+    const BlockAllocation& alloc, uint64_t logical_bytes,
+    ReplicaTransformer* transformer) {
+  for (int t : alloc.datanodes) {
+    if (t < 0 || t >= static_cast<int>(datanodes.size())) {
+      return Status::InvalidArgument("bad replica target");
+    }
+  }
+  uint64_t stored = 0;
+  for (size_t i = 0; i < alloc.datanodes.size(); ++i) {
+    const int dn = alloc.datanodes[i];
+    ReplicaWorkContext ctx;  // no pipeline billing: cost stays null
+    HAIL_ASSIGN_OR_RETURN(ReplicaBlock replica,
+                          transformer->BuildReplica(i, ctx));
+    stored += replica.bytes.size();
+    datanodes[static_cast<size_t>(dn)]->StoreBlock(
+        alloc.block_id, std::move(replica.bytes), replica.chunk_crcs);
+    HAIL_RETURN_NOT_OK(
+        namenode->RegisterReplica(alloc.block_id, dn, replica.info));
+  }
+  namenode->SetBlockLogicalBytes(alloc.block_id, logical_bytes);
+  return stored;
+}
+
+}  // namespace hdfs
+}  // namespace hail

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hdfs/packet.h"
 #include "util/logging.h"
 
 namespace hail {
@@ -45,6 +46,15 @@ Result<BlockWriteResult> UploadPipeline::WriteBlock(
     int client, sim::SimTime ready, uint64_t block_id,
     std::string_view block_bytes, uint64_t logical_bytes,
     const std::vector<int>& targets) {
+  IdentityTransformer identity;
+  return WriteBlock(client, ready, block_id, block_bytes, logical_bytes,
+                    targets, &identity);
+}
+
+Result<BlockWriteResult> UploadPipeline::WriteBlock(
+    int client, sim::SimTime ready, uint64_t block_id,
+    std::string_view block_bytes, uint64_t logical_bytes,
+    const std::vector<int>& targets, ReplicaTransformer* transformer) {
   if (targets.empty()) {
     return Status::InvalidArgument("pipeline requires at least one target");
   }
@@ -57,6 +67,7 @@ Result<BlockWriteResult> UploadPipeline::WriteBlock(
                                         std::to_string(t) + " is dead");
     }
   }
+  const bool streaming = transformer->identity();
 
   // ---- functional path: packets through the chain ----
   std::vector<Packet> packets = MakePackets(
@@ -66,10 +77,14 @@ Result<BlockWriteResult> UploadPipeline::WriteBlock(
   std::vector<Ack> acks;
   acks.reserve(packets.size());
   for (const Packet& p : packets) {
-    // Every datanode in the chain appends data + checksums to its two
-    // replica files as the packet passes through (streaming flush).
-    for (int dn : targets) {
-      datanodes_[static_cast<size_t>(dn)]->AppendPacket(p);
+    if (streaming) {
+      // Stock path: every datanode in the chain appends data + checksums
+      // to its two replica files as the packet passes through (streaming
+      // flush). Transforming datanodes instead hold packets in memory and
+      // store their replica after the transform (step 7 in Figure 1).
+      for (int dn : targets) {
+        datanodes_[static_cast<size_t>(dn)]->AppendPacket(p);
+      }
     }
     // Only the tail verifies (DN2 believes DN3, DN1 believes DN2, the
     // client believes DN1).
@@ -100,49 +115,97 @@ Result<BlockWriteResult> UploadPipeline::WriteBlock(
     }
   }
 
-  // ---- register replicas ----
-  HailBlockReplicaInfo info;
-  info.layout = ReplicaLayout::kText;
-  info.replica_bytes = block_bytes.size();
-  for (int dn : targets) {
-    HAIL_RETURN_NOT_OK(namenode_->RegisterReplica(block_id, dn, info));
+  std::string reassembled;
+  if (streaming) {
+    HAIL_RETURN_NOT_OK(transformer->BeginBlock(block_bytes));
+  } else {
+    // Reassemble the block from its packets (step 6) — every datanode
+    // does this in memory; one reassembly suffices functionally since the
+    // bytes are identical, and the transformer decodes it exactly once.
+    reassembled.reserve(block_bytes.size());
+    for (const Packet& p : packets) reassembled.append(p.data);
+    if (reassembled != block_bytes) {
+      return Status::Corruption("block reassembly mismatch");
+    }
+    HAIL_RETURN_NOT_OK(transformer->BeginBlock(reassembled));
   }
-  namenode_->SetBlockLogicalBytes(block_id, logical_bytes);
 
-  // ---- timing ----
+  // ---- timing: chain transfer (cut-through) ----
   ChainTiming chain =
       BillChainTransfer(cluster_, client, ready, logical_bytes, targets);
 
-  // Checksum bytes on disk: 4 bytes per 512-byte chunk (paper scale).
-  const uint64_t logical_meta =
-      (logical_bytes / cluster_->constants().chunk_bytes + 1) * 4;
+  BlockWriteResult result;
+  result.packets = static_cast<uint32_t>(packets.size());
 
   sim::SimTime done = 0.0;
   for (size_t i = 0; i < targets.size(); ++i) {
-    sim::SimNode& node = cluster_->node(targets[i]);
-    // Flush overlaps receive: the disk starts streaming as packets land,
-    // so it is booked from one packet after the hop began receiving.
-    const sim::SimTime flush_ready =
-        chain.arrival_complete[i] -
-        node.cost().NetTransfer(logical_bytes) +
-        node.cost().NetTransfer(cluster_->constants().packet_bytes);
-    const sim::Interval flush = node.disk().Schedule(
-        flush_ready, node.cost().DiskTransfer(logical_bytes + logical_meta));
-    sim::SimTime replica_done = std::max(flush.end, chain.arrival_complete[i]);
-    if (targets[i] == tail) {
-      // Tail verifies every chunk's CRC32C.
-      const sim::Interval verify = node.cpu().Schedule(
-          chain.arrival_complete[i], node.cost().Crc(logical_bytes));
-      replica_done = std::max(replica_done, verify.end);
+    const int dn_id = targets[i];
+    sim::SimNode& node = cluster_->node(dn_id);
+    sim::SimTime replica_done;
+    if (streaming) {
+      // Flush overlaps receive: the disk starts streaming as packets
+      // land, so it is booked from one packet after the hop began
+      // receiving. Checksum side-car: 4 bytes per 512-byte chunk.
+      const uint64_t logical_meta =
+          ChecksumMetaBytes(logical_bytes, cluster_->constants().chunk_bytes);
+      const sim::SimTime flush_ready =
+          chain.arrival_complete[i] -
+          node.cost().NetTransfer(logical_bytes) +
+          node.cost().NetTransfer(cluster_->constants().packet_bytes);
+      const sim::Interval flush = node.disk().Schedule(
+          flush_ready,
+          node.cost().DiskTransfer(logical_bytes + logical_meta));
+      replica_done = std::max(flush.end, chain.arrival_complete[i]);
+      if (dn_id == tail) {
+        // Tail verifies every chunk's CRC32C.
+        const sim::Interval verify = node.cpu().Schedule(
+            chain.arrival_complete[i], node.cost().Crc(logical_bytes));
+        replica_done = std::max(replica_done, verify.end);
+      }
+      ReplicaWorkContext ctx;
+      ctx.cost = &node.cost();
+      ctx.is_tail = dn_id == tail;
+      HAIL_ASSIGN_OR_RETURN(ReplicaBlock replica,
+                            transformer->BuildReplica(i, ctx));
+      HAIL_RETURN_NOT_OK(
+          namenode_->RegisterReplica(block_id, dn_id, replica.info));
+    } else {
+      // Transforming datanode: sort/index/CRC runs on its bounded pool of
+      // pipeline worker threads, in parallel across blocks (§3.5: "on
+      // each data node several blocks may be indexed in parallel"); the
+      // flush — and with it the block's final ACK (steps 10-15) — waits
+      // for the transform.
+      ReplicaWorkContext ctx;
+      ctx.cost = &node.cost();
+      ctx.is_tail = dn_id == tail;
+      HAIL_ASSIGN_OR_RETURN(ReplicaBlock replica,
+                            transformer->BuildReplica(i, ctx));
+      const sim::Interval work = node.upload_cpu().Schedule(
+          chain.arrival_complete[i], replica.cpu_seconds);
+      const uint64_t logical_meta = ChecksumMetaBytes(
+          replica.logical_bytes, cluster_->constants().chunk_bytes);
+      const sim::Interval flush = node.disk().Schedule(
+          work.end,
+          node.cost().DiskAccess(replica.logical_bytes + logical_meta));
+      result.replica_bytes_total += replica.bytes.size();
+      datanodes_[static_cast<size_t>(dn_id)]->StoreBlock(
+          block_id, std::move(replica.bytes), replica.chunk_crcs);
+      HAIL_RETURN_NOT_OK(
+          namenode_->RegisterReplica(block_id, dn_id, replica.info));
+      replica_done = flush.end;
     }
     done = std::max(done, replica_done);
   }
+  namenode_->SetBlockLogicalBytes(block_id, logical_bytes);
 
-  BlockWriteResult result;
   result.completed = done;
-  result.replica_physical_bytes =
-      block_bytes.size() + (block_bytes.size() / config_.chunk_bytes + 1) * 4;
-  result.packets = static_cast<uint32_t>(packets.size());
+  if (streaming) {
+    result.replica_physical_bytes =
+        block_bytes.size() +
+        ChecksumMetaBytes(block_bytes.size(), config_.chunk_bytes);
+    result.replica_bytes_total =
+        block_bytes.size() * static_cast<uint64_t>(targets.size());
+  }
   return result;
 }
 

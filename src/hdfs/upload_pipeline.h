@@ -1,17 +1,23 @@
 /// \file upload_pipeline.h
-/// \brief The stock HDFS write pipeline (paper §3.2) plus shared billing.
+/// \brief The one block-write transport shared by every engine (§3.2).
 ///
 /// Functional path: the client cuts a block into packets (512 B chunks,
 /// per-chunk CRC32C), sends them to DN1, which forwards to DN2, which
-/// forwards to DN3. Every datanode flushes data and checksums to two local
-/// files as packets arrive; only the tail verifies. ACKs flow back through
-/// the chain, each node appending its ID, and the client validates order
-/// and chain membership.
+/// forwards to DN3. Only the tail verifies chunk checksums; ACKs flow back
+/// through the chain, each node appending its ID, and the client validates
+/// order and chain membership. What each datanode *stores* is decided by
+/// the block's ReplicaTransformer (hdfs/replica_transform.h):
+///
+///   - identity (stock HDFS): data and checksums are flushed to the two
+///     replica files as packets arrive (streaming flush);
+///   - transforming (HAIL): the block is reassembled in memory, each
+///     datanode sorts/indexes its own replica and recomputes checksums
+///     before flushing, and the block's final ACK is gated on the flush.
 ///
 /// Timing: transfers are cut-through (a downstream hop starts one packet
-/// behind the upstream hop, not after the whole block), flushes overlap
-/// receive, and the block completes when every replica is flushed and the
-/// final ACK reaches the client.
+/// behind the upstream hop, not after the whole block). Streaming flushes
+/// overlap receive; transformed replicas flush after their sort/index CPU
+/// work on the datanode's bounded upload worker pool.
 
 #pragma once
 
@@ -22,6 +28,7 @@
 #include "hdfs/datanode.h"
 #include "hdfs/dfs_config.h"
 #include "hdfs/namenode.h"
+#include "hdfs/replica_transform.h"
 #include "sim/cluster.h"
 #include "util/result.h"
 
@@ -32,8 +39,11 @@ namespace hdfs {
 struct BlockWriteResult {
   /// Simulated time the client received the block's final ACK.
   sim::SimTime completed = 0.0;
-  /// Real bytes stored per replica (data file + meta file).
+  /// Real bytes stored per replica (data file + meta file); only set for
+  /// identity writes, where every replica is the same size.
   uint64_t replica_physical_bytes = 0;
+  /// Real data-file bytes summed across all (possibly divergent) replicas.
+  uint64_t replica_bytes_total = 0;
   /// Packets that traversed the pipeline.
   uint32_t packets = 0;
 };
@@ -50,7 +60,7 @@ ChainTiming BillChainTransfer(sim::SimCluster* cluster, int client,
                               sim::SimTime ready, uint64_t logical_bytes,
                               const std::vector<int>& targets);
 
-/// \brief Stock HDFS block writer.
+/// \brief The unified block writer: packet transport + replica policy.
 class UploadPipeline {
  public:
   UploadPipeline(sim::SimCluster* cluster, Namenode* namenode,
@@ -60,9 +70,19 @@ class UploadPipeline {
         datanodes_(std::move(datanodes)),
         config_(config) {}
 
-  /// Writes one raw (text) block: functional packet pipeline + billing.
+  /// Writes one block through the packet/ACK chain; \p transformer
+  /// decides each replica's physical layout (see replica_transform.h).
   /// \p ready is when the client has the block bytes in hand.
-  /// \p logical_bytes is the paper-scale size used for cost accounting.
+  /// \p logical_bytes is the paper-scale size used for cost accounting of
+  /// the chain transfer.
+  Result<BlockWriteResult> WriteBlock(int client, sim::SimTime ready,
+                                      uint64_t block_id,
+                                      std::string_view block_bytes,
+                                      uint64_t logical_bytes,
+                                      const std::vector<int>& targets,
+                                      ReplicaTransformer* transformer);
+
+  /// Raw (text) block convenience overload: identity replicas.
   Result<BlockWriteResult> WriteBlock(int client, sim::SimTime ready,
                                       uint64_t block_id,
                                       std::string_view block_bytes,

@@ -54,6 +54,24 @@ Value ColumnVector::GetValue(size_t row) const {
   return Value();
 }
 
+void ColumnVector::Truncate(size_t n) {
+  switch (type_) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      if (n < i32_.size()) i32_.resize(n);
+      break;
+    case FieldType::kInt64:
+      if (n < i64_.size()) i64_.resize(n);
+      break;
+    case FieldType::kDouble:
+      if (n < f64_.size()) f64_.resize(n);
+      break;
+    case FieldType::kString:
+      if (n < str_.size()) str_.resize(n);
+      break;
+  }
+}
+
 namespace {
 template <typename T>
 void Permute(std::vector<T>* data, const std::vector<uint32_t>& perm) {
@@ -83,6 +101,39 @@ void ColumnVector::ApplyPermutation(const std::vector<uint32_t>& perm) {
       Permute(&str_, perm);
       break;
   }
+}
+
+namespace {
+template <typename T>
+std::vector<T> PermutedVector(const std::vector<T>& data,
+                              const std::vector<uint32_t>& perm) {
+  std::vector<T> out;
+  out.reserve(data.size());
+  for (uint32_t src : perm) out.push_back(data[src]);
+  return out;
+}
+}  // namespace
+
+ColumnVector ColumnVector::PermutedCopy(
+    const std::vector<uint32_t>& perm) const {
+  assert(perm.size() == size());
+  ColumnVector out(type_);
+  switch (type_) {
+    case FieldType::kInt32:
+    case FieldType::kDate:
+      out.i32_ = PermutedVector(i32_, perm);
+      break;
+    case FieldType::kInt64:
+      out.i64_ = PermutedVector(i64_, perm);
+      break;
+    case FieldType::kDouble:
+      out.f64_ = PermutedVector(f64_, perm);
+      break;
+    case FieldType::kString:
+      out.str_ = PermutedVector(str_, perm);
+      break;
+  }
+  return out;
 }
 
 uint64_t ColumnVector::SerializedValueBytes() const {

@@ -28,6 +28,18 @@ class ColumnVector {
   void Append(const Value& v);
   Value GetValue(size_t row) const;
 
+  /// Direct typed appends (callers must match type()). These are the
+  /// ingest hot path: text parsing writes straight into the typed storage
+  /// with no Value boxing in between.
+  void AppendInt32(int32_t v) { i32_.push_back(v); }
+  void AppendInt64(int64_t v) { i64_.push_back(v); }
+  void AppendDouble(double v) { f64_.push_back(v); }
+  void AppendString(std::string_view v) { str_.emplace_back(v); }
+
+  /// Drops values past the first \p n (rollback of a partially appended
+  /// row when a later field fails to parse).
+  void Truncate(size_t n);
+
   /// Direct typed access (callers must match type()).
   const std::vector<int32_t>& i32() const { return i32_; }
   const std::vector<int64_t>& i64() const { return i64_; }
@@ -43,6 +55,12 @@ class ColumnVector {
 
   /// Reorders values so new[i] = old[perm[i]].
   void ApplyPermutation(const std::vector<uint32_t>& perm);
+
+  /// Non-destructive counterpart of ApplyPermutation: returns a column
+  /// with out[i] = this[perm[i]], leaving this column untouched. The
+  /// multi-replica upload path permutes one shared decoded block into
+  /// each replica's sort order without re-decoding it.
+  ColumnVector PermutedCopy(const std::vector<uint32_t>& perm) const;
 
   /// Total bytes this column occupies when serialised (values only).
   uint64_t SerializedValueBytes() const;

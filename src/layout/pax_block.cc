@@ -1,5 +1,6 @@
 #include "layout/pax_block.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
 
@@ -40,6 +41,15 @@ std::vector<uint32_t> PaxBlock::SortByColumn(int key_column) {
     col.ApplyPermutation(perm);
   }
   return perm;
+}
+
+PaxBlock PaxBlock::PermutedCopy(const std::vector<uint32_t>& perm) const {
+  PaxBlock out(schema_, options_);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out.columns_[i] = columns_[i].PermutedCopy(perm);
+  }
+  out.bad_records_ = bad_records_;
+  return out;
 }
 
 uint64_t PaxBlock::PayloadBytes() const {
@@ -169,7 +179,16 @@ std::string PaxBlock::Serialize() const {
   return w.Take();
 }
 
+namespace {
+std::atomic<uint64_t> g_pax_deserialize_count{0};
+}  // namespace
+
+uint64_t PaxBlock::deserialize_count() {
+  return g_pax_deserialize_count.load(std::memory_order_relaxed);
+}
+
 Result<PaxBlock> PaxBlock::Deserialize(std::string_view data) {
+  g_pax_deserialize_count.fetch_add(1, std::memory_order_relaxed);
   HAIL_ASSIGN_OR_RETURN(PaxBlockView view, PaxBlockView::Open(data));
   BlockFormatOptions options;
   options.varlen_partition_size = view.varlen_partition_size();
@@ -476,13 +495,24 @@ uint64_t PaxBlockView::EstimateColumnReadBytes(int column,
 PaxBlock BuildPaxBlockFromText(const Schema& schema, std::string_view text,
                                BlockFormatOptions options) {
   PaxBlock block(schema, options);
-  RowParser parser(schema);
-  for (std::string_view row : SplitRows(text)) {
+  // Size the typed columns once from the average row width instead of
+  // growing them row by row.
+  const size_t estimated_rows =
+      text.size() / std::max<size_t>(1, schema.EstimatedRowWidth());
+  for (ColumnVector& col : block.mutable_columns()) {
+    col.Reserve(estimated_rows);
+  }
+  ColumnarAppender appender(block.schema(), &block.mutable_columns());
+  // Walk newline-terminated rows in place (same row semantics as
+  // SplitRows, without materialising the row list).
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t pos = text.find('\n', start);
+    if (pos == std::string_view::npos) pos = text.size();
+    const std::string_view row = text.substr(start, pos - start);
+    start = pos + 1;
     if (row.empty()) continue;
-    ParsedRow parsed = parser.Parse(row);
-    if (parsed.ok) {
-      block.AppendRow(parsed.values);
-    } else {
+    if (!appender.AppendRow(row)) {
       block.AppendBadRecord(row);
     }
   }

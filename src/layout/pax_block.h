@@ -72,11 +72,27 @@ class PaxBlock {
   /// permutation that was applied (new[i] = old[perm[i]]).
   std::vector<uint32_t> SortByColumn(int key_column);
 
+  /// Non-destructive reorder: returns a block whose row i is this block's
+  /// row perm[i] (bad records carried over unchanged). The HAIL replica
+  /// transformer decodes a block once and derives every replica's sort
+  /// order from the shared columns via this.
+  PaxBlock PermutedCopy(const std::vector<uint32_t>& perm) const;
+
+  /// Direct access to the typed columns for bulk ingest paths
+  /// (ColumnarAppender); callers must keep all columns at equal length.
+  std::vector<ColumnVector>& mutable_columns() { return columns_; }
+
   /// Serialises header + minipages + bad section.
   std::string Serialize() const;
 
   /// Parses a serialised block back into mutable columns.
   static Result<PaxBlock> Deserialize(std::string_view data);
+
+  /// Process-wide count of Deserialize calls. Upload tests assert the
+  /// multi-replica build decodes each reassembled block exactly once,
+  /// regardless of replication factor (the PR-1 decode_steps() idea at
+  /// block granularity).
+  static uint64_t deserialize_count();
 
   /// Bytes of the values-only payload (no header); used to size blocks.
   uint64_t PayloadBytes() const;

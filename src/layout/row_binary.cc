@@ -27,6 +27,29 @@ void RowBinaryBlockBuilder::AddRow(const std::vector<Value>& values) {
   }
 }
 
+void RowBinaryBlockBuilder::AddRowFromColumns(
+    const std::vector<ColumnVector>& columns, uint32_t row) {
+  row_offsets_.push_back(rows_.size());
+  for (int i = 0; i < schema_.num_fields(); ++i) {
+    const ColumnVector& col = columns[static_cast<size_t>(i)];
+    switch (schema_.field(i).type) {
+      case FieldType::kInt32:
+      case FieldType::kDate:
+        rows_.PutI32(col.i32()[row]);
+        break;
+      case FieldType::kInt64:
+        rows_.PutI64(col.i64()[row]);
+        break;
+      case FieldType::kDouble:
+        rows_.PutF64(col.f64()[row]);
+        break;
+      case FieldType::kString:
+        rows_.PutLengthPrefixed(col.str()[row]);
+        break;
+    }
+  }
+}
+
 std::string RowBinaryBlockBuilder::Finish() {
   ByteWriter w;
   w.PutU32(kRowBinaryMagic);

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "layout/column_vector.h"
 #include "schema/schema.h"
 #include "schema/value.h"
 #include "util/io.h"
@@ -30,6 +31,12 @@ class RowBinaryBlockBuilder {
   /// Appends one row; records its byte offset (relative to the data
   /// section) for index construction.
   void AddRow(const std::vector<Value>& values);
+
+  /// Appends row \p row of columnar storage (one ColumnVector per schema
+  /// field) without boxing the values — the Hadoop++ conversion path
+  /// emits sorted rows straight from typed columns through this.
+  void AddRowFromColumns(const std::vector<ColumnVector>& columns,
+                         uint32_t row);
 
   uint32_t num_records() const {
     return static_cast<uint32_t>(row_offsets_.size());

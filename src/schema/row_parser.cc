@@ -1,5 +1,7 @@
 #include "schema/row_parser.h"
 
+#include <cassert>
+
 #include "util/string_util.h"
 
 namespace hail {
@@ -67,6 +69,71 @@ std::string RowParser::Render(const std::vector<Value>& values) const {
     out += values[static_cast<size_t>(i)].ToText(schema_.field(i).type);
   }
   return out;
+}
+
+ColumnarAppender::ColumnarAppender(const Schema& schema,
+                                   std::vector<ColumnVector>* columns)
+    : schema_(&schema), columns_(columns) {
+  assert(columns_->size() == static_cast<size_t>(schema.num_fields()));
+}
+
+bool ColumnarAppender::AppendRow(std::string_view row) {
+  const int num_fields = schema_->num_fields();
+  const char delimiter = schema_->delimiter();
+  // All columns are kept at equal length; remember it so a bad row can
+  // roll back every partial append. Truncate is a no-op on columns the
+  // row never reached.
+  const size_t base = columns_->empty() ? 0 : (*columns_)[0].size();
+  const auto bad_row = [&] {
+    for (ColumnVector& col : *columns_) col.Truncate(base);
+    return false;
+  };
+  size_t start = 0;
+  for (int i = 0; i < num_fields; ++i) {
+    std::string_view text;
+    if (i + 1 < num_fields) {
+      const size_t pos = row.find(delimiter, start);
+      if (pos == std::string_view::npos) return bad_row();  // too few fields
+      text = row.substr(start, pos - start);
+      start = pos + 1;
+    } else {
+      text = row.substr(start);
+      if (text.find(delimiter) != std::string_view::npos) {
+        return bad_row();  // too many fields
+      }
+    }
+    ColumnVector& col = (*columns_)[static_cast<size_t>(i)];
+    switch (schema_->field(i).type) {
+      case FieldType::kInt32: {
+        auto v = ParseInt64(text);
+        if (!v.ok() || *v < INT32_MIN || *v > INT32_MAX) return bad_row();
+        col.AppendInt32(static_cast<int32_t>(*v));
+        break;
+      }
+      case FieldType::kInt64: {
+        auto v = ParseInt64(text);
+        if (!v.ok()) return bad_row();
+        col.AppendInt64(*v);
+        break;
+      }
+      case FieldType::kDouble: {
+        auto v = ParseDouble(text);
+        if (!v.ok()) return bad_row();
+        col.AppendDouble(*v);
+        break;
+      }
+      case FieldType::kString:
+        col.AppendString(text);
+        break;
+      case FieldType::kDate: {
+        auto v = ParseDateToDays(text);
+        if (!v.ok()) return bad_row();
+        col.AppendInt32(*v);
+        break;
+      }
+    }
+  }
+  return true;
 }
 
 std::vector<std::string_view> SplitRows(std::string_view data) {

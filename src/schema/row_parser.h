@@ -4,12 +4,19 @@
 /// The HAIL client runs this while uploading: rows that fail to parse
 /// ("bad records") are separated into the block's bad-record section and
 /// later handed to map functions with a flag, exactly as §4.3 describes.
+///
+/// Two parse paths share the same acceptance rules:
+///   - RowParser::Parse — row-at-a-time into boxed Values (query-side
+///     tuple reconstruction, reference/tests);
+///   - ColumnarAppender — straight into typed ColumnVectors with no
+///     per-row Value allocation (the upload ingest hot path).
 
 #pragma once
 
 #include <string_view>
 #include <vector>
 
+#include "layout/column_vector.h"
 #include "schema/schema.h"
 #include "schema/value.h"
 #include "util/result.h"
@@ -43,6 +50,30 @@ class RowParser {
 
  private:
   Schema schema_;
+};
+
+/// \brief Parses text rows straight into typed column storage.
+///
+/// Bound to one ColumnVector per schema field (e.g. a PaxBlock under
+/// construction). AppendRow applies exactly the same acceptance rules as
+/// RowParser::Parse — same arity check, same per-type range checks — but
+/// writes each field directly into its typed vector, so ingest performs
+/// no per-row std::vector<Value> allocation and no string boxing for
+/// fixed-size fields.
+class ColumnarAppender {
+ public:
+  /// \p columns must have one entry per schema field, types matching; it
+  /// must outlive the appender.
+  ColumnarAppender(const Schema& schema, std::vector<ColumnVector>* columns);
+
+  /// Parses one row (without trailing newline) into the columns. Returns
+  /// false — leaving every column unchanged — when the row does not
+  /// conform to the schema (a "bad record").
+  bool AppendRow(std::string_view row);
+
+ private:
+  const Schema* schema_;
+  std::vector<ColumnVector>* columns_;
 };
 
 /// \brief Splits a byte buffer into newline-terminated rows.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace hail {
 
@@ -68,14 +69,42 @@ Result<int64_t> ParseInt64(std::string_view s) {
 
 Result<double> ParseDouble(std::string_view s) {
   if (s.empty()) return Status::InvalidArgument("empty double");
-  // std::from_chars for double is not universally available; strtod needs a
-  // NUL-terminated buffer.
-  std::string buf(s);
+#if defined(__cpp_lib_to_chars)
+  // Fast path for plain normal decimals: from_chars is allocation-free
+  // and several times faster than strtod. Anything it does not fully
+  // consume (leading '+', whitespace, hex floats) or whose value strtod
+  // would flag with errno (inf/nan, overflow, and subnormals — glibc
+  // sets ERANGE for those) falls through to the strtod path below, so
+  // acceptance and values stay exactly strtod's.
+  {
+    double value = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(),
+                                           value);
+    if (ec == std::errc() && ptr == s.data() + s.size() &&
+        (std::fpclassify(value) == FP_NORMAL || value == 0.0)) {
+      return value;
+    }
+  }
+#endif
+  // strtod needs a NUL-terminated buffer. Values are short in practice,
+  // so a stack buffer keeps this allocation-free too; anything longer
+  // falls back to a heap copy with identical semantics.
+  char stack_buf[64];
+  std::string heap_buf;
+  const char* cstr;
+  if (s.size() < sizeof(stack_buf)) {
+    std::memcpy(stack_buf, s.data(), s.size());
+    stack_buf[s.size()] = '\0';
+    cstr = stack_buf;
+  } else {
+    heap_buf.assign(s);
+    cstr = heap_buf.c_str();
+  }
   errno = 0;
   char* endptr = nullptr;
-  const double value = std::strtod(buf.c_str(), &endptr);
-  if (errno != 0 || endptr != buf.c_str() + buf.size()) {
-    return Status::InvalidArgument("not a double: '" + buf + "'");
+  const double value = std::strtod(cstr, &endptr);
+  if (errno != 0 || endptr != cstr + s.size()) {
+    return Status::InvalidArgument("not a double: '" + std::string(s) + "'");
   }
   return value;
 }

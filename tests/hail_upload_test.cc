@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "hail/hail_block.h"
@@ -89,6 +90,62 @@ TEST(CutRowAlignedBlocksTest, MissingTrailingNewline) {
   std::string joined;
   for (const auto& b : blocks) joined += std::string(b);
   EXPECT_EQ(joined, "a\nb\nc");
+}
+
+// The defined behaviour for over-long rows (see hail_client.h): every
+// block either fits in block_size or is exactly one row, and an oversized
+// row is never merged with its neighbours.
+TEST(CutRowAlignedBlocksTest, OversizedRowIsIsolatedFromNeighbours) {
+  const std::string before = "tiny\n";
+  const std::string big = std::string(600, 'b') + "\n";
+  const std::string after = "also-tiny\n";
+  const std::string text = before + big + after;
+  const auto blocks = CutRowAlignedBlocks(text, 256);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], before);
+  EXPECT_EQ(blocks[1], big);  // alone in its oversized block
+  EXPECT_EQ(blocks[2], after);
+  for (const auto& b : blocks) {
+    const bool fits = b.size() <= 256;
+    const bool single_row =
+        std::count(b.begin(), b.end(), '\n') <= 1;
+    EXPECT_TRUE(fits || single_row) << "oversized multi-row block";
+  }
+}
+
+TEST(CutRowAlignedBlocksTest, ConsecutiveOversizedRowsStaySeparate) {
+  const std::string a = std::string(300, 'a') + "\n";
+  const std::string b = std::string(400, 'b') + "\n";
+  const std::string text = a + b;
+  const auto blocks = CutRowAlignedBlocks(text, 256);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], a);
+  EXPECT_EQ(blocks[1], b);
+}
+
+TEST(CutRowAlignedBlocksTest, OversizedFinalRowWithoutNewline) {
+  const std::string text = "x\n" + std::string(500, 'z');  // no trailing \n
+  const auto blocks = CutRowAlignedBlocks(text, 64);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], "x\n");
+  EXPECT_EQ(blocks[1], std::string(500, 'z'));
+}
+
+TEST(CutRowAlignedBlocksTest, ExactFitBlockBoundary) {
+  // Four 64-byte rows pack exactly into 128-byte blocks: the cut lands
+  // precisely on the row boundary, with no premature or late close.
+  std::string row(63, 'r');
+  row += "\n";
+  ASSERT_EQ(row.size(), 64u);
+  const std::string text = row + row + row + row;
+  const auto blocks = CutRowAlignedBlocks(text, 128);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].size(), 128u);
+  EXPECT_EQ(blocks[1].size(), 128u);
+  // A single row of exactly block_size also fits without isolation.
+  const auto exact = CutRowAlignedBlocks(row, 64);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0].size(), 64u);
 }
 
 TEST(HailUploadTest, CreatesDivergentReplicasWithSameRecords) {
@@ -254,6 +311,77 @@ TEST(HailUploadTest, ZeroIndexesStillConvertsToPax) {
       EXPECT_FALSE(info->has_index());
     }
   }
+}
+
+TEST(HailUploadTest, OversizedRowsAreSurfacedInReport) {
+  Env env = MakeEnv(4, /*block_size=*/512);
+  // One row much longer than the block size amid normal-looking rows.
+  std::string text = "1.2.3.4,url,1990-01-01,1.0,agent,DE,de,word,10\n";
+  text += "5.6.7.8," + std::string(2000, 'u') +
+          ",1991-02-02,2.0,agent,US,en,word,20\n";
+  text += "9.9.9.9,url2,1992-03-03,3.0,agent,FR,fr,word,30\n";
+  HailUploadConfig config;
+  config.schema = env.schema;
+  config.sort_columns = {workload::kVisitDate};
+  auto report = HailUploadTextFile(env.dfs.get(), config, 0, "/uv", text);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->oversized_blocks, 1u);
+  EXPECT_EQ(report->bad_records, 0u);  // the long row still parses
+}
+
+TEST(HailUploadTest, DecodesReassembledBlockExactlyOncePerBlock) {
+  // The multi-replica build must not deserialize the block once per
+  // replica: one decode per block, shared across all three sort orders.
+  Env env = MakeEnv();
+  const std::string text = UVText(300, 11);
+  HailUploadConfig config;
+  config.schema = env.schema;
+  config.sort_columns = {workload::kVisitDate, workload::kSourceIP,
+                         workload::kAdRevenue};
+  const uint64_t before = PaxBlock::deserialize_count();
+  auto report = HailUploadTextFile(env.dfs.get(), config, 0, "/uv", text);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const uint64_t decodes = PaxBlock::deserialize_count() - before;
+  EXPECT_GT(report->blocks, 1u);
+  EXPECT_EQ(decodes, report->blocks)
+      << "expected exactly one decode per uploaded block (replication 3)";
+}
+
+TEST(HailUploadTest, UploadThroughDeadDatanodeFails) {
+  // Regression: the seed HAIL path never validated pipeline targets the
+  // way the text path did; the unified pipeline rejects dead or bogus
+  // targets for every engine.
+  Env env = MakeEnv();
+  const std::string text = UVText(40, 12);
+  PaxBlock pax = BuildPaxBlockFromText(env.schema, text, {});
+  const std::string block = pax.Serialize();
+
+  HailTransformParams params;
+  params.sort_columns = {workload::kVisitDate};
+  params.chunk_bytes = env.dfs->config().chunk_bytes;
+  params.varlen_partition_size = env.dfs->config().format.varlen_partition_size;
+  params.logical_records = pax.num_records();
+
+  env.dfs->KillNode(2, 0.0);
+  {
+    HailReplicaTransformer transformer(params);
+    auto result = env.dfs->pipeline().WriteBlock(0, 0.0, 77, block, block.size(),
+                                                 {0, 1, 2}, &transformer);
+    EXPECT_TRUE(result.status().IsFailedPrecondition())
+        << result.status().ToString();
+  }
+  {
+    HailReplicaTransformer transformer(params);
+    auto result = env.dfs->pipeline().WriteBlock(0, 0.0, 78, block, block.size(),
+                                                 {0, 99}, &transformer);
+    EXPECT_TRUE(result.status().IsInvalidArgument())
+        << result.status().ToString();
+  }
+  // A chain of live, valid targets still succeeds after the failures.
+  HailReplicaTransformer transformer(params);
+  auto ok = env.dfs->pipeline().WriteBlock(0, 0.0, 79, block, block.size(),
+                                           {0, 1}, &transformer);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
 TEST(HailUploadTest, UploadTimeGrowsMildlyWithIndexCount) {
