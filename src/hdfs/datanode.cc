@@ -5,11 +5,17 @@
 namespace hail {
 namespace hdfs {
 
+void Datanode::NoteMutation(uint64_t block_id) {
+  ++generations_[block_id];
+  if (cache_ != nullptr) cache_->InvalidateBlock(id_, block_id);
+}
+
 void Datanode::AppendPacket(const Packet& packet) {
   store_.Append(BlockFileName(packet.block_id), packet.data);
   ByteWriter w;
   for (uint32_t crc : packet.chunk_crcs) w.PutU32(crc);
   store_.Append(BlockMetaFileName(packet.block_id), w.buffer());
+  NoteMutation(packet.block_id);
 }
 
 void Datanode::StoreBlock(uint64_t block_id, std::string data,
@@ -17,19 +23,17 @@ void Datanode::StoreBlock(uint64_t block_id, std::string data,
   // One-shot stores use the framed meta format (count-prefixed).
   store_.Put(BlockFileName(block_id), std::move(data));
   store_.Put(BlockMetaFileName(block_id), SerializeChecksums(crcs));
+  NoteMutation(block_id);
 }
 
-Result<std::string_view> Datanode::ReadBlockVerified(
-    uint64_t block_id, uint32_t chunk_bytes) const {
-  HAIL_ASSIGN_OR_RETURN(std::string_view data,
-                        store_.Get(BlockFileName(block_id)));
+Status Datanode::VerifyAgainstMeta(uint64_t block_id, std::string_view data,
+                                   uint32_t chunk_bytes) const {
   HAIL_ASSIGN_OR_RETURN(std::string_view meta,
                         store_.Get(BlockMetaFileName(block_id)));
   // Meta files written by StoreBlock are framed; streamed ones are raw
   // CRC arrays. Distinguish by size.
   std::vector<uint32_t> crcs;
-  const size_t expected =
-      (data.size() + chunk_bytes - 1) / chunk_bytes;
+  const size_t expected = (data.size() + chunk_bytes - 1) / chunk_bytes;
   if (meta.size() == 4 + expected * 4) {
     HAIL_ASSIGN_OR_RETURN(crcs, ParseChecksums(meta));
   } else if (meta.size() == expected * 4) {
@@ -39,8 +43,25 @@ Result<std::string_view> Datanode::ReadBlockVerified(
     return Status::Corruption("meta file size mismatch for block " +
                               std::to_string(block_id));
   }
-  HAIL_RETURN_NOT_OK(VerifyBlockChecksums(data, crcs, chunk_bytes)
-                         .WithContext("block " + std::to_string(block_id)));
+  return VerifyBlockChecksums(data, crcs, chunk_bytes)
+      .WithContext("block " + std::to_string(block_id));
+}
+
+Result<std::string_view> Datanode::ReadBlockVerified(
+    uint64_t block_id, uint32_t chunk_bytes) const {
+  HAIL_ASSIGN_OR_RETURN(std::string_view data,
+                        store_.Get(BlockFileName(block_id)));
+  // A dead datanode's replicas are never cached: stragglers that race the
+  // failure detector may still read the intact bytes (pre-kill plan
+  // snapshot), but they pay the full verification and leave no state a
+  // later reader could be served from.
+  if (cache_ != nullptr && sim_->alive()) {
+    HAIL_RETURN_NOT_OK(cache_->VerifyOnce(
+        id_, block_id, block_generation(block_id), data.size(),
+        [&] { return VerifyAgainstMeta(block_id, data, chunk_bytes); }));
+    return data;
+  }
+  HAIL_RETURN_NOT_OK(VerifyAgainstMeta(block_id, data, chunk_bytes));
   return data;
 }
 
@@ -50,7 +71,9 @@ Result<std::string_view> Datanode::ReadBlockRaw(uint64_t block_id) const {
 
 Status Datanode::DeleteBlock(uint64_t block_id) {
   HAIL_RETURN_NOT_OK(store_.Delete(BlockFileName(block_id)));
-  return store_.Delete(BlockMetaFileName(block_id));
+  Status st = store_.Delete(BlockMetaFileName(block_id));
+  NoteMutation(block_id);
+  return st;
 }
 
 }  // namespace hdfs

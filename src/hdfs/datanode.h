@@ -5,13 +5,21 @@
 /// hail::HailUploadPipeline for HAIL) drive packets *through* datanodes;
 /// the datanode itself owns the two files per replica (data + checksums)
 /// and the verified read path used by RecordReaders.
+///
+/// Each replica carries a monotonically increasing *generation*, bumped on
+/// every mutation (stream append, one-shot store, delete). The generation
+/// keys the cluster-wide BlockCache so query-path work memoised for one
+/// version of the bytes (CRC verification, layout decode) can never be
+/// served for another.
 
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "hdfs/block_cache.h"
 #include "hdfs/local_store.h"
 #include "hdfs/packet.h"
 #include "sim/cluster.h"
@@ -31,6 +39,10 @@ class Datanode {
   LocalStore& store() { return store_; }
   const LocalStore& store() const { return store_; }
 
+  /// Wires the shared read cache (done by MiniDfs at construction). The
+  /// datanode invalidates its entries on every replica mutation.
+  void AttachCache(BlockCache* cache) { cache_ = cache; }
+
   /// Streaming flush of one packet (stock HDFS write path): appends the
   /// chunk data to blk_<id> and the checksums to blk_<id>.meta.
   void AppendPacket(const Packet& packet);
@@ -44,9 +56,18 @@ class Datanode {
     return store_.Exists(BlockFileName(block_id));
   }
 
+  /// Current version of the replica's bytes; 0 for a never-written block.
+  uint64_t block_generation(uint64_t block_id) const {
+    auto it = generations_.find(block_id);
+    return it == generations_.end() ? 0 : it->second;
+  }
+
   /// Reads a replica and verifies every chunk checksum against the meta
   /// file ("these checksums are reused by HDFS whenever data is sent",
-  /// §3.2). Returns a view into the store.
+  /// §3.2). Returns a view into the store. Verification is memoised per
+  /// block generation in the attached BlockCache (the simulated CRC cost
+  /// is still billed per task by the readers — the cache only removes the
+  /// repeated *real* work).
   Result<std::string_view> ReadBlockVerified(uint64_t block_id,
                                              uint32_t chunk_bytes) const;
 
@@ -57,9 +78,19 @@ class Datanode {
   Status DeleteBlock(uint64_t block_id);
 
  private:
+  /// Registers a mutation of the replica: bumps the generation and drops
+  /// any cached state describing the previous bytes.
+  void NoteMutation(uint64_t block_id);
+
+  /// Parses the meta file and verifies all chunk CRCs (the uncached path).
+  Status VerifyAgainstMeta(uint64_t block_id, std::string_view data,
+                           uint32_t chunk_bytes) const;
+
   int id_;
   sim::SimNode* sim_;
   LocalStore store_;
+  BlockCache* cache_ = nullptr;
+  std::unordered_map<uint64_t, uint64_t> generations_;
 };
 
 }  // namespace hdfs

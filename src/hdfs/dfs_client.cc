@@ -13,6 +13,7 @@ MiniDfs::MiniDfs(sim::SimCluster* cluster, DfsConfig config)
   datanodes_.reserve(static_cast<size_t>(cluster->num_nodes()));
   for (int i = 0; i < cluster->num_nodes(); ++i) {
     datanodes_.push_back(std::make_unique<Datanode>(i, &cluster->node(i)));
+    datanodes_.back()->AttachCache(&block_cache_);
   }
   pipeline_ = UploadPipeline(cluster, &namenode_, datanode_ptrs(), config);
 }
@@ -27,6 +28,13 @@ std::vector<Datanode*> MiniDfs::datanode_ptrs() {
 void MiniDfs::KillNode(int id, sim::SimTime when) {
   cluster_->KillNode(id, when);
   namenode_.MarkDatanodeDead(id);
+  block_cache_.InvalidateDatanode(id);
+}
+
+void MiniDfs::ReviveNode(int id) {
+  cluster_->node(id).set_alive(true);
+  namenode_.MarkDatanodeAlive(id);
+  block_cache_.InvalidateDatanode(id);
 }
 
 namespace {

@@ -36,21 +36,37 @@ class MiniDfs {
   Namenode& namenode() { return namenode_; }
   const Namenode& namenode() const { return namenode_; }
   Datanode& datanode(int id) { return *datanodes_[static_cast<size_t>(id)]; }
+  const Datanode& datanode(int id) const {
+    return *datanodes_[static_cast<size_t>(id)];
+  }
   int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
   sim::SimCluster& cluster() { return *cluster_; }
+  const sim::SimCluster& cluster() const { return *cluster_; }
   const DfsConfig& config() const { return config_; }
   UploadPipeline& pipeline() { return pipeline_; }
+
+  /// Cluster-wide per-block-version read cache (internally synchronised;
+  /// const because reading through the DFS is logically const).
+  BlockCache& block_cache() const { return block_cache_; }
 
   std::vector<Datanode*> datanode_ptrs();
 
   /// Kills a node at the given simulated time: marks it dead in both the
-  /// cluster (resources) and the namenode (locations).
+  /// cluster (resources) and the namenode (locations), and drops the
+  /// node's cached read state so nothing is ever served for a dead
+  /// replica.
   void KillNode(int id, sim::SimTime when);
+
+  /// Revives a node (queries run on a repaired cluster): marks it alive
+  /// everywhere and — like a real re-registration — starts it with a cold
+  /// cache.
+  void ReviveNode(int id);
 
  private:
   sim::SimCluster* cluster_;
   DfsConfig config_;
   Namenode namenode_;
+  mutable BlockCache block_cache_;
   std::vector<std::unique_ptr<Datanode>> datanodes_;
   UploadPipeline pipeline_;
 };

@@ -20,22 +20,27 @@ void LocalStore::Append(const std::string& name, std::string_view bytes) {
   total_bytes_ += bytes.size();
 }
 
-Result<std::string_view> LocalStore::Get(const std::string& name) const {
+Result<std::string_view> LocalStore::Get(std::string_view name) const {
   auto it = files_.find(name);
   if (it == files_.end()) {
-    return Status::NotFound("no such file: " + name);
+    return Status::NotFound("no such file: " + std::string(name));
   }
   return std::string_view(it->second);
 }
 
-bool LocalStore::Exists(const std::string& name) const {
-  return files_.count(name) > 0;
+const std::string* LocalStore::GetOrNull(std::string_view name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : &it->second;
 }
 
-Status LocalStore::Delete(const std::string& name) {
+bool LocalStore::Exists(std::string_view name) const {
+  return files_.find(name) != files_.end();
+}
+
+Status LocalStore::Delete(std::string_view name) {
   auto it = files_.find(name);
   if (it == files_.end()) {
-    return Status::NotFound("no such file: " + name);
+    return Status::NotFound("no such file: " + std::string(name));
   }
   total_bytes_ -= it->second.size();
   files_.erase(it);

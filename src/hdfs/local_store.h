@@ -5,13 +5,19 @@
 /// `blk_<id>.meta` with one CRC32C per 512-byte chunk (paper §3.2).
 /// The store holds real bytes; sizes reported to the simulator are real
 /// and get scaled by the caller.
+///
+/// Storage is a hash map with string_view-transparent lookup: the read
+/// path's Exists/Get probes are O(1) hashes instead of O(log n)
+/// string-compare walks, and callers holding only a view never pay a
+/// temporary std::string allocation to probe.
 
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "util/result.h"
 
@@ -29,10 +35,14 @@ class LocalStore {
   void Append(const std::string& name, std::string_view bytes);
 
   /// Full contents; NotFound if absent.
-  Result<std::string_view> Get(const std::string& name) const;
+  Result<std::string_view> Get(std::string_view name) const;
 
-  bool Exists(const std::string& name) const;
-  Status Delete(const std::string& name);
+  /// Full contents or nullptr if absent — one probe where callers would
+  /// otherwise pair Exists with Get.
+  const std::string* GetOrNull(std::string_view name) const;
+
+  bool Exists(std::string_view name) const;
+  Status Delete(std::string_view name);
 
   /// Number of files.
   size_t file_count() const { return files_.size(); }
@@ -42,7 +52,17 @@ class LocalStore {
   void Clear();
 
  private:
-  std::map<std::string, std::string> files_;
+  /// Transparent string hashing so find/count accept string_view without
+  /// materialising a std::string key.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, std::string, StringHash, std::equal_to<>>
+      files_;
   uint64_t total_bytes_ = 0;
 };
 

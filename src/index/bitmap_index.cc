@@ -1,6 +1,7 @@
 #include "index/bitmap_index.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/io.h"
 
@@ -27,30 +28,78 @@ void AppendSetBits(const std::vector<uint64_t>& words, uint32_t num_records,
     }
   }
 }
+
+uint64_t DoubleKeyBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
 }  // namespace
 
-std::string BitmapIndex::KeyOf(const Value& v) {
-  if (v.is_string()) return v.as_string();
-  if (v.is_double()) return v.ToText(FieldType::kDouble);
-  if (v.is_int64()) return v.ToText(FieldType::kInt64);
-  return v.ToText(FieldType::kInt32);
+const BitmapIndex::Bits* BitmapIndex::Find(const Value& v) const {
+  if (v.is_string()) {
+    auto it = string_bitmaps_.find(std::string_view(v.as_string()));
+    return it == string_bitmaps_.end() ? nullptr : &it->second;
+  }
+  if (v.is_double()) {
+    auto it = double_bitmaps_.find(v.as_double());
+    return it == double_bitmaps_.end() ? nullptr : &it->second;
+  }
+  const int64_t key = v.is_int64() ? v.as_int64() : v.as_int32();
+  auto it = int_bitmaps_.find(key);
+  return it == int_bitmaps_.end() ? nullptr : &it->second;
 }
 
 BitmapIndex BitmapIndex::Build(const ColumnVector& values) {
   BitmapIndex index;
   index.num_records_ = static_cast<uint32_t>(values.size());
   index.type_ = values.type();
-  for (uint32_t r = 0; r < index.num_records_; ++r) {
-    SetBit(&index.bitmaps_[KeyOf(values.GetValue(r))], r);
+  // Typed build: iterate the column's native storage, no Value boxing and
+  // no per-row text rendering.
+  switch (values.type()) {
+    case FieldType::kInt32:
+    case FieldType::kDate: {
+      const auto& v = values.i32();
+      for (uint32_t r = 0; r < index.num_records_; ++r) {
+        SetBit(&index.int_bitmaps_[v[r]], r);
+      }
+      break;
+    }
+    case FieldType::kInt64: {
+      const auto& v = values.i64();
+      for (uint32_t r = 0; r < index.num_records_; ++r) {
+        SetBit(&index.int_bitmaps_[v[r]], r);
+      }
+      break;
+    }
+    case FieldType::kDouble: {
+      const auto& v = values.f64();
+      for (uint32_t r = 0; r < index.num_records_; ++r) {
+        SetBit(&index.double_bitmaps_[v[r]], r);
+      }
+      break;
+    }
+    case FieldType::kString: {
+      const auto& v = values.str();
+      for (uint32_t r = 0; r < index.num_records_; ++r) {
+        SetBit(&index.string_bitmaps_[v[r]], r);
+      }
+      break;
+    }
   }
   return index;
 }
 
 std::vector<uint32_t> BitmapIndex::Lookup(const Value& v) const {
   std::vector<uint32_t> out;
-  auto it = bitmaps_.find(KeyOf(v));
-  if (it == bitmaps_.end()) return out;
-  AppendSetBits(it->second, num_records_, &out);
+  const Bits* bits = Find(v);
+  if (bits != nullptr) AppendSetBits(*bits, num_records_, &out);
   return out;
 }
 
@@ -59,10 +108,10 @@ std::vector<uint32_t> BitmapIndex::LookupAny(
   // OR the bitsets, then enumerate once (the classic bitmap win).
   std::vector<uint64_t> merged;
   for (const Value& v : values) {
-    auto it = bitmaps_.find(KeyOf(v));
-    if (it == bitmaps_.end()) continue;
-    if (merged.size() < it->second.size()) merged.resize(it->second.size(), 0);
-    for (size_t w = 0; w < it->second.size(); ++w) merged[w] |= it->second[w];
+    const Bits* bits = Find(v);
+    if (bits == nullptr) continue;
+    if (merged.size() < bits->size()) merged.resize(bits->size(), 0);
+    for (size_t w = 0; w < bits->size(); ++w) merged[w] |= (*bits)[w];
   }
   std::vector<uint32_t> out;
   AppendSetBits(merged, num_records_, &out);
@@ -70,23 +119,36 @@ std::vector<uint32_t> BitmapIndex::LookupAny(
 }
 
 uint64_t BitmapIndex::Count(const Value& v) const {
-  auto it = bitmaps_.find(KeyOf(v));
-  if (it == bitmaps_.end()) return 0;
+  const Bits* bits = Find(v);
+  if (bits == nullptr) return 0;
   uint64_t count = 0;
-  for (uint64_t word : it->second) count += __builtin_popcountll(word);
+  for (uint64_t word : *bits) count += __builtin_popcountll(word);
   return count;
 }
 
 std::string BitmapIndex::Serialize() const {
+  // Typed wire format (v2): int64 and double keys as fixed 8-byte values,
+  // string keys length-prefixed — mirroring the in-memory keying.
   ByteWriter w;
   w.PutU32(kBitmapMagic);
   w.PutU8(static_cast<uint8_t>(type_));
   w.PutU32(num_records_);
-  w.PutU32(static_cast<uint32_t>(bitmaps_.size()));
-  for (const auto& [key, words] : bitmaps_) {
-    w.PutLengthPrefixed(key);
+  w.PutU32(static_cast<uint32_t>(cardinality()));
+  auto put_words = [&w](const Bits& words) {
     w.PutU32(static_cast<uint32_t>(words.size()));
     for (uint64_t word : words) w.PutU64(word);
+  };
+  for (const auto& [key, words] : int_bitmaps_) {
+    w.PutU64(static_cast<uint64_t>(key));
+    put_words(words);
+  }
+  for (const auto& [key, words] : double_bitmaps_) {
+    w.PutU64(DoubleKeyBits(key));
+    put_words(words);
+  }
+  for (const auto& [key, words] : string_bitmaps_) {
+    w.PutLengthPrefixed(key);
+    put_words(words);
   }
   return w.Take();
 }
@@ -101,22 +163,50 @@ Result<BitmapIndex> BitmapIndex::Deserialize(std::string_view data) {
   HAIL_ASSIGN_OR_RETURN(index.num_records_, r.GetU32());
   HAIL_ASSIGN_OR_RETURN(uint32_t cardinality, r.GetU32());
   for (uint32_t i = 0; i < cardinality; ++i) {
-    HAIL_ASSIGN_OR_RETURN(std::string_view key, r.GetLengthPrefixed());
+    Bits* slot = nullptr;
+    switch (index.type_) {
+      case FieldType::kInt32:
+      case FieldType::kDate:
+      case FieldType::kInt64: {
+        HAIL_ASSIGN_OR_RETURN(uint64_t key, r.GetU64());
+        slot = &index.int_bitmaps_[static_cast<int64_t>(key)];
+        break;
+      }
+      case FieldType::kDouble: {
+        HAIL_ASSIGN_OR_RETURN(uint64_t key, r.GetU64());
+        slot = &index.double_bitmaps_[DoubleFromBits(key)];
+        break;
+      }
+      case FieldType::kString: {
+        HAIL_ASSIGN_OR_RETURN(std::string_view key, r.GetLengthPrefixed());
+        slot = &index.string_bitmaps_[std::string(key)];
+        break;
+      }
+    }
+    if (slot == nullptr) return Status::Corruption("bad bitmap key type");
     HAIL_ASSIGN_OR_RETURN(uint32_t num_words, r.GetU32());
-    std::vector<uint64_t> words;
+    Bits words;
     words.reserve(num_words);
     for (uint32_t w = 0; w < num_words; ++w) {
       HAIL_ASSIGN_OR_RETURN(uint64_t word, r.GetU64());
       words.push_back(word);
     }
-    index.bitmaps_[std::string(key)] = std::move(words);
+    *slot = std::move(words);
   }
   return index;
 }
 
 uint64_t BitmapIndex::SerializedBytes() const {
   uint64_t bytes = 4 + 1 + 4 + 4;
-  for (const auto& [key, words] : bitmaps_) {
+  for (const auto& [key, words] : int_bitmaps_) {
+    (void)key;
+    bytes += 8 + 4 + 8ull * words.size();
+  }
+  for (const auto& [key, words] : double_bitmaps_) {
+    (void)key;
+    bytes += 8 + 4 + 8ull * words.size();
+  }
+  for (const auto& [key, words] : string_bitmaps_) {
     bytes += 4 + key.size() + 4 + 8ull * words.size();
   }
   return bytes;

@@ -10,9 +10,17 @@
 /// thousands of rows: cardinality x rows / 8 bytes), and unlike the
 /// clustered index it does not require the block to be sorted by the
 /// attribute — it can ride along on any replica.
+///
+/// Keys are stored *typed*: numeric domains map through an ordered
+/// int64/double map and string domains through a transparent
+/// (string_view-keyed) map, so neither Build nor Lookup ever renders a
+/// value to text — the old text-keyed design paid a formatting plus a
+/// heap allocation per row built and per probe (bench_index_micro
+/// measures and asserts the typed path).
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -33,7 +41,10 @@ class BitmapIndex {
   static BitmapIndex Build(const ColumnVector& values);
 
   uint32_t num_records() const { return num_records_; }
-  size_t cardinality() const { return bitmaps_.size(); }
+  size_t cardinality() const {
+    return int_bitmaps_.size() + double_bitmaps_.size() +
+           string_bitmaps_.size();
+  }
 
   /// Row ids holding exactly \p v (ascending order).
   std::vector<uint32_t> Lookup(const Value& v) const;
@@ -49,13 +60,34 @@ class BitmapIndex {
   uint64_t SerializedBytes() const;
 
  private:
-  /// Values are keyed by their text rendering (types are homogeneous per
-  /// column, so the rendering is a total order-preserving key).
-  static std::string KeyOf(const Value& v);
+  using Bits = std::vector<uint64_t>;
+
+  /// Total order over doubles for map keying: IEEE `<` would make NaN
+  /// incomparable (a strict-weak-ordering violation, i.e. UB in std::map
+  /// — text rows can parse to NaN). All NaNs form one equivalence class
+  /// sorted after every number; -0.0 and 0.0 stay one class, as under
+  /// IEEE equality.
+  struct DoubleKeyLess {
+    bool operator()(double a, double b) const {
+      if (std::isnan(a)) return false;  // NaN is never less
+      if (std::isnan(b)) return true;   // every number < NaN
+      return a < b;
+    }
+  };
+
+  /// The bitset for \p v, or nullptr when the value never occurs. A
+  /// lookup is one typed map probe: no formatting, no allocation (string
+  /// probes go through the transparent comparator).
+  const Bits* Find(const Value& v) const;
 
   uint32_t num_records_ = 0;
   FieldType type_ = FieldType::kInt32;
-  std::map<std::string, std::vector<uint64_t>> bitmaps_;  // key -> bitset
+  // Exactly one of these is populated, chosen by the column type:
+  // int32/date/int64 widen to int64, double stays double, strings own
+  // their key bytes (probed via string_view).
+  std::map<int64_t, Bits> int_bitmaps_;
+  std::map<double, Bits, DoubleKeyLess> double_bitmaps_;
+  std::map<std::string, Bits, std::less<>> string_bitmaps_;
 };
 
 }  // namespace hail

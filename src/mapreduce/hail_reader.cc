@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "hail/hail_block.h"
+#include "mapreduce/cached_block.h"
 #include "mapreduce/record_reader.h"
 #include "query/vectorized.h"
 
@@ -8,6 +9,28 @@ namespace hail {
 namespace mapreduce {
 
 namespace {
+
+/// \brief Once-per-block-version decode state shared across tasks and
+/// queries via the cluster BlockCache: parsed HAIL layout, opened PAX
+/// view, and the lazily deserialised clustered index (§4.3 reads it
+/// "entirely into main memory" — once, not once per task).
+struct CachedHailBlock : CachedIndexedBlock<HailBlockView, ClusteredIndex> {
+  PaxBlockView pax;
+};
+
+/// Opens (or retrieves) the decoded block state for one replica.
+Result<std::shared_ptr<const CachedHailBlock>> OpenCachedHailBlock(
+    const ReadContext& ctx, int dn, uint64_t block_id,
+    std::string_view bytes) {
+  return OpenCachedArtifact<CachedHailBlock>(
+      ctx, dn, block_id,
+      [&]() -> Result<std::shared_ptr<const hdfs::BlockArtifact>> {
+        auto cached = std::make_shared<CachedHailBlock>();
+        HAIL_ASSIGN_OR_RETURN(cached->view, HailBlockView::Open(bytes));
+        HAIL_ASSIGN_OR_RETURN(cached->pax, cached->view.OpenPax());
+        return std::shared_ptr<const hdfs::BlockArtifact>(std::move(cached));
+      });
+}
 
 /// Width used for logical index-size billing.
 uint64_t KeyWidth(FieldType type) {
@@ -131,8 +154,10 @@ class HailRecordReader : public RecordReader {
     HAIL_ASSIGN_OR_RETURN(std::string_view bytes,
                           ctx->dfs->datanode(dn).ReadBlockVerified(
                               loc.block_id, cfg.chunk_bytes));
-    HAIL_ASSIGN_OR_RETURN(HailBlockView view, HailBlockView::Open(bytes));
-    HAIL_ASSIGN_OR_RETURN(PaxBlockView pax, view.OpenPax());
+    HAIL_ASSIGN_OR_RETURN(std::shared_ptr<const CachedHailBlock> cached,
+                          OpenCachedHailBlock(*ctx, dn, loc.block_id, bytes));
+    const HailBlockView& view = cached->view;
+    const PaxBlockView& pax = cached->pax;
 
     const double scale = cfg.scale_factor;
     const uint64_t logical_records = static_cast<uint64_t>(
@@ -164,9 +189,11 @@ class HailRecordReader : public RecordReader {
           ctx->spec->annotation->filter.KeyRangeFor(index_column);
       if (key_range.has_value()) {
         // "We read the index entirely into main memory (typically a few
-        // KB) to perform an index lookup."
-        HAIL_ASSIGN_OR_RETURN(ClusteredIndex index, view.ReadIndex());
-        range = index.Lookup(*key_range);
+        // KB) to perform an index lookup." — decoded once per block
+        // version, shared across tasks and queries.
+        HAIL_ASSIGN_OR_RETURN(const ClusteredIndex* index,
+                              cached->Index(&ctx->dfs->block_cache()));
+        range = index->Lookup(*key_range);
         index_scan = true;
       }
     }

@@ -1,10 +1,16 @@
 #include "mapreduce/job_runner.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
+#include <future>
 #include <memory>
+#include <utility>
 
+#include "mapreduce/pending_index.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace hail {
 namespace mapreduce {
@@ -28,6 +34,37 @@ struct TaskState {
   int reschedules = 0;
 };
 
+/// Everything a functional read produces; computed inline (serial) or on a
+/// pool thread (parallel), consumed on the event thread either way.
+struct ReadOutcome {
+  Result<TaskCost> cost = Status::Unknown("read not executed");
+  std::unique_ptr<MapOutput> output;
+  uint64_t records_seen = 0;
+  uint64_t records_qualifying = 0;
+  uint64_t bad_records = 0;
+  bool fallback_scan = false;
+};
+
+/// Process-wide worker pool for parallel map-task reads. Created lazily,
+/// never destroyed (workers block on an empty queue between jobs); sized
+/// by HAIL_THREADS or hardware_concurrency.
+ThreadPool* SharedPool() {
+  static ThreadPool* pool = new ThreadPool(ThreadPool::DefaultThreads());
+  return pool;
+}
+
+ExecutionMode ResolveMode(const RunOptions& options) {
+  if (options.execution != ExecutionMode::kDefault) return options.execution;
+  if (const char* env = std::getenv("HAIL_EXEC")) {
+    if (std::strcmp(env, "serial") == 0) return ExecutionMode::kSerial;
+    if (std::strcmp(env, "parallel") == 0) return ExecutionMode::kParallel;
+  }
+  // With a single worker there is nothing to overlap — the ~µs/task
+  // dispatch overhead would be pure loss, so default to the inline path.
+  return ThreadPool::DefaultThreads() > 1 ? ExecutionMode::kParallel
+                                          : ExecutionMode::kSerial;
+}
+
 /// The whole mutable state of one job execution (shared by the event
 /// closures).
 struct Engine {
@@ -35,16 +72,43 @@ struct Engine {
   const JobSpec* spec;
   const RunOptions* options;
   JobPlan plan;
-  std::unique_ptr<RecordReader> reader;
+  std::unique_ptr<RecordReader> reader;  // serial mode reuses one reader
 
   sim::EventQueue events;
   std::vector<TaskState> tasks;
-  std::deque<size_t> pending;  // task indexes awaiting a slot
+  PendingTaskIndex pending{0};  // re-initialised in Run with #nodes
   std::vector<int> free_slots;  // per node
   uint32_t completed = 0;
   bool killed = false;
   bool done = false;
   sim::SimTime finish_time = 0.0;
+  Status first_error;  // readers can fail; surfaced after the run
+
+  // ---- parallel engine state (unused in serial mode) ----
+  bool parallel = false;
+  ThreadPool* pool = nullptr;
+  /// One dispatched-but-not-joined functional read. `seq` is the
+  /// completion event's reserved FIFO slot; `earliest_completion` the
+  /// soonest simulated instant the task can complete (cost >= 0), which
+  /// bounds how far the event loop may run before joining.
+  struct InFlight {
+    size_t task_id = 0;
+    int attempt = 0;
+    int node = -1;
+    sim::SimTime assign_time = 0.0;
+    sim::SimTime earliest_completion = 0.0;
+    uint64_t seq = 0;
+    std::future<ReadOutcome> future;
+  };
+  std::deque<InFlight> inflight;  // assignment (= reserved seq) order
+  /// Failure injection is requested by OnTaskComplete but applied by the
+  /// loop *after* the event returns and every in-flight read has joined:
+  /// reads assigned before the kill must observe pre-kill DFS state, both
+  /// for serial-equivalence and because KillNode mutates shared
+  /// namenode/cluster state the pool threads read.
+  bool kill_requested = false;
+  int kill_victim = -1;
+  uint64_t kill_seq = 0;
 
   const sim::CostConstants& constants() const {
     return dfs->cluster().constants();
@@ -55,7 +119,13 @@ struct Engine {
                       sim::SimTime started);
   void OnFailureDetected(int node);
   Status AssignTask(size_t task_id, int node);
-  Status first_error;  // readers can fail; surfaced after the run
+  ReadOutcome ExecuteRead(RecordReader* rdr, const InputSplit& split,
+                          int node) const;
+  Status FinishRead(size_t task_id, int attempt, int node,
+                    sim::SimTime assign_time, ReadOutcome outcome,
+                    const uint64_t* reserved_seq);
+  Status JoinOldest();
+  void RunParallelLoop();
 };
 
 void Engine::Heartbeat(int node) {
@@ -63,20 +133,12 @@ void Engine::Heartbeat(int node) {
   int assigned = 0;
   while (free_slots[static_cast<size_t>(node)] > 0 &&
          assigned < constants().tasks_per_heartbeat && !pending.empty()) {
-    // Locality first: scan the queue for a split preferring this node.
-    size_t pick = pending.front();
-    size_t pick_pos = 0;
-    for (size_t i = 0; i < pending.size(); ++i) {
-      const TaskState& t = tasks[pending[i]];
-      const auto& pref = t.split->preferred_nodes;
-      if (std::find(pref.begin(), pref.end(), node) != pref.end()) {
-        pick = pending[i];
-        pick_pos = i;
-        break;
-      }
-    }
-    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick_pos));
-    Status st = AssignTask(pick, node);
+    // Locality first: the earliest pending task preferring this node,
+    // else the earliest pending task overall (indexed; pick-identical to
+    // the former linear scan over the pending list).
+    const std::optional<size_t> pick = pending.PopFor(node);
+    if (!pick.has_value()) break;
+    Status st = AssignTask(*pick, node);
     if (!st.ok()) {
       // A reader failure is fatal for the run: stop scheduling so the
       // event loop drains instead of heartbeating forever.
@@ -88,6 +150,52 @@ void Engine::Heartbeat(int node) {
   }
 }
 
+ReadOutcome Engine::ExecuteRead(RecordReader* rdr, const InputSplit& split,
+                                int node) const {
+  ReadOutcome out;
+  out.output = std::make_unique<MapOutput>(spec->collect_output);
+  ReadContext ctx;
+  ctx.dfs = dfs;
+  ctx.spec = spec;
+  ctx.plan = &plan;
+  ctx.task_node = node;
+  ctx.out = out.output.get();
+  out.cost = rdr->ReadSplit(split, &ctx);
+  out.records_seen = ctx.records_seen;
+  out.records_qualifying = ctx.records_qualifying;
+  out.bad_records = ctx.bad_records;
+  out.fallback_scan = ctx.fallback_scan;
+  return out;
+}
+
+Status Engine::FinishRead(size_t task_id, int attempt, int node,
+                          sim::SimTime assign_time, ReadOutcome outcome,
+                          const uint64_t* reserved_seq) {
+  HAIL_RETURN_NOT_OK(outcome.cost.status());
+  TaskState& task = tasks[task_id];
+  task.output = std::move(outcome.output);
+  task.records_seen = outcome.records_seen;
+  task.records_qualifying = outcome.records_qualifying;
+  task.bad_records = outcome.bad_records;
+  task.fallback_scan = outcome.fallback_scan;
+  // RecordReader time = one-time reader construction + the data access.
+  task.rr_seconds =
+      constants().task_rr_init_ms / 1000.0 + outcome.cost->total();
+
+  const double duration = constants().task_setup_s + outcome.cost->total() +
+                          constants().task_cleanup_s;
+  auto completion = [this, task_id, attempt, node, assign_time] {
+    OnTaskComplete(task_id, attempt, node, assign_time);
+  };
+  if (reserved_seq != nullptr) {
+    events.ScheduleAtReserved(*reserved_seq, assign_time + duration,
+                              std::move(completion));
+  } else {
+    events.ScheduleAfter(duration, std::move(completion));
+  }
+  return Status::OK();
+}
+
 Status Engine::AssignTask(size_t task_id, int node) {
   TaskState& task = tasks[task_id];
   task.status = TaskStatus::kRunning;
@@ -95,35 +203,47 @@ Status Engine::AssignTask(size_t task_id, int node) {
   task.run_on = node;
   free_slots[static_cast<size_t>(node)] -= 1;
 
-  // Functional read happens now; the simulated duration covers setup +
-  // record reading + cleanup.
-  auto output = std::make_unique<MapOutput>(spec->collect_output);
-  ReadContext ctx;
-  ctx.dfs = dfs;
-  ctx.spec = spec;
-  ctx.plan = &plan;
-  ctx.task_node = node;
-  ctx.out = output.get();
-  Result<TaskCost> cost = reader->ReadSplit(*task.split, &ctx);
-  if (!cost.ok()) return cost.status();
+  if (!parallel) {
+    // Functional read happens now; the simulated duration covers setup +
+    // record reading + cleanup.
+    return FinishRead(task_id, task.attempt, node, events.Now(),
+                      ExecuteRead(reader.get(), *task.split, node),
+                      /*reserved_seq=*/nullptr);
+  }
 
-  task.output = std::move(output);
-  task.records_seen = ctx.records_seen;
-  task.records_qualifying = ctx.records_qualifying;
-  task.bad_records = ctx.bad_records;
-  task.fallback_scan = ctx.fallback_scan;
-  // RecordReader time = one-time reader construction + the data access.
-  task.rr_seconds =
-      constants().task_rr_init_ms / 1000.0 + cost->total();
-
-  const double duration = constants().task_setup_s + cost->total() +
-                          constants().task_cleanup_s;
-  const int attempt = task.attempt;
-  const sim::SimTime started = events.Now();
-  events.ScheduleAfter(duration, [this, task_id, attempt, node, started] {
-    OnTaskComplete(task_id, attempt, node, started);
+  // Parallel: reserve the completion event's FIFO slot here — exactly
+  // where serial would allocate it — and dispatch the read to the pool.
+  // The loop joins the future before the simulation can reach the task's
+  // earliest possible completion instant.
+  InFlight f;
+  f.task_id = task_id;
+  f.attempt = task.attempt;
+  f.node = node;
+  f.assign_time = events.Now();
+  f.earliest_completion =
+      f.assign_time + constants().task_setup_s + constants().task_cleanup_s;
+  f.seq = events.ReserveSeq();
+  const InputSplit* split = task.split;
+  f.future = pool->Submit([this, split, node] {
+    // Readers are cheap to construct; a private instance per read keeps
+    // the pool threads free of any shared reader state.
+    std::unique_ptr<RecordReader> rdr = MakeRecordReader(spec->system);
+    return ExecuteRead(rdr.get(), *split, node);
   });
+  inflight.push_back(std::move(f));
   return Status::OK();
+}
+
+Status Engine::JoinOldest() {
+  InFlight f = std::move(inflight.front());
+  inflight.pop_front();
+  Status st = FinishRead(f.task_id, f.attempt, f.node, f.assign_time,
+                         f.future.get(), &f.seq);
+  if (!st.ok()) {
+    if (first_error.ok()) first_error = st;
+    done = true;
+  }
+  return st;
 }
 
 void Engine::OnTaskComplete(size_t task_id, int attempt, int node,
@@ -149,9 +269,18 @@ void Engine::OnTaskComplete(size_t task_id, int attempt, int node,
           options->kill_at_progress * static_cast<double>(tasks.size())) {
     killed = true;
     const int victim = options->kill_node;
-    dfs->KillNode(victim, events.Now());
-    events.ScheduleAfter(constants().expiry_interval_s,
-                         [this, victim] { OnFailureDetected(victim); });
+    if (!parallel) {
+      dfs->KillNode(victim, events.Now());
+      events.ScheduleAfter(constants().expiry_interval_s,
+                           [this, victim] { OnFailureDetected(victim); });
+    } else {
+      // Reserve the detection event's slot now (identical tie-break rank
+      // to serial); the loop applies the kill once in-flight reads have
+      // drained.
+      kill_requested = true;
+      kill_victim = victim;
+      kill_seq = events.ReserveSeq();
+    }
   }
 
   if (completed == tasks.size()) {
@@ -175,15 +304,65 @@ void Engine::OnFailureDetected(int node) {
     if (task.status == TaskStatus::kRunning) {
       task.status = TaskStatus::kPending;
       task.reschedules += 1;
-      pending.push_back(i);
+      pending.Push(i, task.split->preferred_nodes);
     } else if (task.status == TaskStatus::kDone) {
       task.status = TaskStatus::kPending;
       task.reschedules += 1;
       task.output.reset();
       --completed;
-      pending.push_back(i);
+      pending.Push(i, task.split->preferred_nodes);
     }
   }
+}
+
+void Engine::RunParallelLoop() {
+  for (;;) {
+    // Join every in-flight read whose completion event could precede the
+    // next queued event — (earliest_completion, reserved seq) is a strict
+    // lower bound on the completion event's (time, seq) key, so the
+    // simulation never runs past an unscheduled completion.
+    while (!inflight.empty()) {
+      bool join_now = true;
+      if (events.pending() > 0) {
+        const auto [when, seq] = events.NextKey();
+        const InFlight& f = inflight.front();
+        join_now = f.earliest_completion < when ||
+                   (f.earliest_completion == when && f.seq < seq);
+      }
+      if (!join_now) break;
+      if (!JoinOldest().ok()) break;  // error: drained below
+    }
+    if (!first_error.ok()) break;
+    if (events.pending() == 0) {
+      if (inflight.empty()) break;
+      continue;  // only in-flight reads remain; join them next pass
+    }
+    events.RunOne();
+    if (kill_requested) {
+      // Drain all in-flight reads (they were assigned pre-kill and must
+      // see pre-kill DFS state), then mutate the shared state.
+      kill_requested = false;
+      Status drained = Status::OK();
+      while (!inflight.empty() && drained.ok()) drained = JoinOldest();
+      if (drained.ok()) {
+        dfs->KillNode(kill_victim, events.Now());
+        const int victim = kill_victim;
+        events.ScheduleAtReserved(
+            kill_seq, events.Now() + constants().expiry_interval_s,
+            [this, victim] { OnFailureDetected(victim); });
+      }
+    }
+  }
+  // Error exit: wait out any stragglers so no pool thread touches this
+  // engine after Run returns (their results are discarded, exactly as
+  // serial never executed those reads' results).
+  while (!inflight.empty()) {
+    inflight.front().future.wait();
+    inflight.pop_front();
+  }
+  // Serial drains every remaining (no-op) event after an error; mirror it
+  // so executed-event accounting matches.
+  events.RunUntilEmpty();
 }
 
 }  // namespace
@@ -191,12 +370,12 @@ void Engine::OnFailureDetected(int node) {
 Result<JobResult> JobRunner::Run(const JobSpec& spec,
                                  const RunOptions& options) {
   sim::SimCluster& cluster = dfs_->cluster();
-  // Jobs are measured on a fresh clock: reset resources and revive nodes.
+  // Jobs are measured on a fresh clock: reset resources and revive nodes
+  // (a revived node re-registers with a cold read cache).
   for (int i = 0; i < cluster.num_nodes(); ++i) {
     cluster.node(i).ResetResources();
     if (!cluster.node(i).alive()) {
-      cluster.node(i).set_alive(true);
-      dfs_->namenode().MarkDatanodeAlive(i);
+      dfs_->ReviveNode(i);
     }
   }
 
@@ -204,6 +383,8 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
   eng.dfs = dfs_;
   eng.spec = &spec;
   eng.options = &options;
+  eng.parallel = ResolveMode(options) == ExecutionMode::kParallel;
+  if (eng.parallel) eng.pool = SharedPool();
   HAIL_ASSIGN_OR_RETURN(eng.plan, ComputeJobPlan(dfs_, spec));
   eng.reader = MakeRecordReader(spec.system);
   if (eng.plan.splits.empty()) {
@@ -212,9 +393,10 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
 
   const sim::CostConstants& c = cluster.constants();
   eng.tasks.resize(eng.plan.splits.size());
+  eng.pending = PendingTaskIndex(cluster.num_nodes());
   for (size_t i = 0; i < eng.plan.splits.size(); ++i) {
     eng.tasks[i].split = &eng.plan.splits[i];
-    eng.pending.push_back(i);
+    eng.pending.Push(i, eng.plan.splits[i].preferred_nodes);
   }
   eng.free_slots.resize(static_cast<size_t>(cluster.num_nodes()));
   int total_slots = 0;
@@ -258,7 +440,11 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
     };
     eng.events.ScheduleAt(t0 + stagger, Beat{&eng, i, c.heartbeat_interval_s});
   }
-  eng.events.RunUntilEmpty();
+  if (eng.parallel) {
+    eng.RunParallelLoop();
+  } else {
+    eng.events.RunUntilEmpty();
+  }
   HAIL_RETURN_NOT_OK(eng.first_error);
   if (!eng.done) {
     return Status::Unknown("job '" + spec.name +

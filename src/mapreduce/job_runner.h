@@ -13,6 +13,18 @@
 /// the failure is detected after the expiry interval, running tasks on the
 /// node are lost, completed map tasks on it are re-executed, and HAIL
 /// tasks whose matching-index replica died fall back to scanning.
+///
+/// Execution engine: the *functional* side of each map task (replica
+/// read, CRC verification, filtering, tuple reconstruction) is pure with
+/// respect to the simulation — its result depends only on the split, the
+/// assigned node and the DFS state at assignment time. The parallel
+/// engine exploits this: AssignTask dispatches the read to a fixed-size
+/// worker pool and the event loop joins the future no later than the
+/// task's earliest possible completion instant, reserving the completion
+/// event's FIFO slot at assignment time. Scheduling decisions, the
+/// simulated clock and all TaskCost accounting stay on the event thread,
+/// so every simulated number (durations, per-task stats, JobResults) is
+/// bit-identical to serial execution — only wall-clock time changes.
 
 #pragma once
 
@@ -24,12 +36,26 @@
 namespace hail {
 namespace mapreduce {
 
-/// \brief Per-run options (failure injection).
+/// \brief How map-task reads execute under the simulated scheduler.
+enum class ExecutionMode {
+  /// HAIL_EXEC environment variable ("serial"/"parallel"), defaulting to
+  /// parallel on multi-core machines and serial when only one worker
+  /// thread is available (nothing to overlap).
+  kDefault,
+  /// Run every read inline on the event thread (the original engine).
+  kSerial,
+  /// Overlap reads on a worker pool; simulated results are bit-identical.
+  kParallel,
+};
+
+/// \brief Per-run options (failure injection, execution engine).
 struct RunOptions {
   /// Node to kill mid-job; -1 disables failure injection.
   int kill_node = -1;
   /// Kill once this fraction of map tasks has completed (paper: 50%).
   double kill_at_progress = 0.5;
+  /// Serial/parallel execution of the functional reads.
+  ExecutionMode execution = ExecutionMode::kDefault;
 };
 
 /// \brief Runs MapReduce jobs against a MiniDfs cluster.

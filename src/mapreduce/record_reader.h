@@ -41,8 +41,14 @@ struct TaskCost {
 };
 
 /// \brief Everything a reader needs, plus per-task statistics it fills in.
+///
+/// Readers run concurrently on pool threads under the parallel execution
+/// engine, so they see the DFS strictly const: replica stores, namenode
+/// directories and cost models are read-only during a job (the only
+/// mid-job mutation — failure injection — is serialised against in-flight
+/// reads by the engine). All mutable per-task state lives here.
 struct ReadContext {
-  hdfs::MiniDfs* dfs = nullptr;
+  const hdfs::MiniDfs* dfs = nullptr;
   const JobSpec* spec = nullptr;
   const JobPlan* plan = nullptr;
   /// Node the map task runs on (locality decisions + cost model).

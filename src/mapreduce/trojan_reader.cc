@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "hadooppp/trojan_block.h"
+#include "mapreduce/cached_block.h"
 #include "mapreduce/record_reader.h"
 
 namespace hail {
@@ -10,6 +11,29 @@ namespace {
 
 uint64_t TrojanKeyWidth(FieldType type) {
   return IsFixedSize(type) ? FieldTypeWidth(type) : 16;
+}
+
+/// \brief Once-per-block-version decode state shared via the BlockCache:
+/// parsed trojan layout + row view, and the lazily decoded trojan index
+/// (the dense directory the paper sizes at ~304 KB per 64 MB block —
+/// worth decoding once, not once per task).
+struct CachedTrojanBlock
+    : CachedIndexedBlock<hadooppp::TrojanBlockView, TrojanIndex> {
+  RowBinaryBlockView rows;
+};
+
+Result<std::shared_ptr<const CachedTrojanBlock>> OpenCachedTrojanBlock(
+    const ReadContext& ctx, int dn, uint64_t block_id,
+    std::string_view bytes) {
+  return OpenCachedArtifact<CachedTrojanBlock>(
+      ctx, dn, block_id,
+      [&]() -> Result<std::shared_ptr<const hdfs::BlockArtifact>> {
+        auto cached = std::make_shared<CachedTrojanBlock>();
+        HAIL_ASSIGN_OR_RETURN(cached->view,
+                              hadooppp::TrojanBlockView::Open(bytes));
+        HAIL_ASSIGN_OR_RETURN(cached->rows, cached->view.OpenRows());
+        return std::shared_ptr<const hdfs::BlockArtifact>(std::move(cached));
+      });
 }
 
 /// \brief Hadoop++ RecordReader: trojan-index scan over binary rows.
@@ -60,9 +84,11 @@ class TrojanRecordReader : public RecordReader {
     HAIL_ASSIGN_OR_RETURN(std::string_view bytes,
                           ctx->dfs->datanode(dn).ReadBlockVerified(
                               loc.block_id, cfg.chunk_bytes));
-    HAIL_ASSIGN_OR_RETURN(hadooppp::TrojanBlockView view,
-                          hadooppp::TrojanBlockView::Open(bytes));
-    HAIL_ASSIGN_OR_RETURN(RowBinaryBlockView rows, view.OpenRows());
+    HAIL_ASSIGN_OR_RETURN(
+        std::shared_ptr<const CachedTrojanBlock> cached,
+        OpenCachedTrojanBlock(*ctx, dn, loc.block_id, bytes));
+    const hadooppp::TrojanBlockView& view = cached->view;
+    const RowBinaryBlockView& rows = cached->rows;
 
     const double scale = cfg.scale_factor;
     const uint64_t logical_records = static_cast<uint64_t>(
@@ -85,8 +111,9 @@ class TrojanRecordReader : public RecordReader {
       const auto key_range =
           ctx->spec->annotation->filter.KeyRangeFor(index_column);
       if (key_range.has_value()) {
-        HAIL_ASSIGN_OR_RETURN(TrojanIndex index, view.ReadIndex());
-        const TrojanIndex::LookupResult hit = index.Lookup(*key_range);
+        HAIL_ASSIGN_OR_RETURN(const TrojanIndex* index,
+                              cached->Index(&ctx->dfs->block_cache()));
+        const TrojanIndex::LookupResult hit = index->Lookup(*key_range);
         first_row = hit.first_row;
         end_row = hit.end_row;
         range_bytes_real = hit.bytes.empty() ? 0 : hit.bytes.end - hit.bytes.begin;

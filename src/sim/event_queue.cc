@@ -10,15 +10,22 @@ void EventQueue::ScheduleAt(SimTime when, Callback fn) {
   events_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
+void EventQueue::ScheduleAtReserved(uint64_t seq, SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  events_.push(Event{when, seq, std::move(fn)});
+}
+
+void EventQueue::RunOne() {
+  // The callback may schedule more events, so move it out before popping.
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+}
+
 SimTime EventQueue::RunUntilEmpty() {
-  while (!events_.empty()) {
-    // The callback may schedule more events, so move it out before popping.
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.when;
-    ++executed_;
-    ev.fn();
-  }
+  while (!events_.empty()) RunOne();
   return now_;
 }
 

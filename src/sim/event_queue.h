@@ -6,12 +6,20 @@
 /// scheduled for the same instant run in FIFO order (a monotonically
 /// increasing sequence number breaks ties), which keeps every simulation
 /// deterministic for a fixed input.
+///
+/// Sequence numbers can also be *reserved* ahead of insertion
+/// (ReserveSeq/ScheduleAtReserved): the parallel task-execution engine
+/// reserves an event's tie-break slot at the simulated instant the serial
+/// engine would have scheduled it, then fills in the callback once the
+/// off-thread work joins — making parallel event ordering byte-identical
+/// to serial even for exact timestamp collisions.
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 namespace hail {
@@ -40,6 +48,24 @@ class EventQueue {
   void ScheduleAfter(SimTime delay, Callback fn) {
     ScheduleAt(now_ + delay, std::move(fn));
   }
+
+  /// Reserves the next sequence number without inserting an event. The
+  /// reservation must later be filled with ScheduleAtReserved (or
+  /// abandoned, leaving a harmless gap in the sequence).
+  uint64_t ReserveSeq() { return next_seq_++; }
+
+  /// Inserts an event under a previously reserved sequence number, so its
+  /// FIFO rank among same-time events reflects the reservation point, not
+  /// the insertion point.
+  void ScheduleAtReserved(uint64_t seq, SimTime when, Callback fn);
+
+  /// (when, seq) of the earliest queued event; pending() must be > 0.
+  std::pair<SimTime, uint64_t> NextKey() const {
+    return {events_.top().when, events_.top().seq};
+  }
+
+  /// Pops and executes exactly one event; pending() must be > 0.
+  void RunOne();
 
   /// Runs events until the queue is empty. Returns the final clock value.
   SimTime RunUntilEmpty();

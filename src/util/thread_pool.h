@@ -1,0 +1,76 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool with a future-based join primitive.
+///
+/// Backs the parallel map-task execution engine (mapreduce/job_runner.cc):
+/// the event loop dispatches each task's *functional* read to the pool and
+/// joins the returned future when the simulated completion event is due, so
+/// heavy per-task work (CRC verification, block decode, filtering, tuple
+/// reconstruction) overlaps across hardware threads while all scheduling
+/// decisions and simulated-clock accounting stay on the event thread.
+///
+/// Tasks submitted to the pool run in FIFO submission order whenever the
+/// pool has one worker, which keeps single-threaded parallel-mode runs
+/// trivially equivalent to serial execution; with more workers, callers
+/// must only depend on the futures they hold, never on cross-task ordering.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hail {
+
+/// \brief A fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Destruction drains the queue: every submitted task is executed (never
+/// dropped), so futures returned by Submit are always satisfied and task
+/// closures may safely reference state that outlives the last `get()`.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues \p fn and returns a future for its result. The future's
+  /// `get()` blocks until a worker has executed the task.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Number of hardware threads to use by default: the HAIL_THREADS
+  /// environment variable when set (>= 1), else hardware_concurrency().
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hail
