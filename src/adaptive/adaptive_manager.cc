@@ -1,0 +1,88 @@
+#include "adaptive/adaptive_manager.h"
+
+#include <algorithm>
+
+namespace hail {
+namespace adaptive {
+
+AdaptiveManager::AdaptiveManager(hdfs::MiniDfs* dfs, Schema schema,
+                                 std::string file, AdaptiveConfig config)
+    : dfs_(dfs),
+      schema_(std::move(schema)),
+      file_(std::move(file)),
+      observer_(config.observer),
+      planner_(config.planner) {}
+
+std::vector<MaintenanceTask> AdaptiveManager::TakeTasks() {
+  std::vector<MaintenanceTask> out(pending_.begin(), pending_.end());
+  pending_.clear();
+  return out;
+}
+
+bool AdaptiveManager::IsPending(const MaintenanceTask& task) const {
+  return std::find(pending_.begin(), pending_.end(), task) != pending_.end();
+}
+
+size_t AdaptiveManager::Enqueue(std::vector<MaintenanceTask> tasks,
+                                bool front) {
+  // An arriving re-sort supersedes a still-queued lazy install for the
+  // same (block, column): once the replica is going to be sorted anyway,
+  // the dense index would be a wasted rewrite plus permanent bloat.
+  for (const MaintenanceTask& task : tasks) {
+    if (task.kind != MaintenanceTask::Kind::kResortReplica) continue;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->kind == MaintenanceTask::Kind::kInstallUnclustered &&
+          it->block_id == task.block_id && it->column == task.column) {
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  size_t added = 0;
+  if (front) {
+    for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
+      if (!IsPending(*it)) {
+        pending_.push_front(*it);
+        ++added;
+      }
+    }
+  } else {
+    for (MaintenanceTask& task : tasks) {
+      if (!IsPending(task)) {
+        pending_.push_back(task);
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+void AdaptiveManager::ReturnUnfinished(std::vector<MaintenanceTask> tasks) {
+  Enqueue(std::move(tasks), /*front=*/true);
+}
+
+void AdaptiveManager::PruneConverged() {
+  std::deque<MaintenanceTask> kept;
+  for (const MaintenanceTask& task : pending_) {
+    if (dfs_->namenode()
+            .GetHostsWithIndex(task.block_id, task.column)
+            .empty()) {
+      kept.push_back(task);
+    }
+  }
+  pending_ = std::move(kept);
+}
+
+void AdaptiveManager::ObserveJob(const mapreduce::JobSpec& spec,
+                                 const mapreduce::JobResult& result) {
+  if (spec.input_file != file_ || !spec.annotation.has_value()) return;
+  observer_.Observe(*spec.annotation, result);
+  PruneConverged();
+  std::vector<MaintenanceTask> tasks =
+      planner_.Plan(*dfs_, schema_, file_, observer_, &last_plan_);
+  planned_total_ += Enqueue(std::move(tasks), /*front=*/false);
+}
+
+}  // namespace adaptive
+}  // namespace hail

@@ -1,0 +1,97 @@
+/// \file adaptive_manager.h
+/// \brief The closed adaptive-indexing loop, one instance per managed file.
+///
+/// Wiring (see README "The adaptive path"):
+///
+///   JobRunner --ObserveJob--> WorkloadObserver --ToWorkload/regret-->
+///   ReorgPlanner --MaintenanceTasks--> pending queue --TakeTasks-->
+///   JobRunner (low-priority slots) --Prepare/CommitReorg--> datanode
+///   StoreBlock (generation bump -> BlockCache invalidation) + namenode
+///   Dir_rep update --> next query's getHostsWithIndex finds the new index.
+///
+/// The manager is deliberately passive: it never runs work itself. The
+/// JobRunner drains the pending queue into idle map slots while a
+/// foreground job executes, and returns whatever did not finish (node
+/// died, job ended first) — those tasks simply wait for the next job, so
+/// a reorganization interrupted by a node kill resumes after the revive.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "adaptive/reorg_planner.h"
+#include "adaptive/workload_observer.h"
+
+namespace hail {
+namespace adaptive {
+
+struct AdaptiveConfig {
+  WorkloadObserver::Options observer;
+  PlannerOptions planner;
+};
+
+/// \brief Observer + planner + pending maintenance queue for one file.
+class AdaptiveManager {
+ public:
+  AdaptiveManager(hdfs::MiniDfs* dfs, Schema schema, std::string file,
+                  AdaptiveConfig config = AdaptiveConfig());
+
+  // ---- JobRunner hooks ----
+
+  /// Called at job start: hands every pending maintenance task to the
+  /// runner (they execute on idle slots of that job).
+  std::vector<MaintenanceTask> TakeTasks();
+
+  /// Called at job end with the tasks that did not run to completion;
+  /// they are requeued ahead of newly planned work.
+  void ReturnUnfinished(std::vector<MaintenanceTask> tasks);
+
+  /// Called at job end (after ReturnUnfinished): records the query in the
+  /// observer and runs one planning round against the *post-reorg*
+  /// directory state. Ignores jobs over other files or without an
+  /// annotation.
+  void ObserveJob(const mapreduce::JobSpec& spec,
+                  const mapreduce::JobResult& result);
+
+  /// Completion bookkeeping (counters only; the runner already committed).
+  void NoteCompleted(uint32_t completed, uint32_t failed) {
+    completed_total_ += completed;
+    failed_total_ += failed;
+  }
+
+  // ---- introspection (tests, bench, demos) ----
+  const WorkloadObserver& observer() const { return observer_; }
+  const PlanSummary& last_plan() const { return last_plan_; }
+  size_t pending_tasks() const { return pending_.size(); }
+  uint64_t planned_total() const { return planned_total_; }
+  uint64_t completed_total() const { return completed_total_; }
+  uint64_t failed_total() const { return failed_total_; }
+  const std::string& file() const { return file_; }
+  const Schema& schema() const { return schema_; }
+
+ private:
+  /// Returns how many tasks were actually added (duplicates are dropped).
+  size_t Enqueue(std::vector<MaintenanceTask> tasks, bool front);
+  bool IsPending(const MaintenanceTask& task) const;
+  /// Drops queued tasks whose block meanwhile gained an alive clustered
+  /// replica on the task's column (e.g. a queued unclustered install made
+  /// redundant by an escalated re-sort).
+  void PruneConverged();
+
+  hdfs::MiniDfs* dfs_;
+  Schema schema_;
+  std::string file_;
+  WorkloadObserver observer_;
+  ReorgPlanner planner_;
+  std::deque<MaintenanceTask> pending_;
+  PlanSummary last_plan_;
+  uint64_t planned_total_ = 0;
+  uint64_t completed_total_ = 0;
+  uint64_t failed_total_ = 0;
+};
+
+}  // namespace adaptive
+}  // namespace hail

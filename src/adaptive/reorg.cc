@@ -1,0 +1,123 @@
+#include "adaptive/reorg.h"
+
+#include <utility>
+
+#include "hail/hail_block.h"
+#include "hdfs/packet.h"
+#include "index/unclustered_index.h"
+#include "layout/column_vector.h"
+
+namespace hail {
+namespace adaptive {
+
+Result<PreparedReorg> PrepareReorg(const hdfs::MiniDfs& dfs,
+                                   const MaintenanceTask& task) {
+  if (task.datanode < 0 || task.datanode >= dfs.num_datanodes()) {
+    return Status::InvalidArgument("maintenance task names no datanode");
+  }
+  HAIL_ASSIGN_OR_RETURN(
+      hdfs::HailBlockReplicaInfo old_info,
+      dfs.namenode().GetReplicaInfo(task.block_id, task.datanode));
+  if (old_info.layout != hdfs::ReplicaLayout::kPax) {
+    return Status::InvalidArgument(
+        "adaptive reorg requires a PAX (HAIL) replica");
+  }
+  const hdfs::Datanode& node = dfs.datanode(task.datanode);
+  HAIL_ASSIGN_OR_RETURN(std::string_view raw,
+                        node.ReadBlockRaw(task.block_id));
+  HAIL_ASSIGN_OR_RETURN(HailBlockView view, HailBlockView::Open(raw));
+  HAIL_ASSIGN_OR_RETURN(PaxBlock base,
+                        PaxBlock::Deserialize(view.pax_section()));
+  if (task.column < 0 || task.column >= base.schema().num_fields()) {
+    return Status::InvalidArgument("reorg column outside the schema");
+  }
+
+  // Logical (paper-scale) quantities for billing, derived exactly like the
+  // upload path's HailTransformParams.
+  const double scale = dfs.config().scale_factor;
+  const sim::CostModel& cost = dfs.cluster().node(task.datanode).cost();
+  const sim::CostConstants& c = dfs.cluster().constants();
+  const uint64_t logical_records = static_cast<uint64_t>(
+      static_cast<double>(base.num_records()) * scale);
+  const uint64_t logical_data = static_cast<uint64_t>(
+      static_cast<double>(base.PayloadBytes()) * scale);
+  const FieldType key_type = base.schema().field(task.column).type;
+
+  PreparedReorg out;
+  out.info = old_info;
+  out.info.layout = hdfs::ReplicaLayout::kPax;
+
+  double cpu = 0.0;
+  uint64_t logical_index_delta = 0;  // index bytes written on top of data
+  if (task.kind == MaintenanceTask::Kind::kInstallUnclustered) {
+    // Lazy path: sort only (key, rowid) pairs; data + clustered index are
+    // spliced through untouched.
+    const UnclusteredIndex uc = UnclusteredIndex::Build(base.column(task.column));
+    out.bytes = BuildHailBlockParts(view.sort_column(), view.index_section(),
+                                    view.pax_section(), task.column,
+                                    uc.Serialize());
+    out.info.unclustered_column = task.column;
+    out.info.unclustered_index_bytes = uc.SerializedBytes();
+    cpu += cost.UnclusteredBuild(logical_records);
+    // Dense: one (key, rowid) entry per logical record (§3.5) — the same
+    // size the reader bills when it later loads this index.
+    logical_index_delta = LogicalDenseIndexBytes(logical_records, key_type);
+  } else {
+    // Full re-sort via the upload-time machinery: raw typed argsort of the
+    // key column, PermutedCopy of the shared columns, sparse index.
+    const std::vector<uint32_t> perm = ArgSortColumn(base.column(task.column));
+    const PaxBlock sorted = base.PermutedCopy(perm);
+    const ClusteredIndex index = ClusteredIndex::Build(
+        sorted.column(task.column),
+        dfs.config().format.varlen_partition_size);
+    out.bytes = BuildHailBlock(sorted, &index, task.column);
+    out.info.sort_column = task.column;
+    out.info.index_kind = "clustered";
+    out.info.index_bytes = index.SerializedBytes();
+    // The re-sort consumes any previously installed unclustered index
+    // (rows moved; its rowids would be stale).
+    out.info.unclustered_column = -1;
+    out.info.unclustered_index_bytes = 0;
+    cpu += cost.SortBlock(
+        logical_records,
+        static_cast<uint64_t>(static_cast<double>(base.FixedPayloadBytes()) *
+                              scale),
+        static_cast<uint64_t>(static_cast<double>(base.VarlenPayloadBytes()) *
+                              scale),
+        key_type == FieldType::kString);
+    cpu += cost.IndexBuild(logical_records);
+    // Paper-scale sparse root: one entry per 1024 logical values — again
+    // exactly what the reader bills for loading it.
+    logical_index_delta = LogicalSparseIndexBytes(
+        logical_records, c.index_partition_logical, key_type,
+        /*pointer_bytes=*/4);
+  }
+  out.info.replica_bytes = out.bytes.size();
+  out.chunk_crcs = hdfs::ComputeChunkChecksums(
+      out.bytes, static_cast<uint32_t>(dfs.config().chunk_bytes));
+
+  // Simulated duration on the owning datanode: read the replica, do the
+  // CPU work, recompute checksums, write data + index back.
+  const uint64_t logical_out = logical_data + logical_index_delta;
+  out.seconds = cost.DiskAccess(logical_data)   // read
+                + cpu + cost.Crc(logical_out)   // transform + checksums
+                + cost.DiskAccess(logical_out); // write
+  return out;
+}
+
+Status CommitReorg(hdfs::MiniDfs* dfs, const MaintenanceTask& task,
+                   PreparedReorg prepared) {
+  if (!dfs->cluster().node(task.datanode).alive()) {
+    return Status::FailedPrecondition("datanode died mid-reorg");
+  }
+  // StoreBlock bumps the replica's generation, which drops every
+  // BlockCache entry describing the old bytes.
+  dfs->datanode(task.datanode)
+      .StoreBlock(task.block_id, std::move(prepared.bytes),
+                  prepared.chunk_crcs);
+  return dfs->namenode().RegisterReplica(task.block_id, task.datanode,
+                                         prepared.info);
+}
+
+}  // namespace adaptive
+}  // namespace hail

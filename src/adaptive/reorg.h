@@ -1,0 +1,78 @@
+/// \file reorg.h
+/// \brief Per-block replica rewrites: the adaptive loop's hands.
+///
+/// A MaintenanceTask names one replica and what to make of it:
+///  - kInstallUnclustered: splice a dense per-block UnclusteredIndex on
+///    the hot column into the existing replica (LIAH-style lazy
+///    adaptivity) — sort order, clustered index and PAX payload are copied
+///    verbatim, so the rewrite costs one read + key sort + write;
+///  - kResortReplica: fully re-sort the replica to the hot column and
+///    rebuild its clustered index via the same PermutedCopy machinery the
+///    upload-time HailReplicaTransformer uses.
+///
+/// Execution is split so the JobRunner can bill it like any other
+/// simulated work: PrepareReorg (at task assignment, read-only) computes
+/// the new replica bytes and the simulated duration; CommitReorg (at the
+/// completion event) atomically stores the bytes — bumping the datanode's
+/// block generation, which invalidates every BlockCache entry for the old
+/// bytes — and re-registers the replica in the namenode's Dir_rep so
+/// getHostsWithIndex immediately routes queries to the new index.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdfs/dfs_client.h"
+
+namespace hail {
+namespace adaptive {
+
+/// \brief One background replica rewrite.
+struct MaintenanceTask {
+  enum class Kind : uint8_t {
+    /// Add a dense unclustered index on `column`, keep everything else.
+    kInstallUnclustered,
+    /// Re-sort the replica by `column` + rebuild the clustered index.
+    kResortReplica,
+  };
+
+  uint64_t block_id = 0;
+  /// Datanode whose replica is rewritten (the rewrite runs there).
+  int datanode = -1;
+  /// The hot column the rewrite serves.
+  int column = -1;
+  Kind kind = Kind::kInstallUnclustered;
+
+  bool operator==(const MaintenanceTask& o) const {
+    return block_id == o.block_id && datanode == o.datanode &&
+           column == o.column && kind == o.kind;
+  }
+};
+
+/// \brief A rewrite ready to commit, plus its simulated price.
+struct PreparedReorg {
+  std::string bytes;                     // new replica bytes
+  std::vector<uint32_t> chunk_crcs;      // recomputed checksums
+  hdfs::HailBlockReplicaInfo info;       // new Dir_rep record
+  /// Simulated seconds the rewrite occupies its slot (read + CPU + write),
+  /// billed on the owning datanode's cost model.
+  double seconds = 0.0;
+};
+
+/// Computes the rewrite without mutating anything. Fails when the replica
+/// is missing, not PAX, or the column is out of range. Deterministic for a
+/// given DFS state.
+Result<PreparedReorg> PrepareReorg(const hdfs::MiniDfs& dfs,
+                                   const MaintenanceTask& task);
+
+/// Applies a prepared rewrite: StoreBlock (generation bump + cache
+/// invalidation) and Dir_rep re-registration. Refuses when the node died
+/// since preparation (the task is requeued by the caller and survives the
+/// kill/revive cycle).
+Status CommitReorg(hdfs::MiniDfs* dfs, const MaintenanceTask& task,
+                   PreparedReorg prepared);
+
+}  // namespace adaptive
+}  // namespace hail

@@ -1,0 +1,70 @@
+#include "adaptive/workload_observer.h"
+
+namespace hail {
+namespace adaptive {
+
+void WorkloadObserver::Observe(const QueryAnnotation& annotation,
+                               const mapreduce::JobResult& result) {
+  if (!annotation.has_filter()) return;  // nothing to learn from full scans
+  for (QueryObservation& old : log_) {
+    old.weight *= options_.decay;
+  }
+  QueryObservation obs;
+  obs.annotation = annotation;
+  obs.weight = 1.0;
+  obs.map_tasks = result.map_tasks;
+  obs.fallback_tasks = result.fallback_scans;
+  obs.unclustered_tasks = result.unclustered_scan_tasks;
+  obs.index_scan_tasks = result.index_scan_tasks;
+  obs.billed_seconds = result.avg_record_reader_seconds *
+                       static_cast<double>(result.map_tasks);
+  log_.push_back(std::move(obs));
+  while (log_.size() > options_.capacity) {
+    log_.pop_front();
+  }
+  ++observed_total_;
+}
+
+std::vector<WorkloadEntry> WorkloadObserver::ToWorkload() const {
+  std::vector<WorkloadEntry> out;
+  out.reserve(log_.size());
+  for (const QueryObservation& obs : log_) {
+    WorkloadEntry entry;
+    entry.annotation = obs.annotation;
+    entry.weight = obs.weight;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+namespace {
+
+/// Weight-averaged fraction of each query's tasks matching `pick`.
+template <typename PickFn>
+double WeightedTaskShare(const std::deque<QueryObservation>& log,
+                         const PickFn& pick) {
+  double total = 0.0;
+  double hit = 0.0;
+  for (const QueryObservation& obs : log) {
+    if (obs.map_tasks == 0) continue;
+    total += obs.weight;
+    hit += obs.weight * static_cast<double>(pick(obs)) /
+           static_cast<double>(obs.map_tasks);
+  }
+  return total > 0.0 ? hit / total : 0.0;
+}
+
+}  // namespace
+
+double WorkloadObserver::FullScanRegret() const {
+  return WeightedTaskShare(
+      log_, [](const QueryObservation& o) { return o.fallback_tasks; });
+}
+
+double WorkloadObserver::UnclusteredShare() const {
+  return WeightedTaskShare(
+      log_, [](const QueryObservation& o) { return o.unclustered_tasks; });
+}
+
+}  // namespace adaptive
+}  // namespace hail

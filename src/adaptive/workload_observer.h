@@ -1,0 +1,91 @@
+/// \file workload_observer.h
+/// \brief The adaptive loop's eyes: a bounded, decayed log of executed
+/// queries and how they were served.
+///
+/// The paper's aggressive upload-time indexing assumes Bob knows his
+/// workload up front; §3.4 defers "which attributes to index?" to future
+/// work. The static advisor (hail/index_advisor.h) answers it offline.
+/// This observer closes the loop online: the JobTracker records every
+/// executed query's annotation, its per-task access path (clustered index
+/// scan / unclustered probe / full-scan fallback) and its billed simulated
+/// cost. The log is bounded (oldest entries drop) and exponentially
+/// decayed (every new observation multiplies existing weights by `decay`),
+/// so the derived workload tracks *recent* traffic — a shifted filter
+/// column overtakes the old hot set within a handful of queries.
+///
+/// Two signals feed the planner:
+///  - ToWorkload(): decayed WorkloadEntries for index_advisor::ScoreColumns
+///    / SuggestSortColumns — "the current best per-replica assignment";
+///  - FullScanRegret() / UnclusteredShare(): the fraction of workload
+///    weight currently served by full scans (resp. by lazy unclustered
+///    probes) — when regret crosses the planner's threshold, replicas get
+///    reorganized.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "hail/index_advisor.h"
+#include "mapreduce/job.h"
+#include "query/predicate.h"
+
+namespace hail {
+namespace adaptive {
+
+/// \brief One executed query, as the observer remembers it.
+struct QueryObservation {
+  QueryAnnotation annotation;
+  /// Decayed weight (1.0 when observed, multiplied by `decay` per newer
+  /// observation).
+  double weight = 1.0;
+  uint32_t map_tasks = 0;
+  uint32_t fallback_tasks = 0;     // full scans (no index of any kind)
+  uint32_t unclustered_tasks = 0;  // served by a lazy unclustered index
+  uint32_t index_scan_tasks = 0;   // served by a clustered index
+  /// Billed simulated RecordReader cost of the whole job, seconds.
+  double billed_seconds = 0.0;
+};
+
+/// \brief Bounded, decayed query log (the JobTracker's workload memory).
+class WorkloadObserver {
+ public:
+  struct Options {
+    /// Log entries kept; the oldest falls off.
+    size_t capacity = 64;
+    /// Weight multiplier applied to all existing entries per observation.
+    double decay = 0.9;
+  };
+
+  WorkloadObserver() = default;
+  explicit WorkloadObserver(Options options) : options_(options) {}
+
+  /// Records one executed query (ignored when it has no annotation to
+  /// learn from).
+  void Observe(const QueryAnnotation& annotation,
+               const mapreduce::JobResult& result);
+
+  /// The decayed workload, ready for index_advisor scoring.
+  std::vector<WorkloadEntry> ToWorkload() const;
+
+  /// Weight fraction of the logged workload served by full scans.
+  /// 0 when the log is empty.
+  double FullScanRegret() const;
+
+  /// Weight fraction served by lazy unclustered probes (cheap, but still
+  /// paying random I/O — the planner's escalation signal).
+  double UnclusteredShare() const;
+
+  size_t size() const { return log_.size(); }
+  bool empty() const { return log_.empty(); }
+  uint64_t observed_total() const { return observed_total_; }
+  const std::deque<QueryObservation>& log() const { return log_; }
+
+ private:
+  Options options_;
+  std::deque<QueryObservation> log_;  // oldest first
+  uint64_t observed_total_ = 0;
+};
+
+}  // namespace adaptive
+}  // namespace hail

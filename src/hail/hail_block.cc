@@ -51,13 +51,9 @@ Result<hdfs::ReplicaBlock> HailReplicaTransformer::BuildReplica(
     out.info.index_kind = "clustered";
     out.info.index_bytes = index.SerializedBytes();
     // The paper-scale index root: one entry per 1024 values (§3.5).
-    const uint64_t key_width =
-        string_key
-            ? 16
-            : FieldTypeWidth(base_->schema().field(sort_column).type);
-    logical_index_bytes =
-        (params_.logical_records / params_.index_partition_logical + 1) *
-        (key_width + 4);
+    logical_index_bytes = LogicalSparseIndexBytes(
+        params_.logical_records, params_.index_partition_logical,
+        base_->schema().field(sort_column).type, /*pointer_bytes=*/4);
   } else {
     out.bytes = BuildHailBlock(*base_, nullptr, -1);
   }
@@ -102,6 +98,47 @@ std::string BuildHailBlock(const PaxBlock& sorted_pax,
   return out;
 }
 
+std::string BuildHailBlockParts(int sort_column, std::string_view index_bytes,
+                                std::string_view pax_bytes,
+                                int uc_column, std::string_view uc_bytes) {
+  ByteWriter w;
+  w.PutU32(kHailBlockMagic);
+  w.PutU8(2);  // version
+  w.PutI32(index_bytes.empty() ? -1 : sort_column);
+  // Each placeholder's position is captured at write time, so the
+  // back-patch below cannot drift from the header layout.
+  const auto placeholder_u64 = [&w]() {
+    const size_t pos = w.size();
+    w.PutU64(0);
+    return pos;
+  };
+  const size_t index_offset_pos = placeholder_u64();
+  const size_t index_bytes_pos = placeholder_u64();
+  const size_t pax_offset_pos = placeholder_u64();
+  const size_t pax_bytes_pos = placeholder_u64();
+  w.PutI32(uc_bytes.empty() ? -1 : uc_column);
+  const size_t uc_offset_pos = placeholder_u64();
+  const size_t uc_bytes_pos = placeholder_u64();
+  const uint64_t index_offset = w.size();
+  w.PutBytes(index_bytes);
+  const uint64_t pax_offset = w.size();
+  w.PutBytes(pax_bytes);
+  const uint64_t uc_offset = w.size();
+  w.PutBytes(uc_bytes);
+
+  std::string out = w.Take();
+  const auto put_u64 = [&out](size_t pos, uint64_t v) {
+    std::memcpy(out.data() + pos, &v, sizeof(uint64_t));
+  };
+  put_u64(index_offset_pos, index_offset);
+  put_u64(index_bytes_pos, index_bytes.size());
+  put_u64(pax_offset_pos, pax_offset);
+  put_u64(pax_bytes_pos, pax_bytes.size());
+  put_u64(uc_offset_pos, uc_offset);
+  put_u64(uc_bytes_pos, uc_bytes.size());
+  return out;
+}
+
 Result<HailBlockView> HailBlockView::Open(std::string_view data) {
   HailBlockView view;
   view.data_ = data;
@@ -111,13 +148,27 @@ Result<HailBlockView> HailBlockView::Open(std::string_view data) {
     return Status::Corruption("not a HAIL block (bad magic)");
   }
   HAIL_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
-  if (version != 1) return Status::Corruption("unsupported HAIL block version");
+  if (version != 1 && version != 2) {
+    return Status::Corruption("unsupported HAIL block version");
+  }
   HAIL_ASSIGN_OR_RETURN(view.sort_column_, r.GetI32());
   HAIL_ASSIGN_OR_RETURN(view.index_offset_, r.GetU64());
   HAIL_ASSIGN_OR_RETURN(view.index_bytes_, r.GetU64());
   HAIL_ASSIGN_OR_RETURN(view.pax_offset_, r.GetU64());
+  if (version == 2) {
+    HAIL_ASSIGN_OR_RETURN(view.pax_bytes_, r.GetU64());
+    HAIL_ASSIGN_OR_RETURN(view.uc_column_, r.GetI32());
+    HAIL_ASSIGN_OR_RETURN(view.uc_offset_, r.GetU64());
+    HAIL_ASSIGN_OR_RETURN(view.uc_bytes_, r.GetU64());
+  } else {
+    // Version 1: the PAX payload runs to the end of the block.
+    view.pax_bytes_ = data.size() >= view.pax_offset_
+                          ? data.size() - view.pax_offset_
+                          : 0;
+  }
   if (view.index_offset_ + view.index_bytes_ > data.size() ||
-      view.pax_offset_ > data.size()) {
+      view.pax_offset_ + view.pax_bytes_ > data.size() ||
+      view.uc_offset_ + view.uc_bytes_ > data.size()) {
     return Status::Corruption("HAIL block sections out of bounds");
   }
   return view;
@@ -131,8 +182,15 @@ Result<ClusteredIndex> HailBlockView::ReadIndex() const {
       data_.substr(index_offset_, index_bytes_));
 }
 
+Result<UnclusteredIndex> HailBlockView::ReadUnclusteredIndex() const {
+  if (!has_unclustered()) {
+    return Status::FailedPrecondition("HAIL block has no unclustered index");
+  }
+  return UnclusteredIndex::Deserialize(data_.substr(uc_offset_, uc_bytes_));
+}
+
 Result<PaxBlockView> HailBlockView::OpenPax() const {
-  return PaxBlockView::Open(data_.substr(pax_offset_));
+  return PaxBlockView::Open(data_.substr(pax_offset_, pax_bytes_));
 }
 
 }  // namespace hail

@@ -18,6 +18,7 @@
 
 #include "hdfs/replica_transform.h"
 #include "index/clustered_index.h"
+#include "index/unclustered_index.h"
 #include "layout/pax_block.h"
 #include "util/result.h"
 
@@ -33,6 +34,19 @@ inline constexpr uint32_t kHailBlockMagic = 0x4B4C4248;  // "HBLK"
 /// \param sort_column attribute the data is sorted by; -1 for none.
 std::string BuildHailBlock(const PaxBlock& sorted_pax,
                            const ClusteredIndex* index, int sort_column);
+
+/// \brief Assembles a version-2 HAIL block from pre-serialised sections.
+///
+/// Version 2 extends version 1 with an optional *unclustered* index over a
+/// second attribute, appended after the PAX payload. The adaptive
+/// reorganizer uses this to splice a LIAH-style lazy index into an
+/// existing replica without touching (or re-serialising) the sorted data
+/// and clustered index: the caller passes the original index and PAX
+/// sections verbatim. Pass an empty \p uc_bytes / \p uc_column = -1 for no
+/// unclustered section.
+std::string BuildHailBlockParts(int sort_column, std::string_view index_bytes,
+                                std::string_view pax_bytes,
+                                int uc_column, std::string_view uc_bytes);
 
 /// \brief Everything the HAIL transformer needs besides the block bytes.
 ///
@@ -78,7 +92,7 @@ class HailReplicaTransformer : public hdfs::ReplicaTransformer {
   std::optional<PaxBlock> base_;
 };
 
-/// \brief Zero-copy reader for a serialised HAIL block.
+/// \brief Zero-copy reader for a serialised HAIL block (versions 1 and 2).
 class HailBlockView {
  public:
   static Result<HailBlockView> Open(std::string_view data);
@@ -88,12 +102,31 @@ class HailBlockView {
   /// Bytes of the Index Metadata header (everything before the index).
   uint64_t header_bytes() const { return index_offset_; }
   uint64_t index_bytes() const { return index_bytes_; }
-  uint64_t pax_bytes() const { return data_.size() - pax_offset_; }
+  uint64_t pax_bytes() const { return pax_bytes_; }
   uint64_t total_bytes() const { return data_.size(); }
+
+  /// Unclustered-index section (version 2, installed by the adaptive
+  /// reorganizer); absent in version-1 blocks.
+  bool has_unclustered() const {
+    return uc_column_ >= 0 && uc_bytes_ > 0;
+  }
+  int unclustered_column() const { return uc_column_; }
+  uint64_t unclustered_bytes() const { return uc_bytes_; }
+
+  /// Raw serialised sections (for splicing a rewrite without re-encoding).
+  std::string_view index_section() const {
+    return data_.substr(index_offset_, index_bytes_);
+  }
+  std::string_view pax_section() const {
+    return data_.substr(pax_offset_, pax_bytes_);
+  }
 
   /// Materialises the index ("we read the index entirely into main memory
   /// (typically a few KB)", §4.3).
   Result<ClusteredIndex> ReadIndex() const;
+
+  /// Materialises the unclustered index; has_unclustered() must hold.
+  Result<UnclusteredIndex> ReadUnclusteredIndex() const;
 
   /// Opens the embedded PAX block.
   Result<PaxBlockView> OpenPax() const;
@@ -104,6 +137,10 @@ class HailBlockView {
   uint64_t index_offset_ = 0;
   uint64_t index_bytes_ = 0;
   uint64_t pax_offset_ = 0;
+  uint64_t pax_bytes_ = 0;
+  int uc_column_ = -1;
+  uint64_t uc_offset_ = 0;
+  uint64_t uc_bytes_ = 0;
 };
 
 }  // namespace hail

@@ -35,11 +35,14 @@ std::vector<int> SuggestSortColumns(const Schema& schema,
                                     const std::vector<WorkloadEntry>& workload,
                                     int replication) {
   std::vector<IndexRecommendation> scores = ScoreColumns(schema, workload);
-  std::stable_sort(scores.begin(), scores.end(),
-                   [](const IndexRecommendation& a,
-                      const IndexRecommendation& b) {
-                     return a.benefit > b.benefit;
-                   });
+  // Deterministic tie-break: equal-benefit columns order by column id. The
+  // adaptive loop re-plans after every query; without a total order it
+  // could flap between equally-scored assignments and reorganize forever.
+  std::sort(scores.begin(), scores.end(),
+            [](const IndexRecommendation& a, const IndexRecommendation& b) {
+              if (a.benefit != b.benefit) return a.benefit > b.benefit;
+              return a.column < b.column;
+            });
   std::vector<int> columns;
   for (const IndexRecommendation& rec : scores) {
     if (rec.benefit <= 0.0) break;

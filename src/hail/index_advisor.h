@@ -48,6 +48,8 @@ std::vector<IndexRecommendation> ScoreColumns(
 /// (replica 0 = client-local replica serves the hottest query).
 /// Returns fewer than `replication` entries when the workload does not
 /// reference enough attributes — remaining replicas stay unsorted.
+/// Fully deterministic: equal-benefit ties break by ascending column id,
+/// so the online adaptive loop cannot flap between equally-scored plans.
 std::vector<int> SuggestSortColumns(const Schema& schema,
                                     const std::vector<WorkloadEntry>& workload,
                                     int replication);

@@ -136,6 +136,22 @@ std::vector<int> Namenode::GetHostsWithIndex(uint64_t block_id,
   return hosts;
 }
 
+std::vector<int> Namenode::GetHostsWithUnclusteredIndex(uint64_t block_id,
+                                                        int column) const {
+  std::vector<int> hosts;
+  auto it = dir_block_.find(block_id);
+  if (it == dir_block_.end()) return hosts;
+  for (int dn : it->second) {
+    if (!IsDatanodeAlive(dn)) continue;
+    auto rep = dir_rep_.find({block_id, dn});
+    if (rep == dir_rep_.end()) continue;
+    if (rep->second.unclustered_column == column) {
+      hosts.push_back(dn);
+    }
+  }
+  return hosts;
+}
+
 Result<std::vector<uint64_t>> Namenode::DeleteFile(const std::string& file) {
   auto it = files_.find(file);
   if (it == files_.end()) {

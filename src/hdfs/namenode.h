@@ -37,8 +37,14 @@ struct HailBlockReplicaInfo {
   uint64_t replica_bytes = 0;
   /// Size of the embedded index (real bytes).
   uint64_t index_bytes = 0;
+  /// Column carrying an adaptive *unclustered* index (LIAH-style lazy
+  /// adaptivity, installed online by the reorganizer); -1 when none.
+  int unclustered_column = -1;
+  /// Size of the embedded unclustered index (real bytes).
+  uint64_t unclustered_index_bytes = 0;
 
   bool has_index() const { return sort_column >= 0 && !index_kind.empty(); }
+  bool has_unclustered() const { return unclustered_column >= 0; }
 };
 
 /// \brief Result of a block allocation: the new id plus pipeline targets.
@@ -93,6 +99,12 @@ class Namenode {
   /// getHostsWithIndex (§4.3): alive datanodes whose replica of the block
   /// carries an index on \p column. Empty when none exists.
   std::vector<int> GetHostsWithIndex(uint64_t block_id, int column) const;
+
+  /// Adaptive fallback lookup: alive datanodes whose replica carries an
+  /// *unclustered* index on \p column (readers probe this only when no
+  /// clustered replica matches).
+  std::vector<int> GetHostsWithUnclusteredIndex(uint64_t block_id,
+                                                int column) const;
 
   /// Failure handling: excludes the node from all lookups.
   void MarkDatanodeDead(int datanode);

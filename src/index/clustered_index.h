@@ -27,6 +27,34 @@
 
 namespace hail {
 
+/// Width of one index key for logical (paper-scale) size billing: fixed
+/// types bill their storage width, strings an average key. Shared by the
+/// readers, the upload transformer and the adaptive reorganizer so the
+/// billed size of an index is priced identically wherever it appears.
+inline uint64_t IndexKeyWidth(FieldType type) {
+  return IsFixedSize(type) ? FieldTypeWidth(type) : 16;
+}
+
+/// Paper-scale bytes of a sparse index root: one (key, pointer) entry per
+/// `records_per_entry` logical records (+1 for the trailing partial
+/// partition). HAIL's clustered root uses 4-byte pointers at 1024
+/// records/entry (§3.5); the trojan directory 8-byte offsets at ~8
+/// rows/entry (§6.4.2).
+inline uint64_t LogicalSparseIndexBytes(uint64_t logical_records,
+                                        uint32_t records_per_entry,
+                                        FieldType key_type,
+                                        uint64_t pointer_bytes) {
+  return (logical_records / records_per_entry + 1) *
+         (IndexKeyWidth(key_type) + pointer_bytes);
+}
+
+/// Paper-scale bytes of a dense index: one (key, rowid) entry per logical
+/// record (§3.5 footnote 4 — the unclustered case).
+inline uint64_t LogicalDenseIndexBytes(uint64_t logical_records,
+                                       FieldType key_type) {
+  return logical_records * (IndexKeyWidth(key_type) + 4);
+}
+
 /// \brief Half-open, partition-aligned row range returned by index lookups.
 struct RowRange {
   uint32_t begin = 0;

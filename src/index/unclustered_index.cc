@@ -108,7 +108,10 @@ uint64_t UnclusteredIndex::SerializedBytes() const {
   uint64_t bytes = 4 + 1 + 4;
   bytes += sorted_keys_.SerializedValueBytes();
   if (sorted_keys_.type() == FieldType::kString) {
-    bytes += 4ull * num_records_;
+    // Serialize() writes length-prefixed strings (4 bytes each), while
+    // SerializedValueBytes counts the PAX convention's NUL terminator
+    // (1 byte each): swap the difference so this matches Serialize().
+    bytes += 3ull * num_records_;
   }
   bytes += 4ull * num_records_;
   return bytes;

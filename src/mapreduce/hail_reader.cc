@@ -16,6 +16,30 @@ namespace {
 /// "entirely into main memory" — once, not once per task).
 struct CachedHailBlock : CachedIndexedBlock<HailBlockView, ClusteredIndex> {
   PaxBlockView pax;
+
+  /// Lazily deserialises the adaptive unclustered index (same protocol as
+  /// the clustered Index(): decode once, count once, cache the error too).
+  Result<const UnclusteredIndex*> Unclustered(hdfs::BlockCache* cache) const {
+    std::lock_guard<std::mutex> lock(uc_mu_);
+    if (!uc_ready_) {
+      uc_ready_ = true;
+      cache->NoteIndexDecode();
+      Result<UnclusteredIndex> decoded = view.ReadUnclusteredIndex();
+      if (decoded.ok()) {
+        uc_.emplace(std::move(*decoded));
+      } else {
+        uc_status_ = decoded.status();
+      }
+    }
+    HAIL_RETURN_NOT_OK(uc_status_);
+    return &*uc_;
+  }
+
+ private:
+  mutable std::mutex uc_mu_;
+  mutable bool uc_ready_ = false;
+  mutable Status uc_status_;
+  mutable std::optional<UnclusteredIndex> uc_;
 };
 
 /// Opens (or retrieves) the decoded block state for one replica.
@@ -30,11 +54,6 @@ Result<std::shared_ptr<const CachedHailBlock>> OpenCachedHailBlock(
         HAIL_ASSIGN_OR_RETURN(cached->pax, cached->view.OpenPax());
         return std::shared_ptr<const hdfs::BlockArtifact>(std::move(cached));
       });
-}
-
-/// Width used for logical index-size billing.
-uint64_t KeyWidth(FieldType type) {
-  return IsFixedSize(type) ? FieldTypeWidth(type) : 16;  // avg string key
 }
 
 /// \brief One projected column's typed batch accessor, opened once per
@@ -124,9 +143,17 @@ class HailRecordReader : public RecordReader {
     const int index_column = ctx->plan->index_column;
 
     // Replica choice via getHostsWithIndex (§4.3): prefer the local node,
-    // then any node whose replica has the matching clustered index.
+    // then any node whose replica has the matching clustered index. When
+    // no clustered replica matches, probe for an adaptive *unclustered*
+    // index on the filter column (installed online by the reorganizer)
+    // before falling back to a full scan.
+    const std::optional<KeyRange> key_range =
+        (index_column >= 0 && ctx->spec->annotation.has_value())
+            ? ctx->spec->annotation->filter.KeyRangeFor(index_column)
+            : std::nullopt;
     int dn = -1;
     bool indexed = false;
+    bool unclustered = false;
     if (index_column >= 0) {
       const std::vector<int> hosts =
           ctx->dfs->namenode().GetHostsWithIndex(loc.block_id, index_column);
@@ -135,6 +162,17 @@ class HailRecordReader : public RecordReader {
         dn = hosts.front();
         for (int h : hosts) {
           if (h == ctx->task_node) dn = h;
+        }
+      } else if (key_range.has_value()) {
+        const std::vector<int> uc_hosts =
+            ctx->dfs->namenode().GetHostsWithUnclusteredIndex(loc.block_id,
+                                                              index_column);
+        if (!uc_hosts.empty()) {
+          unclustered = true;
+          dn = uc_hosts.front();
+          for (int h : uc_hosts) {
+            if (h == ctx->task_node) dn = h;
+          }
         }
       }
     }
@@ -183,18 +221,44 @@ class HailRecordReader : public RecordReader {
 
     RowRange range{0, pax.num_records()};
     bool index_scan = false;
+    bool uc_scan = false;
+    bool uc_abandoned = false;  // probe paid for, then found unselective
+    uint64_t uc_candidates = 0;  // rows the unclustered index yielded
+    SelectionVector selection;
+    bool use_selection = false;
     if (indexed && view.has_index() && view.sort_column() == index_column &&
-        ctx->spec->annotation.has_value()) {
-      const auto key_range =
-          ctx->spec->annotation->filter.KeyRangeFor(index_column);
-      if (key_range.has_value()) {
-        // "We read the index entirely into main memory (typically a few
-        // KB) to perform an index lookup." — decoded once per block
-        // version, shared across tasks and queries.
-        HAIL_ASSIGN_OR_RETURN(const ClusteredIndex* index,
-                              cached->Index(&ctx->dfs->block_cache()));
-        range = index->Lookup(*key_range);
-        index_scan = true;
+        key_range.has_value()) {
+      // "We read the index entirely into main memory (typically a few
+      // KB) to perform an index lookup." — decoded once per block
+      // version, shared across tasks and queries.
+      HAIL_ASSIGN_OR_RETURN(const ClusteredIndex* index,
+                            cached->Index(&ctx->dfs->block_cache()));
+      range = index->Lookup(*key_range);
+      index_scan = true;
+    } else if (unclustered && view.unclustered_column() == index_column &&
+               key_range.has_value()) {
+      // Adaptive unclustered path (§3.5 semantics): the dense index yields
+      // the exact qualifying row ids for the key column, in key order —
+      // i.e. random block order, each hit its own random access. Sort them
+      // ascending so reconstruction cursors stay sequential.
+      HAIL_ASSIGN_OR_RETURN(const UnclusteredIndex* uc,
+                            cached->Unclustered(&ctx->dfs->block_cache()));
+      std::vector<uint32_t> candidates = uc->Lookup(*key_range);
+      if (static_cast<double>(candidates.size()) >
+          c.unclustered_max_selectivity *
+              static_cast<double>(pax.num_records())) {
+        // Too many hits: the random accesses would cost more than one
+        // sequential pass. Scan instead — billed as index read + full
+        // scan, and reported as a fallback so the planner's regret keeps
+        // pushing toward a real re-sort.
+        uc_abandoned = true;
+        ctx->fallback_scan = true;
+      } else {
+        std::sort(candidates.begin(), candidates.end());
+        uc_candidates = candidates.size();
+        selection.mutable_rows() = std::move(candidates);
+        uc_scan = true;
+        use_selection = true;
       }
     }
 
@@ -204,18 +268,26 @@ class HailRecordReader : public RecordReader {
                                   : nullptr;
     const bool has_filter = filter != nullptr && !filter->empty();
     const uint32_t clamped_end = std::min(range.end, pax.num_records());
-    SelectionVector selection;
     if (has_filter) {
       HAIL_ASSIGN_OR_RETURN(CompiledPredicate compiled,
                             CompiledPredicate::Compile(*filter, pax.schema()));
-      HAIL_RETURN_NOT_OK(compiled.FilterBlock(pax, range, &selection));
+      if (uc_scan) {
+        // Every term is conservatively re-applied to the candidate rows —
+        // including the key-range terms the index already satisfied
+        // (redundant but O(candidates), and it keeps the probe correct if
+        // an index ever returns a superset).
+        HAIL_RETURN_NOT_OK(compiled.RefineCandidates(pax, &selection));
+      } else {
+        HAIL_RETURN_NOT_OK(compiled.FilterBlock(pax, range, &selection));
+        use_selection = true;
+      }
     }
     // Without a filter every row of the range qualifies; iterate it
     // directly rather than materialising a dense selection vector.
     const uint64_t qualifying =
-        has_filter ? selection.size()
-                   : (clamped_end > range.begin ? clamped_end - range.begin
-                                                : 0);
+        use_selection ? selection.size()
+                      : (clamped_end > range.begin ? clamped_end - range.begin
+                                                   : 0);
 
     // Tuple reconstruction of the projected attributes (§4.3), only for
     // qualifying rows: typed spans for fixed columns, one sequential
@@ -230,7 +302,7 @@ class HailRecordReader : public RecordReader {
         accessors.push_back(std::move(accessor));
       }
       for (uint64_t i = 0; i < qualifying; ++i) {
-        const uint32_t r = has_filter
+        const uint32_t r = use_selection
                                ? selection[static_cast<size_t>(i)]
                                : range.begin + static_cast<uint32_t>(i);
         std::vector<Value> values;
@@ -252,8 +324,10 @@ class HailRecordReader : public RecordReader {
                 /*already_filtered=*/true);
       ++ctx->bad_records;
     }
-    ctx->records_seen += range.size();
+    ctx->records_seen += uc_scan ? uc_candidates : range.size();
     ctx->records_qualifying += qualifying;
+    if (index_scan) ctx->index_scan = true;
+    if (uc_scan) ctx->unclustered_scan = true;
 
     // ---- cost ----
     const double fraction =
@@ -261,28 +335,54 @@ class HailRecordReader : public RecordReader {
             ? 0.0
             : static_cast<double>(range.size()) /
                   static_cast<double>(pax.num_records());
+    // Records the CPU actually looked at: the index range for (full/index)
+    // scans, only the index's candidate rows for unclustered probes.
     const uint64_t logical_range_records = static_cast<uint64_t>(
-        static_cast<double>(range.size()) * scale);
+        static_cast<double>(uc_scan ? uc_candidates : range.size()) * scale);
     const uint64_t logical_qualifying = static_cast<uint64_t>(
         static_cast<double>(qualifying) * scale);
 
+    // Columns the scan touches beyond the index itself.
+    std::vector<int> accessed_cols = filter_cols;
+    for (int colm : proj) {
+      if (std::find(accessed_cols.begin(), accessed_cols.end(), colm) ==
+          accessed_cols.end()) {
+        accessed_cols.push_back(colm);
+      }
+    }
+
     uint64_t bytes_read = 0;
     int column_seeks = 0;
-    if (index_scan) {
+    if (uc_scan) {
+      // §3.5's unclustered economics: the dense index (one key+rowid entry
+      // per record) is read in full, then every qualifying record costs a
+      // random partition-granular access per touched column. Pays off only
+      // for very selective queries — exactly the paper's argument.
+      bytes_read += LogicalDenseIndexBytes(
+          logical_records, pax.schema().field(index_column).type);
+      column_seeks += 1;
+      const uint64_t logical_candidates = static_cast<uint64_t>(
+          static_cast<double>(uc_candidates) * scale);
+      const uint64_t logical_partitions =
+          logical_records / c.index_partition_logical + 1;
+      // Candidates land in random partitions; with n candidates over P
+      // partitions at most min(n, P) distinct partitions are touched.
+      const uint64_t partitions_touched =
+          std::min<uint64_t>(logical_candidates, logical_partitions);
+      for (int colm : accessed_cols) {
+        const uint64_t col_logical = static_cast<uint64_t>(
+            static_cast<double>(pax.column_value_bytes(colm)) * scale);
+        bytes_read += partitions_touched * (col_logical / logical_partitions);
+        column_seeks += static_cast<int>(partitions_touched);
+      }
+    } else if (index_scan) {
       // Header + index root: read in full, a few KB at paper scale.
-      const uint64_t index_logical =
-          (logical_records / c.index_partition_logical + 1) *
-          (KeyWidth(pax.schema().field(index_column).type) + 4);
-      bytes_read += index_logical;
+      bytes_read += LogicalSparseIndexBytes(
+          logical_records, c.index_partition_logical,
+          pax.schema().field(index_column).type, /*pointer_bytes=*/4);
       column_seeks += 1;
       if (!range.empty()) {
-        std::vector<int> cols = filter_cols;
-        for (int colm : proj) {
-          if (std::find(cols.begin(), cols.end(), colm) == cols.end()) {
-            cols.push_back(colm);
-          }
-        }
-        for (int colm : cols) {
+        for (int colm : accessed_cols) {
           const uint64_t col_logical = static_cast<uint64_t>(
               static_cast<double>(pax.column_value_bytes(colm)) * scale);
           bytes_read +=
@@ -301,6 +401,12 @@ class HailRecordReader : public RecordReader {
       bytes_read =
           static_cast<uint64_t>(static_cast<double>(value_bytes) * scale);
       column_seeks = 1;
+      if (uc_abandoned) {
+        // The probe read the dense index before deciding to scan.
+        bytes_read += LogicalDenseIndexBytes(
+            logical_records, pax.schema().field(index_column).type);
+        column_seeks += 1;
+      }
     }
 
     cost->disk_seconds += c.block_open_ms / 1000.0 +
@@ -311,7 +417,7 @@ class HailRecordReader : public RecordReader {
                          node_cost.Reconstruct(logical_qualifying,
                                                static_cast<int>(proj.size())) +
                          node_cost.MapCalls(logical_qualifying);
-    if (!index_scan) {
+    if (!index_scan && !uc_scan) {
       // Full scans decode every record, not just qualifying ones.
       cost->cpu_seconds += node_cost.Reconstruct(
           logical_range_records, pax.num_columns());

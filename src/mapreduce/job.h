@@ -145,6 +145,17 @@ struct JobResult {
   /// HAIL tasks that could not find a matching index and fell back to a
   /// full scan (failover path, §2.2).
   uint32_t fallback_scans = 0;
+  /// Tasks that read at least one block through a clustered/trojan index
+  /// scan (the adaptive loop's per-task access-path signal).
+  uint32_t index_scan_tasks = 0;
+  /// Tasks served by an adaptive per-block unclustered index.
+  uint32_t unclustered_scan_tasks = 0;
+
+  // -- background maintenance (adaptive reorganization) piggybacked on
+  // this job's idle slots --
+  uint32_t maintenance_scheduled = 0;
+  uint32_t maintenance_completed = 0;
+  uint32_t maintenance_failed = 0;
 
   uint64_t records_seen = 0;
   uint64_t records_qualifying = 0;

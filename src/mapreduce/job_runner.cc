@@ -6,8 +6,11 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <optional>
 #include <utility>
 
+#include "adaptive/adaptive_manager.h"
+#include "adaptive/reorg.h"
 #include "mapreduce/pending_index.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -31,7 +34,20 @@ struct TaskState {
   uint64_t records_qualifying = 0;
   uint64_t bad_records = 0;
   bool fallback_scan = false;
+  bool index_scan = false;
+  bool unclustered_scan = false;
   int reschedules = 0;
+};
+
+/// One background replica-reorganization task riding on this job's idle
+/// slots (adaptive indexing; see adaptive/adaptive_manager.h).
+struct MaintState {
+  adaptive::MaintenanceTask task;
+  enum class Status { kPending, kRunning, kCommitted, kFailed } status =
+      Status::kPending;
+  /// Rewrite computed at assignment (pre-mutation state), committed at the
+  /// completion event.
+  std::optional<adaptive::PreparedReorg> prepared;
 };
 
 /// Everything a functional read produces; computed inline (serial) or on a
@@ -43,6 +59,8 @@ struct ReadOutcome {
   uint64_t records_qualifying = 0;
   uint64_t bad_records = 0;
   bool fallback_scan = false;
+  bool index_scan = false;
+  bool unclustered_scan = false;
 };
 
 /// Process-wide worker pool for parallel map-task reads. Created lazily,
@@ -84,6 +102,19 @@ struct Engine {
   sim::SimTime finish_time = 0.0;
   Status first_error;  // readers can fail; surfaced after the run
 
+  // ---- background maintenance (adaptive replica reorganization) ----
+  std::vector<MaintState> maint;
+  /// Per-node FIFO of maint indexes (a rewrite runs on the datanode that
+  /// holds the replica).
+  std::vector<std::deque<size_t>> maint_by_node;
+  uint32_t maint_completed = 0;
+  uint32_t maint_failed = 0;
+  /// Parallel mode: commits requested by completion events, applied by the
+  /// loop after every in-flight read has drained (reads assigned before
+  /// the commit must observe — and may be concurrently reading — the
+  /// pre-rewrite bytes).
+  std::vector<size_t> pending_commits;
+
   // ---- parallel engine state (unused in serial mode) ----
   bool parallel = false;
   ThreadPool* pool = nullptr;
@@ -115,10 +146,14 @@ struct Engine {
   }
 
   void Heartbeat(int node);
+  void MaintenanceBeat(int node, int assigned);
   void OnTaskComplete(size_t task_id, int attempt, int node,
                       sim::SimTime started);
   void OnFailureDetected(int node);
   Status AssignTask(size_t task_id, int node);
+  void AssignMaintenance(size_t mid, int node);
+  void OnMaintenanceComplete(size_t mid, int node);
+  void CommitMaintenance(size_t mid);
   ReadOutcome ExecuteRead(RecordReader* rdr, const InputSplit& split,
                           int node) const;
   Status FinishRead(size_t task_id, int attempt, int node,
@@ -129,7 +164,14 @@ struct Engine {
 };
 
 void Engine::Heartbeat(int node) {
-  if (done || !dfs->cluster().node(node).alive()) return;
+  if (!dfs->cluster().node(node).alive()) return;
+  if (done) {
+    // Foreground is finished (or aborted). Maintenance may still drain on
+    // the idle cluster below — but never after an error.
+    if (!first_error.ok()) return;
+    MaintenanceBeat(node, /*assigned=*/0);
+    return;
+  }
   int assigned = 0;
   while (free_slots[static_cast<size_t>(node)] > 0 &&
          assigned < constants().tasks_per_heartbeat && !pending.empty()) {
@@ -148,6 +190,91 @@ void Engine::Heartbeat(int node) {
     }
     ++assigned;
   }
+  // Background maintenance rides strictly behind foreground work: a
+  // reorg task is assigned only while *no* foreground task is pending
+  // anywhere (typically the job's tail, while the last map waves drain),
+  // within the same per-heartbeat assignment quota, and only on the node
+  // holding the replica. Foreground queries are never starved.
+  MaintenanceBeat(node, assigned);
+}
+
+void Engine::MaintenanceBeat(int node, int assigned) {
+  if (maint_by_node.empty() || !pending.empty()) return;
+  std::deque<size_t>& queue = maint_by_node[static_cast<size_t>(node)];
+  // Mid-job the TaskTracker's per-heartbeat quota applies; once the job is
+  // done the cluster is idle and the queue drains as fast as slots allow.
+  while (free_slots[static_cast<size_t>(node)] > 0 && !queue.empty() &&
+         (done || assigned < constants().tasks_per_heartbeat)) {
+    const size_t mid = queue.front();
+    queue.pop_front();
+    AssignMaintenance(mid, node);
+    ++assigned;
+  }
+}
+
+void Engine::AssignMaintenance(size_t mid, int node) {
+  MaintState& m = maint[mid];
+  // The rewrite is computed against the DFS state at assignment time (the
+  // same instant serial execution would read it); the mutation waits for
+  // the completion event.
+  Result<adaptive::PreparedReorg> prep = adaptive::PrepareReorg(*dfs, m.task);
+  if (!prep.ok()) {
+    // A broken task (replica gone, wrong layout) is dropped, not retried;
+    // it must not wedge the queue.
+    m.status = MaintState::Status::kFailed;
+    ++maint_failed;
+    return;
+  }
+  m.status = MaintState::Status::kRunning;
+  m.prepared.emplace(std::move(*prep));
+  free_slots[static_cast<size_t>(node)] -= 1;
+  const double duration = m.prepared->seconds;
+  events.ScheduleAfter(duration,
+                       [this, mid, node] { OnMaintenanceComplete(mid, node); });
+}
+
+void Engine::OnMaintenanceComplete(size_t mid, int node) {
+  MaintState& m = maint[mid];
+  if (m.status != MaintState::Status::kRunning) return;
+  if (!first_error.ok()) {
+    // The job failed; don't mutate DFS state while the queue drains.
+    m.status = MaintState::Status::kPending;
+    m.prepared.reset();
+    return;
+  }
+  // Note: no `done` early-out. A rewrite whose simulated work finishes
+  // after the last foreground task still commits — the job's numbers are
+  // fixed at `done` (heartbeats stop, so nothing *new* starts), and the
+  // datanode daemon has no reason to throw away a finished replica.
+  if (!dfs->cluster().node(node).alive()) {
+    // Node killed mid-reorg: the prepared bytes are gone with it. Requeue;
+    // after a revive the next job's planner state still wants this block.
+    m.status = MaintState::Status::kPending;
+    m.prepared.reset();
+    return;
+  }
+  free_slots[static_cast<size_t>(node)] += 1;
+  if (parallel) {
+    pending_commits.push_back(mid);
+  } else {
+    CommitMaintenance(mid);
+  }
+  // The freed slot asks for more work (maintenance or requeued foreground).
+  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                       [this, node] { Heartbeat(node); });
+}
+
+void Engine::CommitMaintenance(size_t mid) {
+  MaintState& m = maint[mid];
+  Status st = adaptive::CommitReorg(dfs, m.task, std::move(*m.prepared));
+  m.prepared.reset();
+  if (st.ok()) {
+    m.status = MaintState::Status::kCommitted;
+    ++maint_completed;
+  } else {
+    m.status = MaintState::Status::kFailed;
+    ++maint_failed;
+  }
 }
 
 ReadOutcome Engine::ExecuteRead(RecordReader* rdr, const InputSplit& split,
@@ -165,6 +292,8 @@ ReadOutcome Engine::ExecuteRead(RecordReader* rdr, const InputSplit& split,
   out.records_qualifying = ctx.records_qualifying;
   out.bad_records = ctx.bad_records;
   out.fallback_scan = ctx.fallback_scan;
+  out.index_scan = ctx.index_scan;
+  out.unclustered_scan = ctx.unclustered_scan;
   return out;
 }
 
@@ -178,6 +307,8 @@ Status Engine::FinishRead(size_t task_id, int attempt, int node,
   task.records_qualifying = outcome.records_qualifying;
   task.bad_records = outcome.bad_records;
   task.fallback_scan = outcome.fallback_scan;
+  task.index_scan = outcome.index_scan;
+  task.unclustered_scan = outcome.unclustered_scan;
   // RecordReader time = one-time reader construction + the data access.
   task.rr_seconds =
       constants().task_rr_init_ms / 1000.0 + outcome.cost->total();
@@ -286,6 +417,15 @@ void Engine::OnTaskComplete(size_t task_id, int attempt, int node,
   if (completed == tasks.size()) {
     done = true;
     finish_time = events.Now() + constants().job_cleanup_s;
+    // The cluster just went idle; remaining maintenance drains on the
+    // freed slots (the job's reported numbers are fixed at this instant —
+    // heartbeats below only ever assign background rewrites).
+    for (size_t n = 0; n < maint_by_node.size(); ++n) {
+      if (maint_by_node[n].empty()) continue;
+      const int idle_node = static_cast<int>(n);
+      events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                           [this, idle_node] { Heartbeat(idle_node); });
+    }
     return;
   }
   // Out-of-band heartbeat: the freed slot asks for work shortly after
@@ -338,18 +478,26 @@ void Engine::RunParallelLoop() {
       continue;  // only in-flight reads remain; join them next pass
     }
     events.RunOne();
-    if (kill_requested) {
-      // Drain all in-flight reads (they were assigned pre-kill and must
-      // see pre-kill DFS state), then mutate the shared state.
-      kill_requested = false;
+    if (kill_requested || !pending_commits.empty()) {
+      // Drain all in-flight reads before mutating shared DFS state (kill
+      // or reorg commit): they were assigned pre-mutation and must observe
+      // — and may be concurrently reading — the pre-mutation bytes.
       Status drained = Status::OK();
       while (!inflight.empty() && drained.ok()) drained = JoinOldest();
       if (drained.ok()) {
-        dfs->KillNode(kill_victim, events.Now());
-        const int victim = kill_victim;
-        events.ScheduleAtReserved(
-            kill_seq, events.Now() + constants().expiry_interval_s,
-            [this, victim] { OnFailureDetected(victim); });
+        for (size_t mid : pending_commits) CommitMaintenance(mid);
+        pending_commits.clear();
+        if (kill_requested) {
+          kill_requested = false;
+          dfs->KillNode(kill_victim, events.Now());
+          const int victim = kill_victim;
+          events.ScheduleAtReserved(
+              kill_seq, events.Now() + constants().expiry_interval_s,
+              [this, victim] { OnFailureDetected(victim); });
+        }
+      } else {
+        pending_commits.clear();
+        kill_requested = false;
       }
     }
   }
@@ -409,6 +557,22 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
     return Status::FailedPrecondition("no alive TaskTrackers");
   }
 
+  // Adaptive maintenance: take every pending replica rewrite; they run on
+  // slots with no foreground work and whatever does not finish goes back.
+  // Taken only after the last early-return above — an aborted run must
+  // never swallow the manager's queue.
+  eng.maint_by_node.resize(static_cast<size_t>(cluster.num_nodes()));
+  if (options.adaptive != nullptr) {
+    std::vector<adaptive::MaintenanceTask> taken = options.adaptive->TakeTasks();
+    eng.maint.reserve(taken.size());
+    for (const adaptive::MaintenanceTask& task : taken) {
+      if (task.datanode < 0 || task.datanode >= cluster.num_nodes()) continue;
+      eng.maint_by_node[static_cast<size_t>(task.datanode)].push_back(
+          eng.maint.size());
+      eng.maint.push_back(MaintState{task, MaintState::Status::kPending, {}});
+    }
+  }
+
   // Job submission: startup + split phase, then periodic heartbeats.
   const double t0 = c.job_startup_s + eng.plan.split_phase_seconds;
   for (int i = 0; i < cluster.num_nodes(); ++i) {
@@ -445,6 +609,19 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
   } else {
     eng.events.RunUntilEmpty();
   }
+  // Unfinished maintenance goes back to the manager *before* any error
+  // exit — a failed job must not lose queued reorganization work.
+  if (options.adaptive != nullptr) {
+    std::vector<adaptive::MaintenanceTask> unfinished;
+    for (const MaintState& m : eng.maint) {
+      if (m.status == MaintState::Status::kPending ||
+          m.status == MaintState::Status::kRunning) {
+        unfinished.push_back(m.task);
+      }
+    }
+    options.adaptive->ReturnUnfinished(std::move(unfinished));
+    options.adaptive->NoteCompleted(eng.maint_completed, eng.maint_failed);
+  }
   HAIL_RETURN_NOT_OK(eng.first_error);
   if (!eng.done) {
     return Status::Unknown("job '" + spec.name +
@@ -465,6 +642,8 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
     result.bad_records_seen += task.bad_records;
     result.rescheduled_tasks += static_cast<uint32_t>(task.reschedules);
     if (task.fallback_scan) result.fallback_scans += 1;
+    if (task.index_scan) result.index_scan_tasks += 1;
+    if (task.unclustered_scan) result.unclustered_scan_tasks += 1;
     if (task.output != nullptr) {
       result.output_count += task.output->count();
       if (spec.collect_output) {
@@ -481,6 +660,16 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
                          static_cast<double>(total_slots) *
                          result.avg_record_reader_seconds;
   result.overhead_seconds = result.end_to_end_seconds - result.ideal_seconds;
+
+  result.maintenance_scheduled = static_cast<uint32_t>(eng.maint.size());
+  result.maintenance_completed = eng.maint_completed;
+  result.maintenance_failed = eng.maint_failed;
+  if (options.adaptive != nullptr) {
+    // Close the loop: record the query (and its access paths) in the
+    // workload observer; the planner may queue reorganization for the
+    // next job against the now-current replica directory.
+    options.adaptive->ObserveJob(spec, result);
+  }
   return result;
 }
 

@@ -34,6 +34,9 @@
 #include "mapreduce/record_reader.h"
 
 namespace hail {
+namespace adaptive {
+class AdaptiveManager;
+}  // namespace adaptive
 namespace mapreduce {
 
 /// \brief How map-task reads execute under the simulated scheduler.
@@ -56,6 +59,13 @@ struct RunOptions {
   double kill_at_progress = 0.5;
   /// Serial/parallel execution of the functional reads.
   ExecutionMode execution = ExecutionMode::kDefault;
+  /// Adaptive-indexing loop (default off: the paper benches run the
+  /// static configuration). When set, the run (1) executes the manager's
+  /// pending replica-reorganization tasks on map slots that have no
+  /// foreground work — strictly low priority, foreground tasks are never
+  /// starved — and (2) reports the executed query back to the manager's
+  /// workload observer, which may plan further reorganization.
+  adaptive::AdaptiveManager* adaptive = nullptr;
 };
 
 /// \brief Runs MapReduce jobs against a MiniDfs cluster.

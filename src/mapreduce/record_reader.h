@@ -66,6 +66,11 @@ struct ReadContext {
   uint64_t bad_records = 0;
   /// True when any block of the split had to be scanned without an index.
   bool fallback_scan = false;
+  /// True when any block was read through a clustered/trojan index scan.
+  bool index_scan = false;
+  /// True when any block was served by an adaptive unclustered index
+  /// (no clustered replica matched, but a lazy index did).
+  bool unclustered_scan = false;
 };
 
 /// \brief Abstract reader: one call per map task.

@@ -9,10 +9,6 @@ namespace mapreduce {
 
 namespace {
 
-uint64_t TrojanKeyWidth(FieldType type) {
-  return IsFixedSize(type) ? FieldTypeWidth(type) : 16;
-}
-
 /// \brief Once-per-block-version decode state shared via the BlockCache:
 /// parsed trojan layout + row view, and the lazily decoded trojan index
 /// (the dense directory the paper sizes at ~304 KB per 64 MB block —
@@ -119,6 +115,7 @@ class TrojanRecordReader : public RecordReader {
         range_bytes_real = hit.bytes.empty() ? 0 : hit.bytes.end - hit.bytes.begin;
         range_start_offset = hit.bytes.begin;
         index_scan = true;
+        ctx->index_scan = true;
       }
     } else if (index_column >= 0) {
       ctx->fallback_scan = true;
@@ -151,11 +148,9 @@ class TrojanRecordReader : public RecordReader {
     if (index_scan) {
       // The trojan directory is dense: ~304 KB at 64 MB blocks vs HAIL's
       // 2 KB (§6.4.2) — noticeably slower to load.
-      const uint64_t index_logical =
-          (logical_records / c.trojan_rows_per_entry_logical + 1) *
-          (TrojanKeyWidth(
-               ctx->spec->schema.field(index_column).type) +
-           8);
+      const uint64_t index_logical = LogicalSparseIndexBytes(
+          logical_records, c.trojan_rows_per_entry_logical,
+          ctx->spec->schema.field(index_column).type, /*pointer_bytes=*/8);
       bytes_read += index_logical;
       disk_s += 2 * disk_cost.DiskSeek();  // index + row range
     } else {

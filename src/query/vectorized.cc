@@ -239,6 +239,23 @@ Status CompiledPredicate::FilterBlock(const PaxBlockView& view, RowRange range,
   return Status::OK();
 }
 
+Status CompiledPredicate::RefineCandidates(const PaxBlockView& view,
+                                           SelectionVector* sel) const {
+  if (terms_.empty() || sel->empty()) return Status::OK();
+  // The dense flag is always false: the selection is the candidate set.
+  for (const CompiledTerm& term : terms_) {
+    if (term.kind == Kind::kString) continue;
+    HAIL_RETURN_NOT_OK(ApplyFixedTerm(view, term, RowRange{}, false, sel));
+    if (sel->empty()) return Status::OK();
+  }
+  for (const CompiledTerm& term : terms_) {
+    if (term.kind != Kind::kString) continue;
+    HAIL_RETURN_NOT_OK(ApplyStringTerm(view, term, RowRange{}, false, sel));
+    if (sel->empty()) return Status::OK();
+  }
+  return Status::OK();
+}
+
 bool CompiledPredicate::MatchesRow(const std::vector<Value>& row) const {
   for (const CompiledTerm& term : terms_) {
     if (term.column < 0 ||

@@ -74,6 +74,13 @@ class CompiledPredicate {
   Status FilterBlock(const PaxBlockView& view, RowRange range,
                      SelectionVector* sel) const;
 
+  /// Filters an existing *ascending* candidate selection in place (the
+  /// unclustered-index read path: the index yields candidate row ids, this
+  /// applies the remaining terms). Evaluates only the candidate rows —
+  /// fixed-size terms first, then strings through one sequential cursor
+  /// pass — never the whole range.
+  Status RefineCandidates(const PaxBlockView& view, SelectionVector* sel) const;
+
   /// Row-wise evaluation with literal typing resolved at compile time.
   /// Used by the row-major readers (text, trojan). Equivalent to
   /// Predicate::Matches for rows whose value types match the schema; rows

@@ -49,6 +49,12 @@ class CostModel {
                  c_.index_build_us_per_record);
   }
 
+  /// Dense unclustered index over one block (adaptive incremental path).
+  double UnclusteredBuild(uint64_t logical_records) const {
+    return CpuUs(static_cast<double>(logical_records) *
+                 c_.unclustered_build_us_per_record);
+  }
+
   /// CRC32C over a byte range (compute or verify).
   double Crc(uint64_t logical_bytes) const {
     return CpuMs(MB(logical_bytes) * c_.crc_ms_per_mb);

@@ -81,6 +81,10 @@ struct CostConstants {
   double reorg_varlen_ns_per_byte = 48.0;
   /// Building the sparse clustered index + varlen offset lists, per record.
   double index_build_us_per_record = 0.15;
+  /// Building a dense unclustered index (adaptive reorg): sorting one
+  /// (key, rowid) pair per record dominates, so it costs more per record
+  /// than the sparse clustered root but far less than a full block re-sort.
+  double unclustered_build_us_per_record = 0.35;
   /// CRC32C computation/verification, per MB.
   double crc_ms_per_mb = 0.35;
 
@@ -95,6 +99,11 @@ struct CostConstants {
   double reconstruct_us_per_field = 0.45;
   /// Invoking the user map function once.
   double map_call_us = 0.25;
+  /// Abandon an unclustered-index probe (adaptive path) when it yields
+  /// more than this fraction of the block's rows: beyond it the random
+  /// per-partition accesses cost more than one sequential full scan
+  /// (§3.5: unclustered indexes only pay off for very selective queries).
+  double unclustered_max_selectivity = 0.05;
 
   // --- MapReduce framework (Hadoop 0.20.203 era) ---
   /// TaskTracker heartbeat interval; 0.20 assigns map tasks on heartbeats.

@@ -1,0 +1,547 @@
+/// \file adaptive_test.cc
+/// \brief The adaptive indexing subsystem: observer decay/regret, planner
+/// staging (unclustered first, escalate to re-sort), reorg execution
+/// (generation bump + Dir_rep update + cache invalidation), the closed
+/// observe -> plan -> reorg -> converge loop, and its kill/revive safety.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adaptive/adaptive_manager.h"
+#include "adaptive/reorg.h"
+#include "adaptive/reorg_planner.h"
+#include "adaptive/workload_observer.h"
+#include "hail/hail_block.h"
+#include "workload/testbed.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace adaptive {
+namespace {
+
+using mapreduce::ExecutionMode;
+using mapreduce::JobResult;
+using mapreduce::RunOptions;
+using mapreduce::System;
+using workload::QueryDef;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+TestbedConfig SmallConfig(uint64_t seed = 99) {
+  TestbedConfig config;
+  config.num_nodes = 4;
+  config.real_block_bytes = 8 * 1024;
+  config.logical_block_bytes = 4 * 1024 * 1024;  // scale 512
+  config.blocks_per_node = 6;
+  config.seed = seed;
+  return config;
+}
+
+/// The workload shift: Bob suddenly cares about adRevenue, which no
+/// replica is sorted by (uploads below index visitDate only).
+QueryDef ShiftedQuery() {
+  return {"Shift-Q", "@4 between(1,10)", "{@1,@4}", 1.7e-2};
+}
+
+QueryAnnotation Annotate(const Schema& schema, const std::string& filter) {
+  auto parsed = ParseAnnotation(schema, filter, "");
+  EXPECT_TRUE(parsed.ok());
+  return *parsed;
+}
+
+JobResult FakeResult(uint32_t tasks, uint32_t fallback, uint32_t uc,
+                     uint32_t idx) {
+  JobResult r;
+  r.map_tasks = tasks;
+  r.fallback_scans = fallback;
+  r.unclustered_scan_tasks = uc;
+  r.index_scan_tasks = idx;
+  r.avg_record_reader_seconds = 1.0;
+  return r;
+}
+
+std::vector<std::string> Sorted(std::vector<std::string> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadObserver
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadObserverTest, DecaysAndBoundsTheLog) {
+  const Schema schema = workload::UserVisitsSchema();
+  WorkloadObserver::Options opt;
+  opt.capacity = 3;
+  opt.decay = 0.5;
+  WorkloadObserver observer(opt);
+  for (int i = 0; i < 5; ++i) {
+    observer.Observe(Annotate(schema, "@4 >= 1"), FakeResult(10, 10, 0, 0));
+  }
+  EXPECT_EQ(observer.size(), 3u);
+  EXPECT_EQ(observer.observed_total(), 5u);
+  const auto workload = observer.ToWorkload();
+  ASSERT_EQ(workload.size(), 3u);
+  EXPECT_DOUBLE_EQ(workload[2].weight, 1.0);   // newest
+  EXPECT_DOUBLE_EQ(workload[1].weight, 0.5);
+  EXPECT_DOUBLE_EQ(workload[0].weight, 0.25);  // oldest survivor
+}
+
+TEST(WorkloadObserverTest, RegretIsWeightedFallbackShare) {
+  const Schema schema = workload::UserVisitsSchema();
+  WorkloadObserver::Options opt;
+  opt.decay = 0.5;
+  WorkloadObserver observer(opt);
+  EXPECT_DOUBLE_EQ(observer.FullScanRegret(), 0.0);
+  // All tasks fall back -> regret 1.
+  observer.Observe(Annotate(schema, "@4 >= 1"), FakeResult(10, 10, 0, 0));
+  EXPECT_DOUBLE_EQ(observer.FullScanRegret(), 1.0);
+  // Then a fully index-served query: weights 0.5 (old) and 1.0 (new) ->
+  // regret = 0.5 / 1.5.
+  observer.Observe(Annotate(schema, "@3 = 2001-01-01"),
+                   FakeResult(10, 0, 0, 10));
+  EXPECT_DOUBLE_EQ(observer.FullScanRegret(), 0.5 / 1.5);
+  EXPECT_DOUBLE_EQ(observer.UnclusteredShare(), 0.0);
+  // Unclustered-served tasks count toward their own share, not regret.
+  observer.Observe(Annotate(schema, "@4 >= 1"), FakeResult(10, 0, 5, 5));
+  EXPECT_GT(observer.UnclusteredShare(), 0.0);
+  EXPECT_LT(observer.FullScanRegret(), 0.5);
+}
+
+TEST(WorkloadObserverTest, IgnoresUnfilteredJobs) {
+  WorkloadObserver observer;
+  observer.Observe(QueryAnnotation{}, FakeResult(10, 10, 0, 0));
+  EXPECT_TRUE(observer.empty());
+}
+
+TEST(WorkloadObserverTest, RecordsAccessPathsAndBilledCost) {
+  // The log is the loop's observability surface: every observation must
+  // carry the per-task access-path mix and the billed simulated cost.
+  const Schema schema = workload::UserVisitsSchema();
+  WorkloadObserver observer;
+  JobResult r = FakeResult(10, 2, 3, 5);
+  r.avg_record_reader_seconds = 1.5;
+  observer.Observe(Annotate(schema, "@4 >= 1"), r);
+  ASSERT_EQ(observer.size(), 1u);
+  const QueryObservation& obs = observer.log().back();
+  EXPECT_EQ(obs.map_tasks, 10u);
+  EXPECT_EQ(obs.fallback_tasks, 2u);
+  EXPECT_EQ(obs.unclustered_tasks, 3u);
+  EXPECT_EQ(obs.index_scan_tasks, 5u);
+  EXPECT_DOUBLE_EQ(obs.billed_seconds, 15.0);
+}
+
+// ---------------------------------------------------------------------------
+// ReorgPlanner staging
+// ---------------------------------------------------------------------------
+
+TEST(ReorgPlannerTest, IdleBelowRegretThreshold) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  WorkloadObserver observer;
+  // Served by the visitDate index: nothing to do.
+  observer.Observe(Annotate(bed.schema(), "@3 = 2001-01-01"),
+                   FakeResult(24, 0, 0, 24));
+  ReorgPlanner planner;
+  PlanSummary summary;
+  const auto tasks =
+      planner.Plan(bed.dfs(), bed.schema(), "/d", observer, &summary);
+  EXPECT_TRUE(tasks.empty());
+  EXPECT_DOUBLE_EQ(summary.full_scan_regret, 0.0);
+  EXPECT_EQ(summary.hot_column, -1);
+}
+
+TEST(ReorgPlannerTest, InstallsUnclusteredFirstThenEscalates) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok());
+
+  WorkloadObserver observer;
+  observer.Observe(Annotate(bed.schema(), "@4 between(1,10)"),
+                   FakeResult(24, 24, 0, 0));  // pure full-scan regret
+  PlannerOptions opt;
+  opt.escalate_after_rounds = 2;
+  ReorgPlanner planner(opt);
+
+  // Rounds 1 and 2: incremental (unclustered installs), one per block,
+  // never sacrificing the visitDate replica.
+  for (int round = 1; round <= 2; ++round) {
+    PlanSummary summary;
+    const auto tasks =
+        planner.Plan(bed.dfs(), bed.schema(), "/d", observer, &summary);
+    ASSERT_EQ(tasks.size(), blocks->size()) << "round " << round;
+    EXPECT_EQ(summary.hot_column, workload::kAdRevenue);
+    EXPECT_FALSE(summary.escalated);
+    for (const MaintenanceTask& task : tasks) {
+      EXPECT_EQ(task.kind, MaintenanceTask::Kind::kInstallUnclustered);
+      EXPECT_EQ(task.column, workload::kAdRevenue);
+      auto info = bed.dfs().namenode().GetReplicaInfo(task.block_id,
+                                                      task.datanode);
+      ASSERT_TRUE(info.ok());
+      EXPECT_NE(info->sort_column, workload::kVisitDate)
+          << "victim must not be the only clustered replica";
+    }
+    // Identical inputs -> identical plan (determinism).
+    ReorgPlanner replay(opt);
+    EXPECT_EQ(replay.Plan(bed.dfs(), bed.schema(), "/d", observer), tasks);
+  }
+
+  // Round 3: the column stayed hot -> full re-sorts.
+  PlanSummary summary;
+  const auto tasks =
+      planner.Plan(bed.dfs(), bed.schema(), "/d", observer, &summary);
+  ASSERT_EQ(tasks.size(), blocks->size());
+  EXPECT_TRUE(summary.escalated);
+  for (const MaintenanceTask& task : tasks) {
+    EXPECT_EQ(task.kind, MaintenanceTask::Kind::kResortReplica);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reorg execution primitives
+// ---------------------------------------------------------------------------
+
+TEST(ReorgExecutionTest, InstallUnclusteredBumpsGenerationAndRegisters) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok() && !blocks->empty());
+  const hdfs::BlockLocation& loc = blocks->front();
+
+  // Victim: a replica that is not the visitDate one.
+  int victim = -1;
+  for (int dn : loc.datanodes) {
+    auto info = bed.dfs().namenode().GetReplicaInfo(loc.block_id, dn);
+    ASSERT_TRUE(info.ok());
+    if (!info->has_index()) victim = dn;
+  }
+  ASSERT_GE(victim, 0);
+
+  MaintenanceTask task;
+  task.block_id = loc.block_id;
+  task.datanode = victim;
+  task.column = workload::kAdRevenue;
+  task.kind = MaintenanceTask::Kind::kInstallUnclustered;
+
+  // Populate the read cache for this replica so the commit has an entry
+  // to invalidate.
+  ASSERT_TRUE(bed.dfs()
+                  .datanode(victim)
+                  .ReadBlockVerified(loc.block_id,
+                                     bed.dfs().config().chunk_bytes)
+                  .ok());
+  ASSERT_GT(bed.dfs().block_cache().entry_count_for(victim), 0u);
+
+  const uint64_t gen_before =
+      bed.dfs().datanode(victim).block_generation(loc.block_id);
+  auto prepared = PrepareReorg(bed.dfs(), task);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_GT(prepared->seconds, 0.0);
+  // Nothing mutated yet.
+  EXPECT_EQ(bed.dfs().datanode(victim).block_generation(loc.block_id),
+            gen_before);
+
+  ASSERT_TRUE(CommitReorg(&bed.dfs(), task, std::move(*prepared)).ok());
+  EXPECT_GT(bed.dfs().datanode(victim).block_generation(loc.block_id),
+            gen_before);
+  EXPECT_GT(bed.dfs().block_cache().stats().invalidated_entries, 0u);
+
+  auto info = bed.dfs().namenode().GetReplicaInfo(loc.block_id, victim);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->unclustered_column, workload::kAdRevenue);
+  EXPECT_GT(info->unclustered_index_bytes, 0u);
+  EXPECT_EQ(bed.dfs().namenode().GetHostsWithUnclusteredIndex(
+                loc.block_id, workload::kAdRevenue),
+            (std::vector<int>{victim}));
+
+  // The stored replica round-trips as a version-2 HAIL block whose
+  // unclustered index agrees with a scan of its own PAX payload.
+  auto raw = bed.dfs().datanode(victim).ReadBlockRaw(loc.block_id);
+  ASSERT_TRUE(raw.ok());
+  auto view = HailBlockView::Open(*raw);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->has_unclustered());
+  EXPECT_EQ(view->unclustered_column(), workload::kAdRevenue);
+  auto uc = view->ReadUnclusteredIndex();
+  ASSERT_TRUE(uc.ok());
+  auto pax = view->OpenPax();
+  ASSERT_TRUE(pax.ok());
+  EXPECT_EQ(uc->num_records(), pax->num_records());
+}
+
+TEST(ReorgExecutionTest, ResortRegistersClusteredAndDropsUnclustered) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok() && !blocks->empty());
+  const hdfs::BlockLocation& loc = blocks->front();
+  int victim = -1;
+  for (int dn : loc.datanodes) {
+    auto info = bed.dfs().namenode().GetReplicaInfo(loc.block_id, dn);
+    if (info.ok() && !info->has_index()) victim = dn;
+  }
+  ASSERT_GE(victim, 0);
+
+  MaintenanceTask install;
+  install.block_id = loc.block_id;
+  install.datanode = victim;
+  install.column = workload::kAdRevenue;
+  install.kind = MaintenanceTask::Kind::kInstallUnclustered;
+  auto prepared = PrepareReorg(bed.dfs(), install);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(CommitReorg(&bed.dfs(), install, std::move(*prepared)).ok());
+
+  MaintenanceTask resort = install;
+  resort.kind = MaintenanceTask::Kind::kResortReplica;
+  auto prepared2 = PrepareReorg(bed.dfs(), resort);
+  ASSERT_TRUE(prepared2.ok());
+  // A full re-sort costs more simulated time than the lazy install.
+  auto reinstall_cost = PrepareReorg(bed.dfs(), install);
+  ASSERT_TRUE(reinstall_cost.ok());
+  EXPECT_GT(prepared2->seconds, reinstall_cost->seconds);
+  ASSERT_TRUE(CommitReorg(&bed.dfs(), resort, std::move(*prepared2)).ok());
+
+  auto info = bed.dfs().namenode().GetReplicaInfo(loc.block_id, victim);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->sort_column, workload::kAdRevenue);
+  EXPECT_EQ(info->index_kind, "clustered");
+  EXPECT_FALSE(info->has_unclustered());
+  const auto hosts = bed.dfs().namenode().GetHostsWithIndex(
+      loc.block_id, workload::kAdRevenue);
+  EXPECT_EQ(hosts, (std::vector<int>{victim}));
+}
+
+TEST(ReorgExecutionTest, CommitRefusesOnDeadNode) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok());
+  const hdfs::BlockLocation& loc = blocks->front();
+  const int victim = loc.datanodes.front();
+  MaintenanceTask task;
+  task.block_id = loc.block_id;
+  task.datanode = victim;
+  task.column = workload::kAdRevenue;
+  auto prepared = PrepareReorg(bed.dfs(), task);
+  ASSERT_TRUE(prepared.ok());
+  bed.dfs().KillNode(victim, 0.0);
+  EXPECT_FALSE(CommitReorg(&bed.dfs(), task, std::move(*prepared)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The closed loop, end to end
+// ---------------------------------------------------------------------------
+
+/// Runs the shifted query until it converges to clustered index scans.
+/// Returns every per-run JobResult.
+std::vector<JobResult> RunUntilConverged(Testbed* bed,
+                                         AdaptiveManager* manager,
+                                         int max_runs,
+                                         int kill_node_on_run = -1) {
+  std::vector<JobResult> runs;
+  for (int i = 0; i < max_runs; ++i) {
+    RunOptions options;
+    options.execution = ExecutionMode::kSerial;
+    options.adaptive = manager;
+    if (kill_node_on_run == i) {
+      options.kill_node = 1;
+      options.kill_at_progress = 0.3;
+    }
+    auto r = bed->RunQuery(System::kHail, "/d", ShiftedQuery(), false,
+                           options, /*collect_output=*/true);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) break;
+    runs.push_back(*r);
+    if (r->index_scan_tasks == r->map_tasks) break;
+  }
+  return runs;
+}
+
+TEST(AdaptiveLoopTest, ConvergesFromFullScansToIndexScans) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+
+  // Reference: the same query without adaptation (pure full-scan path).
+  auto reference = bed.RunQuery(System::kHail, "/d", ShiftedQuery(), false,
+                                RunOptions{}, /*collect_output=*/true);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference->fallback_scans, reference->map_tasks);
+
+  AdaptiveConfig config;
+  config.planner.regret_threshold = 0.2;
+  config.planner.escalate_after_rounds = 1;
+  AdaptiveManager manager(&bed.dfs(), bed.schema(), "/d", config);
+
+  const std::vector<JobResult> runs =
+      RunUntilConverged(&bed, &manager, /*max_runs=*/12);
+  ASSERT_GE(runs.size(), 2u);
+
+  // Run 1 carried no maintenance (the manager had observed nothing) and is
+  // simulation-identical to the non-adaptive reference.
+  EXPECT_EQ(runs[0].end_to_end_seconds, reference->end_to_end_seconds);
+  EXPECT_EQ(runs[0].avg_record_reader_seconds,
+            reference->avg_record_reader_seconds);
+  EXPECT_EQ(runs[0].maintenance_scheduled, 0u);
+  EXPECT_EQ(runs[0].fallback_scans, runs[0].map_tasks);
+  EXPECT_GT(manager.planned_total(), 0u);
+
+  // Final run: every task is a clustered index scan, and cheaper.
+  const JobResult& last = runs.back();
+  EXPECT_EQ(last.index_scan_tasks, last.map_tasks);
+  EXPECT_EQ(last.fallback_scans, 0u);
+  EXPECT_LT(last.avg_record_reader_seconds,
+            runs[0].avg_record_reader_seconds);
+
+  // Somewhere on the way the lazy unclustered path served tasks.
+  bool saw_unclustered = false;
+  for (const JobResult& run : runs) {
+    saw_unclustered = saw_unclustered || run.unclustered_scan_tasks > 0;
+  }
+  EXPECT_TRUE(saw_unclustered);
+  EXPECT_GT(manager.completed_total(), 0u);
+
+  // Query answers never change while the layout shifts underneath.
+  for (const JobResult& run : runs) {
+    EXPECT_EQ(Sorted(run.output_rows), Sorted(reference->output_rows));
+  }
+
+  // Every block now has a clustered adRevenue replica, and the advisor's
+  // desired assignment is in place.
+  const auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok());
+  for (const hdfs::BlockLocation& loc : *blocks) {
+    EXPECT_FALSE(bed.dfs()
+                     .namenode()
+                     .GetHostsWithIndex(loc.block_id, workload::kAdRevenue)
+                     .empty());
+  }
+}
+
+TEST(AdaptiveLoopTest, SurvivesNodeKillMidReorg) {
+  Testbed bed(SmallConfig(7));
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  AdaptiveConfig config;
+  config.planner.regret_threshold = 0.2;
+  config.planner.escalate_after_rounds = 1;
+  AdaptiveManager manager(&bed.dfs(), bed.schema(), "/d", config);
+
+  // Kill node 1 at 30% progress of the second run — right when the first
+  // round of reorg tasks executes (JobRunner revives nodes at the start of
+  // each subsequent run, so the reorganization resumes).
+  const std::vector<JobResult> runs = RunUntilConverged(
+      &bed, &manager, /*max_runs=*/14, /*kill_node_on_run=*/1);
+  ASSERT_GE(runs.size(), 2u);
+  EXPECT_GT(runs[1].rescheduled_tasks, 0u);  // the kill really happened
+
+  const JobResult& last = runs.back();
+  EXPECT_EQ(last.index_scan_tasks, last.map_tasks);
+  EXPECT_EQ(last.fallback_scans, 0u);
+
+  // The answer stayed correct throughout, including the kill run.
+  auto reference = bed.RunQuery(System::kHail, "/d", ShiftedQuery(), false,
+                                RunOptions{}, /*collect_output=*/true);
+  ASSERT_TRUE(reference.ok());
+  for (const JobResult& run : runs) {
+    EXPECT_EQ(Sorted(run.output_rows), Sorted(reference->output_rows));
+  }
+}
+
+TEST(AdaptiveLoopTest, UnclusteredProbeMatchesFullScanAnswer) {
+  // Freeze the loop at the incremental stage: escalation disabled, so the
+  // reader serves the shifted query through unclustered probes only. The
+  // query is needle-selective — §3.5: unclustered indexes pay off *only*
+  // for very selective queries (each hit is a random access), so this is
+  // the case where the lazy stage must already beat the full scan.
+  const QueryDef needle{"Shift-needle", "@1 = 172.101.11.46", "{@4}", 3.2e-8};
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  auto reference = bed.RunQuery(System::kHail, "/d", needle, false,
+                                RunOptions{}, /*collect_output=*/true);
+  ASSERT_TRUE(reference.ok());
+
+  AdaptiveConfig config;
+  config.planner.regret_threshold = 0.2;
+  config.planner.escalate_after_rounds = 1000;  // never re-sort
+  AdaptiveManager manager(&bed.dfs(), bed.schema(), "/d", config);
+
+  JobResult last;
+  for (int i = 0; i < 12; ++i) {
+    RunOptions options;
+    options.execution = ExecutionMode::kSerial;
+    options.adaptive = &manager;
+    auto r = bed.RunQuery(System::kHail, "/d", needle, false,
+                          options, /*collect_output=*/true);
+    ASSERT_TRUE(r.ok());
+    last = *r;
+    EXPECT_EQ(Sorted(last.output_rows), Sorted(reference->output_rows));
+    if (last.unclustered_scan_tasks == last.map_tasks) break;
+  }
+  EXPECT_EQ(last.unclustered_scan_tasks, last.map_tasks);
+  EXPECT_EQ(last.index_scan_tasks, 0u);
+  EXPECT_EQ(last.fallback_scans, 0u);
+  // Cheaper than the full scan for this selective query (bytes touched:
+  // dense index + a few partitions instead of the whole block).
+  EXPECT_LT(last.avg_record_reader_seconds,
+            reference->avg_record_reader_seconds);
+}
+
+TEST(AdaptiveLoopTest, UnselectiveProbeAbandonsToFullScan) {
+  // §3.5: unclustered indexes only pay off for very selective queries.
+  // A wide range on an unclustered-indexed column must abandon the probe
+  // (billed as index read + scan, reported as fallback) — never pay the
+  // per-hit random I/O — and still return the exact answer.
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const QueryDef wide{"Wide-Q", "@4 between(1,500)", "{@4}", 0.96};
+  auto reference = bed.RunQuery(System::kHail, "/d", wide, false,
+                                RunOptions{}, /*collect_output=*/true);
+  ASSERT_TRUE(reference.ok());
+
+  // Install an unclustered adRevenue index on one replica of each block.
+  const auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok());
+  for (const hdfs::BlockLocation& loc : *blocks) {
+    int victim = -1;
+    for (int dn : loc.datanodes) {
+      auto info = bed.dfs().namenode().GetReplicaInfo(loc.block_id, dn);
+      if (info.ok() && !info->has_index()) victim = dn;
+    }
+    ASSERT_GE(victim, 0);
+    MaintenanceTask task;
+    task.block_id = loc.block_id;
+    task.datanode = victim;
+    task.column = workload::kAdRevenue;
+    task.kind = MaintenanceTask::Kind::kInstallUnclustered;
+    auto prepared = PrepareReorg(bed.dfs(), task);
+    ASSERT_TRUE(prepared.ok());
+    ASSERT_TRUE(CommitReorg(&bed.dfs(), task, std::move(*prepared)).ok());
+  }
+
+  auto after = bed.RunQuery(System::kHail, "/d", wide, false, RunOptions{},
+                            /*collect_output=*/true);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->unclustered_scan_tasks, 0u);
+  EXPECT_EQ(after->fallback_scans, after->map_tasks);
+  EXPECT_EQ(Sorted(after->output_rows), Sorted(reference->output_rows));
+  // The abandoned probe bills the dense-index read on top of the scan.
+  EXPECT_GT(after->avg_record_reader_seconds,
+            reference->avg_record_reader_seconds);
+}
+
+}  // namespace
+}  // namespace adaptive
+}  // namespace hail

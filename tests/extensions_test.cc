@@ -93,6 +93,33 @@ TEST(IndexAdvisorTest, EmptyWorkload) {
   EXPECT_TRUE(SuggestSortColumns(schema, {}, 3).empty());
 }
 
+TEST(IndexAdvisorTest, EqualBenefitTiesBreakByColumnId) {
+  // The adaptive loop re-plans after every query; equal-benefit plans must
+  // come out in one canonical order (ascending column id) or the planner
+  // would flap between them and reorganize forever.
+  const Schema schema = workload::UserVisitsSchema();
+  // Three single-column queries with identical weight: @9, @4, @3 in
+  // deliberately descending-column observation order.
+  std::vector<WorkloadEntry> workload = {
+      Entry(schema, "@9 >= 100", 2.0),
+      Entry(schema, "@4 >= 1", 2.0),
+      Entry(schema, "@3 = 2001-01-01", 2.0),
+  };
+  const auto columns = SuggestSortColumns(schema, workload, 3);
+  ASSERT_EQ(columns.size(), 3u);
+  EXPECT_EQ(columns[0], workload::kVisitDate);   // @3 -> column 2
+  EXPECT_EQ(columns[1], workload::kAdRevenue);   // @4 -> column 3
+  EXPECT_EQ(columns[2], workload::kDuration);    // @9 -> column 8
+  // Stable under input permutation: the workload order must not matter.
+  std::vector<WorkloadEntry> permuted = {workload[2], workload[0],
+                                         workload[1]};
+  EXPECT_EQ(SuggestSortColumns(schema, permuted, 3), columns);
+  // And stable across repeated planning rounds (no flapping).
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(SuggestSortColumns(schema, workload, 3), columns);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Bitmap index (§3.5 future work)
 // ---------------------------------------------------------------------------

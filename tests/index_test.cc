@@ -258,6 +258,88 @@ TEST(UnclusteredIndexTest, SerializeRoundTrip) {
             index.Lookup(KeyRange::Equal(Value(int32_t{6}))));
 }
 
+TEST(UnclusteredIndexTest, AgreesWithNaiveScanAcrossRangeShapes) {
+  Random rng(21);
+  ColumnVector col(FieldType::kInt32);
+  std::vector<int32_t> data;
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back(static_cast<int32_t>(rng.Uniform(50)));  // many dupes
+    col.Append(Value(data.back()));
+  }
+  const UnclusteredIndex index = UnclusteredIndex::Build(col);
+  const auto naive = [&](const KeyRange& range) {
+    std::set<uint32_t> out;
+    for (uint32_t r = 0; r < data.size(); ++r) {
+      const int32_t v = data[r];
+      if (range.lo.has_value() && v < range.lo->as_int32()) continue;
+      if (range.hi.has_value() && v > range.hi->as_int32()) continue;
+      out.insert(r);
+    }
+    return out;
+  };
+  const KeyRange shapes[] = {
+      KeyRange::All(),
+      KeyRange::Equal(Value(int32_t{7})),
+      KeyRange::AtLeast(Value(int32_t{44})),
+      KeyRange::AtMost(Value(int32_t{3})),
+      KeyRange::Between(Value(int32_t{10}), Value(int32_t{20})),
+      KeyRange::Equal(Value(int32_t{99})),  // no hits
+  };
+  for (const KeyRange& range : shapes) {
+    const std::vector<uint32_t> hits = index.Lookup(range);
+    EXPECT_EQ(std::set<uint32_t>(hits.begin(), hits.end()), naive(range));
+  }
+}
+
+TEST(UnclusteredIndexTest, StringKeysRoundTripAndLookup) {
+  ColumnVector col(FieldType::kString);
+  const std::vector<std::string> words = {"delta", "alpha", "echo", "alpha",
+                                          "charlie"};
+  for (const auto& w : words) col.Append(Value(w));
+  const UnclusteredIndex index = UnclusteredIndex::Build(col);
+  const std::string bytes = index.Serialize();
+  EXPECT_EQ(bytes.size(), index.SerializedBytes());
+  auto back = UnclusteredIndex::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  auto hits = back->Lookup(KeyRange::Equal(Value(std::string("alpha"))));
+  EXPECT_EQ(std::set<uint32_t>(hits.begin(), hits.end()),
+            (std::set<uint32_t>{1, 3}));
+  hits = back->Lookup(KeyRange::Between(Value(std::string("b")),
+                                        Value(std::string("e"))));
+  EXPECT_EQ(std::set<uint32_t>(hits.begin(), hits.end()),
+            (std::set<uint32_t>{0, 4}));
+}
+
+TEST(UnclusteredIndexTest, SerializedBytesMatchesAllTypes) {
+  // SerializedBytes is used for Dir_rep accounting; it must equal the
+  // actual encoding for every key type.
+  {
+    ColumnVector col(FieldType::kInt64);
+    for (int64_t v : {int64_t{1} << 40, int64_t{-5}, int64_t{0}}) {
+      col.Append(Value(v));
+    }
+    const UnclusteredIndex index = UnclusteredIndex::Build(col);
+    EXPECT_EQ(index.Serialize().size(), index.SerializedBytes());
+  }
+  {
+    ColumnVector col(FieldType::kDouble);
+    for (double v : {3.25, -1.5, 0.0}) col.Append(Value(v));
+    const UnclusteredIndex index = UnclusteredIndex::Build(col);
+    EXPECT_EQ(index.Serialize().size(), index.SerializedBytes());
+  }
+}
+
+TEST(UnclusteredIndexTest, EmptyColumnAndCorruptInput) {
+  ColumnVector col(FieldType::kInt32);
+  const UnclusteredIndex index = UnclusteredIndex::Build(col);
+  EXPECT_EQ(index.num_records(), 0u);
+  EXPECT_TRUE(index.Lookup(KeyRange::All()).empty());
+  auto back = UnclusteredIndex::Deserialize(index.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Lookup(KeyRange::All()).empty());
+  EXPECT_TRUE(UnclusteredIndex::Deserialize("garbage").status().IsCorruption());
+}
+
 // ---------------------------------------------------------------------------
 // Property sweep: index lookup vs naive scan across partition sizes
 // ---------------------------------------------------------------------------
