@@ -1,0 +1,354 @@
+/// \file bench_scheduler.cc
+/// \brief Shared-cluster scheduling under a mixed tenant mix: uploads,
+/// query streams and adaptive maintenance contending for the same map
+/// slots on one simulated clock (mapreduce/scheduler.h).
+///
+/// Three measurements, all gated (nonzero exit on regression):
+///   1. fair share — two query queues with 3:1 weights saturate the
+///      cluster; the heavy queue's share of contended slot-seconds must
+///      match its entitlement within tolerance, and under FIFO the light
+///      tenant's first job must wait for the whole heavy backlog while
+///      fair sharing serves it concurrently;
+///   2. maintenance priority — the same staggered query stream with the
+///      adaptive manager's replica rewrites queued vs without: strictly
+///      low-priority background work must never be assigned while
+///      foreground is pending (the recorded invariant counter stays 0)
+///      and must not inflate foreground latency beyond tolerance;
+///   3. determinism — one mixed session (upload + queries + maintenance,
+///      fair policy) executed serially and in parallel must dump
+///      bit-identical simulated results (%.17g).
+///
+/// The JSON report (BENCH_sched.json) carries every number so scheduling
+/// behaviour is a build artifact.
+///
+/// Usage: bench_scheduler [BENCH_sched.json]
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adaptive/adaptive_manager.h"
+#include "mapreduce/scheduler.h"
+#include "util/macros.h"
+#include "workload/testbed.h"
+
+namespace hail {
+namespace bench {
+namespace {
+
+using mapreduce::ClusterSession;
+using mapreduce::ExecutionMode;
+using mapreduce::JobResult;
+using mapreduce::QueueUsage;
+using mapreduce::SchedulerPolicy;
+using mapreduce::SessionOptions;
+using mapreduce::SessionResult;
+using mapreduce::System;
+using mapreduce::UploadJobSpec;
+using workload::QueryDef;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+/// Small paper-scale cluster: 4 nodes, 1 GB/node of UserVisits at the
+/// paper's 64 MB logical blocks (scale 1/2048) — big enough that several
+/// tenants genuinely queue for slots, small enough for a CI smoke.
+TestbedConfig SchedConfig() {
+  TestbedConfig config;
+  config.num_nodes = 4;
+  config.real_block_bytes = 32 * 1024;
+  config.blocks_per_node = 16;
+  config.seed = 42;
+  return config;
+}
+
+mapreduce::JobSpec QueryJob(const Testbed& bed, const std::string& path,
+                            const QueryDef& query) {
+  auto spec = workload::MakeQueryJob(bed.schema(), path, System::kHail, query,
+                                     /*hail_splitting=*/false,
+                                     /*collect_output=*/false);
+  HAIL_CHECK_OK(spec.status());
+  return *spec;
+}
+
+// Shared %.17g bit-identity dump (workload/testbed.h) — same field list
+// as the determinism tests, so this gate cannot silently weaken.
+using workload::DumpSession;
+
+// ---------------------------------------------------------------------------
+// 1. fair share vs entitlement (+ FIFO head-of-line baseline)
+// ---------------------------------------------------------------------------
+
+struct FairnessNumbers {
+  double heavy_share = 0.0;       // contended slot-second share
+  double entitlement = 0.0;       // weight share
+  double fifo_light_first = 0.0;  // light tenant's first-job latency, FIFO
+  double fair_light_first = 0.0;  // ... under weighted fair sharing
+};
+
+FairnessNumbers RunFairness(SchedulerPolicy policy, FairnessNumbers base) {
+  Testbed bed(SchedConfig());
+  bed.LoadUserVisits();
+  HAIL_CHECK_OK(bed.UploadHail("/uv", {workload::kVisitDate}).status());
+  bed.FreeSourceTexts();
+  const auto bob = workload::BobQueries();
+  // Heavy tenant: a backlog of expensive full scans (duration has no index
+  // anywhere). Light tenant: short indexed queries submitted at the same
+  // instant — the classic short-job-behind-long-backlog case FIFO
+  // head-of-line blocks and weighted fair sharing serves concurrently.
+  const QueryDef long_scan{"Long-Q", "@9 = 4242", "{@1,@9}", 1e-4};
+
+  SessionOptions opt;
+  opt.policy = policy;
+  opt.queue_weights = {{"heavy", 3.0}, {"light", 1.0}};
+  ClusterSession session(&bed.dfs(), opt);
+  int light_first = -1;
+  for (int i = 0; i < 3; ++i) {
+    session.Submit(QueryJob(bed, "/uv", long_scan), "heavy");
+  }
+  for (int i = 0; i < 3; ++i) {
+    const int id = session.Submit(QueryJob(bed, "/uv", bob[0]), "light");
+    if (light_first < 0) light_first = id;
+  }
+  auto sr = session.Run();
+  HAIL_CHECK_OK(sr.status());
+  for (const auto& job : sr->jobs) HAIL_CHECK_OK(job.status());
+
+  double heavy_css = 0.0;
+  double total_css = 0.0;
+  for (const QueueUsage& q : sr->queues) {
+    total_css += q.contended_slot_seconds;
+    if (q.queue == "heavy") heavy_css += q.contended_slot_seconds;
+  }
+  if (policy == SchedulerPolicy::kFair) {
+    base.heavy_share = total_css > 0.0 ? heavy_css / total_css : 0.0;
+    base.entitlement = 3.0 / 4.0;
+    base.fair_light_first =
+        sr->jobs[static_cast<size_t>(light_first)]->end_to_end_seconds;
+  } else {
+    base.fifo_light_first =
+        sr->jobs[static_cast<size_t>(light_first)]->end_to_end_seconds;
+  }
+  return base;
+}
+
+// ---------------------------------------------------------------------------
+// 2. foreground latency with maintenance on vs off
+// ---------------------------------------------------------------------------
+
+struct MaintenanceNumbers {
+  double fg_latency_off = 0.0;  // mean foreground e2e, no maintenance
+  double fg_latency_on = 0.0;   // ... with the rewrite backlog draining
+  uint64_t maintenance_completed = 0;
+  uint64_t violations = 0;  // assignments while foreground pending
+};
+
+MaintenanceNumbers RunMaintenanceLatency() {
+  MaintenanceNumbers out;
+  const QueryDef shifted{"Shift-Q", "@9 = 4242", "{@1,@9}", 1e-4};
+  for (int with_maintenance = 0; with_maintenance <= 1; ++with_maintenance) {
+    Testbed bed(SchedConfig());
+    bed.LoadUserVisits();
+    HAIL_CHECK_OK(bed.UploadHail("/uv", {workload::kVisitDate}).status());
+    bed.FreeSourceTexts();
+
+    adaptive::AdaptiveConfig acfg;
+    acfg.planner.regret_threshold = 0.2;
+    acfg.planner.escalate_after_rounds = 1;
+    adaptive::AdaptiveManager manager(&bed.dfs(), bed.schema(), "/uv", acfg);
+    if (with_maintenance == 1) {
+      // Seed the rewrite backlog: one observed full-scan round makes the
+      // planner enqueue per-block maintenance.
+      mapreduce::RunOptions ropt;
+      ropt.adaptive = &manager;
+      mapreduce::JobRunner runner(&bed.dfs());
+      HAIL_CHECK_OK(runner.Run(QueryJob(bed, "/uv", shifted), ropt).status());
+    }
+
+    SessionOptions opt;
+    if (with_maintenance == 1) opt.adaptive = &manager;
+    ClusterSession session(&bed.dfs(), opt);
+    // Staggered stream: gaps between submissions are exactly the windows
+    // where strictly-low-priority maintenance may grab slots.
+    const auto bob = workload::BobQueries();
+    session.Submit(QueryJob(bed, "/uv", bob[0]), "default", 0.0);
+    session.Submit(QueryJob(bed, "/uv", bob[3]), "default", 120.0);
+    session.Submit(QueryJob(bed, "/uv", bob[0]), "default", 240.0);
+    auto sr = session.Run();
+    HAIL_CHECK_OK(sr.status());
+    double sum = 0.0;
+    for (const auto& job : sr->jobs) {
+      HAIL_CHECK_OK(job.status());
+      sum += job->end_to_end_seconds;
+    }
+    const double mean = sum / static_cast<double>(sr->jobs.size());
+    if (with_maintenance == 1) {
+      out.fg_latency_on = mean;
+      out.maintenance_completed = sr->maintenance_completed;
+      out.violations = sr->maintenance_while_foreground_pending;
+    } else {
+      out.fg_latency_off = mean;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// 3. serial == parallel over a mixed upload+query+maintenance session
+// ---------------------------------------------------------------------------
+
+std::string RunMixedSession(ExecutionMode mode) {
+  Testbed bed(SchedConfig());
+  bed.LoadUserVisits();
+  HAIL_CHECK_OK(bed.UploadHail("/uv", {workload::kVisitDate}).status());
+
+  adaptive::AdaptiveConfig acfg;
+  acfg.planner.regret_threshold = 0.2;
+  acfg.planner.escalate_after_rounds = 1;
+  adaptive::AdaptiveManager manager(&bed.dfs(), bed.schema(), "/uv", acfg);
+  const QueryDef shifted{"Shift-Q", "@9 = 4242", "{@1,@9}", 1e-4};
+  {
+    mapreduce::RunOptions ropt;
+    ropt.execution = mode;
+    ropt.adaptive = &manager;
+    mapreduce::JobRunner runner(&bed.dfs());
+    HAIL_CHECK_OK(runner.Run(QueryJob(bed, "/uv", shifted), ropt).status());
+  }
+
+  UploadJobSpec up;
+  up.name = "ingest:/u2";
+  up.system = System::kHail;
+  up.hail.schema = bed.schema();
+  up.hail.sort_columns = {workload::kVisitDate};
+  for (int i = 0; i < 2; ++i) {
+    workload::UserVisitsConfig uv;
+    uv.rows = 2000;
+    uv.seed = 777 + static_cast<uint64_t>(i);
+    uv.scale_factor = bed.scale_factor();
+    UploadJobSpec::File f;
+    f.client_node = i;
+    char part[32];
+    std::snprintf(part, sizeof(part), "/part-%05d", i);
+    f.dfs_path = std::string("/u2") + part;
+    f.text = workload::GenerateUserVisitsText(uv);
+    up.files.push_back(std::move(f));
+  }
+
+  SessionOptions opt;
+  opt.policy = SchedulerPolicy::kFair;
+  opt.queue_weights = {{"queries", 2.0}, {"ingest", 1.0}};
+  opt.execution = mode;
+  opt.adaptive = &manager;
+  ClusterSession session(&bed.dfs(), opt);
+  const auto bob = workload::BobQueries();
+  session.Submit(QueryJob(bed, "/uv", bob[0]), "queries");
+  const int up_id = session.SubmitUpload(std::move(up), "ingest");
+  session.Submit(QueryJob(bed, "/uv", shifted), "queries", 60.0);
+  session.Submit(QueryJob(bed, "/u2", bob[0]), "queries", 0.0, up_id);
+  auto sr = session.Run();
+  HAIL_CHECK_OK(sr.status());
+  return DumpSession(*sr);
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_sched.json";
+  constexpr double kShareTolerance = 0.10;
+  constexpr double kLatencyInflationTolerance = 0.25;
+
+  FairnessNumbers fair;
+  fair = RunFairness(SchedulerPolicy::kFair, fair);
+  fair = RunFairness(SchedulerPolicy::kFifo, fair);
+
+  MaintenanceNumbers maint = RunMaintenanceLatency();
+
+  const std::string serial = RunMixedSession(ExecutionMode::kSerial);
+  const std::string parallel = RunMixedSession(ExecutionMode::kParallel);
+  const bool deterministic = serial == parallel;
+
+  const double share_error = std::abs(fair.heavy_share - fair.entitlement);
+  const double inflation =
+      maint.fg_latency_off > 0.0
+          ? maint.fg_latency_on / maint.fg_latency_off - 1.0
+          : 0.0;
+
+  std::printf("shared-cluster scheduler (FIFO + fair) on one clock\n\n");
+  std::printf("fair share: heavy queue %.3f of contended slot-seconds "
+              "(entitlement %.2f, error %.3f, tolerance %.2f)\n",
+              fair.heavy_share, fair.entitlement, share_error,
+              kShareTolerance);
+  std::printf("light tenant first-job latency: FIFO %.1f s -> fair %.1f s "
+              "(%.1fx better)\n",
+              fair.fifo_light_first, fair.fair_light_first,
+              fair.fair_light_first > 0.0
+                  ? fair.fifo_light_first / fair.fair_light_first
+                  : 0.0);
+  std::printf("maintenance: foreground mean latency %.1f s (off) -> %.1f s "
+              "(on, %+.1f%%), %llu rewrites drained, %llu priority "
+              "violations\n",
+              maint.fg_latency_off, maint.fg_latency_on, inflation * 100.0,
+              static_cast<unsigned long long>(maint.maintenance_completed),
+              static_cast<unsigned long long>(maint.violations));
+  std::printf("mixed upload+query+maintenance session serial == parallel: "
+              "%s\n",
+              deterministic ? "yes" : "NO");
+  if (!deterministic) {
+    std::printf("--- serial ---\n%s\n--- parallel ---\n%s\n", serial.c_str(),
+                parallel.c_str());
+  }
+
+  const bool share_ok = share_error <= kShareTolerance;
+  const bool fifo_contrast_ok = fair.fair_light_first < fair.fifo_light_first;
+  const bool maint_ok = maint.violations == 0 &&
+                        maint.maintenance_completed > 0 &&
+                        inflation <= kLatencyInflationTolerance;
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"fair_heavy_share\": %.4f,\n"
+        "  \"fair_entitlement\": %.4f,\n"
+        "  \"fair_share_error\": %.4f,\n"
+        "  \"fair_share_tolerance\": %.4f,\n"
+        "  \"fifo_light_first_job_seconds\": %.3f,\n"
+        "  \"fair_light_first_job_seconds\": %.3f,\n"
+        "  \"fg_latency_maintenance_off_seconds\": %.3f,\n"
+        "  \"fg_latency_maintenance_on_seconds\": %.3f,\n"
+        "  \"fg_latency_inflation\": %.4f,\n"
+        "  \"maintenance_completed\": %llu,\n"
+        "  \"maintenance_priority_violations\": %llu,\n"
+        "  \"serial_equals_parallel\": %s\n"
+        "}\n",
+        fair.heavy_share, fair.entitlement, share_error, kShareTolerance,
+        fair.fifo_light_first, fair.fair_light_first, maint.fg_latency_off,
+        maint.fg_latency_on, inflation,
+        static_cast<unsigned long long>(maint.maintenance_completed),
+        static_cast<unsigned long long>(maint.violations),
+        deterministic ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+
+  if (!share_ok) {
+    std::fprintf(stderr, "FAIL: fair share deviates from entitlement\n");
+  }
+  if (!fifo_contrast_ok) {
+    std::fprintf(stderr, "FAIL: fair sharing did not beat FIFO head-of-line\n");
+  }
+  if (!maint_ok) {
+    std::fprintf(stderr, "FAIL: maintenance priority/latency gate\n");
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: serial != parallel\n");
+  }
+  return share_ok && fifo_contrast_ok && maint_ok && deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hail
+
+int main(int argc, char** argv) { return hail::bench::Main(argc, argv); }

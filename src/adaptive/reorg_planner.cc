@@ -23,7 +23,8 @@ std::vector<MaintenanceTask> ReorgPlanner::Plan(const hdfs::MiniDfs& dfs,
   // Regret counts everything not served by a clustered index: full scans
   // always, unclustered probes as the escalation signal.
   const double unserved = sum.full_scan_regret + sum.unclustered_share;
-  if (observer.empty() || unserved < options_.regret_threshold) {
+  if (observer.empty() || unserved < options_.regret_threshold ||
+      observer.TotalWeight() < options_.min_workload_weight) {
     // Below threshold the streak is broken: a column that heats up again
     // later must restart at the cheap incremental stage.
     hot_rounds_.clear();

@@ -45,6 +45,11 @@ struct PlannerOptions {
   int escalate_after_rounds = 2;
   /// Cap on emitted tasks per planning round; 0 = unlimited.
   size_t max_tasks_per_round = 0;
+  /// Idle when the log's total decayed weight falls below this: once a
+  /// workload shifts to unfiltered full scans, the stale filtered entries
+  /// decay toward zero and stop justifying reorganization (regret is a
+  /// weight *ratio*, so it alone never ages out).
+  double min_workload_weight = 0.05;
 };
 
 /// \brief What one planning round decided (introspection + tests/bench).

@@ -5,10 +5,15 @@ namespace adaptive {
 
 void WorkloadObserver::Observe(const QueryAnnotation& annotation,
                                const mapreduce::JobResult& result) {
-  if (!annotation.has_filter()) return;  // nothing to learn from full scans
+  // Every observed query ages the log, filtered or not: a workload that
+  // shifts to unfiltered full scans adds no per-column signal, but it must
+  // still decay the stale per-column weight (otherwise the planner keeps
+  // reorganizing for columns nobody filters on anymore).
   for (QueryObservation& old : log_) {
     old.weight *= options_.decay;
   }
+  ++observed_total_;
+  if (!annotation.has_filter()) return;  // no filter column to log
   QueryObservation obs;
   obs.annotation = annotation;
   obs.weight = 1.0;
@@ -22,7 +27,12 @@ void WorkloadObserver::Observe(const QueryAnnotation& annotation,
   while (log_.size() > options_.capacity) {
     log_.pop_front();
   }
-  ++observed_total_;
+}
+
+double WorkloadObserver::TotalWeight() const {
+  double total = 0.0;
+  for (const QueryObservation& obs : log_) total += obs.weight;
+  return total;
 }
 
 std::vector<WorkloadEntry> WorkloadObserver::ToWorkload() const {
@@ -40,14 +50,17 @@ std::vector<WorkloadEntry> WorkloadObserver::ToWorkload() const {
 namespace {
 
 /// Weight-averaged fraction of each query's tasks matching `pick`.
+/// Queries that ran zero map tasks (pruned/empty input) still count their
+/// weight in the denominator with a zero hit — dropping them entirely
+/// would silently inflate the share attributed to the rest of the log.
 template <typename PickFn>
 double WeightedTaskShare(const std::deque<QueryObservation>& log,
                          const PickFn& pick) {
   double total = 0.0;
   double hit = 0.0;
   for (const QueryObservation& obs : log) {
-    if (obs.map_tasks == 0) continue;
     total += obs.weight;
+    if (obs.map_tasks == 0) continue;
     hit += obs.weight * static_cast<double>(pick(obs)) /
            static_cast<double>(obs.map_tasks);
   }

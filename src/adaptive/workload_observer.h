@@ -37,7 +37,8 @@ namespace adaptive {
 struct QueryObservation {
   QueryAnnotation annotation;
   /// Decayed weight (1.0 when observed, multiplied by `decay` per newer
-  /// observation).
+  /// observed query — including unfiltered full scans, which age the log
+  /// without joining it).
   double weight = 1.0;
   uint32_t map_tasks = 0;
   uint32_t fallback_tasks = 0;     // full scans (no index of any kind)
@@ -60,13 +61,21 @@ class WorkloadObserver {
   WorkloadObserver() = default;
   explicit WorkloadObserver(Options options) : options_(options) {}
 
-  /// Records one executed query (ignored when it has no annotation to
-  /// learn from).
+  /// Records one executed query. Unfiltered queries (full scans) are not
+  /// logged — there is no filter column to learn — but they still decay
+  /// every existing entry and count toward observed_total(): a workload
+  /// that shifts to full scans ages the stale per-column weight out.
   void Observe(const QueryAnnotation& annotation,
                const mapreduce::JobResult& result);
 
   /// The decayed workload, ready for index_advisor scoring.
   std::vector<WorkloadEntry> ToWorkload() const;
+
+  /// Sum of all decayed log weights. Tends to 1/(1-decay) under a steady
+  /// filtered workload and decays geometrically toward 0 once the workload
+  /// shifts to unfiltered scans — the planner's "is there still a filtered
+  /// workload worth serving?" signal.
+  double TotalWeight() const;
 
   /// Weight fraction of the logged workload served by full scans.
   /// 0 when the log is empty.

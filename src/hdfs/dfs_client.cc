@@ -37,6 +37,15 @@ void MiniDfs::ReviveNode(int id) {
   block_cache_.InvalidateDatanode(id);
 }
 
+void MiniDfs::ResetForSession() {
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    cluster_->node(i).ResetResources();
+    if (!cluster_->node(i).alive()) {
+      ReviveNode(i);
+    }
+  }
+}
+
 namespace {
 
 /// Per-client upload cursor used by both single and parallel uploads.

@@ -62,6 +62,14 @@ class MiniDfs {
   /// cache.
   void ReviveNode(int id);
 
+  /// Session boundary (mapreduce/scheduler.h): clears every node's
+  /// resource bookings and revives dead nodes, once per ClusterSession
+  /// rather than per job — jobs inside a session share resource state and
+  /// observe each other's faults. Stored blocks, Dir_rep registrations
+  /// and still-valid cache entries survive (cross-session reuse is the
+  /// block cache's whole point); revived nodes come back cold.
+  void ResetForSession();
+
  private:
   sim::SimCluster* cluster_;
   DfsConfig config_;

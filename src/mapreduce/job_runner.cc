@@ -1,676 +1,27 @@
 #include "mapreduce/job_runner.h"
 
-#include <algorithm>
-#include <cstdlib>
-#include <cstring>
-#include <deque>
-#include <future>
-#include <memory>
-#include <optional>
 #include <utility>
 
-#include "adaptive/adaptive_manager.h"
-#include "adaptive/reorg.h"
-#include "mapreduce/pending_index.h"
-#include "util/logging.h"
-#include "util/thread_pool.h"
+#include "mapreduce/scheduler.h"
 
 namespace hail {
 namespace mapreduce {
 
-namespace {
-
-enum class TaskStatus { kPending, kRunning, kDone };
-
-struct TaskState {
-  const InputSplit* split = nullptr;
-  TaskStatus status = TaskStatus::kPending;
-  int attempt = 0;
-  int run_on = -1;
-  double rr_seconds = 0.0;
-  // Statistics and output of the last *successful* attempt.
-  std::unique_ptr<MapOutput> output;
-  uint64_t records_seen = 0;
-  uint64_t records_qualifying = 0;
-  uint64_t bad_records = 0;
-  bool fallback_scan = false;
-  bool index_scan = false;
-  bool unclustered_scan = false;
-  int reschedules = 0;
-};
-
-/// One background replica-reorganization task riding on this job's idle
-/// slots (adaptive indexing; see adaptive/adaptive_manager.h).
-struct MaintState {
-  adaptive::MaintenanceTask task;
-  enum class Status { kPending, kRunning, kCommitted, kFailed } status =
-      Status::kPending;
-  /// Rewrite computed at assignment (pre-mutation state), committed at the
-  /// completion event.
-  std::optional<adaptive::PreparedReorg> prepared;
-};
-
-/// Everything a functional read produces; computed inline (serial) or on a
-/// pool thread (parallel), consumed on the event thread either way.
-struct ReadOutcome {
-  Result<TaskCost> cost = Status::Unknown("read not executed");
-  std::unique_ptr<MapOutput> output;
-  uint64_t records_seen = 0;
-  uint64_t records_qualifying = 0;
-  uint64_t bad_records = 0;
-  bool fallback_scan = false;
-  bool index_scan = false;
-  bool unclustered_scan = false;
-};
-
-/// Process-wide worker pool for parallel map-task reads. Created lazily,
-/// never destroyed (workers block on an empty queue between jobs); sized
-/// by HAIL_THREADS or hardware_concurrency.
-ThreadPool* SharedPool() {
-  static ThreadPool* pool = new ThreadPool(ThreadPool::DefaultThreads());
-  return pool;
-}
-
-ExecutionMode ResolveMode(const RunOptions& options) {
-  if (options.execution != ExecutionMode::kDefault) return options.execution;
-  if (const char* env = std::getenv("HAIL_EXEC")) {
-    if (std::strcmp(env, "serial") == 0) return ExecutionMode::kSerial;
-    if (std::strcmp(env, "parallel") == 0) return ExecutionMode::kParallel;
-  }
-  // With a single worker there is nothing to overlap — the ~µs/task
-  // dispatch overhead would be pure loss, so default to the inline path.
-  return ThreadPool::DefaultThreads() > 1 ? ExecutionMode::kParallel
-                                          : ExecutionMode::kSerial;
-}
-
-/// The whole mutable state of one job execution (shared by the event
-/// closures).
-struct Engine {
-  hdfs::MiniDfs* dfs;
-  const JobSpec* spec;
-  const RunOptions* options;
-  JobPlan plan;
-  std::unique_ptr<RecordReader> reader;  // serial mode reuses one reader
-
-  sim::EventQueue events;
-  std::vector<TaskState> tasks;
-  PendingTaskIndex pending{0};  // re-initialised in Run with #nodes
-  std::vector<int> free_slots;  // per node
-  uint32_t completed = 0;
-  bool killed = false;
-  bool done = false;
-  sim::SimTime finish_time = 0.0;
-  Status first_error;  // readers can fail; surfaced after the run
-
-  // ---- background maintenance (adaptive replica reorganization) ----
-  std::vector<MaintState> maint;
-  /// Per-node FIFO of maint indexes (a rewrite runs on the datanode that
-  /// holds the replica).
-  std::vector<std::deque<size_t>> maint_by_node;
-  uint32_t maint_completed = 0;
-  uint32_t maint_failed = 0;
-  /// Parallel mode: commits requested by completion events, applied by the
-  /// loop after every in-flight read has drained (reads assigned before
-  /// the commit must observe — and may be concurrently reading — the
-  /// pre-rewrite bytes).
-  std::vector<size_t> pending_commits;
-
-  // ---- parallel engine state (unused in serial mode) ----
-  bool parallel = false;
-  ThreadPool* pool = nullptr;
-  /// One dispatched-but-not-joined functional read. `seq` is the
-  /// completion event's reserved FIFO slot; `earliest_completion` the
-  /// soonest simulated instant the task can complete (cost >= 0), which
-  /// bounds how far the event loop may run before joining.
-  struct InFlight {
-    size_t task_id = 0;
-    int attempt = 0;
-    int node = -1;
-    sim::SimTime assign_time = 0.0;
-    sim::SimTime earliest_completion = 0.0;
-    uint64_t seq = 0;
-    std::future<ReadOutcome> future;
-  };
-  std::deque<InFlight> inflight;  // assignment (= reserved seq) order
-  /// Failure injection is requested by OnTaskComplete but applied by the
-  /// loop *after* the event returns and every in-flight read has joined:
-  /// reads assigned before the kill must observe pre-kill DFS state, both
-  /// for serial-equivalence and because KillNode mutates shared
-  /// namenode/cluster state the pool threads read.
-  bool kill_requested = false;
-  int kill_victim = -1;
-  uint64_t kill_seq = 0;
-
-  const sim::CostConstants& constants() const {
-    return dfs->cluster().constants();
-  }
-
-  void Heartbeat(int node);
-  void MaintenanceBeat(int node, int assigned);
-  void OnTaskComplete(size_t task_id, int attempt, int node,
-                      sim::SimTime started);
-  void OnFailureDetected(int node);
-  Status AssignTask(size_t task_id, int node);
-  void AssignMaintenance(size_t mid, int node);
-  void OnMaintenanceComplete(size_t mid, int node);
-  void CommitMaintenance(size_t mid);
-  ReadOutcome ExecuteRead(RecordReader* rdr, const InputSplit& split,
-                          int node) const;
-  Status FinishRead(size_t task_id, int attempt, int node,
-                    sim::SimTime assign_time, ReadOutcome outcome,
-                    const uint64_t* reserved_seq);
-  Status JoinOldest();
-  void RunParallelLoop();
-};
-
-void Engine::Heartbeat(int node) {
-  if (!dfs->cluster().node(node).alive()) return;
-  if (done) {
-    // Foreground is finished (or aborted). Maintenance may still drain on
-    // the idle cluster below — but never after an error.
-    if (!first_error.ok()) return;
-    MaintenanceBeat(node, /*assigned=*/0);
-    return;
-  }
-  int assigned = 0;
-  while (free_slots[static_cast<size_t>(node)] > 0 &&
-         assigned < constants().tasks_per_heartbeat && !pending.empty()) {
-    // Locality first: the earliest pending task preferring this node,
-    // else the earliest pending task overall (indexed; pick-identical to
-    // the former linear scan over the pending list).
-    const std::optional<size_t> pick = pending.PopFor(node);
-    if (!pick.has_value()) break;
-    Status st = AssignTask(*pick, node);
-    if (!st.ok()) {
-      // A reader failure is fatal for the run: stop scheduling so the
-      // event loop drains instead of heartbeating forever.
-      if (first_error.ok()) first_error = st;
-      done = true;
-      return;
-    }
-    ++assigned;
-  }
-  // Background maintenance rides strictly behind foreground work: a
-  // reorg task is assigned only while *no* foreground task is pending
-  // anywhere (typically the job's tail, while the last map waves drain),
-  // within the same per-heartbeat assignment quota, and only on the node
-  // holding the replica. Foreground queries are never starved.
-  MaintenanceBeat(node, assigned);
-}
-
-void Engine::MaintenanceBeat(int node, int assigned) {
-  if (maint_by_node.empty() || !pending.empty()) return;
-  std::deque<size_t>& queue = maint_by_node[static_cast<size_t>(node)];
-  // Mid-job the TaskTracker's per-heartbeat quota applies; once the job is
-  // done the cluster is idle and the queue drains as fast as slots allow.
-  while (free_slots[static_cast<size_t>(node)] > 0 && !queue.empty() &&
-         (done || assigned < constants().tasks_per_heartbeat)) {
-    const size_t mid = queue.front();
-    queue.pop_front();
-    AssignMaintenance(mid, node);
-    ++assigned;
-  }
-}
-
-void Engine::AssignMaintenance(size_t mid, int node) {
-  MaintState& m = maint[mid];
-  // The rewrite is computed against the DFS state at assignment time (the
-  // same instant serial execution would read it); the mutation waits for
-  // the completion event.
-  Result<adaptive::PreparedReorg> prep = adaptive::PrepareReorg(*dfs, m.task);
-  if (!prep.ok()) {
-    // A broken task (replica gone, wrong layout) is dropped, not retried;
-    // it must not wedge the queue.
-    m.status = MaintState::Status::kFailed;
-    ++maint_failed;
-    return;
-  }
-  m.status = MaintState::Status::kRunning;
-  m.prepared.emplace(std::move(*prep));
-  free_slots[static_cast<size_t>(node)] -= 1;
-  const double duration = m.prepared->seconds;
-  events.ScheduleAfter(duration,
-                       [this, mid, node] { OnMaintenanceComplete(mid, node); });
-}
-
-void Engine::OnMaintenanceComplete(size_t mid, int node) {
-  MaintState& m = maint[mid];
-  if (m.status != MaintState::Status::kRunning) return;
-  if (!first_error.ok()) {
-    // The job failed; don't mutate DFS state while the queue drains.
-    m.status = MaintState::Status::kPending;
-    m.prepared.reset();
-    return;
-  }
-  // Note: no `done` early-out. A rewrite whose simulated work finishes
-  // after the last foreground task still commits — the job's numbers are
-  // fixed at `done` (heartbeats stop, so nothing *new* starts), and the
-  // datanode daemon has no reason to throw away a finished replica.
-  if (!dfs->cluster().node(node).alive()) {
-    // Node killed mid-reorg: the prepared bytes are gone with it. Requeue;
-    // after a revive the next job's planner state still wants this block.
-    m.status = MaintState::Status::kPending;
-    m.prepared.reset();
-    return;
-  }
-  free_slots[static_cast<size_t>(node)] += 1;
-  if (parallel) {
-    pending_commits.push_back(mid);
-  } else {
-    CommitMaintenance(mid);
-  }
-  // The freed slot asks for more work (maintenance or requeued foreground).
-  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
-                       [this, node] { Heartbeat(node); });
-}
-
-void Engine::CommitMaintenance(size_t mid) {
-  MaintState& m = maint[mid];
-  Status st = adaptive::CommitReorg(dfs, m.task, std::move(*m.prepared));
-  m.prepared.reset();
-  if (st.ok()) {
-    m.status = MaintState::Status::kCommitted;
-    ++maint_completed;
-  } else {
-    m.status = MaintState::Status::kFailed;
-    ++maint_failed;
-  }
-}
-
-ReadOutcome Engine::ExecuteRead(RecordReader* rdr, const InputSplit& split,
-                                int node) const {
-  ReadOutcome out;
-  out.output = std::make_unique<MapOutput>(spec->collect_output);
-  ReadContext ctx;
-  ctx.dfs = dfs;
-  ctx.spec = spec;
-  ctx.plan = &plan;
-  ctx.task_node = node;
-  ctx.out = out.output.get();
-  out.cost = rdr->ReadSplit(split, &ctx);
-  out.records_seen = ctx.records_seen;
-  out.records_qualifying = ctx.records_qualifying;
-  out.bad_records = ctx.bad_records;
-  out.fallback_scan = ctx.fallback_scan;
-  out.index_scan = ctx.index_scan;
-  out.unclustered_scan = ctx.unclustered_scan;
-  return out;
-}
-
-Status Engine::FinishRead(size_t task_id, int attempt, int node,
-                          sim::SimTime assign_time, ReadOutcome outcome,
-                          const uint64_t* reserved_seq) {
-  HAIL_RETURN_NOT_OK(outcome.cost.status());
-  TaskState& task = tasks[task_id];
-  task.output = std::move(outcome.output);
-  task.records_seen = outcome.records_seen;
-  task.records_qualifying = outcome.records_qualifying;
-  task.bad_records = outcome.bad_records;
-  task.fallback_scan = outcome.fallback_scan;
-  task.index_scan = outcome.index_scan;
-  task.unclustered_scan = outcome.unclustered_scan;
-  // RecordReader time = one-time reader construction + the data access.
-  task.rr_seconds =
-      constants().task_rr_init_ms / 1000.0 + outcome.cost->total();
-
-  const double duration = constants().task_setup_s + outcome.cost->total() +
-                          constants().task_cleanup_s;
-  auto completion = [this, task_id, attempt, node, assign_time] {
-    OnTaskComplete(task_id, attempt, node, assign_time);
-  };
-  if (reserved_seq != nullptr) {
-    events.ScheduleAtReserved(*reserved_seq, assign_time + duration,
-                              std::move(completion));
-  } else {
-    events.ScheduleAfter(duration, std::move(completion));
-  }
-  return Status::OK();
-}
-
-Status Engine::AssignTask(size_t task_id, int node) {
-  TaskState& task = tasks[task_id];
-  task.status = TaskStatus::kRunning;
-  task.attempt += 1;
-  task.run_on = node;
-  free_slots[static_cast<size_t>(node)] -= 1;
-
-  if (!parallel) {
-    // Functional read happens now; the simulated duration covers setup +
-    // record reading + cleanup.
-    return FinishRead(task_id, task.attempt, node, events.Now(),
-                      ExecuteRead(reader.get(), *task.split, node),
-                      /*reserved_seq=*/nullptr);
-  }
-
-  // Parallel: reserve the completion event's FIFO slot here — exactly
-  // where serial would allocate it — and dispatch the read to the pool.
-  // The loop joins the future before the simulation can reach the task's
-  // earliest possible completion instant.
-  InFlight f;
-  f.task_id = task_id;
-  f.attempt = task.attempt;
-  f.node = node;
-  f.assign_time = events.Now();
-  f.earliest_completion =
-      f.assign_time + constants().task_setup_s + constants().task_cleanup_s;
-  f.seq = events.ReserveSeq();
-  const InputSplit* split = task.split;
-  f.future = pool->Submit([this, split, node] {
-    // Readers are cheap to construct; a private instance per read keeps
-    // the pool threads free of any shared reader state.
-    std::unique_ptr<RecordReader> rdr = MakeRecordReader(spec->system);
-    return ExecuteRead(rdr.get(), *split, node);
-  });
-  inflight.push_back(std::move(f));
-  return Status::OK();
-}
-
-Status Engine::JoinOldest() {
-  InFlight f = std::move(inflight.front());
-  inflight.pop_front();
-  Status st = FinishRead(f.task_id, f.attempt, f.node, f.assign_time,
-                         f.future.get(), &f.seq);
-  if (!st.ok()) {
-    if (first_error.ok()) first_error = st;
-    done = true;
-  }
-  return st;
-}
-
-void Engine::OnTaskComplete(size_t task_id, int attempt, int node,
-                            sim::SimTime started) {
-  (void)started;
-  if (done) return;
-  TaskState& task = tasks[task_id];
-  if (task.status != TaskStatus::kRunning || task.attempt != attempt) {
-    return;  // stale completion of a superseded attempt
-  }
-  if (!dfs->cluster().node(node).alive()) {
-    return;  // node died mid-run; the failure detector requeues it
-  }
-  task.status = TaskStatus::kDone;
-  free_slots[static_cast<size_t>(node)] += 1;
-  ++completed;
-
-  // Failure injection: kill the victim once the job crosses the progress
-  // threshold ("we kill all Java processes ... after 50% of work
-  // progress", §6.4.3).
-  if (options->kill_node >= 0 && !killed &&
-      static_cast<double>(completed) >=
-          options->kill_at_progress * static_cast<double>(tasks.size())) {
-    killed = true;
-    const int victim = options->kill_node;
-    if (!parallel) {
-      dfs->KillNode(victim, events.Now());
-      events.ScheduleAfter(constants().expiry_interval_s,
-                           [this, victim] { OnFailureDetected(victim); });
-    } else {
-      // Reserve the detection event's slot now (identical tie-break rank
-      // to serial); the loop applies the kill once in-flight reads have
-      // drained.
-      kill_requested = true;
-      kill_victim = victim;
-      kill_seq = events.ReserveSeq();
-    }
-  }
-
-  if (completed == tasks.size()) {
-    done = true;
-    finish_time = events.Now() + constants().job_cleanup_s;
-    // The cluster just went idle; remaining maintenance drains on the
-    // freed slots (the job's reported numbers are fixed at this instant —
-    // heartbeats below only ever assign background rewrites).
-    for (size_t n = 0; n < maint_by_node.size(); ++n) {
-      if (maint_by_node[n].empty()) continue;
-      const int idle_node = static_cast<int>(n);
-      events.ScheduleAfter(constants().oob_heartbeat_latency_s,
-                           [this, idle_node] { Heartbeat(idle_node); });
-    }
-    return;
-  }
-  // Out-of-band heartbeat: the freed slot asks for work shortly after
-  // completion instead of waiting for the periodic beat.
-  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
-                       [this, node] { Heartbeat(node); });
-}
-
-void Engine::OnFailureDetected(int node) {
-  if (done) return;
-  // Lost in-flight tasks and completed map outputs on the dead node are
-  // re-executed elsewhere.
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    TaskState& task = tasks[i];
-    if (task.run_on != node) continue;
-    if (task.status == TaskStatus::kRunning) {
-      task.status = TaskStatus::kPending;
-      task.reschedules += 1;
-      pending.Push(i, task.split->preferred_nodes);
-    } else if (task.status == TaskStatus::kDone) {
-      task.status = TaskStatus::kPending;
-      task.reschedules += 1;
-      task.output.reset();
-      --completed;
-      pending.Push(i, task.split->preferred_nodes);
-    }
-  }
-}
-
-void Engine::RunParallelLoop() {
-  for (;;) {
-    // Join every in-flight read whose completion event could precede the
-    // next queued event — (earliest_completion, reserved seq) is a strict
-    // lower bound on the completion event's (time, seq) key, so the
-    // simulation never runs past an unscheduled completion.
-    while (!inflight.empty()) {
-      bool join_now = true;
-      if (events.pending() > 0) {
-        const auto [when, seq] = events.NextKey();
-        const InFlight& f = inflight.front();
-        join_now = f.earliest_completion < when ||
-                   (f.earliest_completion == when && f.seq < seq);
-      }
-      if (!join_now) break;
-      if (!JoinOldest().ok()) break;  // error: drained below
-    }
-    if (!first_error.ok()) break;
-    if (events.pending() == 0) {
-      if (inflight.empty()) break;
-      continue;  // only in-flight reads remain; join them next pass
-    }
-    events.RunOne();
-    if (kill_requested || !pending_commits.empty()) {
-      // Drain all in-flight reads before mutating shared DFS state (kill
-      // or reorg commit): they were assigned pre-mutation and must observe
-      // — and may be concurrently reading — the pre-mutation bytes.
-      Status drained = Status::OK();
-      while (!inflight.empty() && drained.ok()) drained = JoinOldest();
-      if (drained.ok()) {
-        for (size_t mid : pending_commits) CommitMaintenance(mid);
-        pending_commits.clear();
-        if (kill_requested) {
-          kill_requested = false;
-          dfs->KillNode(kill_victim, events.Now());
-          const int victim = kill_victim;
-          events.ScheduleAtReserved(
-              kill_seq, events.Now() + constants().expiry_interval_s,
-              [this, victim] { OnFailureDetected(victim); });
-        }
-      } else {
-        pending_commits.clear();
-        kill_requested = false;
-      }
-    }
-  }
-  // Error exit: wait out any stragglers so no pool thread touches this
-  // engine after Run returns (their results are discarded, exactly as
-  // serial never executed those reads' results).
-  while (!inflight.empty()) {
-    inflight.front().future.wait();
-    inflight.pop_front();
-  }
-  // Serial drains every remaining (no-op) event after an error; mirror it
-  // so executed-event accounting matches.
-  events.RunUntilEmpty();
-}
-
-}  // namespace
-
 Result<JobResult> JobRunner::Run(const JobSpec& spec,
                                  const RunOptions& options) {
-  sim::SimCluster& cluster = dfs_->cluster();
-  // Jobs are measured on a fresh clock: reset resources and revive nodes
-  // (a revived node re-registers with a cold read cache).
-  for (int i = 0; i < cluster.num_nodes(); ++i) {
-    cluster.node(i).ResetResources();
-    if (!cluster.node(i).alive()) {
-      dfs_->ReviveNode(i);
-    }
-  }
-
-  Engine eng;
-  eng.dfs = dfs_;
-  eng.spec = &spec;
-  eng.options = &options;
-  eng.parallel = ResolveMode(options) == ExecutionMode::kParallel;
-  if (eng.parallel) eng.pool = SharedPool();
-  HAIL_ASSIGN_OR_RETURN(eng.plan, ComputeJobPlan(dfs_, spec));
-  eng.reader = MakeRecordReader(spec.system);
-  if (eng.plan.splits.empty()) {
-    return Status::InvalidArgument("job '" + spec.name + "' has no input");
-  }
-
-  const sim::CostConstants& c = cluster.constants();
-  eng.tasks.resize(eng.plan.splits.size());
-  eng.pending = PendingTaskIndex(cluster.num_nodes());
-  for (size_t i = 0; i < eng.plan.splits.size(); ++i) {
-    eng.tasks[i].split = &eng.plan.splits[i];
-    eng.pending.Push(i, eng.plan.splits[i].preferred_nodes);
-  }
-  eng.free_slots.resize(static_cast<size_t>(cluster.num_nodes()));
-  int total_slots = 0;
-  for (int i = 0; i < cluster.num_nodes(); ++i) {
-    eng.free_slots[static_cast<size_t>(i)] =
-        cluster.node(i).alive() ? cluster.node(i).profile().map_slots : 0;
-    total_slots += eng.free_slots[static_cast<size_t>(i)];
-  }
-  if (total_slots == 0) {
-    return Status::FailedPrecondition("no alive TaskTrackers");
-  }
-
-  // Adaptive maintenance: take every pending replica rewrite; they run on
-  // slots with no foreground work and whatever does not finish goes back.
-  // Taken only after the last early-return above — an aborted run must
-  // never swallow the manager's queue.
-  eng.maint_by_node.resize(static_cast<size_t>(cluster.num_nodes()));
-  if (options.adaptive != nullptr) {
-    std::vector<adaptive::MaintenanceTask> taken = options.adaptive->TakeTasks();
-    eng.maint.reserve(taken.size());
-    for (const adaptive::MaintenanceTask& task : taken) {
-      if (task.datanode < 0 || task.datanode >= cluster.num_nodes()) continue;
-      eng.maint_by_node[static_cast<size_t>(task.datanode)].push_back(
-          eng.maint.size());
-      eng.maint.push_back(MaintState{task, MaintState::Status::kPending, {}});
-    }
-  }
-
-  // Job submission: startup + split phase, then periodic heartbeats.
-  const double t0 = c.job_startup_s + eng.plan.split_phase_seconds;
-  for (int i = 0; i < cluster.num_nodes(); ++i) {
-    if (!cluster.node(i).alive()) continue;
-    const double stagger = c.heartbeat_interval_s *
-                           (static_cast<double>(i) + 1.0) /
-                           static_cast<double>(cluster.num_nodes());
-    // Each TaskTracker re-schedules its own periodic heartbeat.
-    struct Beat {
-      Engine* eng;
-      int node;
-      double interval;
-      void operator()() const {
-        eng->Heartbeat(node);
-        // Starvation guard: a job that cannot make progress (all replicas
-        // of a pending block dead, or a logic error) must not heartbeat
-        // forever.
-        if (eng->events.executed() > 50'000'000 && eng->first_error.ok()) {
-          eng->first_error = Status::Unknown("scheduler starved (event cap)");
-          eng->done = true;
-        }
-        if (!eng->done) {
-          Engine* e = eng;
-          int n = node;
-          double iv = interval;
-          eng->events.ScheduleAfter(interval, Beat{e, n, iv});
-        }
-      }
-    };
-    eng.events.ScheduleAt(t0 + stagger, Beat{&eng, i, c.heartbeat_interval_s});
-  }
-  if (eng.parallel) {
-    eng.RunParallelLoop();
-  } else {
-    eng.events.RunUntilEmpty();
-  }
-  // Unfinished maintenance goes back to the manager *before* any error
-  // exit — a failed job must not lose queued reorganization work.
-  if (options.adaptive != nullptr) {
-    std::vector<adaptive::MaintenanceTask> unfinished;
-    for (const MaintState& m : eng.maint) {
-      if (m.status == MaintState::Status::kPending ||
-          m.status == MaintState::Status::kRunning) {
-        unfinished.push_back(m.task);
-      }
-    }
-    options.adaptive->ReturnUnfinished(std::move(unfinished));
-    options.adaptive->NoteCompleted(eng.maint_completed, eng.maint_failed);
-  }
-  HAIL_RETURN_NOT_OK(eng.first_error);
-  if (!eng.done) {
-    return Status::Unknown("job '" + spec.name +
-                           "' did not complete (scheduler starved)");
-  }
-
-  // ---- assemble the result ----
-  JobResult result;
-  result.job_name = spec.name;
-  result.end_to_end_seconds = eng.finish_time;
-  result.map_tasks = static_cast<uint32_t>(eng.tasks.size());
-
-  double rr_sum = 0.0;
-  for (const TaskState& task : eng.tasks) {
-    rr_sum += task.rr_seconds;
-    result.records_seen += task.records_seen;
-    result.records_qualifying += task.records_qualifying;
-    result.bad_records_seen += task.bad_records;
-    result.rescheduled_tasks += static_cast<uint32_t>(task.reschedules);
-    if (task.fallback_scan) result.fallback_scans += 1;
-    if (task.index_scan) result.index_scan_tasks += 1;
-    if (task.unclustered_scan) result.unclustered_scan_tasks += 1;
-    if (task.output != nullptr) {
-      result.output_count += task.output->count();
-      if (spec.collect_output) {
-        for (std::string& row : task.output->rows()) {
-          result.output_rows.push_back(std::move(row));
-        }
-      }
-    }
-  }
-  result.avg_record_reader_seconds =
-      rr_sum / static_cast<double>(eng.tasks.size());
-  // T_ideal = #MapTasks / #ParallelMapTasks * Avg(T_RecordReader) (§6.4.1).
-  result.ideal_seconds = static_cast<double>(eng.tasks.size()) /
-                         static_cast<double>(total_slots) *
-                         result.avg_record_reader_seconds;
-  result.overhead_seconds = result.end_to_end_seconds - result.ideal_seconds;
-
-  result.maintenance_scheduled = static_cast<uint32_t>(eng.maint.size());
-  result.maintenance_completed = eng.maint_completed;
-  result.maintenance_failed = eng.maint_failed;
-  if (options.adaptive != nullptr) {
-    // Close the loop: record the query (and its access paths) in the
-    // workload observer; the planner may queue reorganization for the
-    // next job against the now-current replica directory.
-    options.adaptive->ObserveJob(spec, result);
-  }
-  return result;
+  // A single-job ClusterSession: the session boundary resets resources and
+  // revives dead nodes (queries are measured independently of whatever ran
+  // before), and the session engine reproduces the pre-session single-job
+  // event schedule exactly — simulated outputs are byte-identical.
+  SessionOptions session_options;
+  session_options.execution = options.execution;
+  session_options.adaptive = options.adaptive;
+  session_options.kill_node = options.kill_node;
+  session_options.kill_at_progress = options.kill_at_progress;
+  ClusterSession session(dfs_, std::move(session_options));
+  session.Submit(spec);
+  HAIL_ASSIGN_OR_RETURN(SessionResult result, session.Run());
+  return std::move(result.jobs[0]);
 }
 
 }  // namespace mapreduce

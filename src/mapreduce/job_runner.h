@@ -25,6 +25,13 @@
 /// simulated clock and all TaskCost accounting stay on the event thread,
 /// so every simulated number (durations, per-task stats, JobResults) is
 /// bit-identical to serial execution — only wall-clock time changes.
+///
+/// Since the shared-cluster scheduler landed (mapreduce/scheduler.h),
+/// JobRunner::Run is a one-job ClusterSession: the engine itself lives in
+/// scheduler.cc and also admits multiple jobs (queries + uploads + the
+/// adaptive manager's background maintenance) onto one simulated clock
+/// under a FIFO or weighted-fair slot policy. The single-job event
+/// schedule — and therefore every simulated output — is unchanged.
 
 #pragma once
 
@@ -73,10 +80,11 @@ class JobRunner {
  public:
   explicit JobRunner(hdfs::MiniDfs* dfs) : dfs_(dfs) {}
 
-  /// Executes one job start-to-finish on a fresh simulated clock.
-  /// Node resources are reset (queries are measured independently of the
-  /// upload that preceded them) and dead nodes are revived before the
-  /// run; failure injection then applies `options`.
+  /// Executes one job start-to-finish on a fresh simulated clock, as a
+  /// single-job ClusterSession (mapreduce/scheduler.h). The session
+  /// boundary resets node resources (queries are measured independently
+  /// of the upload that preceded them) and revives dead nodes; failure
+  /// injection then applies `options`.
   Result<JobResult> Run(const JobSpec& spec, const RunOptions& options = {});
 
  private:

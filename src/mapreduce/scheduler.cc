@@ -1,0 +1,1289 @@
+#include "mapreduce/scheduler.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "adaptive/adaptive_manager.h"
+#include "adaptive/reorg.h"
+#include "mapreduce/pending_index.h"
+#include "util/thread_pool.h"
+
+namespace hail {
+namespace mapreduce {
+
+// ---------------------------------------------------------------------------
+// SlotScheduler
+// ---------------------------------------------------------------------------
+
+SlotScheduler::SlotScheduler(SchedulerPolicy policy,
+                             const std::map<std::string, double>& weights)
+    : policy_(policy), weights_(weights) {}
+
+int SlotScheduler::QueueIndex(const std::string& name) {
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i].name == name) return static_cast<int>(i);
+  }
+  QueueState q;
+  q.name = name;
+  auto it = weights_.find(name);
+  q.weight = it != weights_.end() && it->second > 0.0 ? it->second : 1.0;
+  queues_.push_back(std::move(q));
+  return static_cast<int>(queues_.size()) - 1;
+}
+
+int SlotScheduler::RegisterJob(const std::string& queue) {
+  JobEntry entry;
+  entry.queue = QueueIndex(queue);
+  jobs_.push_back(entry);
+  return static_cast<int>(jobs_.size()) - 1;
+}
+
+void SlotScheduler::SetPending(int job, size_t pending) {
+  jobs_[static_cast<size_t>(job)].pending = pending;
+}
+
+void SlotScheduler::OnTaskStarted(int job) {
+  queues_[static_cast<size_t>(jobs_[static_cast<size_t>(job)].queue)]
+      .running += 1;
+}
+
+void SlotScheduler::OnTaskFinished(int job) {
+  uint32_t& running =
+      queues_[static_cast<size_t>(jobs_[static_cast<size_t>(job)].queue)]
+          .running;
+  if (running > 0) running -= 1;
+}
+
+int SlotScheduler::queue_of(int job) const {
+  return jobs_[static_cast<size_t>(job)].queue;
+}
+
+int SlotScheduler::PickNextJob() const {
+  if (policy_ == SchedulerPolicy::kFifo) {
+    for (size_t j = 0; j < jobs_.size(); ++j) {
+      if (jobs_[j].pending > 0) return static_cast<int>(j);
+    }
+    return -1;
+  }
+  // Fair: the queue with pending work whose running/weight deficit is
+  // smallest wins (work-conserving — queues without pending work never
+  // block others). Ties break on first-registration order, then the
+  // earliest submitted job inside the winning queue.
+  int best_queue = -1;
+  double best_deficit = 0.0;
+  for (size_t q = 0; q < queues_.size(); ++q) {
+    bool has_pending = false;
+    for (const JobEntry& job : jobs_) {
+      if (job.queue == static_cast<int>(q) && job.pending > 0) {
+        has_pending = true;
+        break;
+      }
+    }
+    if (!has_pending) continue;
+    const double deficit =
+        static_cast<double>(queues_[q].running) / queues_[q].weight;
+    if (best_queue < 0 || deficit < best_deficit) {
+      best_queue = static_cast<int>(q);
+      best_deficit = deficit;
+    }
+  }
+  if (best_queue < 0) return -1;
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    if (jobs_[j].queue == best_queue && jobs_[j].pending > 0) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+bool SlotScheduler::Contended() const {
+  int queues_with_work = 0;
+  for (size_t q = 0; q < queues_.size(); ++q) {
+    for (const JobEntry& job : jobs_) {
+      if (job.queue == static_cast<int>(q) && job.pending > 0) {
+        ++queues_with_work;
+        break;
+      }
+    }
+  }
+  return queues_with_work >= 2;
+}
+
+// ---------------------------------------------------------------------------
+// Session engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class TaskStatus { kPending, kRunning, kDone };
+
+struct TaskState {
+  const InputSplit* split = nullptr;            // query tasks
+  const UploadJobSpec::File* file = nullptr;    // upload tasks
+  TaskStatus status = TaskStatus::kPending;
+  int attempt = 0;
+  int run_on = -1;
+  sim::SimTime assign_time = 0.0;  // of the latest attempt
+  double rr_seconds = 0.0;
+  // Statistics and output of the last *successful* attempt.
+  std::unique_ptr<MapOutput> output;
+  uint64_t records_seen = 0;
+  uint64_t records_qualifying = 0;
+  uint64_t bad_records = 0;
+  bool fallback_scan = false;
+  bool index_scan = false;
+  bool unclustered_scan = false;
+  int reschedules = 0;
+  // Fair-share accounting: whether the latest assignment happened under
+  // cross-queue contention, accumulated slot occupancy.
+  bool contended = false;
+  const std::vector<int>& preferred_nodes() const {
+    static const std::vector<int> kNone;
+    if (split != nullptr) return split->preferred_nodes;
+    return file != nullptr ? upload_pref : kNone;
+  }
+  std::vector<int> upload_pref;
+};
+
+/// One background replica-reorganization task riding on the session's idle
+/// slots (adaptive indexing; see adaptive/adaptive_manager.h).
+struct MaintState {
+  adaptive::MaintenanceTask task;
+  enum class Status { kPending, kRunning, kCommitted, kFailed } status =
+      Status::kPending;
+  /// Rewrite computed at assignment (pre-mutation state), committed at the
+  /// completion event.
+  std::optional<adaptive::PreparedReorg> prepared;
+};
+
+/// Everything a functional read produces; computed inline (serial) or on a
+/// pool thread (parallel), consumed on the event thread either way.
+struct ReadOutcome {
+  Result<TaskCost> cost = Status::Unknown("read not executed");
+  std::unique_ptr<MapOutput> output;
+  uint64_t records_seen = 0;
+  uint64_t records_qualifying = 0;
+  uint64_t bad_records = 0;
+  bool fallback_scan = false;
+  bool index_scan = false;
+  bool unclustered_scan = false;
+};
+
+/// Process-wide worker pool for parallel map-task reads. Created lazily,
+/// never destroyed (workers block on an empty queue between sessions);
+/// sized by HAIL_THREADS or hardware_concurrency.
+ThreadPool* SharedPool() {
+  static ThreadPool* pool = new ThreadPool(ThreadPool::DefaultThreads());
+  return pool;
+}
+
+ExecutionMode ResolveMode(ExecutionMode requested) {
+  if (requested != ExecutionMode::kDefault) return requested;
+  if (const char* env = std::getenv("HAIL_EXEC")) {
+    if (std::strcmp(env, "serial") == 0) return ExecutionMode::kSerial;
+    if (std::strcmp(env, "parallel") == 0) return ExecutionMode::kParallel;
+  }
+  // With a single worker there is nothing to overlap — the ~µs/task
+  // dispatch overhead would be pure loss, so default to the inline path.
+  return ThreadPool::DefaultThreads() > 1 ? ExecutionMode::kParallel
+                                          : ExecutionMode::kSerial;
+}
+
+/// One admitted job's mutable execution state.
+struct JobExec {
+  const ClusterSession::Submitted* submitted = nullptr;
+  int id = -1;
+  /// kWaiting: not yet admitted (deferred submit / dependency).
+  /// kStarting: plan computed, paying job startup + split phase.
+  /// kActive: tasks visible to the scheduler.
+  enum class Phase { kWaiting, kStarting, kActive, kDone, kFailed };
+  Phase phase = Phase::kWaiting;
+  JobPlan plan;                          // query jobs
+  std::unique_ptr<RecordReader> reader;  // serial mode reuses one reader
+  std::vector<TaskState> tasks;
+  PendingTaskIndex pending{0};
+  uint32_t completed = 0;
+  sim::SimTime eligible_at = 0.0;
+  sim::SimTime finish_time = 0.0;
+  Status error;  // valid when kFailed
+};
+
+}  // namespace
+
+/// The whole mutable state of one session execution (shared by the event
+/// closures). Generalizes the former single-job Engine: per-job state
+/// lives in JobExec, slots/heartbeats/maintenance/failure state are
+/// session-wide, and a SlotScheduler decides which job a free slot serves.
+struct SessionEngine {
+  hdfs::MiniDfs* dfs = nullptr;
+  const SessionOptions* options = nullptr;
+  std::vector<JobExec> jobs;
+  SlotScheduler scheduler;
+
+  sim::EventQueue events;
+  std::vector<int> free_slots;  // per node
+  int total_slots = 0;
+  /// Unassigned foreground tasks across all active jobs (the maintenance
+  /// gate: background work runs only while this is 0).
+  size_t foreground_pending = 0;
+  size_t jobs_finished = 0;  // done or failed
+  std::vector<int> completion_order;
+  bool killed = false;
+  bool session_done = false;
+  Status first_error;  // session-fatal (readers can fail; surfaced after)
+
+  // ---- fair-share accounting (indexed like scheduler.queues()) ----
+  std::vector<QueueUsage> usage;
+  uint64_t maint_while_fg_pending = 0;
+
+  // ---- background maintenance (adaptive replica reorganization) ----
+  std::vector<MaintState> maint;
+  /// Per-node FIFO of maint indexes (a rewrite runs on the datanode that
+  /// holds the replica).
+  std::vector<std::deque<size_t>> maint_by_node;
+  uint32_t maint_completed = 0;
+  uint32_t maint_failed = 0;
+  /// Parallel mode: commits requested by completion events, applied by the
+  /// loop after every in-flight read has drained (reads assigned before
+  /// the commit must observe — and may be concurrently reading — the
+  /// pre-rewrite bytes).
+  std::vector<size_t> pending_commits;
+
+  // ---- parallel engine state (unused in serial mode) ----
+  bool parallel = false;
+  ThreadPool* pool = nullptr;
+  /// One dispatched-but-not-joined functional read. `seq` is the
+  /// completion event's reserved FIFO slot; `earliest_completion` the
+  /// soonest simulated instant the task can complete (cost >= 0), which
+  /// bounds how far the event loop may run before joining.
+  struct InFlight {
+    int job = -1;
+    size_t task_id = 0;
+    int attempt = 0;
+    int node = -1;
+    sim::SimTime assign_time = 0.0;
+    sim::SimTime earliest_completion = 0.0;
+    uint64_t seq = 0;
+    std::future<ReadOutcome> future;
+  };
+  std::deque<InFlight> inflight;  // assignment (= reserved seq) order
+  /// Failure injection and upload execution both mutate shared DFS state;
+  /// requested inside events, applied by the loop *after* the event
+  /// returns and every in-flight read has joined (reads assigned before
+  /// the mutation must observe pre-mutation state, both for
+  /// serial-equivalence and because pool threads read it concurrently).
+  bool kill_requested = false;
+  int kill_victim = -1;
+  uint64_t kill_seq = 0;
+  struct PendingUpload {
+    int job = -1;
+    size_t task_id = 0;
+    int node = -1;
+    uint64_t seq = 0;
+  };
+  std::vector<PendingUpload> pending_uploads;
+
+  const sim::CostConstants& constants() const {
+    return dfs->cluster().constants();
+  }
+
+  void AdmitJob(int j);
+  void ActivateJob(int j);
+  void FailJob(int j, Status st);
+  void JobDone(int j);
+  void AdmitDependents(int j);
+  void CheckSessionDone();
+  void Heartbeat(int node);
+  void MaintenanceBeat(int node, int assigned);
+  void OnTaskComplete(int j, size_t task_id, int attempt, int node);
+  void OnFailureDetected(int node);
+  Status AssignTask(int j, size_t task_id, int node);
+  void AssignUpload(int j, size_t task_id, int node);
+  void ExecuteUpload(int j, size_t task_id, int node,
+                     const uint64_t* reserved_seq);
+  void AssignMaintenance(size_t mid, int node);
+  void OnMaintenanceComplete(size_t mid, int node);
+  void CommitMaintenance(size_t mid);
+  ReadOutcome ExecuteRead(int j, RecordReader* rdr, const InputSplit& split,
+                          int node) const;
+  Status FinishRead(int j, size_t task_id, int attempt, int node,
+                    sim::SimTime assign_time, ReadOutcome outcome,
+                    const uint64_t* reserved_seq);
+  Status JoinOldest();
+  void RunParallelLoop();
+  void AccountUsage(int j, const TaskState& task, double slot_seconds);
+  JobResult AssembleResult(const JobExec& job) const;
+};
+
+void SessionEngine::AdmitJob(int j) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  if (job.phase != JobExec::Phase::kWaiting) return;
+  const ClusterSession::Submitted& sub = *job.submitted;
+  const sim::SimTime now = events.Now();
+  if (sub.kind == ClusterSession::Submitted::Kind::kQuery) {
+    Result<JobPlan> plan = ComputeJobPlan(dfs, sub.spec);
+    if (!plan.ok()) {
+      FailJob(j, plan.status());
+      return;
+    }
+    job.plan = std::move(*plan);
+    if (job.plan.splits.empty()) {
+      FailJob(j, Status::InvalidArgument("job '" + sub.spec.name +
+                                         "' has no input"));
+      return;
+    }
+    job.reader = MakeRecordReader(sub.spec.system);
+    job.tasks.resize(job.plan.splits.size());
+    for (size_t i = 0; i < job.plan.splits.size(); ++i) {
+      job.tasks[i].split = &job.plan.splits[i];
+    }
+    // Job submission pays startup + the split phase before tasks appear.
+    job.eligible_at =
+        now + constants().job_startup_s + job.plan.split_phase_seconds;
+  } else {
+    if (sub.upload.files.empty()) {
+      FailJob(j, Status::InvalidArgument("upload job '" + sub.upload.name +
+                                         "' has no files"));
+      return;
+    }
+    if (sub.upload.system != System::kHadoop &&
+        sub.upload.system != System::kHail) {
+      // Hadoop++ ingestion is itself a MapReduce job chain, not a
+      // client-side pipeline; silently falling back to the text path
+      // would store a layout its queries cannot read.
+      FailJob(j, Status::InvalidArgument(
+                     "upload job '" + sub.upload.name + "': system '" +
+                     std::string(SystemName(sub.upload.system)) +
+                     "' is not modelled as slot tasks"));
+      return;
+    }
+    job.tasks.resize(sub.upload.files.size());
+    for (size_t i = 0; i < sub.upload.files.size(); ++i) {
+      job.tasks[i].file = &sub.upload.files[i];
+      job.tasks[i].upload_pref = {sub.upload.files[i].client_node};
+    }
+    job.eligible_at = now + constants().job_startup_s;
+  }
+  job.phase = JobExec::Phase::kStarting;
+}
+
+void SessionEngine::ActivateJob(int j) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  if (job.phase != JobExec::Phase::kStarting) return;
+  job.phase = JobExec::Phase::kActive;
+  job.pending = PendingTaskIndex(dfs->cluster().num_nodes());
+  for (size_t i = 0; i < job.tasks.size(); ++i) {
+    job.pending.Push(i, job.tasks[i].preferred_nodes());
+  }
+  foreground_pending += job.tasks.size();
+  scheduler.SetPending(j, job.pending.size());
+  // No immediate poke: the next TaskTracker heartbeat (periodic or
+  // out-of-band) picks the work up, like a real JobTracker.
+}
+
+void SessionEngine::FailJob(int j, Status st) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  if (job.phase == JobExec::Phase::kDone ||
+      job.phase == JobExec::Phase::kFailed) {
+    return;
+  }
+  foreground_pending -= job.pending.size();
+  job.pending = PendingTaskIndex(0);
+  scheduler.SetPending(j, 0);
+  job.phase = JobExec::Phase::kFailed;
+  job.finish_time = events.Now();  // failed tenants still count for makespan
+  job.error = std::move(st);
+  ++jobs_finished;
+  AdmitDependents(j);
+  CheckSessionDone();
+}
+
+void SessionEngine::JobDone(int j) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  job.phase = JobExec::Phase::kDone;
+  // The job's reported numbers are fixed at this instant (remaining
+  // heartbeats only ever serve other jobs or background rewrites).
+  job.finish_time = events.Now() + constants().job_cleanup_s;
+  completion_order.push_back(j);
+  ++jobs_finished;
+  AdmitDependents(j);
+  CheckSessionDone();
+}
+
+void SessionEngine::AdmitDependents(int j) {
+  const JobExec& done = jobs[static_cast<size_t>(j)];
+  for (JobExec& job : jobs) {
+    if (job.phase != JobExec::Phase::kWaiting ||
+        job.submitted->depends_on != j) {
+      continue;
+    }
+    if (done.phase != JobExec::Phase::kDone) {
+      FailJob(job.id,
+              Status::FailedPrecondition(
+                  "dependency job " + std::to_string(j) + " failed"));
+      continue;
+    }
+    const int id = job.id;
+    const sim::SimTime when =
+        std::max(events.Now(), job.submitted->submit_time);
+    events.ScheduleAt(when, [this, id] {
+      AdmitJob(id);
+      JobExec& dep = jobs[static_cast<size_t>(id)];
+      if (dep.phase == JobExec::Phase::kStarting) {
+        events.ScheduleAt(dep.eligible_at, [this, id] { ActivateJob(id); });
+      }
+    });
+  }
+}
+
+void SessionEngine::CheckSessionDone() {
+  if (session_done || jobs_finished != jobs.size()) return;
+  session_done = true;
+  // The cluster just went idle; remaining maintenance drains on the freed
+  // slots (every job's reported numbers are already fixed — heartbeats
+  // below only ever assign background rewrites).
+  for (size_t n = 0; n < maint_by_node.size(); ++n) {
+    if (maint_by_node[n].empty()) continue;
+    const int idle_node = static_cast<int>(n);
+    events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                         [this, idle_node] { Heartbeat(idle_node); });
+  }
+}
+
+void SessionEngine::Heartbeat(int node) {
+  if (!dfs->cluster().node(node).alive()) return;
+  if (session_done) {
+    // Foreground is finished (or aborted). Maintenance may still drain on
+    // the idle cluster below — but never after an error.
+    if (!first_error.ok()) return;
+    MaintenanceBeat(node, /*assigned=*/0);
+    return;
+  }
+  int assigned = 0;
+  bool upload_assigned = false;
+  while (free_slots[static_cast<size_t>(node)] > 0 &&
+         assigned < constants().tasks_per_heartbeat) {
+    // Policy first (which job deserves the slot), locality second (the
+    // earliest pending task of that job preferring this node, else its
+    // earliest pending task overall).
+    const int j = scheduler.PickNextJob();
+    if (j < 0) break;
+    JobExec& job = jobs[static_cast<size_t>(j)];
+    const bool contended = scheduler.Contended();
+    const std::optional<size_t> pick = job.pending.PopFor(node);
+    if (!pick.has_value()) {
+      // Scheduler and job pending counts are updated in lockstep; a
+      // mismatch is a logic error — fail loudly instead of silently
+      // absorbing the corruption (foreground_pending would stay inflated
+      // and block maintenance for the rest of the session).
+      if (first_error.ok()) {
+        first_error = Status::Unknown("scheduler/job pending-count desync");
+      }
+      session_done = true;
+      return;
+    }
+    --foreground_pending;
+    scheduler.SetPending(j, job.pending.size());
+    job.tasks[*pick].contended = contended;
+    if (job.submitted->kind == ClusterSession::Submitted::Kind::kUpload) {
+      AssignUpload(j, *pick, node);
+      ++assigned;
+      // An ingest launch consumes the rest of this beat: nothing else may
+      // be assigned in the same event, so DFS state visible to later
+      // assignments is identical whether the upload executed inline
+      // (serial) or deferred until in-flight reads drained (parallel).
+      upload_assigned = true;
+      break;
+    }
+    Status st = AssignTask(j, *pick, node);
+    if (!st.ok()) {
+      // A reader failure is fatal for the session: stop scheduling so the
+      // event loop drains instead of heartbeating forever.
+      if (first_error.ok()) first_error = st;
+      session_done = true;
+      return;
+    }
+    ++assigned;
+  }
+  if (!upload_assigned) {
+    // Background maintenance rides strictly behind foreground work: a
+    // reorg task is assigned only while *no* foreground task of any
+    // active job is pending anywhere, within the same per-heartbeat
+    // assignment quota, and only on the node holding the replica.
+    // Foreground tenants are never starved.
+    MaintenanceBeat(node, assigned);
+  }
+}
+
+void SessionEngine::MaintenanceBeat(int node, int assigned) {
+  if (maint_by_node.empty() || foreground_pending > 0) return;
+  std::deque<size_t>& queue = maint_by_node[static_cast<size_t>(node)];
+  // Mid-session the TaskTracker's per-heartbeat quota applies; once every
+  // job is done the cluster is idle and the queue drains as fast as slots
+  // allow.
+  while (free_slots[static_cast<size_t>(node)] > 0 && !queue.empty() &&
+         (session_done || assigned < constants().tasks_per_heartbeat)) {
+    const size_t mid = queue.front();
+    queue.pop_front();
+    AssignMaintenance(mid, node);
+    ++assigned;
+  }
+}
+
+void SessionEngine::AssignMaintenance(size_t mid, int node) {
+  if (foreground_pending > 0) {
+    // Strict low priority is an invariant, not a hope: record violations
+    // (tests pin this at zero) instead of silently absorbing them.
+    ++maint_while_fg_pending;
+  }
+  MaintState& m = maint[mid];
+  // The rewrite is computed against the DFS state at assignment time (the
+  // same instant serial execution would read it); the mutation waits for
+  // the completion event.
+  Result<adaptive::PreparedReorg> prep = adaptive::PrepareReorg(*dfs, m.task);
+  if (!prep.ok()) {
+    // A broken task (replica gone, wrong layout) is dropped, not retried;
+    // it must not wedge the queue.
+    m.status = MaintState::Status::kFailed;
+    ++maint_failed;
+    return;
+  }
+  m.status = MaintState::Status::kRunning;
+  m.prepared.emplace(std::move(*prep));
+  free_slots[static_cast<size_t>(node)] -= 1;
+  const double duration = m.prepared->seconds;
+  events.ScheduleAfter(duration,
+                       [this, mid, node] { OnMaintenanceComplete(mid, node); });
+}
+
+void SessionEngine::OnMaintenanceComplete(size_t mid, int node) {
+  MaintState& m = maint[mid];
+  if (m.status != MaintState::Status::kRunning) return;
+  if (!first_error.ok()) {
+    // The session failed; don't mutate DFS state while the queue drains.
+    m.status = MaintState::Status::kPending;
+    m.prepared.reset();
+    return;
+  }
+  if (!dfs->cluster().node(node).alive()) {
+    // Node killed mid-reorg: the prepared bytes are gone with it. Requeue;
+    // after a revive the next session's planner state still wants this
+    // block.
+    m.status = MaintState::Status::kPending;
+    m.prepared.reset();
+    return;
+  }
+  free_slots[static_cast<size_t>(node)] += 1;
+  if (parallel) {
+    pending_commits.push_back(mid);
+  } else {
+    CommitMaintenance(mid);
+  }
+  // The freed slot asks for more work (maintenance or requeued foreground).
+  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                       [this, node] { Heartbeat(node); });
+}
+
+void SessionEngine::CommitMaintenance(size_t mid) {
+  MaintState& m = maint[mid];
+  Status st = adaptive::CommitReorg(dfs, m.task, std::move(*m.prepared));
+  m.prepared.reset();
+  if (st.ok()) {
+    m.status = MaintState::Status::kCommitted;
+    ++maint_completed;
+  } else {
+    m.status = MaintState::Status::kFailed;
+    ++maint_failed;
+  }
+}
+
+ReadOutcome SessionEngine::ExecuteRead(int j, RecordReader* rdr,
+                                       const InputSplit& split,
+                                       int node) const {
+  const JobExec& job = jobs[static_cast<size_t>(j)];
+  ReadOutcome out;
+  out.output = std::make_unique<MapOutput>(job.submitted->spec.collect_output);
+  ReadContext ctx;
+  ctx.dfs = dfs;
+  ctx.spec = &job.submitted->spec;
+  ctx.plan = &job.plan;
+  ctx.task_node = node;
+  ctx.out = out.output.get();
+  out.cost = rdr->ReadSplit(split, &ctx);
+  out.records_seen = ctx.records_seen;
+  out.records_qualifying = ctx.records_qualifying;
+  out.bad_records = ctx.bad_records;
+  out.fallback_scan = ctx.fallback_scan;
+  out.index_scan = ctx.index_scan;
+  out.unclustered_scan = ctx.unclustered_scan;
+  return out;
+}
+
+Status SessionEngine::FinishRead(int j, size_t task_id, int attempt, int node,
+                                 sim::SimTime assign_time, ReadOutcome outcome,
+                                 const uint64_t* reserved_seq) {
+  HAIL_RETURN_NOT_OK(outcome.cost.status());
+  TaskState& task = jobs[static_cast<size_t>(j)].tasks[task_id];
+  task.output = std::move(outcome.output);
+  task.records_seen = outcome.records_seen;
+  task.records_qualifying = outcome.records_qualifying;
+  task.bad_records = outcome.bad_records;
+  task.fallback_scan = outcome.fallback_scan;
+  task.index_scan = outcome.index_scan;
+  task.unclustered_scan = outcome.unclustered_scan;
+  // RecordReader time = one-time reader construction + the data access.
+  task.rr_seconds =
+      constants().task_rr_init_ms / 1000.0 + outcome.cost->total();
+
+  const double duration = constants().task_setup_s + outcome.cost->total() +
+                          constants().task_cleanup_s;
+  auto completion = [this, j, task_id, attempt, node] {
+    OnTaskComplete(j, task_id, attempt, node);
+  };
+  if (reserved_seq != nullptr) {
+    events.ScheduleAtReserved(*reserved_seq, assign_time + duration,
+                              std::move(completion));
+  } else {
+    events.ScheduleAfter(duration, std::move(completion));
+  }
+  return Status::OK();
+}
+
+Status SessionEngine::AssignTask(int j, size_t task_id, int node) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  TaskState& task = job.tasks[task_id];
+  task.status = TaskStatus::kRunning;
+  task.attempt += 1;
+  task.run_on = node;
+  task.assign_time = events.Now();
+  free_slots[static_cast<size_t>(node)] -= 1;
+  scheduler.OnTaskStarted(j);
+
+  if (!parallel) {
+    // Functional read happens now; the simulated duration covers setup +
+    // record reading + cleanup.
+    return FinishRead(j, task_id, task.attempt, node, events.Now(),
+                      ExecuteRead(j, job.reader.get(), *task.split, node),
+                      /*reserved_seq=*/nullptr);
+  }
+
+  // Parallel: reserve the completion event's FIFO slot here — exactly
+  // where serial would allocate it — and dispatch the read to the pool.
+  // The loop joins the future before the simulation can reach the task's
+  // earliest possible completion instant.
+  InFlight f;
+  f.job = j;
+  f.task_id = task_id;
+  f.attempt = task.attempt;
+  f.node = node;
+  f.assign_time = events.Now();
+  f.earliest_completion =
+      f.assign_time + constants().task_setup_s + constants().task_cleanup_s;
+  f.seq = events.ReserveSeq();
+  const InputSplit* split = task.split;
+  const System system = job.submitted->spec.system;
+  f.future = pool->Submit([this, j, split, node, system] {
+    // Readers are cheap to construct; a private instance per read keeps
+    // the pool threads free of any shared reader state.
+    std::unique_ptr<RecordReader> rdr = MakeRecordReader(system);
+    return ExecuteRead(j, rdr.get(), *split, node);
+  });
+  inflight.push_back(std::move(f));
+  return Status::OK();
+}
+
+void SessionEngine::AssignUpload(int j, size_t task_id, int node) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  TaskState& task = job.tasks[task_id];
+  task.status = TaskStatus::kRunning;
+  task.attempt += 1;
+  task.run_on = node;
+  task.assign_time = events.Now();
+  free_slots[static_cast<size_t>(node)] -= 1;
+  scheduler.OnTaskStarted(j);
+  if (!parallel) {
+    ExecuteUpload(j, task_id, node, /*reserved_seq=*/nullptr);
+    return;
+  }
+  // Uploads mutate shared DFS state: defer execution until the loop has
+  // drained every in-flight pool read (they were assigned pre-mutation and
+  // must observe pre-upload bytes). The completion event's FIFO rank and
+  // the upload's simulated start instant are fixed here, so the deferral
+  // changes nothing simulated.
+  PendingUpload u;
+  u.job = j;
+  u.task_id = task_id;
+  u.node = node;
+  u.seq = events.ReserveSeq();
+  pending_uploads.push_back(u);
+}
+
+void SessionEngine::ExecuteUpload(int j, size_t task_id, int node,
+                                  const uint64_t* reserved_seq) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  TaskState& task = job.tasks[task_id];
+  const UploadJobSpec& spec = job.submitted->upload;
+  const UploadJobSpec::File& file = *task.file;
+  const sim::SimTime start = events.Now();
+  sim::SimTime completed_at = start;
+  Status st;
+  if (spec.system == System::kHail) {
+    Result<HailUploadReport> rep = HailUploadTextFile(
+        dfs, spec.hail, node, file.dfs_path, file.text, start);
+    if (rep.ok()) {
+      completed_at = rep->completed;
+    } else {
+      st = rep.status();
+    }
+  } else {
+    Result<hdfs::UploadReport> rep =
+        hdfs::UploadTextFile(dfs, node, file.dfs_path, file.text, start);
+    if (rep.ok()) {
+      completed_at = rep->completed;
+    } else {
+      st = rep.status();
+    }
+  }
+  if (!st.ok()) {
+    // Per-tenant failure: the upload job dies, the cluster lives on.
+    free_slots[static_cast<size_t>(node)] += 1;
+    scheduler.OnTaskFinished(j);
+    task.status = TaskStatus::kDone;
+    FailJob(j, std::move(st));
+    events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                         [this, node] { Heartbeat(node); });
+    return;
+  }
+  // The ingest runs inside a task wrapper: it holds its slot for the
+  // upload's simulated duration plus the usual task setup/cleanup.
+  task.rr_seconds = std::max(0.0, completed_at - start);
+  const double duration =
+      constants().task_setup_s + task.rr_seconds + constants().task_cleanup_s;
+  const int attempt = task.attempt;
+  auto completion = [this, j, task_id, attempt, node] {
+    OnTaskComplete(j, task_id, attempt, node);
+  };
+  if (reserved_seq != nullptr) {
+    events.ScheduleAtReserved(*reserved_seq, start + duration,
+                              std::move(completion));
+  } else {
+    events.ScheduleAfter(duration, std::move(completion));
+  }
+}
+
+Status SessionEngine::JoinOldest() {
+  InFlight f = std::move(inflight.front());
+  inflight.pop_front();
+  Status st = FinishRead(f.job, f.task_id, f.attempt, f.node, f.assign_time,
+                         f.future.get(), &f.seq);
+  if (!st.ok()) {
+    if (first_error.ok()) first_error = st;
+    session_done = true;
+  }
+  return st;
+}
+
+void SessionEngine::AccountUsage(int j, const TaskState& task,
+                                 double slot_seconds) {
+  // usage was sized to the queue count in Run; queues only register there.
+  const size_t q = static_cast<size_t>(scheduler.queue_of(j));
+  usage[q].tasks += 1;
+  usage[q].slot_seconds += slot_seconds;
+  if (task.contended) {
+    usage[q].contended_tasks += 1;
+    usage[q].contended_slot_seconds += slot_seconds;
+  }
+}
+
+void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
+                                   int node) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  TaskState& task = job.tasks[task_id];
+  if (task.status != TaskStatus::kRunning || task.attempt != attempt) {
+    return;  // stale completion of a superseded attempt
+  }
+  if (job.phase == JobExec::Phase::kFailed) {
+    // Sibling task of a tenant that already failed: just give the slot
+    // back to the cluster. This must run even after the session's last
+    // job finished (session_done) — a zombie slot would otherwise block
+    // the post-session maintenance drain on this node.
+    if (!dfs->cluster().node(node).alive()) return;  // slot died with it
+    task.status = TaskStatus::kDone;
+    free_slots[static_cast<size_t>(node)] += 1;
+    scheduler.OnTaskFinished(j);
+    events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                         [this, node] { Heartbeat(node); });
+    return;
+  }
+  if (session_done) return;
+  if (!dfs->cluster().node(node).alive()) {
+    return;  // node died mid-run; the failure detector requeues it
+  }
+  task.status = TaskStatus::kDone;
+  free_slots[static_cast<size_t>(node)] += 1;
+  scheduler.OnTaskFinished(j);
+  ++job.completed;
+  AccountUsage(j, task,
+               constants().task_setup_s + task.rr_seconds +
+                   constants().task_cleanup_s);
+
+  // Failure injection: kill the victim once the designated job crosses the
+  // progress threshold ("we kill all Java processes ... after 50% of work
+  // progress", §6.4.3).
+  if (options->kill_node >= 0 && !killed && j == options->kill_progress_job &&
+      static_cast<double>(job.completed) >=
+          options->kill_at_progress * static_cast<double>(job.tasks.size())) {
+    killed = true;
+    const int victim = options->kill_node;
+    if (!parallel) {
+      dfs->KillNode(victim, events.Now());
+      events.ScheduleAfter(constants().expiry_interval_s,
+                           [this, victim] { OnFailureDetected(victim); });
+    } else {
+      // Reserve the detection event's slot now (identical tie-break rank
+      // to serial); the loop applies the kill once in-flight reads have
+      // drained.
+      kill_requested = true;
+      kill_victim = victim;
+      kill_seq = events.ReserveSeq();
+    }
+  }
+
+  if (job.completed == job.tasks.size()) {
+    JobDone(j);
+    if (session_done) return;  // idle cluster: only maintenance remains
+  }
+  // Out-of-band heartbeat: the freed slot asks for work shortly after
+  // completion instead of waiting for the periodic beat.
+  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                       [this, node] { Heartbeat(node); });
+}
+
+void SessionEngine::OnFailureDetected(int node) {
+  if (session_done) return;
+  // Lost in-flight tasks and completed map outputs on the dead node are
+  // re-executed elsewhere. Jobs already done keep their numbers (fixed at
+  // completion); upload tasks are not re-executed — their pipeline writes
+  // committed at assignment and live on the chain's surviving replicas —
+  // a running upload task simply completes at detection time.
+  for (JobExec& job : jobs) {
+    if (job.phase != JobExec::Phase::kActive) continue;
+    bool requeued = false;
+    for (size_t i = 0; i < job.tasks.size(); ++i) {
+      TaskState& task = job.tasks[i];
+      if (task.run_on != node) continue;
+      if (job.submitted->kind == ClusterSession::Submitted::Kind::kUpload) {
+        if (task.status == TaskStatus::kRunning) {
+          task.status = TaskStatus::kDone;
+          scheduler.OnTaskFinished(job.id);
+          ++job.completed;
+          // The slot vanished at the kill instant: charge only the
+          // occupancy the node actually provided, not the full nominal
+          // duration (queries in the same situation re-run and account
+          // their successful attempt only).
+          const double nominal = constants().task_setup_s + task.rr_seconds +
+                                 constants().task_cleanup_s;
+          const double held = dfs->cluster().node(node).death_time() -
+                              task.assign_time;
+          AccountUsage(job.id, task, std::clamp(held, 0.0, nominal));
+        }
+        continue;
+      }
+      if (task.status == TaskStatus::kRunning) {
+        task.status = TaskStatus::kPending;
+        task.reschedules += 1;
+        scheduler.OnTaskFinished(job.id);
+        job.pending.Push(i, task.preferred_nodes());
+        ++foreground_pending;
+        requeued = true;
+      } else if (task.status == TaskStatus::kDone) {
+        task.status = TaskStatus::kPending;
+        task.reschedules += 1;
+        task.output.reset();
+        --job.completed;
+        job.pending.Push(i, task.preferred_nodes());
+        ++foreground_pending;
+        requeued = true;
+      }
+    }
+    if (requeued) scheduler.SetPending(job.id, job.pending.size());
+    if (job.submitted->kind == ClusterSession::Submitted::Kind::kUpload &&
+        job.completed == job.tasks.size()) {
+      JobDone(job.id);
+      if (session_done) return;
+    }
+  }
+}
+
+void SessionEngine::RunParallelLoop() {
+  for (;;) {
+    // Join every in-flight read whose completion event could precede the
+    // next queued event — (earliest_completion, reserved seq) is a strict
+    // lower bound on the completion event's (time, seq) key, so the
+    // simulation never runs past an unscheduled completion.
+    while (!inflight.empty()) {
+      bool join_now = true;
+      if (events.pending() > 0) {
+        const auto [when, seq] = events.NextKey();
+        const InFlight& f = inflight.front();
+        join_now = f.earliest_completion < when ||
+                   (f.earliest_completion == when && f.seq < seq);
+      }
+      if (!join_now) break;
+      if (!JoinOldest().ok()) break;  // error: drained below
+    }
+    if (!first_error.ok()) break;
+    if (events.pending() == 0) {
+      if (inflight.empty()) break;
+      continue;  // only in-flight reads remain; join them next pass
+    }
+    events.RunOne();
+    if (kill_requested || !pending_commits.empty() ||
+        !pending_uploads.empty()) {
+      // Drain all in-flight reads before mutating shared DFS state
+      // (upload execution, reorg commit or kill): they were assigned
+      // pre-mutation and must observe — and may be concurrently reading —
+      // the pre-mutation bytes. At most one category is pending per event
+      // (uploads come from Heartbeat, commits from OnMaintenanceComplete,
+      // kills from OnTaskComplete), so the apply order below is moot but
+      // fixed.
+      Status drained = Status::OK();
+      while (!inflight.empty() && drained.ok()) drained = JoinOldest();
+      if (drained.ok()) {
+        for (const PendingUpload& u : pending_uploads) {
+          ExecuteUpload(u.job, u.task_id, u.node, &u.seq);
+        }
+        pending_uploads.clear();
+        for (size_t mid : pending_commits) CommitMaintenance(mid);
+        pending_commits.clear();
+        if (kill_requested) {
+          kill_requested = false;
+          dfs->KillNode(kill_victim, events.Now());
+          const int victim = kill_victim;
+          events.ScheduleAtReserved(
+              kill_seq, events.Now() + constants().expiry_interval_s,
+              [this, victim] { OnFailureDetected(victim); });
+        }
+      } else {
+        pending_uploads.clear();
+        pending_commits.clear();
+        kill_requested = false;
+      }
+    }
+  }
+  // Error exit: wait out any stragglers so no pool thread touches this
+  // engine after Run returns (their results are discarded, exactly as
+  // serial never executed those reads' results).
+  while (!inflight.empty()) {
+    inflight.front().future.wait();
+    inflight.pop_front();
+  }
+  // Serial drains every remaining (no-op) event after an error; mirror it
+  // so executed-event accounting matches.
+  events.RunUntilEmpty();
+}
+
+JobResult SessionEngine::AssembleResult(const JobExec& job) const {
+  const ClusterSession::Submitted& sub = *job.submitted;
+  JobResult result;
+  result.job_name = sub.kind == ClusterSession::Submitted::Kind::kQuery
+                        ? sub.spec.name
+                        : sub.upload.name;
+  // Per-job latency on the shared clock: completion minus submission.
+  result.end_to_end_seconds = job.finish_time - sub.submit_time;
+  result.map_tasks = static_cast<uint32_t>(job.tasks.size());
+
+  double rr_sum = 0.0;
+  for (const TaskState& task : job.tasks) {
+    rr_sum += task.rr_seconds;
+    result.records_seen += task.records_seen;
+    result.records_qualifying += task.records_qualifying;
+    result.bad_records_seen += task.bad_records;
+    result.rescheduled_tasks += static_cast<uint32_t>(task.reschedules);
+    if (task.fallback_scan) result.fallback_scans += 1;
+    if (task.index_scan) result.index_scan_tasks += 1;
+    if (task.unclustered_scan) result.unclustered_scan_tasks += 1;
+    if (task.output != nullptr) {
+      result.output_count += task.output->count();
+      if (sub.kind == ClusterSession::Submitted::Kind::kQuery &&
+          sub.spec.collect_output) {
+        for (const std::string& row : task.output->rows()) {
+          result.output_rows.push_back(row);
+        }
+      }
+    }
+  }
+  result.avg_record_reader_seconds =
+      rr_sum / static_cast<double>(job.tasks.size());
+  // T_ideal = #MapTasks / #ParallelMapTasks * Avg(T_RecordReader) (§6.4.1).
+  result.ideal_seconds = static_cast<double>(job.tasks.size()) /
+                         static_cast<double>(total_slots) *
+                         result.avg_record_reader_seconds;
+  result.overhead_seconds = result.end_to_end_seconds - result.ideal_seconds;
+
+  // Background maintenance is session-scoped; every job reports the
+  // session totals (a single-job session reads exactly like the old
+  // single-job runner).
+  result.maintenance_scheduled = static_cast<uint32_t>(maint.size());
+  result.maintenance_completed = maint_completed;
+  result.maintenance_failed = maint_failed;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSession
+// ---------------------------------------------------------------------------
+
+ClusterSession::ClusterSession(hdfs::MiniDfs* dfs, SessionOptions options)
+    : dfs_(dfs), options_(std::move(options)) {}
+
+int ClusterSession::Submit(JobSpec spec, std::string queue,
+                           sim::SimTime submit_time, int depends_on) {
+  Submitted sub;
+  sub.kind = Submitted::Kind::kQuery;
+  sub.spec = std::move(spec);
+  sub.queue = std::move(queue);
+  sub.submit_time = submit_time;
+  sub.depends_on = depends_on;
+  jobs_.push_back(std::move(sub));
+  return static_cast<int>(jobs_.size()) - 1;
+}
+
+int ClusterSession::SubmitUpload(UploadJobSpec upload, std::string queue,
+                                 sim::SimTime submit_time, int depends_on) {
+  Submitted sub;
+  sub.kind = Submitted::Kind::kUpload;
+  sub.upload = std::move(upload);
+  sub.queue = std::move(queue);
+  sub.submit_time = submit_time;
+  sub.depends_on = depends_on;
+  jobs_.push_back(std::move(sub));
+  return static_cast<int>(jobs_.size()) - 1;
+}
+
+Result<SessionResult> ClusterSession::Run() {
+  if (ran_) {
+    return Status::FailedPrecondition("ClusterSession::Run is single-use");
+  }
+  ran_ = true;
+  if (jobs_.empty()) {
+    return Status::InvalidArgument("session has no jobs");
+  }
+  sim::SimCluster& cluster = dfs_->cluster();
+  // Session boundary: reset resource bookings and revive dead nodes once
+  // for the whole session (jobs inside it share cluster state).
+  dfs_->ResetForSession();
+
+  SessionEngine eng;
+  eng.dfs = dfs_;
+  eng.options = &options_;
+  eng.scheduler = SlotScheduler(options_.policy, options_.queue_weights);
+  eng.parallel = ResolveMode(options_.execution) == ExecutionMode::kParallel;
+  if (eng.parallel) eng.pool = SharedPool();
+
+  eng.jobs.resize(jobs_.size());
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    JobExec& job = eng.jobs[i];
+    job.submitted = &jobs_[i];
+    job.id = static_cast<int>(i);
+    eng.scheduler.RegisterJob(jobs_[i].queue);
+  }
+  eng.usage.resize(eng.scheduler.queues().size());
+
+  // Admit every immediately-submitted job now (plans computed against the
+  // session-start DFS state, exactly like the single-job runner did).
+  bool any_admissible = false;
+  for (JobExec& job : eng.jobs) {
+    const Submitted& sub = *job.submitted;
+    if (job.phase != JobExec::Phase::kWaiting) continue;  // failed already
+    if (sub.depends_on >= 0) {
+      if (sub.depends_on >= job.id) {
+        eng.FailJob(job.id, Status::InvalidArgument(
+                                "depends_on must name an earlier job"));
+      } else {
+        any_admissible = true;  // admitted when the dependency completes
+      }
+      continue;
+    }
+    if (sub.submit_time > 0.0) {
+      any_admissible = true;  // admission event scheduled below
+      continue;
+    }
+    eng.AdmitJob(job.id);
+    if (job.phase == JobExec::Phase::kStarting) any_admissible = true;
+  }
+  if (!any_admissible) {
+    // Nothing can ever run (every job failed admission): report per-job
+    // errors without touching cluster or adaptive-manager state — an
+    // aborted session must never swallow the maintenance queue.
+    SessionResult out;
+    for (const JobExec& job : eng.jobs) {
+      out.jobs.push_back(Result<JobResult>(job.error));
+    }
+    return out;
+  }
+
+  eng.free_slots.resize(static_cast<size_t>(cluster.num_nodes()));
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    eng.free_slots[static_cast<size_t>(i)] =
+        cluster.node(i).alive() ? cluster.node(i).profile().map_slots : 0;
+    eng.total_slots += eng.free_slots[static_cast<size_t>(i)];
+  }
+  if (eng.total_slots == 0) {
+    return Status::FailedPrecondition("no alive TaskTrackers");
+  }
+
+  // Adaptive maintenance: take every pending replica rewrite; they run on
+  // slots with no foreground work and whatever does not finish goes back.
+  eng.maint_by_node.resize(static_cast<size_t>(cluster.num_nodes()));
+  if (options_.adaptive != nullptr) {
+    std::vector<adaptive::MaintenanceTask> taken =
+        options_.adaptive->TakeTasks();
+    eng.maint.reserve(taken.size());
+    for (const adaptive::MaintenanceTask& task : taken) {
+      if (task.datanode < 0 || task.datanode >= cluster.num_nodes()) continue;
+      eng.maint_by_node[static_cast<size_t>(task.datanode)].push_back(
+          eng.maint.size());
+      eng.maint.push_back(MaintState{task, MaintState::Status::kPending, {}});
+    }
+  }
+
+  // Activation + deferred-admission events. For time-0 jobs the admission
+  // already happened; their tasks appear once startup + split phase has
+  // been paid.
+  sim::SimTime first_eligible = -1.0;
+  for (JobExec& job : eng.jobs) {
+    const int id = job.id;
+    if (job.phase == JobExec::Phase::kStarting) {
+      eng.events.ScheduleAt(job.eligible_at,
+                            [&eng, id] { eng.ActivateJob(id); });
+      if (first_eligible < 0.0 || job.eligible_at < first_eligible) {
+        first_eligible = job.eligible_at;
+      }
+    } else if (job.phase == JobExec::Phase::kWaiting &&
+               job.submitted->depends_on < 0) {
+      eng.events.ScheduleAt(job.submitted->submit_time, [&eng, id] {
+        eng.AdmitJob(id);
+        JobExec& deferred = eng.jobs[static_cast<size_t>(id)];
+        if (deferred.phase == JobExec::Phase::kStarting) {
+          eng.events.ScheduleAt(deferred.eligible_at,
+                                [&eng, id] { eng.ActivateJob(id); });
+        }
+      });
+    }
+  }
+
+  // Per-node TaskTracker heartbeats, staggered like real daemon start
+  // times, from the first instant any job can have work.
+  const sim::SimTime t0 = first_eligible >= 0.0 ? first_eligible : 0.0;
+  const sim::CostConstants& c = cluster.constants();
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    if (!cluster.node(i).alive()) continue;
+    const double stagger = c.heartbeat_interval_s *
+                           (static_cast<double>(i) + 1.0) /
+                           static_cast<double>(cluster.num_nodes());
+    // Each TaskTracker re-schedules its own periodic heartbeat.
+    struct Beat {
+      SessionEngine* eng;
+      int node;
+      double interval;
+      void operator()() const {
+        eng->Heartbeat(node);
+        // Starvation guard: a session that cannot make progress (all
+        // replicas of a pending block dead, or a logic error) must not
+        // heartbeat forever.
+        if (eng->events.executed() > 50'000'000 && eng->first_error.ok()) {
+          eng->first_error = Status::Unknown("scheduler starved (event cap)");
+          eng->session_done = true;
+        }
+        if (!eng->session_done) {
+          SessionEngine* e = eng;
+          int n = node;
+          double iv = interval;
+          eng->events.ScheduleAfter(interval, Beat{e, n, iv});
+        }
+      }
+    };
+    eng.events.ScheduleAt(t0 + stagger, Beat{&eng, i, c.heartbeat_interval_s});
+  }
+
+  if (eng.parallel) {
+    eng.RunParallelLoop();
+  } else {
+    eng.events.RunUntilEmpty();
+  }
+
+  // Unfinished maintenance goes back to the manager *before* any error
+  // exit — a failed session must not lose queued reorganization work.
+  if (options_.adaptive != nullptr) {
+    std::vector<adaptive::MaintenanceTask> unfinished;
+    for (const MaintState& m : eng.maint) {
+      if (m.status == MaintState::Status::kPending ||
+          m.status == MaintState::Status::kRunning) {
+        unfinished.push_back(m.task);
+      }
+    }
+    options_.adaptive->ReturnUnfinished(std::move(unfinished));
+    options_.adaptive->NoteCompleted(eng.maint_completed, eng.maint_failed);
+  }
+  HAIL_RETURN_NOT_OK(eng.first_error);
+  for (const JobExec& job : eng.jobs) {
+    if (job.phase != JobExec::Phase::kDone &&
+        job.phase != JobExec::Phase::kFailed) {
+      const Submitted& sub = *job.submitted;
+      const std::string& name = sub.kind == Submitted::Kind::kQuery
+                                    ? sub.spec.name
+                                    : sub.upload.name;
+      return Status::Unknown("job '" + name +
+                             "' did not complete (scheduler starved)");
+    }
+  }
+
+  // ---- assemble the results ----
+  SessionResult out;
+  out.jobs.reserve(eng.jobs.size());
+  for (const JobExec& job : eng.jobs) {
+    // Failed tenants still held the cluster until their failure instant —
+    // the session makespan covers them too.
+    out.session_seconds = std::max(out.session_seconds, job.finish_time);
+    if (job.phase == JobExec::Phase::kFailed) {
+      out.jobs.push_back(Result<JobResult>(job.error));
+      continue;
+    }
+    out.jobs.push_back(eng.AssembleResult(job));
+  }
+  const auto& queues = eng.scheduler.queues();
+  eng.usage.resize(queues.size());
+  for (size_t q = 0; q < queues.size(); ++q) {
+    eng.usage[q].queue = queues[q].name;
+    eng.usage[q].weight = queues[q].weight;
+  }
+  out.queues = std::move(eng.usage);
+  out.maintenance_scheduled = static_cast<uint32_t>(eng.maint.size());
+  out.maintenance_completed = eng.maint_completed;
+  out.maintenance_failed = eng.maint_failed;
+  out.maintenance_while_foreground_pending = eng.maint_while_fg_pending;
+
+  if (options_.adaptive != nullptr) {
+    // Close the loop in completion order: record each finished query (and
+    // its access paths) in the workload observer; the planner may queue
+    // reorganization for the next session against the now-current replica
+    // directory.
+    for (int j : eng.completion_order) {
+      const Submitted& sub = jobs_[static_cast<size_t>(j)];
+      if (sub.kind != Submitted::Kind::kQuery) continue;
+      const Result<JobResult>& r = out.jobs[static_cast<size_t>(j)];
+      if (r.ok()) options_.adaptive->ObserveJob(sub.spec, *r);
+    }
+  }
+  return out;
+}
+
+}  // namespace mapreduce
+}  // namespace hail

@@ -1,0 +1,247 @@
+/// \file scheduler.h
+/// \brief Shared-cluster multi-job scheduling on one simulated clock.
+///
+/// JobRunner::Run executes exactly one job per session; the paper's
+/// scheduling results (§4.2, Fig. 6c/9) and the adaptive loop's "never
+/// starve foreground" guarantee only become meaningful when several
+/// tenants contend for the same map slots. A ClusterSession admits N jobs
+/// — queries, uploads and the adaptive manager's background replica
+/// maintenance — onto ONE simulated clock and ONE shared cluster state:
+///
+///  - per-session boundaries: node resources are reset and dead nodes
+///    revived once at session start (MiniDfs::ResetForSession), not per
+///    job, so tenants observe each other's resource bookings and faults;
+///  - per-node TaskTracker heartbeats serve every admitted job; which job
+///    a free slot goes to is decided by a SlotScheduler policy:
+///      * kFifo  — Hadoop's default: strict submission order (earliest
+///        job with pending work first; locality within the job);
+///      * kFair  — Hadoop-fair-scheduler-style weighted queues: the queue
+///        with the smallest running/weight deficit wins the slot
+///        (work-conserving: an idle queue's share redistributes);
+///  - upload jobs occupy map slots too: each source file is one slot task
+///    whose simulated duration comes from the real upload pipeline, so
+///    ingest and queries genuinely contend;
+///  - adaptive maintenance stays strictly low priority across ALL tenants:
+///    a replica rewrite is assigned only when no foreground task of any
+///    active job is pending anywhere (SessionResult records the invariant
+///    counter, which must stay 0).
+///
+/// Determinism: every scheduling decision is a pure function of the event
+/// order — policy state (queue deficits, pending counts) mutates only on
+/// the event thread, and the parallel execution engine reserves completion
+/// FIFO slots at assignment exactly as in the single-job engine — so
+/// serial and parallel execution stay bit-identical across interleaved
+/// jobs (tests/scheduler_test.cc pins it with %.17g dumps).
+///
+/// JobRunner::Run is now a one-job ClusterSession; its simulated outputs
+/// are byte-identical to the pre-session engine.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hail/hail_client.h"
+#include "mapreduce/job.h"
+#include "mapreduce/job_runner.h"
+#include "util/result.h"
+
+namespace hail {
+namespace adaptive {
+class AdaptiveManager;
+}  // namespace adaptive
+namespace mapreduce {
+
+/// \brief How free map slots are shared between admitted jobs.
+enum class SchedulerPolicy {
+  /// Strict submission order (Hadoop's default JobQueueTaskScheduler):
+  /// the earliest submitted job with pending work gets every slot.
+  kFifo,
+  /// Weighted fair sharing across named queues (Hadoop fair scheduler):
+  /// each assignment goes to the queue with the smallest
+  /// running_tasks/weight deficit; within a queue, earliest job first.
+  kFair,
+};
+
+/// \brief Deterministic slot-allocation policy state.
+///
+/// Pure bookkeeping — the session engine reports pending counts and task
+/// starts/finishes, and asks which job the next free slot should serve.
+/// All decisions are deterministic functions of that call sequence, which
+/// itself is a pure function of the simulated event order.
+class SlotScheduler {
+ public:
+  struct QueueState {
+    std::string name;
+    double weight = 1.0;
+    /// Foreground tasks of this queue currently occupying slots.
+    uint32_t running = 0;
+  };
+
+  explicit SlotScheduler(SchedulerPolicy policy = SchedulerPolicy::kFifo,
+                         const std::map<std::string, double>& weights = {});
+
+  /// Registers a job (ids are dense, in call order = submission order);
+  /// its queue is created on first sight with the configured weight
+  /// (default 1.0). Queue order = first-registration order.
+  int RegisterJob(const std::string& queue);
+
+  /// The engine mirrors each job's unassigned foreground task count here.
+  void SetPending(int job, size_t pending);
+
+  void OnTaskStarted(int job);
+  void OnTaskFinished(int job);
+
+  /// Job that should receive the next free slot, -1 when no job has
+  /// pending work. kFifo: lowest job id with pending work. kFair: queue
+  /// with minimal running/weight (ties: first-registered queue), then
+  /// lowest job id within it.
+  int PickNextJob() const;
+
+  /// True while at least two queues have pending foreground work — the
+  /// window in which fair-share entitlement is actually measurable.
+  bool Contended() const;
+
+  int queue_of(int job) const;
+  const std::vector<QueueState>& queues() const { return queues_; }
+
+ private:
+  int QueueIndex(const std::string& name);
+
+  struct JobEntry {
+    int queue = 0;
+    size_t pending = 0;
+  };
+
+  SchedulerPolicy policy_;
+  std::map<std::string, double> weights_;
+  std::vector<QueueState> queues_;
+  std::vector<JobEntry> jobs_;
+};
+
+/// \brief An upload tenant: each source file is one slot-occupying task.
+///
+/// The task runs the real ingestion path (stock-HDFS text or HAIL) at its
+/// assignment instant on whichever node the scheduler placed it (the
+/// file's client_node is the locality preference), and holds its map slot
+/// for the upload's simulated duration plus task setup/cleanup.
+struct UploadJobSpec {
+  struct File {
+    /// Preferred (client) node; under contention the scheduler may place
+    /// the ingest task elsewhere, which then acts as the client.
+    int client_node = 0;
+    std::string dfs_path;
+    std::string text;
+  };
+
+  std::string name;
+  /// kHadoop = stock text upload, kHail = PAX + per-replica indexes.
+  /// (kHadoopPP ingestion is itself a MapReduce job chain and is not
+  /// modelled as slot tasks.)
+  System system = System::kHadoop;
+  /// HAIL schema + per-replica sort columns (system == kHail only).
+  HailUploadConfig hail;
+  std::vector<File> files;
+};
+
+/// \brief Session-wide options (failure injection, policy, engine).
+struct SessionOptions {
+  SchedulerPolicy policy = SchedulerPolicy::kFifo;
+  /// Per-queue fair-share weights; queues not listed weigh 1.0.
+  std::map<std::string, double> queue_weights;
+  /// Serial/parallel execution of the functional reads (shared pool).
+  ExecutionMode execution = ExecutionMode::kDefault;
+  /// Background replica maintenance rides the whole session's idle slots.
+  adaptive::AdaptiveManager* adaptive = nullptr;
+  /// Node to kill mid-session; -1 disables failure injection.
+  int kill_node = -1;
+  /// Kill once this fraction of `kill_progress_job`'s tasks completed.
+  double kill_at_progress = 0.5;
+  /// Job whose progress triggers the kill (submission index).
+  int kill_progress_job = 0;
+};
+
+/// \brief Per-queue slot usage over one session (fair-share accounting).
+struct QueueUsage {
+  std::string queue;
+  double weight = 1.0;
+  /// Completed foreground task attempts / slot-seconds they occupied.
+  uint64_t tasks = 0;
+  double slot_seconds = 0.0;
+  /// Subset assigned while >= 2 queues had pending work — the window
+  /// where fair-share entitlement is measurable (bench_scheduler gates on
+  /// contended_slot_seconds shares matching queue weights).
+  uint64_t contended_tasks = 0;
+  double contended_slot_seconds = 0.0;
+};
+
+/// \brief Everything one session produced.
+struct SessionResult {
+  /// Per-job outcome, in submission order. A job can fail (bad input,
+  /// failed dependency, upload error) without failing the session.
+  std::vector<Result<JobResult>> jobs;
+  /// Session makespan: simulated end of the last job (cleanup included);
+  /// failed tenants count up to their failure instant.
+  double session_seconds = 0.0;
+  std::vector<QueueUsage> queues;
+  // -- session-wide background maintenance --
+  uint32_t maintenance_scheduled = 0;
+  uint32_t maintenance_completed = 0;
+  uint32_t maintenance_failed = 0;
+  /// Maintenance assignments made while foreground work was pending
+  /// anywhere. The strict low-priority guarantee says this is always 0;
+  /// it is recorded (rather than assumed) so tests/bench can pin it.
+  uint64_t maintenance_while_foreground_pending = 0;
+};
+
+/// \brief N jobs on one simulated clock and one shared cluster state.
+///
+/// Usage: construct, Submit jobs (optionally with a submit time and a
+/// dependency on an earlier job), Run once. Run resets node resources and
+/// revives dead nodes at the session boundary, then drives per-node
+/// TaskTracker heartbeats until every job finished and background
+/// maintenance drained.
+class ClusterSession {
+ public:
+  explicit ClusterSession(hdfs::MiniDfs* dfs, SessionOptions options = {});
+
+  /// Submits a query job. `submit_time` defers admission on the session
+  /// clock; `depends_on` (a previously returned job id) delays admission
+  /// until that job completes — its plan then sees the dependency's DFS
+  /// effects (e.g. a finished upload). Returns the job id.
+  int Submit(JobSpec spec, std::string queue = "default",
+             sim::SimTime submit_time = 0.0, int depends_on = -1);
+
+  /// Submits an upload tenant (same queue/deferral semantics).
+  int SubmitUpload(UploadJobSpec upload, std::string queue = "default",
+                   sim::SimTime submit_time = 0.0, int depends_on = -1);
+
+  size_t job_count() const { return jobs_.size(); }
+
+  /// Runs the whole session to completion. Single use. Session-fatal
+  /// errors (reader failure, no alive TaskTrackers, scheduler starvation)
+  /// surface here; per-job failures land in SessionResult::jobs.
+  Result<SessionResult> Run();
+
+  /// One submitted job as the session engine sees it (internal, exposed
+  /// only because the engine's implementation lives in the .cc).
+  struct Submitted {
+    enum class Kind { kQuery, kUpload };
+    Kind kind = Kind::kQuery;
+    JobSpec spec;
+    UploadJobSpec upload;
+    std::string queue;
+    sim::SimTime submit_time = 0.0;
+    int depends_on = -1;
+  };
+
+ private:
+  hdfs::MiniDfs* dfs_;
+  SessionOptions options_;
+  std::vector<Submitted> jobs_;
+  bool ran_ = false;
+};
+
+}  // namespace mapreduce
+}  // namespace hail

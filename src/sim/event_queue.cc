@@ -30,16 +30,11 @@ SimTime EventQueue::RunUntilEmpty() {
 }
 
 SimTime EventQueue::RunUntil(SimTime deadline) {
-  while (!events_.empty() && events_.top().when <= deadline) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.when;
-    ++executed_;
-    ev.fn();
-  }
-  if (now_ < deadline && events_.empty()) {
-    // Nothing left before the deadline; clock stays at the last event.
-  }
+  while (!events_.empty() && events_.top().when <= deadline) RunOne();
+  // Quantum-stepping contract: the clock lands exactly on the deadline
+  // (never rewinds), so back-to-back RunUntil calls tile time and relative
+  // scheduling from the driver anchors at the quantum boundary.
+  AdvanceTo(deadline);
   return now_;
 }
 

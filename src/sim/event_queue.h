@@ -70,8 +70,11 @@ class EventQueue {
   /// Runs events until the queue is empty. Returns the final clock value.
   SimTime RunUntilEmpty();
 
-  /// Runs events with time <= \p deadline; leaves later events queued.
-  /// The clock ends at min(deadline, last event time).
+  /// Runs every event with time <= \p deadline (including events those
+  /// events schedule within the deadline); later events stay queued.
+  /// Afterwards the clock is exactly max(Now(), deadline) — it lands on
+  /// the deadline even when no event ran, and never rewinds — so
+  /// back-to-back RunUntil calls tile time into clean scheduler quanta.
   SimTime RunUntil(SimTime deadline);
 
   /// Number of events waiting.

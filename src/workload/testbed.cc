@@ -114,6 +114,52 @@ void Testbed::FreeSourceTexts() {
   texts_.shrink_to_fit();
 }
 
+std::string DumpResult(const mapreduce::JobResult& r) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "e2e=%.17g rr=%.17g ideal=%.17g ovh=%.17g mt=%u resch=%u fb=%u "
+      "idx=%u uc=%u ms=%u mc=%u mf=%u seen=%llu qual=%llu out=%llu bad=%llu",
+      r.end_to_end_seconds, r.avg_record_reader_seconds, r.ideal_seconds,
+      r.overhead_seconds, r.map_tasks, r.rescheduled_tasks, r.fallback_scans,
+      r.index_scan_tasks, r.unclustered_scan_tasks, r.maintenance_scheduled,
+      r.maintenance_completed, r.maintenance_failed,
+      static_cast<unsigned long long>(r.records_seen),
+      static_cast<unsigned long long>(r.records_qualifying),
+      static_cast<unsigned long long>(r.output_count),
+      static_cast<unsigned long long>(r.bad_records_seen));
+  std::string out(buf);
+  for (const std::string& row : r.output_rows) {
+    out += '|';
+    out += row;
+  }
+  return out;
+}
+
+std::string DumpSession(const mapreduce::SessionResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "session=%.17g ms=%u mc=%u mf=%u viol=%llu",
+                r.session_seconds, r.maintenance_scheduled,
+                r.maintenance_completed, r.maintenance_failed,
+                static_cast<unsigned long long>(
+                    r.maintenance_while_foreground_pending));
+  std::string out(buf);
+  for (const auto& job : r.jobs) {
+    out += '\n';
+    out += job.ok() ? DumpResult(*job) : job.status().ToString();
+  }
+  for (const mapreduce::QueueUsage& q : r.queues) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nqueue %s w=%.17g tasks=%llu ss=%.17g ct=%llu css=%.17g",
+                  q.queue.c_str(), q.weight,
+                  static_cast<unsigned long long>(q.tasks), q.slot_seconds,
+                  static_cast<unsigned long long>(q.contended_tasks),
+                  q.contended_slot_seconds);
+    out += buf;
+  }
+  return out;
+}
+
 Result<mapreduce::JobResult> Testbed::RunQuery(
     mapreduce::System system, const std::string& dfs_path,
     const QueryDef& query, bool hail_splitting,

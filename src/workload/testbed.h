@@ -16,6 +16,7 @@
 #include "hail/hail_client.h"
 #include "hdfs/dfs_client.h"
 #include "mapreduce/job_runner.h"
+#include "mapreduce/scheduler.h"
 #include "workload/queries.h"
 #include "workload/synthetic.h"
 #include "workload/uservisits.h"
@@ -87,6 +88,18 @@ class Testbed {
   Schema schema_;
   std::vector<std::string> texts_;  // size 1 when shared
 };
+
+/// Exact textual dump of every simulated number in a JobResult — doubles
+/// rendered with %.17g, output rows appended in emitted order — so two
+/// dumps compare equal iff the results are bit-identical. The single
+/// source of truth for the serial==parallel determinism checks (tests and
+/// benches share it so the field list cannot drift between copies).
+std::string DumpResult(const mapreduce::JobResult& result);
+
+/// Same contract for a whole multi-job session: session clock, per-job
+/// dumps (submission order; errors dump their status), per-queue
+/// slot-second usage and the maintenance counters/invariant.
+std::string DumpSession(const mapreduce::SessionResult& result);
 
 }  // namespace workload
 }  // namespace hail

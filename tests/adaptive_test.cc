@@ -112,10 +112,85 @@ TEST(WorkloadObserverTest, RegretIsWeightedFallbackShare) {
   EXPECT_LT(observer.FullScanRegret(), 0.5);
 }
 
-TEST(WorkloadObserverTest, IgnoresUnfilteredJobs) {
+TEST(WorkloadObserverTest, UnfilteredJobsAreCountedButNotLogged) {
   WorkloadObserver observer;
   observer.Observe(QueryAnnotation{}, FakeResult(10, 10, 0, 0));
   EXPECT_TRUE(observer.empty());
+  // ... but the observation still happened: it ages the log and counts.
+  EXPECT_EQ(observer.observed_total(), 1u);
+}
+
+TEST(WorkloadObserverTest, ShiftToFullScansDecaysStaleWeight) {
+  // Regression: Observe used to early-return on unfiltered queries
+  // *before* decaying the log, so a workload that shifted to full scans
+  // froze the stale per-column weight forever.
+  const Schema schema = workload::UserVisitsSchema();
+  WorkloadObserver::Options opt;
+  opt.decay = 0.5;
+  WorkloadObserver observer(opt);
+  observer.Observe(Annotate(schema, "@4 >= 1"), FakeResult(10, 10, 0, 0));
+  EXPECT_DOUBLE_EQ(observer.TotalWeight(), 1.0);
+  for (int i = 0; i < 6; ++i) {
+    observer.Observe(QueryAnnotation{}, FakeResult(10, 10, 0, 0));
+  }
+  EXPECT_EQ(observer.observed_total(), 7u);
+  EXPECT_EQ(observer.size(), 1u);  // full scans never join the log...
+  // ...but each one decays it: 0.5^6 = 1/64.
+  EXPECT_DOUBLE_EQ(observer.TotalWeight(), 1.0 / 64.0);
+}
+
+TEST(ReorgPlannerTest, ShiftToFullScansStopsReorganization) {
+  // End-to-end regression for the decay fix: the planner must go idle —
+  // and stop reorganizing for columns nobody filters on — once sustained
+  // unfiltered traffic has decayed the filtered log away. Regret is a
+  // weight *ratio* (uniform decay cancels), so the planner gates on the
+  // absolute decayed weight.
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  WorkloadObserver::Options opt;
+  opt.decay = 0.5;
+  WorkloadObserver observer(opt);
+  observer.Observe(Annotate(bed.schema(), "@4 between(1,10)"),
+                   FakeResult(24, 24, 0, 0));  // pure full-scan regret
+  ReorgPlanner planner;
+  PlanSummary summary;
+  EXPECT_FALSE(
+      planner.Plan(bed.dfs(), bed.schema(), "/d", observer, &summary).empty());
+  EXPECT_EQ(summary.hot_column, workload::kAdRevenue);
+  // The workload shifts to unfiltered scans; @4's weight halves per query.
+  for (int i = 0; i < 6; ++i) {
+    observer.Observe(QueryAnnotation{}, FakeResult(24, 24, 0, 0));
+  }
+  // Regret (a ratio) is still 1.0 — only the absolute weight aged out.
+  EXPECT_DOUBLE_EQ(observer.FullScanRegret(), 1.0);
+  EXPECT_LT(observer.TotalWeight(), PlannerOptions().min_workload_weight);
+  const auto tasks =
+      planner.Plan(bed.dfs(), bed.schema(), "/d", observer, &summary);
+  EXPECT_TRUE(tasks.empty());
+  EXPECT_EQ(summary.hot_column, -1);
+  // The streak reset with the idle round: a later heat-up restarts at the
+  // cheap incremental stage.
+  EXPECT_EQ(planner.hot_rounds(workload::kAdRevenue), 0);
+}
+
+TEST(WorkloadObserverTest, ZeroTaskQueriesCountInShareDenominator) {
+  // Regression: WeightedTaskShare dropped map_tasks == 0 observations from
+  // numerator *and* denominator, silently inflating the regret share of
+  // the remaining log when pruned/empty-input queries occur.
+  const Schema schema = workload::UserVisitsSchema();
+  WorkloadObserver::Options opt;
+  opt.decay = 0.5;
+  WorkloadObserver observer(opt);
+  observer.Observe(Annotate(schema, "@4 >= 1"), FakeResult(0, 0, 0, 0));
+  // A zero-task query alone has no full-scan share.
+  EXPECT_DOUBLE_EQ(observer.FullScanRegret(), 0.0);
+  observer.Observe(Annotate(schema, "@3 = 2001-01-01"),
+                   FakeResult(10, 10, 0, 0));
+  // Weights: 0.5 (zero-task, zero hit) + 1.0 (all fallback) -> 1/1.5,
+  // not the 1.0 the old denominator-drop reported.
+  EXPECT_DOUBLE_EQ(observer.FullScanRegret(), 1.0 / 1.5);
+  EXPECT_DOUBLE_EQ(observer.UnclusteredShare(), 0.0);
 }
 
 TEST(WorkloadObserverTest, RecordsAccessPathsAndBilledCost) {

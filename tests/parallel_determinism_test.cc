@@ -75,30 +75,11 @@ void ExpectBitIdentical(const JobResult& serial, const JobResult& parallel) {
   EXPECT_EQ(serial.output_rows, parallel.output_rows);
 }
 
-/// Exact textual dump of every simulated number in a JobResult — doubles
-/// rendered with %.17g so two dumps compare equal iff the results are
-/// bit-identical.
-std::string DumpResult(const JobResult& r) {
-  char buf[640];
-  std::snprintf(
-      buf, sizeof(buf),
-      "e2e=%.17g rr=%.17g ideal=%.17g ovh=%.17g mt=%u resch=%u fb=%u "
-      "idx=%u uc=%u ms=%u mc=%u mf=%u seen=%llu qual=%llu out=%llu bad=%llu",
-      r.end_to_end_seconds, r.avg_record_reader_seconds, r.ideal_seconds,
-      r.overhead_seconds, r.map_tasks, r.rescheduled_tasks, r.fallback_scans,
-      r.index_scan_tasks, r.unclustered_scan_tasks, r.maintenance_scheduled,
-      r.maintenance_completed, r.maintenance_failed,
-      static_cast<unsigned long long>(r.records_seen),
-      static_cast<unsigned long long>(r.records_qualifying),
-      static_cast<unsigned long long>(r.output_count),
-      static_cast<unsigned long long>(r.bad_records_seen));
-  std::string out(buf);
-  for (const std::string& row : r.output_rows) {
-    out += '\n';
-    out += row;
-  }
-  return out;
-}
+// Exact %.17g dump of every simulated number in a JobResult — two dumps
+// compare equal iff the results are bit-identical. Shared with the
+// scheduler tests and benches (workload/testbed.h) so the field list
+// cannot drift between copies.
+using workload::DumpResult;
 
 RunOptions Mode(ExecutionMode mode, RunOptions base = {}) {
   base.execution = mode;

@@ -1,0 +1,507 @@
+/// \file scheduler_test.cc
+/// \brief Shared-cluster multi-job scheduling (mapreduce/scheduler.h):
+/// SlotScheduler policy ordering (FIFO vs weighted fair), ClusterSession
+/// multi-tenant execution on one simulated clock, strict low-priority
+/// maintenance under sustained foreground load, node kill mid-multi-job,
+/// upload tenants contending for map slots, and the serial == parallel
+/// bit-identity guarantee extended across >= 3 interleaved jobs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "adaptive/adaptive_manager.h"
+#include "mapreduce/job_runner.h"
+#include "mapreduce/scheduler.h"
+#include "workload/testbed.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace mapreduce {
+namespace {
+
+using workload::QueryDef;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+// Several pool workers even on single-core CI machines so the parallel
+// path really interleaves (set before the shared pool is built).
+const bool kForcePoolSize = [] {
+  setenv("HAIL_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+TestbedConfig SmallConfig(uint64_t seed = 99) {
+  TestbedConfig config;
+  config.num_nodes = 4;
+  config.real_block_bytes = 8 * 1024;
+  config.logical_block_bytes = 4 * 1024 * 1024;  // scale 512
+  config.blocks_per_node = 6;
+  config.seed = seed;
+  return config;
+}
+
+JobSpec QueryJob(const Testbed& bed, const std::string& path,
+                 const QueryDef& query, System system = System::kHail,
+                 bool collect = true) {
+  auto spec = workload::MakeQueryJob(bed.schema(), path, system, query,
+                                     /*hail_splitting=*/false, collect);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return *spec;
+}
+
+// The %.17g bit-identity dump harness is shared with the other
+// determinism tests and benches (single source of truth for the field
+// list): workload::DumpResult / workload::DumpSession.
+using workload::DumpResult;
+using workload::DumpSession;
+
+// ---------------------------------------------------------------------------
+// SlotScheduler policy ordering
+// ---------------------------------------------------------------------------
+
+TEST(SlotSchedulerTest, FifoPicksEarliestSubmittedJobWithPendingWork) {
+  SlotScheduler sched(SchedulerPolicy::kFifo);
+  const int a = sched.RegisterJob("q");
+  const int b = sched.RegisterJob("q");
+  const int c = sched.RegisterJob("other");
+  EXPECT_EQ(sched.PickNextJob(), -1);
+  sched.SetPending(b, 5);
+  sched.SetPending(c, 5);
+  EXPECT_EQ(sched.PickNextJob(), b);  // earliest job with work, any queue
+  sched.SetPending(a, 1);
+  EXPECT_EQ(sched.PickNextJob(), a);
+  sched.SetPending(a, 0);
+  sched.SetPending(b, 0);
+  EXPECT_EQ(sched.PickNextJob(), c);
+  EXPECT_FALSE(sched.Contended());  // one queue with work
+  sched.SetPending(b, 1);
+  EXPECT_TRUE(sched.Contended());  // two queues with work
+}
+
+TEST(SlotSchedulerTest, FairPicksSmallestRunningOverWeightDeficit) {
+  SlotScheduler sched(SchedulerPolicy::kFair, {{"heavy", 2.0}, {"light", 1.0}});
+  const int h = sched.RegisterJob("heavy");
+  const int l = sched.RegisterJob("light");
+  sched.SetPending(h, 100);
+  sched.SetPending(l, 100);
+  // Deficit-driven sequence with both queues saturated and no finishes:
+  // ties break toward the first-registered queue, long-run ratio 2:1.
+  std::vector<int> picks;
+  for (int i = 0; i < 8; ++i) {
+    const int j = sched.PickNextJob();
+    picks.push_back(j);
+    sched.OnTaskStarted(j);
+  }
+  EXPECT_EQ(picks, (std::vector<int>{h, l, h, h, l, h, h, l}));
+  // Work-conserving: an empty queue never blocks the other.
+  sched.SetPending(h, 0);
+  EXPECT_EQ(sched.PickNextJob(), l);
+  // A finished task lowers the queue's deficit again.
+  sched.SetPending(h, 1);
+  for (int i = 0; i < 4; ++i) sched.OnTaskFinished(h);
+  EXPECT_EQ(sched.PickNextJob(), h);
+}
+
+TEST(SlotSchedulerTest, FairPrefersEarliestJobInsideWinningQueue) {
+  SlotScheduler sched(SchedulerPolicy::kFair);
+  const int a = sched.RegisterJob("q");
+  const int b = sched.RegisterJob("q");
+  sched.SetPending(b, 3);
+  EXPECT_EQ(sched.PickNextJob(), b);
+  sched.SetPending(a, 3);
+  EXPECT_EQ(sched.PickNextJob(), a);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSession
+// ---------------------------------------------------------------------------
+
+TEST(ClusterSessionTest, SingleJobSessionMatchesJobRunner) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const QueryDef q = workload::BobQueries()[0];
+
+  auto reference = bed.RunQuery(System::kHail, "/d", q, false,
+                                RunOptions{}, /*collect_output=*/true);
+  ASSERT_TRUE(reference.ok());
+
+  ClusterSession session(&bed.dfs());
+  session.Submit(QueryJob(bed, "/d", q));
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  ASSERT_EQ(sr->jobs.size(), 1u);
+  ASSERT_TRUE(sr->jobs[0].ok());
+  EXPECT_EQ(DumpResult(*reference), DumpResult(*sr->jobs[0]));
+  EXPECT_EQ(sr->maintenance_while_foreground_pending, 0u);
+}
+
+TEST(ClusterSessionTest, FifoHeadJobRunsAsIfAlone) {
+  // Strict FIFO: the head job owns every slot while it has pending work,
+  // so its latency must be *exactly* the latency it gets on an otherwise
+  // idle cluster; the second tenant queues behind it.
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const QueryDef q0 = workload::BobQueries()[0];
+  const QueryDef q1 = workload::BobQueries()[3];
+
+  auto solo = bed.RunQuery(System::kHail, "/d", q0, false, RunOptions{}, true);
+  ASSERT_TRUE(solo.ok());
+
+  SessionOptions opt;
+  opt.policy = SchedulerPolicy::kFifo;
+  ClusterSession session(&bed.dfs(), opt);
+  session.Submit(QueryJob(bed, "/d", q0));
+  session.Submit(QueryJob(bed, "/d", q1));
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  ASSERT_TRUE(sr->jobs[0].ok() && sr->jobs[1].ok());
+  EXPECT_EQ(DumpResult(*solo), DumpResult(*sr->jobs[0]));
+  // The tenant behind it pays the queueing delay on the shared clock.
+  EXPECT_GT(sr->jobs[1]->end_to_end_seconds,
+            sr->jobs[0]->end_to_end_seconds);
+}
+
+TEST(ClusterSessionTest, FairShareTracksQueueWeightsUnderContention) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const QueryDef q = workload::BobQueries()[0];
+
+  SessionOptions opt;
+  opt.policy = SchedulerPolicy::kFair;
+  opt.queue_weights = {{"heavy", 3.0}, {"light", 1.0}};
+  ClusterSession session(&bed.dfs(), opt);
+  for (int i = 0; i < 2; ++i) {
+    session.Submit(QueryJob(bed, "/d", q), "heavy");
+    session.Submit(QueryJob(bed, "/d", q), "light");
+  }
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  for (const auto& job : sr->jobs) ASSERT_TRUE(job.ok());
+  ASSERT_EQ(sr->queues.size(), 2u);
+  const QueueUsage& heavy = sr->queues[0];
+  const QueueUsage& light = sr->queues[1];
+  EXPECT_EQ(heavy.queue, "heavy");
+  ASSERT_GT(heavy.contended_slot_seconds + light.contended_slot_seconds, 0.0);
+  const double share =
+      heavy.contended_slot_seconds /
+      (heavy.contended_slot_seconds + light.contended_slot_seconds);
+  // Entitlement 3/(3+1) = 0.75 while both queues have pending work.
+  EXPECT_NEAR(share, 0.75, 0.12);
+  // And fairness visibly changes the outcome: with equal submission times
+  // the light queue still finishes its first job long before FIFO would
+  // let it (its latency is far below the sum of the heavy jobs ahead).
+  EXPECT_LT(sr->jobs[1]->end_to_end_seconds, sr->session_seconds);
+}
+
+TEST(ClusterSessionTest, PerJobFailureDoesNotKillTheSession) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  ClusterSession session(&bed.dfs());
+  session.Submit(QueryJob(bed, "/missing", workload::BobQueries()[0]));
+  session.Submit(QueryJob(bed, "/d", workload::BobQueries()[0]));
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  EXPECT_FALSE(sr->jobs[0].ok());
+  ASSERT_TRUE(sr->jobs[1].ok());
+  EXPECT_GT(sr->jobs[1]->output_count, 0u);
+}
+
+TEST(ClusterSessionTest, RejectsForwardDependencies) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  ClusterSession session(&bed.dfs());
+  session.Submit(QueryJob(bed, "/d", workload::BobQueries()[0]), "default",
+                 0.0, /*depends_on=*/0);  // depends on itself
+  session.Submit(QueryJob(bed, "/d", workload::BobQueries()[0]));
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok());
+  EXPECT_FALSE(sr->jobs[0].ok());
+  EXPECT_TRUE(sr->jobs[1].ok());
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance under sustained foreground load
+// ---------------------------------------------------------------------------
+
+TEST(ClusterSessionTest, MaintenanceNeverStarvesForeground) {
+  Testbed bed(SmallConfig(13));
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  adaptive::AdaptiveConfig config;
+  config.planner.regret_threshold = 0.2;
+  config.planner.escalate_after_rounds = 1;
+  adaptive::AdaptiveManager manager(&bed.dfs(), bed.schema(), "/d", config);
+  const QueryDef shifted{"Shift-Q", "@4 between(1,10)", "{@1,@4}", 1.7e-2};
+
+  // Seed the maintenance queue: one observed full-scan round makes the
+  // planner enqueue per-block rewrites.
+  {
+    RunOptions opt;
+    opt.adaptive = &manager;
+    ASSERT_TRUE(bed.RunQuery(System::kHail, "/d", shifted, false, opt).ok());
+  }
+  ASSERT_GT(manager.pending_tasks(), 0u);
+
+  // Sustained query stream: staggered submissions keep foreground tasks
+  // pending for most of the session while the maintenance queue drains
+  // into the gaps.
+  SessionOptions opt;
+  opt.adaptive = &manager;
+  ClusterSession session(&bed.dfs(), opt);
+  session.Submit(QueryJob(bed, "/d", shifted), "default", 0.0);
+  session.Submit(QueryJob(bed, "/d", shifted), "default", 10.0);
+  session.Submit(QueryJob(bed, "/d", shifted), "default", 20.0);
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  for (const auto& job : sr->jobs) ASSERT_TRUE(job.ok());
+  // The strict low-priority invariant is measured, not assumed.
+  EXPECT_EQ(sr->maintenance_while_foreground_pending, 0u);
+  // And maintenance still made progress on the idle gaps.
+  EXPECT_GT(sr->maintenance_completed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection across jobs
+// ---------------------------------------------------------------------------
+
+std::string RunKillScenario(ExecutionMode mode) {
+  Testbed bed(SmallConfig(7));
+  bed.LoadUserVisits();
+  EXPECT_TRUE(bed.UploadHail("/d", {workload::kVisitDate,
+                                    workload::kSourceIP,
+                                    workload::kAdRevenue})
+                  .ok());
+  SessionOptions opt;
+  opt.policy = SchedulerPolicy::kFair;
+  opt.queue_weights = {{"a", 2.0}, {"b", 1.0}};
+  opt.execution = mode;
+  opt.kill_node = 2;
+  opt.kill_at_progress = 0.5;
+  opt.kill_progress_job = 0;
+  ClusterSession session(&bed.dfs(), opt);
+  session.Submit(QueryJob(bed, "/d", workload::BobQueries()[0]), "a");
+  session.Submit(QueryJob(bed, "/d", workload::BobQueries()[1]), "b");
+  session.Submit(QueryJob(bed, "/d", workload::BobQueries()[3]), "a");
+  auto sr = session.Run();
+  EXPECT_TRUE(sr.ok()) << sr.status().ToString();
+  if (!sr.ok()) return sr.status().ToString();
+  uint32_t rescheduled = 0;
+  for (const auto& job : sr->jobs) {
+    EXPECT_TRUE(job.ok()) << job.status().ToString();
+    if (job.ok()) rescheduled += job->rescheduled_tasks;
+  }
+  EXPECT_GT(rescheduled, 0u) << "kill must actually cost re-executions";
+  return DumpSession(*sr);
+}
+
+TEST(ClusterSessionTest, NodeKillMidMultiJobSerialEqualsParallel) {
+  const std::string serial = RunKillScenario(ExecutionMode::kSerial);
+  const std::string parallel = RunKillScenario(ExecutionMode::kParallel);
+  EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Uploads as tenants
+// ---------------------------------------------------------------------------
+
+std::string MakeUploadText(uint64_t seed) {
+  workload::UserVisitsConfig uv;
+  uv.rows = 600;
+  uv.seed = seed;
+  uv.scale_factor = 512.0;
+  return workload::GenerateUserVisitsText(uv);
+}
+
+UploadJobSpec MakeHailUpload(const Testbed& bed, const std::string& path,
+                             int nodes) {
+  UploadJobSpec up;
+  up.name = "ingest:" + path;
+  up.system = System::kHail;
+  up.hail.schema = bed.schema();
+  up.hail.sort_columns = {workload::kVisitDate};
+  for (int i = 0; i < nodes; ++i) {
+    UploadJobSpec::File f;
+    f.client_node = i;
+    char part[32];
+    std::snprintf(part, sizeof(part), "/part-%05d", i);
+    f.dfs_path = path + part;
+    f.text = MakeUploadText(1234 + static_cast<uint64_t>(i));
+    up.files.push_back(std::move(f));
+  }
+  return up;
+}
+
+std::string RunUploadScenario(ExecutionMode mode, uint64_t* dependent_out) {
+  Testbed bed(SmallConfig(21));
+  bed.LoadUserVisits();
+  EXPECT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const QueryDef q = workload::BobQueries()[0];
+
+  SessionOptions opt;
+  opt.policy = SchedulerPolicy::kFair;
+  opt.execution = mode;
+  ClusterSession session(&bed.dfs(), opt);
+  // Tenant 1: queries over the pre-loaded data. Tenant 2: a HAIL ingest
+  // contending for the same map slots. Tenant 3: a query over the
+  // freshly-ingested file, admitted only once the upload committed.
+  session.Submit(QueryJob(bed, "/d", q), "queries");
+  const int up = session.SubmitUpload(MakeHailUpload(bed, "/u", 2), "ingest");
+  session.Submit(QueryJob(bed, "/u", q), "queries", 0.0, /*depends_on=*/up);
+  auto sr = session.Run();
+  EXPECT_TRUE(sr.ok()) << sr.status().ToString();
+  if (!sr.ok()) return sr.status().ToString();
+  for (const auto& job : sr->jobs) {
+    EXPECT_TRUE(job.ok()) << job.status().ToString();
+  }
+  if (sr->jobs[2].ok() && dependent_out != nullptr) {
+    *dependent_out = sr->jobs[2]->output_count;
+  }
+  // The upload job occupied slots for its simulated duration.
+  EXPECT_TRUE(sr->jobs[1].ok());
+  if (sr->jobs[1].ok()) {
+    EXPECT_EQ(sr->jobs[1]->map_tasks, 2u);
+    EXPECT_GT(sr->jobs[1]->end_to_end_seconds, 0.0);
+  }
+  return DumpSession(*sr);
+}
+
+TEST(ClusterSessionTest, UploadExecutionFailureFailsOnlyThatTenant) {
+  // The failure fires at *execution* time (sort_columns exceeds the
+  // replication factor), on whatever slot the scheduler granted — in
+  // parallel mode through the deferred post-drain path — and must take
+  // down only the ingest tenant, dropping its remaining files.
+  for (ExecutionMode mode :
+       {ExecutionMode::kSerial, ExecutionMode::kParallel}) {
+    Testbed bed(SmallConfig());
+    bed.LoadUserVisits();
+    ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+    UploadJobSpec bad = MakeHailUpload(bed, "/broken", 2);
+    bad.hail.sort_columns = {0, 1, 2, 3};  // > replication (3)
+    SessionOptions opt;
+    opt.execution = mode;
+    ClusterSession session(&bed.dfs(), opt);
+    session.Submit(QueryJob(bed, "/d", workload::BobQueries()[0]));
+    session.SubmitUpload(std::move(bad), "ingest");
+    auto sr = session.Run();
+    ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+    ASSERT_TRUE(sr->jobs[0].ok()) << sr->jobs[0].status().ToString();
+    EXPECT_GT(sr->jobs[0]->output_count, 0u);
+    EXPECT_FALSE(sr->jobs[1].ok());
+  }
+}
+
+TEST(ClusterSessionTest, RejectsUploadSystemsWithoutASlotTaskModel) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  UploadJobSpec up = MakeHailUpload(bed, "/nope", 1);
+  up.system = System::kHadoopPP;  // its ingest is an MR job chain
+  ClusterSession session(&bed.dfs());
+  session.Submit(QueryJob(bed, "/d", workload::BobQueries()[0]));
+  session.SubmitUpload(std::move(up));
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok());
+  EXPECT_TRUE(sr->jobs[0].ok());
+  EXPECT_FALSE(sr->jobs[1].ok());
+}
+
+TEST(ClusterSessionTest, UploadTenantsContendAndDependentsSeeTheFile) {
+  uint64_t dependent_serial = 0;
+  const std::string serial =
+      RunUploadScenario(ExecutionMode::kSerial, &dependent_serial);
+  const std::string parallel =
+      RunUploadScenario(ExecutionMode::kParallel, nullptr);
+  EXPECT_EQ(serial, parallel);
+
+  // Reference: the same bytes ingested outside any session produce the
+  // same answer for the dependent query.
+  Testbed bed(SmallConfig(21));
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  HailUploadConfig cfg;
+  cfg.schema = bed.schema();
+  cfg.sort_columns = {workload::kVisitDate};
+  for (int i = 0; i < 2; ++i) {
+    char part[32];
+    std::snprintf(part, sizeof(part), "/part-%05d", i);
+    const std::string text = MakeUploadText(1234 + static_cast<uint64_t>(i));
+    ASSERT_TRUE(HailUploadTextFile(&bed.dfs(), cfg, i,
+                                   std::string("/u") + part, text)
+                    .ok());
+  }
+  auto reference = bed.RunQuery(System::kHail, "/u", workload::BobQueries()[0],
+                                false, RunOptions{}, false);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(dependent_serial, reference->output_count);
+}
+
+// ---------------------------------------------------------------------------
+// Serial == parallel across >= 3 concurrent jobs (+ maintenance + kill)
+// ---------------------------------------------------------------------------
+
+std::string RunBigScenario(ExecutionMode mode, uint64_t* maint_completed) {
+  Testbed bed(SmallConfig(13));
+  bed.LoadUserVisits();
+  EXPECT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  adaptive::AdaptiveConfig config;
+  config.planner.regret_threshold = 0.2;
+  config.planner.escalate_after_rounds = 1;
+  adaptive::AdaptiveManager manager(&bed.dfs(), bed.schema(), "/d", config);
+  const QueryDef shifted{"Shift-Q", "@4 between(1,10)", "{@1,@4}", 1.7e-2};
+
+  std::string dumps;
+  for (int round = 0; round < 3; ++round) {
+    SessionOptions opt;
+    opt.policy = SchedulerPolicy::kFair;
+    opt.queue_weights = {{"a", 2.0}, {"b", 1.0}};
+    opt.execution = mode;
+    opt.adaptive = &manager;
+    if (round == 1) {
+      opt.kill_node = 2;
+      opt.kill_at_progress = 0.4;
+      opt.kill_progress_job = 1;
+    }
+    ClusterSession session(&bed.dfs(), opt);
+    session.Submit(QueryJob(bed, "/d", shifted), "a");
+    session.Submit(QueryJob(bed, "/d", workload::BobQueries()[0]), "b");
+    session.Submit(QueryJob(bed, "/d", shifted), "a", 15.0);
+    session.Submit(QueryJob(bed, "/d", workload::BobQueries()[3]), "b", 30.0);
+    auto sr = session.Run();
+    EXPECT_TRUE(sr.ok()) << sr.status().ToString();
+    dumps += "== round " + std::to_string(round) + " ==\n";
+    dumps += sr.ok() ? DumpSession(*sr) : sr.status().ToString();
+    dumps += '\n';
+  }
+  dumps += "manager pending=" + std::to_string(manager.pending_tasks()) +
+           " planned=" + std::to_string(manager.planned_total()) +
+           " completed=" + std::to_string(manager.completed_total()) +
+           " failed=" + std::to_string(manager.failed_total());
+  *maint_completed = manager.completed_total();
+  return dumps;
+}
+
+TEST(ClusterSessionTest, SerialEqualsParallelAcrossInterleavedJobs) {
+  uint64_t serial_completed = 0;
+  uint64_t parallel_completed = 0;
+  const std::string serial =
+      RunBigScenario(ExecutionMode::kSerial, &serial_completed);
+  const std::string parallel =
+      RunBigScenario(ExecutionMode::kParallel, &parallel_completed);
+  // The scenario must actually exercise mid-session reorg under
+  // contention, not degenerate to the static path.
+  EXPECT_GT(serial_completed, 0u);
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace mapreduce
+}  // namespace hail

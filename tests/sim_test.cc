@@ -60,6 +60,56 @@ TEST(EventQueueTest, RunUntilLeavesLaterEvents) {
   EXPECT_EQ(eq.pending(), 1u);
 }
 
+// RunUntil's quantum-stepping contract: all events with time <= deadline
+// run (boundary included), the clock lands exactly on the deadline even
+// when no event fired, and it never rewinds — so back-to-back RunUntil
+// calls tile time into clean scheduler quanta.
+TEST(EventQueueTest, RunUntilClockLandsOnDeadline) {
+  EventQueue eq;
+  int fired = 0;
+  eq.ScheduleAt(1.0, [&] { ++fired; });
+  eq.ScheduleAt(10.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(eq.RunUntil(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(eq.Now(), 5.0);  // not stuck at the last event (1.0)
+  // Relative scheduling from the driver anchors at the quantum boundary.
+  eq.ScheduleAfter(1.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(eq.RunUntil(6.0), 6.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eq.pending(), 1u);  // the event at 10.0 stays queued
+}
+
+TEST(EventQueueTest, RunUntilRunsBoundaryEventAndChainedEvents) {
+  EventQueue eq;
+  std::vector<double> fired_at;
+  // An event exactly at the deadline runs; events it schedules within the
+  // deadline run too (RunUntil executes through RunOne, so chained
+  // same-quantum work is not stranded).
+  eq.ScheduleAt(2.0, [&] {
+    fired_at.push_back(eq.Now());
+    eq.ScheduleAt(5.0, [&] { fired_at.push_back(eq.Now()); });
+    eq.ScheduleAt(5.5, [&] { fired_at.push_back(eq.Now()); });
+  });
+  const uint64_t before = eq.executed();
+  eq.RunUntil(5.0);
+  EXPECT_EQ(fired_at, (std::vector<double>{2.0, 5.0}));
+  EXPECT_EQ(eq.executed() - before, 2u);  // pops counted exactly once
+  EXPECT_EQ(eq.pending(), 1u);
+  EXPECT_DOUBLE_EQ(eq.Now(), 5.0);
+}
+
+TEST(EventQueueTest, RunUntilPastDeadlineNeverRewindsClock) {
+  EventQueue eq;
+  eq.ScheduleAt(4.0, [] {});
+  eq.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(eq.Now(), 4.0);
+  int fired = 0;
+  eq.ScheduleAt(9.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(eq.RunUntil(2.0), 4.0);  // deadline in the past: no-op
+  EXPECT_DOUBLE_EQ(eq.Now(), 4.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(eq.pending(), 1u);
+}
+
 TEST(ResourceTest, SerializesWork) {
   Resource disk("disk", 1);
   const Interval a = disk.Schedule(0.0, 2.0);
