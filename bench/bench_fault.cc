@@ -1,0 +1,245 @@
+/// \file bench_fault.cc
+/// \brief Seeded fault-matrix smoke: the scheduler session under three
+/// fixed FaultPlan seeds (sim/fault_plan.h), each derived mix combining
+/// a progress-triggered kill + revive, pre-session replica corruption
+/// and a slow node.
+///
+/// For every seed the same session runs serially and in parallel with
+/// self-healing and speculative execution enabled; the run is gated
+/// (nonzero exit) on:
+///   1. serial == parallel — the %.17g session dumps are bit-identical,
+///      so fault injection, failover, repairs and speculation replay
+///      deterministically on the simulated clock;
+///   2. correct results — every job succeeds and matches the qualifying
+///      row counts of a fault-free baseline (failover + retry hide the
+///      faults, they never change answers);
+///   3. self-healing drains — re-replication is scheduled, the
+///      under-replicated queue ends empty, and no repair ever takes a
+///      slot while foreground work is pending.
+///
+/// CI runs this binary in the plain and TSan jobs and publishes the
+/// JSON report (BENCH_fault.json).
+///
+/// Usage: bench_fault [BENCH_fault.json]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mapreduce/scheduler.h"
+#include "sim/fault_plan.h"
+#include "util/macros.h"
+#include "workload/testbed.h"
+
+namespace hail {
+namespace bench {
+namespace {
+
+using mapreduce::ClusterSession;
+using mapreduce::ExecutionMode;
+using mapreduce::SchedulerPolicy;
+using mapreduce::SessionOptions;
+using mapreduce::SessionResult;
+using mapreduce::System;
+using workload::DumpSession;
+using workload::QueryDef;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+constexpr uint64_t kFaultSeeds[] = {101, 202, 303};
+
+/// Same shape as the scheduler bench cluster, slightly smaller so three
+/// seeds x two execution modes stay a CI smoke.
+TestbedConfig FaultConfig() {
+  TestbedConfig config;
+  config.num_nodes = 4;
+  config.real_block_bytes = 32 * 1024;
+  config.blocks_per_node = 12;
+  config.seed = 42;
+  return config;
+}
+
+mapreduce::JobSpec QueryJob(const Testbed& bed, const QueryDef& query) {
+  auto spec = workload::MakeQueryJob(bed.schema(), "/uv", System::kHail, query,
+                                     /*hail_splitting=*/false,
+                                     /*collect_output=*/false);
+  HAIL_CHECK_OK(spec.status());
+  return *spec;
+}
+
+/// One cluster session: three staggered Bob queries against a freshly
+/// uploaded testbed (fault plans corrupt replicas in place, so every run
+/// gets its own DFS). Returns the full result for gating.
+SessionResult RunSession(const sim::FaultPlan& plan, ExecutionMode mode) {
+  Testbed bed(FaultConfig());
+  bed.LoadUserVisits();
+  HAIL_CHECK_OK(bed.UploadHail("/uv", {workload::kVisitDate}).status());
+  bed.FreeSourceTexts();
+
+  SessionOptions opt;
+  opt.policy = SchedulerPolicy::kFair;
+  opt.execution = mode;
+  opt.fault_plan = plan;
+  opt.self_heal = true;
+  opt.speculative_execution = true;
+  ClusterSession session(&bed.dfs(), opt);
+  const auto bob = workload::BobQueries();
+  session.Submit(QueryJob(bed, bob[0]), "default", 0.0);
+  session.Submit(QueryJob(bed, bob[3]), "default", 90.0);
+  session.Submit(QueryJob(bed, bob[0]), "default", 180.0);
+  auto sr = session.Run();
+  HAIL_CHECK_OK(sr.status());
+  return std::move(*sr);
+}
+
+struct SeedReport {
+  uint64_t seed = 0;
+  bool deterministic = false;
+  bool results_ok = false;
+  bool healing_ok = false;
+  double session_seconds = 0.0;
+  uint32_t repairs_scheduled = 0;
+  uint32_t repairs_completed = 0;
+  uint32_t repairs_abandoned = 0;
+  uint64_t under_replicated_remaining = 0;
+  uint64_t priority_violations = 0;
+  uint32_t task_retries = 0;
+  uint32_t speculative_attempts = 0;
+  uint32_t speculative_wins = 0;
+
+  bool ok() const { return deterministic && results_ok && healing_ok; }
+};
+
+int Main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_fault.json";
+
+  // Fault-free baseline: the answer every faulted run must reproduce.
+  const SessionResult baseline = RunSession({}, ExecutionMode::kSerial);
+  std::vector<uint64_t> expected_qualifying;
+  for (const auto& job : baseline.jobs) {
+    HAIL_CHECK_OK(job.status());
+    expected_qualifying.push_back(job->records_qualifying);
+  }
+
+  std::printf("seeded fault matrix: kill+revive, corrupt replicas, slow "
+              "node per seed\n\n");
+  std::vector<SeedReport> reports;
+  for (uint64_t seed : kFaultSeeds) {
+    const sim::FaultPlan plan =
+        sim::FaultPlan::FromSeed(seed, FaultConfig().num_nodes);
+    const SessionResult serial = RunSession(plan, ExecutionMode::kSerial);
+    const SessionResult parallel = RunSession(plan, ExecutionMode::kParallel);
+    const std::string serial_dump = DumpSession(serial);
+    const std::string parallel_dump = DumpSession(parallel);
+
+    SeedReport rep;
+    rep.seed = seed;
+    rep.deterministic = serial_dump == parallel_dump;
+    rep.results_ok = serial.jobs.size() == expected_qualifying.size();
+    for (size_t i = 0; i < serial.jobs.size() && rep.results_ok; ++i) {
+      rep.results_ok = serial.jobs[i].ok() &&
+                       serial.jobs[i]->records_qualifying ==
+                           expected_qualifying[i];
+    }
+    rep.healing_ok = serial.repairs_scheduled > 0 &&
+                     serial.under_replicated_remaining == 0 &&
+                     serial.repairs_completed + serial.repairs_abandoned ==
+                         serial.repairs_scheduled &&
+                     serial.maintenance_while_foreground_pending == 0;
+    rep.session_seconds = serial.session_seconds;
+    rep.repairs_scheduled = serial.repairs_scheduled;
+    rep.repairs_completed = serial.repairs_completed;
+    rep.repairs_abandoned = serial.repairs_abandoned;
+    rep.under_replicated_remaining = serial.under_replicated_remaining;
+    rep.priority_violations = serial.maintenance_while_foreground_pending;
+    rep.task_retries = serial.task_retries;
+    rep.speculative_attempts = serial.speculative_attempts;
+    rep.speculative_wins = serial.speculative_wins;
+    reports.push_back(rep);
+
+    std::printf("seed %llu: session %.1f s, serial==parallel %s, results "
+                "%s, repairs %u/%u done (%u abandoned), backlog %llu, "
+                "viol %llu, retries %u, spec %u (%u won)\n",
+                static_cast<unsigned long long>(seed), rep.session_seconds,
+                rep.deterministic ? "yes" : "NO",
+                rep.results_ok ? "match" : "DIVERGE", rep.repairs_completed,
+                rep.repairs_scheduled, rep.repairs_abandoned,
+                static_cast<unsigned long long>(
+                    rep.under_replicated_remaining),
+                static_cast<unsigned long long>(rep.priority_violations),
+                rep.task_retries, rep.speculative_attempts,
+                rep.speculative_wins);
+    if (!rep.deterministic) {
+      std::printf("--- serial ---\n%s\n--- parallel ---\n%s\n",
+                  serial_dump.c_str(), parallel_dump.c_str());
+    }
+  }
+
+  bool all_ok = true;
+  for (const SeedReport& rep : reports) all_ok = all_ok && rep.ok();
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"seeds\": [\n");
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const SeedReport& rep = reports[i];
+      std::fprintf(
+          json,
+          "    {\n"
+          "      \"seed\": %llu,\n"
+          "      \"serial_equals_parallel\": %s,\n"
+          "      \"results_match_baseline\": %s,\n"
+          "      \"session_seconds\": %.3f,\n"
+          "      \"repairs_scheduled\": %u,\n"
+          "      \"repairs_completed\": %u,\n"
+          "      \"repairs_abandoned\": %u,\n"
+          "      \"under_replicated_remaining\": %llu,\n"
+          "      \"maintenance_priority_violations\": %llu,\n"
+          "      \"task_retries\": %u,\n"
+          "      \"speculative_attempts\": %u,\n"
+          "      \"speculative_wins\": %u\n"
+          "    }%s\n",
+          static_cast<unsigned long long>(rep.seed),
+          rep.deterministic ? "true" : "false",
+          rep.results_ok ? "true" : "false", rep.session_seconds,
+          rep.repairs_scheduled, rep.repairs_completed, rep.repairs_abandoned,
+          static_cast<unsigned long long>(rep.under_replicated_remaining),
+          static_cast<unsigned long long>(rep.priority_violations),
+          rep.task_retries, rep.speculative_attempts, rep.speculative_wins,
+          i + 1 < reports.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"pass\": %s\n}\n",
+                 all_ok ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+
+  for (const SeedReport& rep : reports) {
+    if (!rep.deterministic) {
+      std::fprintf(stderr, "FAIL: seed %llu serial != parallel\n",
+                   static_cast<unsigned long long>(rep.seed));
+    }
+    if (!rep.results_ok) {
+      std::fprintf(stderr, "FAIL: seed %llu results diverge from "
+                           "fault-free baseline\n",
+                   static_cast<unsigned long long>(rep.seed));
+    }
+    if (!rep.healing_ok) {
+      std::fprintf(stderr, "FAIL: seed %llu self-healing gate (backlog "
+                           "%llu, viol %llu)\n",
+                   static_cast<unsigned long long>(rep.seed),
+                   static_cast<unsigned long long>(
+                       rep.under_replicated_remaining),
+                   static_cast<unsigned long long>(rep.priority_violations));
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hail
+
+int main(int argc, char** argv) { return hail::bench::Main(argc, argv); }

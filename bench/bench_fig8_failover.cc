@@ -6,8 +6,19 @@
 /// HAIL (three different indexes: rescheduled tasks may lose their
 /// matching-index replica and fall back to scanning), and HAIL-1Idx
 /// (same index on all replicas: rescheduled tasks still index-scan).
+/// All kills are injected through the deterministic FaultPlan schedule
+/// (sim/fault_plan.h), the same path the fault matrix and recovery
+/// tests drive.
+///
+/// On top of the paper protocol, a self-healing run (kill + revive with
+/// re-replication enabled) is gated: once the under-replicated backlog
+/// has drained, a clean re-run of the query must cost within 10% of the
+/// pre-fault baseline and keep zero fallback scans — the repaired
+/// replicas carry the clustered index, not just the bytes. Nonzero exit
+/// on violation.
 
 #include "bench_common.h"
+#include "sim/fault_plan.h"
 
 namespace hail {
 namespace bench {
@@ -17,6 +28,19 @@ using mapreduce::RunOptions;
 using mapreduce::System;
 using workload::Testbed;
 
+/// The Fig. 8 kill as a FaultPlan: node 4 dies at 50% of job 0's task
+/// completions. `revive_after < 0` keeps it dead (the paper protocol).
+sim::FaultPlan KillPlan(double revive_after) {
+  sim::FaultPlan plan;
+  sim::FaultPlan::Kill kill;
+  kill.node = 4;
+  kill.at_progress = 0.5;
+  kill.progress_job = 0;
+  kill.revive_after = revive_after;
+  plan.kills.push_back(kill);
+  return plan;
+}
+
 struct FailoverCell {
   double base = 0;
   double failed = 0;
@@ -25,8 +49,19 @@ struct FailoverCell {
   double slowdown() const { return (failed - base) / base * 100.0; }
 };
 
+struct RecoveryCell {
+  double base = 0;       // pre-fault query
+  double failed = 0;     // query during which the node dies (healing on)
+  double recovered = 0;  // clean re-run after repairs drained
+  uint32_t recovered_fallback_scans = 0;
+  uint32_t base_index_tasks = 0;
+  uint32_t recovered_index_tasks = 0;
+  double recovery_overhead() const { return (recovered - base) / base; }
+};
+
 struct Fig8Results {
   FailoverCell hadoop, hail, hail_1idx;
+  RecoveryCell recovery;
 };
 
 const Fig8Results& Run() {
@@ -34,8 +69,7 @@ const Fig8Results& Run() {
     Fig8Results out;
     const workload::QueryDef q = workload::BobQueries()[0];
     RunOptions failure;
-    failure.kill_node = 4;
-    failure.kill_at_progress = 0.5;
+    failure.fault_plan = KillPlan(/*revive_after=*/-1.0);
     {
       Testbed bed(PaperUserVisitsConfig());
       bed.LoadUserVisits();
@@ -76,6 +110,31 @@ const Fig8Results& Run() {
       out.hail_1idx = {base->end_to_end_seconds, failed->end_to_end_seconds,
                        failed->fallback_scans, failed->rescheduled_tasks};
     }
+    {
+      // Self-healing: the node dies mid-query and revives a minute
+      // later; background re-replication rebuilds the lost replicas
+      // (with their sort order) while the revived node's stale copies
+      // are discarded. The run returns only after the backlog drains.
+      Testbed bed(PaperUserVisitsConfig());
+      bed.LoadUserVisits();
+      HAIL_CHECK_OK(bed.UploadHail("/uv", BobSortColumns()).status());
+      bed.FreeSourceTexts();
+      auto base = bed.RunQuery(System::kHail, "/uv", q);
+      HAIL_CHECK_OK(base.status());
+      RunOptions healing;
+      healing.fault_plan = KillPlan(/*revive_after=*/60.0);
+      healing.self_heal = true;
+      auto failed = bed.RunQuery(System::kHail, "/uv", q, false, healing);
+      HAIL_CHECK_OK(failed.status());
+      auto recovered = bed.RunQuery(System::kHail, "/uv", q);
+      HAIL_CHECK_OK(recovered.status());
+      out.recovery.base = base->end_to_end_seconds;
+      out.recovery.failed = failed->end_to_end_seconds;
+      out.recovery.recovered = recovered->end_to_end_seconds;
+      out.recovery.recovered_fallback_scans = recovered->fallback_scans;
+      out.recovery.base_index_tasks = base->index_scan_tasks;
+      out.recovery.recovered_index_tasks = recovered->index_scan_tasks;
+    }
     return out;
   }();
   return results;
@@ -93,12 +152,19 @@ void BM_Fig8_HAIL1Idx_Failed(benchmark::State& state) {
   ReportSimSeconds(state, Run().hail_1idx.failed);
   state.counters["slowdown_pct"] = Run().hail_1idx.slowdown();
 }
+void BM_Fig8_HAIL_PostRecovery(benchmark::State& state) {
+  ReportSimSeconds(state, Run().recovery.recovered);
+  state.counters["overhead_pct"] = Run().recovery.recovery_overhead() * 100.0;
+}
 
 BENCHMARK(BM_Fig8_Hadoop_Failed)->Iterations(1)->UseManualTime();
 BENCHMARK(BM_Fig8_HAIL_Failed)->Iterations(1)->UseManualTime();
 BENCHMARK(BM_Fig8_HAIL1Idx_Failed)->Iterations(1)->UseManualTime();
+BENCHMARK(BM_Fig8_HAIL_PostRecovery)->Iterations(1)->UseManualTime();
 
-void PrintTables() {
+constexpr double kRecoveryOverheadTolerance = 0.10;
+
+bool PrintTables() {
   const Fig8Results& r = Run();
   PaperTable t("Figure 8: fault tolerance (kill 1 node at 50% progress)",
                "s");
@@ -119,6 +185,31 @@ void PrintTables() {
   std::printf("    HAIL-1Idx  paper  5.5%%  measured %5.1f%%  (fallback "
               "scans %u — every replica keeps the index)\n",
               r.hail_1idx.slowdown(), r.hail_1idx.fallback_scans);
+
+  const RecoveryCell& rec = r.recovery;
+  const bool cost_ok = rec.recovery_overhead() <= kRecoveryOverheadTolerance;
+  const bool index_ok = rec.recovered_fallback_scans == 0 &&
+                        rec.recovered_index_tasks == rec.base_index_tasks;
+  std::printf("\n  Self-healing (kill at 50%%, revive after 60 s, "
+              "re-replication on):\n");
+  std::printf("    pre-fault %.1f s -> during failure %.1f s -> "
+              "post-recovery %.1f s (%+.1f%%, tolerance %.0f%%)\n",
+              rec.base, rec.failed, rec.recovered,
+              rec.recovery_overhead() * 100.0,
+              kRecoveryOverheadTolerance * 100.0);
+  std::printf("    post-recovery index scans %u/%u, fallback scans %u\n",
+              rec.recovered_index_tasks, rec.base_index_tasks,
+              rec.recovered_fallback_scans);
+  if (!cost_ok) {
+    std::fprintf(stderr, "FAIL: post-recovery query cost not within %.0f%% "
+                         "of pre-fault baseline\n",
+                 kRecoveryOverheadTolerance * 100.0);
+  }
+  if (!index_ok) {
+    std::fprintf(stderr, "FAIL: repaired replicas lost their clustered "
+                         "index (fallback scans after recovery)\n");
+  }
+  return cost_ok && index_ok;
 }
 
 }  // namespace
@@ -128,6 +219,5 @@ void PrintTables() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  hail::bench::PrintTables();
-  return 0;
+  return hail::bench::PrintTables() ? 0 : 1;
 }

@@ -1,0 +1,195 @@
+#include "hail/re_replication.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "hail/hail_block.h"
+#include "hdfs/packet.h"
+#include "index/clustered_index.h"
+#include "layout/column_vector.h"
+
+namespace hail {
+
+namespace {
+
+bool SameLayout(const hdfs::HailBlockReplicaInfo& a,
+                const hdfs::HailBlockReplicaInfo& b) {
+  return a.layout == b.layout && a.sort_column == b.sort_column &&
+         a.index_kind == b.index_kind &&
+         a.unclustered_column == b.unclustered_column;
+}
+
+}  // namespace
+
+bool RepairStillNeeded(const hdfs::MiniDfs& dfs,
+                       const hdfs::UnderReplicatedEntry& entry) {
+  if (!dfs.namenode().GetBlockDatanodes(entry.block_id).ok()) {
+    return false;  // the file was deleted; nothing to restore
+  }
+  if (!entry.ownership_revoked &&
+      dfs.namenode().IsDatanodeAlive(entry.lost_datanode) &&
+      dfs.namenode().GetReplicaInfo(entry.block_id, entry.lost_datanode).ok()) {
+    return false;  // the node revived with its replica intact
+  }
+  return true;
+}
+
+int PickRepairTarget(const hdfs::MiniDfs& dfs,
+                     const hdfs::UnderReplicatedEntry& entry) {
+  const hdfs::Namenode& nn = dfs.namenode();
+  auto eligible = [&](int node) {
+    return nn.IsDatanodeAlive(node) &&
+           !nn.GetReplicaInfo(entry.block_id, node).ok();
+  };
+  // Restoring the original placement keeps post-repair locality identical
+  // to pre-fault (the Fig. 8 recovery gate measures exactly this).
+  if (eligible(entry.lost_datanode)) return entry.lost_datanode;
+  for (int node = 0; node < dfs.num_datanodes(); ++node) {
+    if (eligible(node)) return node;
+  }
+  return -1;
+}
+
+Result<PreparedRepair> PrepareRepair(const hdfs::MiniDfs& dfs,
+                                     const hdfs::UnderReplicatedEntry& entry,
+                                     int target) {
+  if (target < 0 || target >= dfs.num_datanodes()) {
+    return Status::InvalidArgument("repair has no target datanode");
+  }
+  const hdfs::Namenode& nn = dfs.namenode();
+  HAIL_ASSIGN_OR_RETURN(std::vector<int> survivors,
+                        nn.GetBlockDatanodes(entry.block_id));
+  survivors.erase(std::remove(survivors.begin(), survivors.end(), target),
+                  survivors.end());
+  if (survivors.empty()) {
+    return Status::Unavailable("no live source replica for block " +
+                               std::to_string(entry.block_id));
+  }
+
+  const double scale = dfs.config().scale_factor;
+  const sim::CostModel& target_cost = dfs.cluster().node(target).cost();
+  const hdfs::HailBlockReplicaInfo& want = entry.lost_info;
+
+  PreparedRepair out;
+
+  // Preferred path: a surviving replica already has the wanted layout —
+  // the repair is a byte copy and the registered Dir_rep record is the
+  // source's (the bytes are its bytes).
+  int copy_source = -1;
+  for (int s : survivors) {
+    auto info = nn.GetReplicaInfo(entry.block_id, s);
+    if (info.ok() && SameLayout(*info, want)) {
+      copy_source = s;
+      out.info = *info;
+      break;
+    }
+  }
+  if (copy_source >= 0) {
+    HAIL_ASSIGN_OR_RETURN(
+        std::string_view raw,
+        dfs.datanode(copy_source).ReadBlockRaw(entry.block_id));
+    out.bytes = std::string(raw);
+    out.source_datanode = copy_source;
+    const uint64_t logical = static_cast<uint64_t>(
+        static_cast<double>(out.bytes.size()) * scale);
+    const sim::CostModel& src_cost = dfs.cluster().node(copy_source).cost();
+    out.seconds = src_cost.DiskAccess(logical);
+    if (copy_source != target) out.seconds += target_cost.NetTransfer(logical);
+    out.seconds += target_cost.Crc(logical) + target_cost.DiskAccess(logical);
+  } else if (want.layout == hdfs::ReplicaLayout::kPax) {
+    // Transform path: re-sort any surviving PAX replica to the wanted
+    // column, rebuilding the clustered index the way the upload-time
+    // transformer does. A consumed unclustered index is not restored
+    // (rowids would be stale); the adaptive observer re-installs it if
+    // the column is still hot.
+    int pax_source = -1;
+    for (int s : survivors) {
+      auto info = nn.GetReplicaInfo(entry.block_id, s);
+      if (info.ok() && info->layout == hdfs::ReplicaLayout::kPax) {
+        pax_source = s;
+        break;
+      }
+    }
+    if (pax_source < 0) {
+      return Status::Unavailable("no PAX source replica for block " +
+                                 std::to_string(entry.block_id));
+    }
+    HAIL_ASSIGN_OR_RETURN(std::string_view raw,
+                          dfs.datanode(pax_source).ReadBlockRaw(entry.block_id));
+    HAIL_ASSIGN_OR_RETURN(HailBlockView view, HailBlockView::Open(raw));
+    HAIL_ASSIGN_OR_RETURN(PaxBlock base,
+                          PaxBlock::Deserialize(view.pax_section()));
+    out.source_datanode = pax_source;
+    out.info = want;
+    out.info.unclustered_column = -1;
+    out.info.unclustered_index_bytes = 0;
+
+    const sim::CostConstants& c = dfs.cluster().constants();
+    const uint64_t logical_records = static_cast<uint64_t>(
+        static_cast<double>(base.num_records()) * scale);
+    const uint64_t logical_data = static_cast<uint64_t>(
+        static_cast<double>(base.PayloadBytes()) * scale);
+    double cpu = 0.0;
+    uint64_t logical_index = 0;
+    if (want.has_index()) {
+      if (want.sort_column < 0 ||
+          want.sort_column >= base.schema().num_fields()) {
+        return Status::InvalidArgument("lost replica sort column outside schema");
+      }
+      const std::vector<uint32_t> perm =
+          ArgSortColumn(base.column(want.sort_column));
+      const PaxBlock sorted = base.PermutedCopy(perm);
+      const ClusteredIndex index = ClusteredIndex::Build(
+          sorted.column(want.sort_column),
+          dfs.config().format.varlen_partition_size);
+      out.bytes = BuildHailBlock(sorted, &index, want.sort_column);
+      out.info.index_bytes = index.SerializedBytes();
+      const FieldType key_type = base.schema().field(want.sort_column).type;
+      cpu += target_cost.SortBlock(
+          logical_records,
+          static_cast<uint64_t>(
+              static_cast<double>(base.FixedPayloadBytes()) * scale),
+          static_cast<uint64_t>(
+              static_cast<double>(base.VarlenPayloadBytes()) * scale),
+          key_type == FieldType::kString);
+      cpu += target_cost.IndexBuild(logical_records);
+      logical_index = LogicalSparseIndexBytes(
+          logical_records, c.index_partition_logical, key_type,
+          /*pointer_bytes=*/4);
+    } else {
+      out.bytes = BuildHailBlock(base, nullptr, -1);
+    }
+    out.info.replica_bytes = out.bytes.size();
+    const uint64_t logical_out = logical_data + logical_index;
+    const sim::CostModel& src_cost = dfs.cluster().node(pax_source).cost();
+    out.seconds = src_cost.DiskAccess(logical_data);
+    if (pax_source != target) {
+      out.seconds += target_cost.NetTransfer(logical_data);
+    }
+    out.seconds += cpu + target_cost.Crc(logical_out) +
+                   target_cost.DiskAccess(logical_out);
+  } else {
+    // A non-PAX replica (text / binary rows) can only be cloned from a
+    // same-layout survivor, and none is left.
+    return Status::Unavailable("no same-layout source replica for block " +
+                               std::to_string(entry.block_id));
+  }
+
+  out.info.replica_bytes = out.bytes.size();
+  out.chunk_crcs = hdfs::ComputeChunkChecksums(
+      out.bytes, static_cast<uint32_t>(dfs.config().chunk_bytes));
+  return out;
+}
+
+Status CommitRepair(hdfs::MiniDfs* dfs,
+                    const hdfs::UnderReplicatedEntry& entry, int target,
+                    PreparedRepair prepared) {
+  if (!dfs->cluster().node(target).alive()) {
+    return Status::FailedPrecondition("repair target died mid-repair");
+  }
+  dfs->datanode(target).StoreBlock(entry.block_id, std::move(prepared.bytes),
+                                   prepared.chunk_crcs);
+  return dfs->namenode().CompleteRepair(entry, target, prepared.info);
+}
+
+}  // namespace hail

@@ -1,0 +1,71 @@
+/// \file re_replication.h
+/// \brief Background repair of lost replicas (HDFS self-healing, HAIL-aware).
+///
+/// When a node dies or a replica is reported corrupt, the namenode queues
+/// an UnderReplicatedEntry remembering the *replica-specific* layout that
+/// was lost (sort column, index kind — §3.3's Dir_rep record). Repair
+/// jobs ride the scheduler's maintenance queue (strictly below foreground
+/// work) and re-create that exact layout on a new node:
+///
+///  - when a surviving replica already has the wanted layout, the repair
+///    is a plain byte copy (source read + network + checksum + write);
+///  - otherwise a surviving PAX replica is re-sorted to the wanted column
+///    through the same ArgSort/PermutedCopy/ClusteredIndex machinery the
+///    upload pipeline uses, so the repaired cluster answers clustered
+///    index scans exactly like the pre-fault one.
+///
+/// Execution mirrors adaptive/reorg.h: PrepareRepair at assignment
+/// (read-only, computes bytes + simulated price), CommitRepair at the
+/// completion event (StoreBlock on the target + namenode bookkeeping,
+/// including revoking the dead node's stale copy).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdfs/dfs_client.h"
+
+namespace hail {
+
+/// \brief A repair ready to commit, plus its simulated price.
+struct PreparedRepair {
+  std::string bytes;                 // re-created replica bytes
+  std::vector<uint32_t> chunk_crcs;  // recomputed checksums
+  hdfs::HailBlockReplicaInfo info;   // Dir_rep record to register
+  /// Simulated seconds the repair occupies its maintenance slot
+  /// (source read + network + transform CPU + checksum + target write).
+  double seconds = 0.0;
+  /// Surviving replica the repair read from.
+  int source_datanode = -1;
+};
+
+/// True when the entry still describes missing data. A node-death loss
+/// whose node revived with the replica intact, or a block that no longer
+/// exists, needs no repair (the caller drops the entry via AbandonRepair).
+bool RepairStillNeeded(const hdfs::MiniDfs& dfs,
+                       const hdfs::UnderReplicatedEntry& entry);
+
+/// Picks the node to re-create the replica on: the lost node itself when
+/// it is alive and no longer owns the block (corruption repair restores
+/// the original placement), else the lowest-id alive non-holder. Returns
+/// -1 when no eligible node exists.
+int PickRepairTarget(const hdfs::MiniDfs& dfs,
+                     const hdfs::UnderReplicatedEntry& entry);
+
+/// Computes the repair without mutating anything. Returns Unavailable
+/// when no live source replica exists right now (retry later).
+/// Deterministic for a given DFS state.
+Result<PreparedRepair> PrepareRepair(const hdfs::MiniDfs& dfs,
+                                     const hdfs::UnderReplicatedEntry& entry,
+                                     int target);
+
+/// Applies a prepared repair: StoreBlock on the target (generation bump +
+/// cache invalidation) and namenode CompleteRepair (register + revoke the
+/// superseded copy). Refuses when the target died since preparation.
+Status CommitRepair(hdfs::MiniDfs* dfs,
+                    const hdfs::UnderReplicatedEntry& entry, int target,
+                    PreparedRepair prepared);
+
+}  // namespace hail

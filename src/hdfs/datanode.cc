@@ -49,13 +49,15 @@ Status Datanode::VerifyAgainstMeta(uint64_t block_id, std::string_view data,
 
 Result<std::string_view> Datanode::ReadBlockVerified(
     uint64_t block_id, uint32_t chunk_bytes) const {
+  // A dead datanode serves nothing: stragglers that race the failure
+  // detector get Unavailable and fail over to the next live replica,
+  // exactly like post-detection rescheduled tasks.
+  if (!sim_->alive()) {
+    return Status::Unavailable("datanode " + std::to_string(id_) + " is dead");
+  }
   HAIL_ASSIGN_OR_RETURN(std::string_view data,
                         store_.Get(BlockFileName(block_id)));
-  // A dead datanode's replicas are never cached: stragglers that race the
-  // failure detector may still read the intact bytes (pre-kill plan
-  // snapshot), but they pay the full verification and leave no state a
-  // later reader could be served from.
-  if (cache_ != nullptr && sim_->alive()) {
+  if (cache_ != nullptr) {
     HAIL_RETURN_NOT_OK(cache_->VerifyOnce(
         id_, block_id, block_generation(block_id), data.size(),
         [&] { return VerifyAgainstMeta(block_id, data, chunk_bytes); }));
@@ -66,7 +68,24 @@ Result<std::string_view> Datanode::ReadBlockVerified(
 }
 
 Result<std::string_view> Datanode::ReadBlockRaw(uint64_t block_id) const {
+  if (!sim_->alive()) {
+    return Status::Unavailable("datanode " + std::to_string(id_) + " is dead");
+  }
   return store_.Get(BlockFileName(block_id));
+}
+
+Status Datanode::CorruptReplica(uint64_t block_id) {
+  HAIL_ASSIGN_OR_RETURN(std::string_view data,
+                        store_.Get(BlockFileName(block_id)));
+  if (data.empty()) {
+    return Status::FailedPrecondition("cannot corrupt empty block " +
+                                      std::to_string(block_id));
+  }
+  std::string flipped(data);
+  flipped[flipped.size() / 2] ^= 0x40;
+  store_.Put(BlockFileName(block_id), std::move(flipped));
+  NoteMutation(block_id);
+  return Status::OK();
 }
 
 Status Datanode::DeleteBlock(uint64_t block_id) {

@@ -67,15 +67,22 @@ class Datanode {
   /// §3.2). Returns a view into the store. Verification is memoised per
   /// block generation in the attached BlockCache (the simulated CRC cost
   /// is still billed per task by the readers — the cache only removes the
-  /// repeated *real* work).
+  /// repeated *real* work). Reads against a dead node return Unavailable
+  /// (retryable on another replica); CRC mismatches return Corruption.
   Result<std::string_view> ReadBlockVerified(uint64_t block_id,
                                              uint32_t chunk_bytes) const;
 
   /// Reads without verification (used when billing partial reads whose
-  /// verification is accounted separately).
+  /// verification is accounted separately). Unavailable on a dead node.
   Result<std::string_view> ReadBlockRaw(uint64_t block_id) const;
 
   Status DeleteBlock(uint64_t block_id);
+
+  /// Fault injection: flips one byte of the stored replica without
+  /// touching its checksums, so the next verified read fails with
+  /// Corruption. Bumps the generation (the cache may never serve bytes
+  /// that no longer match the disk).
+  Status CorruptReplica(uint64_t block_id);
 
  private:
   /// Registers a mutation of the replica: bumps the generation and drops

@@ -33,8 +33,30 @@ void MiniDfs::KillNode(int id, sim::SimTime when) {
 
 void MiniDfs::ReviveNode(int id) {
   cluster_->node(id).set_alive(true);
+  // Stale copies first: if a replica was re-replicated elsewhere or
+  // reported corrupt while this node was down, its local files are
+  // deleted before the node serves anything.
+  for (uint64_t block_id : namenode_.TakeRevoked(id)) {
+    Datanode& dn = datanode(id);
+    if (dn.HasBlock(block_id)) {
+      dn.DeleteBlock(block_id);  // bumps generation + invalidates cache
+    }
+  }
   namenode_.MarkDatanodeAlive(id);
   block_cache_.InvalidateDatanode(id);
+}
+
+Status MiniDfs::ReportBadReplica(uint64_t block_id, int datanode_id) {
+  HAIL_RETURN_NOT_OK(namenode_.ReportCorruptReplica(block_id, datanode_id));
+  Datanode& dn = datanode(datanode_id);
+  if (dn.HasBlock(block_id)) {
+    HAIL_RETURN_NOT_OK(dn.DeleteBlock(block_id));
+  }
+  return Status::OK();
+}
+
+Status MiniDfs::InjectCorruption(int datanode_id, uint64_t block_id) {
+  return datanode(datanode_id).CorruptReplica(block_id);
 }
 
 void MiniDfs::ResetForSession() {

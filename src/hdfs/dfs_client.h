@@ -59,8 +59,20 @@ class MiniDfs {
 
   /// Revives a node (queries run on a repaired cluster): marks it alive
   /// everywhere and — like a real re-registration — starts it with a cold
-  /// cache.
+  /// cache. Replicas revoked while the node was dead (re-replicated
+  /// elsewhere or reported corrupt) are deleted before the node rejoins,
+  /// so a stale copy can never be read again.
   void ReviveNode(int id);
+
+  /// A reader's CRC failure on (block, datanode): drops the replica from
+  /// all namenode lookups, deletes the bad files from the node, and
+  /// invalidates any cached state. Idempotent.
+  Status ReportBadReplica(uint64_t block_id, int datanode);
+
+  /// Fault injection: flips a byte of the replica of `block_id` stored on
+  /// `datanode` (checksums untouched), so its next verified read returns
+  /// Corruption.
+  Status InjectCorruption(int datanode, uint64_t block_id);
 
   /// Session boundary (mapreduce/scheduler.h): clears every node's
   /// resource bookings and revives dead nodes, once per ClusterSession

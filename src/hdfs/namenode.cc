@@ -53,6 +53,13 @@ Status Namenode::RegisterReplica(uint64_t block_id, int datanode,
     holders.push_back(datanode);
   }
   dir_rep_[{block_id, datanode}] = info;
+  // A freshly registered replica on this node is legitimate: forget any
+  // earlier revocation of the same (block, node) pair.
+  auto rev = revoked_.find(datanode);
+  if (rev != revoked_.end()) {
+    rev->second.erase(block_id);
+    if (rev->second.empty()) revoked_.erase(rev);
+  }
   return Status::OK();
 }
 
@@ -184,6 +191,101 @@ void Namenode::MarkDatanodeAlive(int datanode) {
 
 bool Namenode::IsDatanodeAlive(int datanode) const {
   return std::find(dead_.begin(), dead_.end(), datanode) == dead_.end();
+}
+
+std::vector<uint64_t> Namenode::BlocksOnDatanode(int datanode) const {
+  // dir_block_ is an ordered map, so the result is in block-id order.
+  std::vector<uint64_t> blocks;
+  for (const auto& [block_id, holders] : dir_block_) {
+    if (std::find(holders.begin(), holders.end(), datanode) != holders.end()) {
+      blocks.push_back(block_id);
+    }
+  }
+  return blocks;
+}
+
+void Namenode::RevokeReplica(uint64_t block_id, int datanode) {
+  auto holders = dir_block_.find(block_id);
+  if (holders != dir_block_.end()) {
+    holders->second.erase(std::remove(holders->second.begin(),
+                                      holders->second.end(), datanode),
+                          holders->second.end());
+  }
+  dir_rep_.erase({block_id, datanode});
+  revoked_[datanode].insert(block_id);
+}
+
+Status Namenode::ReportCorruptReplica(uint64_t block_id, int datanode) {
+  auto rep = dir_rep_.find({block_id, datanode});
+  if (rep == dir_rep_.end()) {
+    // Already reported (every task touching the bad replica reports it).
+    return Status::OK();
+  }
+  UnderReplicatedEntry entry;
+  entry.block_id = block_id;
+  entry.lost_datanode = datanode;
+  entry.lost_info = rep->second;
+  entry.ownership_revoked = true;
+  RevokeReplica(block_id, datanode);
+  if (repair_pending_.insert({block_id, datanode}).second) {
+    under_replicated_.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+void Namenode::EnqueueLostNodeReplicas(int datanode) {
+  for (const auto& [block_id, holders] : dir_block_) {
+    if (std::find(holders.begin(), holders.end(), datanode) == holders.end()) {
+      continue;
+    }
+    auto rep = dir_rep_.find({block_id, datanode});
+    if (rep == dir_rep_.end()) continue;
+    if (!repair_pending_.insert({block_id, datanode}).second) continue;
+    UnderReplicatedEntry entry;
+    entry.block_id = block_id;
+    entry.lost_datanode = datanode;
+    entry.lost_info = rep->second;
+    entry.ownership_revoked = false;
+    under_replicated_.push_back(std::move(entry));
+  }
+}
+
+std::vector<UnderReplicatedEntry> Namenode::TakeUnderReplicated() {
+  std::vector<UnderReplicatedEntry> out(under_replicated_.begin(),
+                                        under_replicated_.end());
+  under_replicated_.clear();
+  return out;
+}
+
+void Namenode::RequeueUnderReplicated(const UnderReplicatedEntry& entry) {
+  // The in-repair marker is still set; just put the work back.
+  under_replicated_.push_back(entry);
+}
+
+Status Namenode::CompleteRepair(const UnderReplicatedEntry& entry, int target,
+                                const HailBlockReplicaInfo& info) {
+  HAIL_RETURN_NOT_OK(RegisterReplica(entry.block_id, target, info));
+  if (!entry.ownership_revoked &&
+      !IsDatanodeAlive(entry.lost_datanode) &&
+      dir_rep_.count({entry.block_id, entry.lost_datanode}) > 0) {
+    // The dead node's copy has been superseded; make sure a revive
+    // deletes it instead of serving it.
+    RevokeReplica(entry.block_id, entry.lost_datanode);
+  }
+  repair_pending_.erase({entry.block_id, entry.lost_datanode});
+  return Status::OK();
+}
+
+void Namenode::AbandonRepair(const UnderReplicatedEntry& entry) {
+  repair_pending_.erase({entry.block_id, entry.lost_datanode});
+}
+
+std::vector<uint64_t> Namenode::TakeRevoked(int datanode) {
+  auto it = revoked_.find(datanode);
+  if (it == revoked_.end()) return {};
+  std::vector<uint64_t> blocks(it->second.begin(), it->second.end());
+  revoked_.erase(it);
+  return blocks;
 }
 
 }  // namespace hdfs

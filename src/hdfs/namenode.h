@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -63,6 +65,22 @@ struct BlockLocation {
   uint32_t file_id = 0;
 };
 
+/// \brief One lost replica awaiting re-replication.
+///
+/// `lost_info` remembers the replica-specific layout (sort column, index
+/// kind) so the repair re-creates *that* replica, not a generic copy —
+/// post-repair the cluster answers index scans exactly as before.
+struct UnderReplicatedEntry {
+  uint64_t block_id = 0;
+  /// The datanode that held the lost replica.
+  int lost_datanode = -1;
+  HailBlockReplicaInfo lost_info;
+  /// True when the loss already revoked ownership (corruption report);
+  /// false for node-death losses, where the dead node keeps ownership
+  /// until the repair commits (it may revive with the data intact).
+  bool ownership_revoked = false;
+};
+
 /// \brief Central directory: files -> blocks -> replicas (+ HAIL Dir_rep).
 class Namenode {
  public:
@@ -111,6 +129,44 @@ class Namenode {
   void MarkDatanodeAlive(int datanode);
   bool IsDatanodeAlive(int datanode) const;
 
+  /// Block ids the datanode currently owns a replica of, in block-id
+  /// order (deterministic: fault plans address the "nth block of node i").
+  std::vector<uint64_t> BlocksOnDatanode(int datanode) const;
+
+  /// A reader detected a CRC failure on (block, datanode): the replica is
+  /// revoked from all lookups immediately, remembered so a future revive
+  /// never resurrects it, and queued for re-replication. Idempotent.
+  Status ReportCorruptReplica(uint64_t block_id, int datanode);
+
+  /// Node-death handling: queues every replica the dead node held for
+  /// re-replication. Ownership is *retained* (the node may revive with
+  /// the data intact before a repair runs); it is revoked only when the
+  /// repair for that replica commits. Idempotent per (block, node).
+  void EnqueueLostNodeReplicas(int datanode);
+
+  /// Drains the under-replicated queue (FIFO). Entries stay marked as
+  /// in-repair until CompleteRepair or AbandonRepair, so a second loss
+  /// report of the same replica cannot double-queue it.
+  std::vector<UnderReplicatedEntry> TakeUnderReplicated();
+  /// Returns an unserviced entry to the queue (session ended first).
+  void RequeueUnderReplicated(const UnderReplicatedEntry& entry);
+  size_t under_replicated_count() const { return under_replicated_.size(); }
+
+  /// Commits a finished repair: registers the re-created replica on
+  /// `target` and, for a node-death loss whose node is still dead,
+  /// revokes the stale copy so a later revive drops it.
+  Status CompleteRepair(const UnderReplicatedEntry& entry, int target,
+                        const HailBlockReplicaInfo& info);
+  /// Drops an in-repair marker without repairing (e.g. the lost node
+  /// revived with its replica intact, so nothing is missing anymore).
+  void AbandonRepair(const UnderReplicatedEntry& entry);
+
+  /// Blocks whose replica on `datanode` was revoked while it was dead
+  /// (re-replicated elsewhere or reported corrupt). The revive path
+  /// deletes these stale copies before the node rejoins; each call
+  /// clears the node's revocation list.
+  std::vector<uint64_t> TakeRevoked(int datanode);
+
   /// Removes a file from the namespace and returns its block ids so the
   /// caller can reclaim the replicas from the datanodes.
   Result<std::vector<uint64_t>> DeleteFile(const std::string& file);
@@ -131,6 +187,16 @@ class Namenode {
   // Dir_rep: (blockID, datanode) -> replica info.
   std::map<std::pair<uint64_t, int>, HailBlockReplicaInfo> dir_rep_;
   std::vector<int> dead_;  // datanode ids currently dead
+
+  /// Removes (block, datanode) from Dir_block/Dir_rep and remembers the
+  /// revocation so a revive of the node deletes its stale copy.
+  void RevokeReplica(uint64_t block_id, int datanode);
+
+  // Self-healing state: lost replicas awaiting repair, the (block, node)
+  // pairs currently queued or in repair, and per-node revoked replicas.
+  std::deque<UnderReplicatedEntry> under_replicated_;
+  std::set<std::pair<uint64_t, int>> repair_pending_;
+  std::map<int, std::set<uint64_t>> revoked_;
 };
 
 }  // namespace hdfs

@@ -292,6 +292,20 @@ Result<PaxBlockView> PaxBlockView::Open(std::string_view data) {
   if (view.bad_section_offset_ > data.size()) {
     return Status::Corruption("bad-record section out of bounds");
   }
+  // The bad-record tail is the final section and is written with no
+  // trailing padding, so its length-prefixed entries must account for
+  // every remaining byte. Walking it up front keeps a truncated buffer
+  // from parsing as a shorter-but-valid block: the v1 HAIL container
+  // derives the PAX extent from the buffer end, so without this check a
+  // block missing its tail bytes would open (and scan) silently.
+  ByteReader tail(data);
+  HAIL_RETURN_NOT_OK(tail.SeekTo(view.bad_section_offset_));
+  for (uint32_t i = 0; i < view.num_bad_records_; ++i) {
+    HAIL_RETURN_NOT_OK(tail.GetLengthPrefixed().status());
+  }
+  if (tail.remaining() != 0) {
+    return Status::Corruption("trailing bytes after bad-record section");
+  }
 
   // Resolve varlen internals.
   for (uint32_t i = 0; i < ncols; ++i) {

@@ -146,52 +146,53 @@ class HailRecordReader : public RecordReader {
     // then any node whose replica has the matching clustered index. When
     // no clustered replica matches, probe for an adaptive *unclustered*
     // index on the filter column (installed online by the reorganizer)
-    // before falling back to a full scan.
+    // before falling back to a full scan. All eligible replicas form one
+    // ordered failover list (indexed > unclustered > plain, local first
+    // within each class): a dead or corrupt replica costs a wasted
+    // attempt, not the task.
     const std::optional<KeyRange> key_range =
         (index_column >= 0 && ctx->spec->annotation.has_value())
             ? ctx->spec->annotation->filter.KeyRangeFor(index_column)
             : std::nullopt;
-    int dn = -1;
-    bool indexed = false;
-    bool unclustered = false;
+    enum : uint8_t { kIndexed = 0, kUnclustered = 1, kPlain = 2 };
+    std::vector<int> candidates;
+    std::vector<uint8_t> klass;
+    auto add_hosts = [&](const std::vector<int>& hosts, uint8_t k) {
+      auto add_one = [&](int h) {
+        if (std::find(candidates.begin(), candidates.end(), h) ==
+            candidates.end()) {
+          candidates.push_back(h);
+          klass.push_back(k);
+        }
+      };
+      for (int h : hosts) {
+        if (h == ctx->task_node) add_one(h);
+      }
+      for (int h : hosts) add_one(h);
+    };
     if (index_column >= 0) {
-      const std::vector<int> hosts =
-          ctx->dfs->namenode().GetHostsWithIndex(loc.block_id, index_column);
-      if (!hosts.empty()) {
-        indexed = true;
-        dn = hosts.front();
-        for (int h : hosts) {
-          if (h == ctx->task_node) dn = h;
-        }
-      } else if (key_range.has_value()) {
-        const std::vector<int> uc_hosts =
-            ctx->dfs->namenode().GetHostsWithUnclusteredIndex(loc.block_id,
-                                                              index_column);
-        if (!uc_hosts.empty()) {
-          unclustered = true;
-          dn = uc_hosts.front();
-          for (int h : uc_hosts) {
-            if (h == ctx->task_node) dn = h;
-          }
-        }
+      add_hosts(ctx->dfs->namenode().GetHostsWithIndex(loc.block_id,
+                                                       index_column),
+                kIndexed);
+      if (key_range.has_value()) {
+        add_hosts(ctx->dfs->namenode().GetHostsWithUnclusteredIndex(
+                      loc.block_id, index_column),
+                  kUnclustered);
       }
     }
-    if (dn < 0) {
-      // Failover/no-filter path: any alive replica, full scan.
-      if (loc.datanodes.empty()) {
-        return Status::FailedPrecondition(
-            "no alive replica for block " + std::to_string(loc.block_id));
-      }
-      dn = loc.datanodes.front();
-      for (int h : loc.datanodes) {
-        if (h == ctx->task_node) dn = h;
-      }
-      if (index_column >= 0) ctx->fallback_scan = true;
-    }
+    add_hosts(loc.datanodes, kPlain);
 
-    HAIL_ASSIGN_OR_RETURN(std::string_view bytes,
-                          ctx->dfs->datanode(dn).ReadBlockVerified(
-                              loc.block_id, cfg.chunk_bytes));
+    std::string_view bytes;
+    HAIL_ASSIGN_OR_RETURN(
+        size_t winner,
+        ReadReplicaWithFailover(ctx, loc.block_id, loc.logical_bytes,
+                                candidates, cost, &bytes));
+    const int dn = candidates[winner];
+    const bool indexed = klass[winner] == kIndexed;
+    const bool unclustered = klass[winner] == kUnclustered;
+    if (klass[winner] == kPlain && index_column >= 0) {
+      ctx->fallback_scan = true;
+    }
     HAIL_ASSIGN_OR_RETURN(std::shared_ptr<const CachedHailBlock> cached,
                           OpenCachedHailBlock(*ctx, dn, loc.block_id, bytes));
     const HailBlockView& view = cached->view;

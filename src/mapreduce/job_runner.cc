@@ -18,6 +18,9 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
   session_options.adaptive = options.adaptive;
   session_options.kill_node = options.kill_node;
   session_options.kill_at_progress = options.kill_at_progress;
+  session_options.fault_plan = options.fault_plan;
+  session_options.self_heal = options.self_heal;
+  session_options.speculative_execution = options.speculative_execution;
   ClusterSession session(dfs_, std::move(session_options));
   session.Submit(spec);
   HAIL_ASSIGN_OR_RETURN(SessionResult result, session.Run());

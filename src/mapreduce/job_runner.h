@@ -39,6 +39,7 @@
 #include "mapreduce/input_format.h"
 #include "mapreduce/job.h"
 #include "mapreduce/record_reader.h"
+#include "sim/fault_plan.h"
 
 namespace hail {
 namespace adaptive {
@@ -64,6 +65,13 @@ struct RunOptions {
   int kill_node = -1;
   /// Kill once this fraction of map tasks has completed (paper: 50%).
   double kill_at_progress = 0.5;
+  /// Deterministic fault schedule (kills with revives, replica
+  /// corruption, slow nodes); merged with the kill_node knob above.
+  sim::FaultPlan fault_plan;
+  /// Re-replicate lost/corrupt replicas through the maintenance queue.
+  bool self_heal = false;
+  /// Duplicate straggler attempts, first completion wins.
+  bool speculative_execution = false;
   /// Serial/parallel execution of the functional reads.
   ExecutionMode execution = ExecutionMode::kDefault;
   /// Adaptive-indexing loop (default off: the paper benches run the

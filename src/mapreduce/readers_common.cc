@@ -33,6 +33,49 @@ void DefaultMap(const JobSpec& spec, const HailRecord& record,
 
 }  // namespace
 
+Result<size_t> ReadReplicaWithFailover(ReadContext* ctx, uint64_t block_id,
+                                       uint64_t logical_bytes,
+                                       const std::vector<int>& candidates,
+                                       TaskCost* cost,
+                                       std::string_view* bytes_out) {
+  const hdfs::DfsConfig& cfg = ctx->dfs->config();
+  const sim::CostConstants& c = ctx->dfs->cluster().constants();
+  const sim::CostModel& node_cost =
+      ctx->dfs->cluster().node(ctx->task_node).cost();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const int dn = candidates[i];
+    Result<std::string_view> read =
+        ctx->dfs->datanode(dn).ReadBlockVerified(block_id, cfg.chunk_bytes);
+    if (read.ok()) {
+      *bytes_out = *read;
+      return i;
+    }
+    const Status& st = read.status();
+    if (st.IsCorruption()) {
+      // The bytes were transferred and checksummed before the mismatch
+      // surfaced: the whole wasted read is billed, then the next replica
+      // is tried. The sighting is recorded for the engine to report.
+      ctx->bad_replicas.push_back({block_id, dn});
+      cost->disk_seconds +=
+          c.block_open_ms / 1000.0 +
+          ctx->dfs->cluster().node(dn).cost().DiskAccess(logical_bytes);
+      cost->cpu_seconds += node_cost.Crc(logical_bytes);
+      if (dn != ctx->task_node) {
+        cost->net_seconds += node_cost.NetTransfer(logical_bytes);
+      }
+      cost->logical_bytes_read += logical_bytes;
+    } else if (st.IsUnavailable() || st.IsNotFound()) {
+      // Dead node, or a replica deleted after an earlier corruption
+      // report: only the connection attempt is paid.
+      cost->disk_seconds += c.block_open_ms / 1000.0;
+    } else {
+      return st;
+    }
+  }
+  return Status::Unavailable("no readable replica for block " +
+                             std::to_string(block_id));
+}
+
 bool InvokeMap(const ReadContext& ctx, const HailRecord& record,
                bool already_filtered) {
   const JobSpec& spec = *ctx.spec;

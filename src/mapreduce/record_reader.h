@@ -40,6 +40,17 @@ struct TaskCost {
   }
 };
 
+/// \brief A CRC failure a reader observed on one replica.
+///
+/// Readers are const over the DFS, so they cannot revoke the replica
+/// themselves; they record the sighting here and the engine reports it to
+/// the namenode at the completion event (serialised against in-flight
+/// reads, so serial and parallel execution observe identical directories).
+struct BadReplicaReport {
+  uint64_t block_id = 0;
+  int datanode = -1;
+};
+
 /// \brief Everything a reader needs, plus per-task statistics it fills in.
 ///
 /// Readers run concurrently on pool threads under the parallel execution
@@ -71,6 +82,9 @@ struct ReadContext {
   /// True when any block was served by an adaptive unclustered index
   /// (no clustered replica matched, but a lazy index did).
   bool unclustered_scan = false;
+  /// Replicas whose CRC verification failed during this task (each was
+  /// skipped over by failover; the engine reports them afterwards).
+  std::vector<BadReplicaReport> bad_replicas;
 };
 
 /// \brief Abstract reader: one call per map task.
@@ -83,6 +97,19 @@ class RecordReader {
 
 /// Creates the reader matching the job's system.
 std::unique_ptr<RecordReader> MakeRecordReader(System system);
+
+/// Reads one block through an ordered list of candidate replicas,
+/// failing over on Unavailable (dead node), NotFound (replica deleted
+/// after a corruption report) and Corruption (CRC mismatch — recorded in
+/// ctx->bad_replicas, and the wasted transfer + checksum work is billed
+/// to \p cost before the next candidate is tried). Returns the index of
+/// the winning candidate and sets \p bytes_out; Unavailable when every
+/// candidate failed (retryable — a repair may restore a replica).
+Result<size_t> ReadReplicaWithFailover(ReadContext* ctx, uint64_t block_id,
+                                       uint64_t logical_bytes,
+                                       const std::vector<int>& candidates,
+                                       TaskCost* cost,
+                                       std::string_view* bytes_out);
 
 /// Invokes the job's map function (or the default projector) on a record,
 /// applying the annotation filter first for text records (Bob's manual

@@ -11,6 +11,7 @@
 
 #include "adaptive/adaptive_manager.h"
 #include "adaptive/reorg.h"
+#include "hail/re_replication.h"
 #include "mapreduce/pending_index.h"
 #include "util/thread_pool.h"
 
@@ -127,10 +128,25 @@ struct TaskState {
   const InputSplit* split = nullptr;            // query tasks
   const UploadJobSpec::File* file = nullptr;    // upload tasks
   TaskStatus status = TaskStatus::kPending;
+  /// Attempt id of the current primary attempt; ids come from
+  /// `attempt_serial` so a speculative duplicate never aliases a retry.
   int attempt = 0;
+  int attempt_serial = 0;
   int run_on = -1;
   sim::SimTime assign_time = 0.0;  // of the latest attempt
   double rr_seconds = 0.0;
+  /// True while a retryable failure waits out its backoff (the task is
+  /// in neither the pending index nor any slot).
+  bool awaiting_backoff = false;
+  // Speculative execution: one duplicate attempt may run concurrently
+  // with the primary; the first completion wins, the other attempt only
+  // returns its slot (loser_* bookkeeping).
+  int spec_attempt = 0;  // 0 = no duplicate in flight
+  int spec_node = -1;
+  sim::SimTime spec_assign_time = 0.0;
+  bool speculated = false;  // a task is speculated at most once
+  int loser_attempt = 0;
+  int loser_node = -1;
   // Statistics and output of the last *successful* attempt.
   std::unique_ptr<MapOutput> output;
   uint64_t records_seen = 0;
@@ -173,6 +189,23 @@ struct ReadOutcome {
   bool fallback_scan = false;
   bool index_scan = false;
   bool unclustered_scan = false;
+  /// Corrupt replicas the read failed over past; the engine reports them
+  /// to the namenode at the completion event (readers are const over DFS).
+  std::vector<BadReplicaReport> bad_replicas;
+};
+
+/// One lost/corrupt replica being re-created from a surviving copy
+/// (self-healing). Rides the maintenance queue strictly below foreground
+/// work, mirroring MaintState's prepare-at-assignment/commit-at-completion
+/// split.
+struct RepairState {
+  hdfs::UnderReplicatedEntry entry;
+  /// Datanode the new replica goes to; -1 while unplaced (no eligible
+  /// target — retried after the next revive).
+  int target = -1;
+  enum class Status { kQueued, kRunning, kCommitted, kDropped } status =
+      Status::kQueued;
+  std::optional<PreparedRepair> prepared;
 };
 
 /// Process-wide worker pool for parallel map-task reads. Created lazily,
@@ -234,9 +267,13 @@ struct SessionEngine {
   size_t foreground_pending = 0;
   size_t jobs_finished = 0;  // done or failed
   std::vector<int> completion_order;
-  bool killed = false;
   bool session_done = false;
-  Status first_error;  // session-fatal (readers can fail; surfaced after)
+  Status first_error;  // session-fatal (scheduler desync, starvation)
+
+  /// Effective fault schedule: options->fault_plan plus the legacy
+  /// kill_node knob merged in at Run time.
+  sim::FaultPlan plan;
+  std::vector<char> kill_fired;  // one flag per plan.kills entry
 
   // ---- fair-share accounting (indexed like scheduler.queues()) ----
   std::vector<QueueUsage> usage;
@@ -254,6 +291,20 @@ struct SessionEngine {
   /// the commit must observe — and may be concurrently reading — the
   /// pre-rewrite bytes).
   std::vector<size_t> pending_commits;
+
+  // ---- self-healing re-replication (options->self_heal) ----
+  std::vector<RepairState> repairs;
+  /// Per-target-node FIFO of repair indexes.
+  std::vector<std::deque<size_t>> repairs_by_node;
+  uint32_t repairs_completed = 0;
+  uint32_t repairs_abandoned = 0;
+  /// Parallel mode: repair commits deferred exactly like reorg commits.
+  std::vector<size_t> pending_repair_commits;
+
+  // ---- retry / speculation counters ----
+  uint32_t task_retries = 0;
+  uint32_t spec_attempts = 0;
+  uint32_t spec_wins = 0;
 
   // ---- parallel engine state (unused in serial mode) ----
   bool parallel = false;
@@ -273,14 +324,24 @@ struct SessionEngine {
     std::future<ReadOutcome> future;
   };
   std::deque<InFlight> inflight;  // assignment (= reserved seq) order
-  /// Failure injection and upload execution both mutate shared DFS state;
-  /// requested inside events, applied by the loop *after* the event
-  /// returns and every in-flight read has joined (reads assigned before
-  /// the mutation must observe pre-mutation state, both for
-  /// serial-equivalence and because pool threads read it concurrently).
-  bool kill_requested = false;
-  int kill_victim = -1;
-  uint64_t kill_seq = 0;
+  /// Fault injection (kill/revive/corrupt), bad-replica reports and upload
+  /// execution all mutate shared DFS state; requested inside events,
+  /// applied by the loop *after* the event returns and every in-flight
+  /// read has joined (reads assigned before the mutation must observe
+  /// pre-mutation state, both for serial-equivalence and because pool
+  /// threads read it concurrently).
+  struct PendingFault {
+    enum class Kind { kKill, kRevive, kCorrupt };
+    Kind kind = Kind::kKill;
+    int node = -1;
+    double revive_after = -1.0;  // kKill
+    int nth_block = 0;           // kCorrupt
+    /// kKill: the failure-detection event's reserved FIFO slot (identical
+    /// tie-break rank to serial, which schedules it inline).
+    uint64_t seq = 0;
+  };
+  std::vector<PendingFault> pending_faults;
+  std::vector<BadReplicaReport> pending_bad_reports;
   struct PendingUpload {
     int job = -1;
     size_t task_id = 0;
@@ -301,21 +362,44 @@ struct SessionEngine {
   void CheckSessionDone();
   void Heartbeat(int node);
   void MaintenanceBeat(int node, int assigned);
-  void OnTaskComplete(int j, size_t task_id, int attempt, int node);
+  void OnTaskComplete(int j, size_t task_id, int attempt, int node,
+                      double rr_seconds,
+                      const std::shared_ptr<ReadOutcome>& outcome);
+  void HandleFailedAttempt(int j, size_t task_id, int attempt, int node,
+                           const Status& st);
   void OnFailureDetected(int node);
-  Status AssignTask(int j, size_t task_id, int node);
+  void AssignTask(int j, size_t task_id, int node);
+  void TrySpeculate(int node, int* assigned);
+  void DispatchRead(int j, size_t task_id, int attempt, int node);
   void AssignUpload(int j, size_t task_id, int node);
   void ExecuteUpload(int j, size_t task_id, int node,
                      const uint64_t* reserved_seq);
   void AssignMaintenance(size_t mid, int node);
   void OnMaintenanceComplete(size_t mid, int node);
   void CommitMaintenance(size_t mid);
+  // Fault plan execution (Request* defers to the parallel loop's
+  // post-drain mutation window; serial applies inline).
+  void RequestKill(int victim, double revive_after);
+  void ApplyKill(int victim, double revive_after,
+                 const uint64_t* reserved_seq);
+  void RequestRevive(int node);
+  void ApplyRevive(int node);
+  void RequestCorrupt(int node, int nth_block);
+  void ApplyCorrupt(int node, int nth_block);
+  void ApplyBadReplicaReports(const std::vector<BadReplicaReport>& reports);
+  // Self-healing re-replication.
+  void IngestRepairs();
+  enum class RepairAssign { kAssigned, kSkipped, kStall };
+  RepairAssign AssignRepair(size_t rid, int node);
+  void OnRepairComplete(size_t rid, int node);
+  void CommitRepairInline(size_t rid);
+  void RetargetRepair(size_t rid);
   ReadOutcome ExecuteRead(int j, RecordReader* rdr, const InputSplit& split,
                           int node) const;
-  Status FinishRead(int j, size_t task_id, int attempt, int node,
-                    sim::SimTime assign_time, ReadOutcome outcome,
-                    const uint64_t* reserved_seq);
-  Status JoinOldest();
+  void FinishRead(int j, size_t task_id, int attempt, int node,
+                  sim::SimTime assign_time, ReadOutcome outcome,
+                  const uint64_t* reserved_seq);
+  void JoinOldest();
   void RunParallelLoop();
   void AccountUsage(int j, const TaskState& task, double slot_seconds);
   JobResult AssembleResult(const JobExec& job) const;
@@ -445,11 +529,14 @@ void SessionEngine::AdmitDependents(int j) {
 void SessionEngine::CheckSessionDone() {
   if (session_done || jobs_finished != jobs.size()) return;
   session_done = true;
-  // The cluster just went idle; remaining maintenance drains on the freed
-  // slots (every job's reported numbers are already fixed — heartbeats
-  // below only ever assign background rewrites).
+  // The cluster just went idle; remaining maintenance and repairs drain
+  // on the freed slots (every job's reported numbers are already fixed —
+  // heartbeats below only ever assign background work).
   for (size_t n = 0; n < maint_by_node.size(); ++n) {
-    if (maint_by_node[n].empty()) continue;
+    const bool has_work =
+        !maint_by_node[n].empty() ||
+        (n < repairs_by_node.size() && !repairs_by_node[n].empty());
+    if (!has_work) continue;
     const int idle_node = static_cast<int>(n);
     events.ScheduleAfter(constants().oob_heartbeat_latency_s,
                          [this, idle_node] { Heartbeat(idle_node); });
@@ -501,15 +588,16 @@ void SessionEngine::Heartbeat(int node) {
       upload_assigned = true;
       break;
     }
-    Status st = AssignTask(j, *pick, node);
-    if (!st.ok()) {
-      // A reader failure is fatal for the session: stop scheduling so the
-      // event loop drains instead of heartbeating forever.
-      if (first_error.ok()) first_error = st;
-      session_done = true;
-      return;
-    }
+    AssignTask(j, *pick, node);
     ++assigned;
+  }
+  if (!upload_assigned && options->speculative_execution &&
+      foreground_pending == 0 &&
+      free_slots[static_cast<size_t>(node)] > 0 &&
+      assigned < constants().tasks_per_heartbeat) {
+    // The slot would idle: offer it to a straggling task as a duplicate
+    // attempt (first completion wins).
+    TrySpeculate(node, &assigned);
   }
   if (!upload_assigned) {
     // Background maintenance rides strictly behind foreground work: a
@@ -522,7 +610,21 @@ void SessionEngine::Heartbeat(int node) {
 }
 
 void SessionEngine::MaintenanceBeat(int node, int assigned) {
-  if (maint_by_node.empty() || foreground_pending > 0) return;
+  if (foreground_pending > 0) return;
+  // Re-replication repairs run before adaptive reorgs (durability beats
+  // index freshness), under the same strict-background gate and quota.
+  if (!repairs_by_node.empty()) {
+    std::deque<size_t>& rq = repairs_by_node[static_cast<size_t>(node)];
+    while (free_slots[static_cast<size_t>(node)] > 0 && !rq.empty() &&
+           (session_done || assigned < constants().tasks_per_heartbeat)) {
+      const size_t rid = rq.front();
+      rq.pop_front();
+      const RepairAssign r = AssignRepair(rid, node);
+      if (r == RepairAssign::kStall) break;  // requeued; retry later
+      if (r == RepairAssign::kAssigned) ++assigned;
+    }
+  }
+  if (maint_by_node.empty()) return;
   std::deque<size_t>& queue = maint_by_node[static_cast<size_t>(node)];
   // Mid-session the TaskTracker's per-heartbeat quota applies; once every
   // job is done the cluster is idle and the queue drains as fast as slots
@@ -603,6 +705,240 @@ void SessionEngine::CommitMaintenance(size_t mid) {
   }
 }
 
+void SessionEngine::IngestRepairs() {
+  if (!options->self_heal) return;
+  std::vector<hdfs::UnderReplicatedEntry> lost =
+      dfs->namenode().TakeUnderReplicated();
+  for (hdfs::UnderReplicatedEntry& e : lost) {
+    if (!RepairStillNeeded(*dfs, e)) {
+      dfs->namenode().AbandonRepair(e);
+      ++repairs_abandoned;
+      continue;
+    }
+    RepairState r;
+    r.entry = std::move(e);
+    r.target = PickRepairTarget(*dfs, r.entry);
+    const size_t rid = repairs.size();
+    if (r.target >= 0) {
+      repairs_by_node[static_cast<size_t>(r.target)].push_back(rid);
+      if (session_done) {
+        // Mid-session the periodic beats pick the repair up; after the
+        // last job only an explicit kick reaches the idle target.
+        const int target = r.target;
+        events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                             [this, target] { Heartbeat(target); });
+      }
+    }
+    repairs.push_back(std::move(r));
+  }
+}
+
+SessionEngine::RepairAssign SessionEngine::AssignRepair(size_t rid,
+                                                        int node) {
+  RepairState& r = repairs[rid];
+  if (r.status != RepairState::Status::kQueued) return RepairAssign::kSkipped;
+  if (foreground_pending > 0) {
+    // Same strict-background invariant as adaptive maintenance: record
+    // violations (tests pin this at zero), never absorb them silently.
+    ++maint_while_fg_pending;
+  }
+  if (!RepairStillNeeded(*dfs, r.entry)) {
+    // The lost node revived with its replica intact (or the file is
+    // gone): nothing is missing anymore.
+    dfs->namenode().AbandonRepair(r.entry);
+    r.status = RepairState::Status::kDropped;
+    ++repairs_abandoned;
+    return RepairAssign::kSkipped;
+  }
+  Result<PreparedRepair> prep = PrepareRepair(*dfs, r.entry, node);
+  if (!prep.ok()) {
+    if (prep.status().IsUnavailable()) {
+      // No live source right now (every surviving holder is dead): park
+      // the repair; a later beat — after a revive — tries again.
+      repairs_by_node[static_cast<size_t>(node)].push_back(rid);
+      return RepairAssign::kStall;
+    }
+    dfs->namenode().AbandonRepair(r.entry);
+    r.status = RepairState::Status::kDropped;
+    ++repairs_abandoned;
+    return RepairAssign::kSkipped;
+  }
+  r.status = RepairState::Status::kRunning;
+  r.prepared.emplace(std::move(*prep));
+  free_slots[static_cast<size_t>(node)] -= 1;
+  const double duration = r.prepared->seconds * plan.slow_factor(node);
+  events.ScheduleAfter(duration,
+                       [this, rid, node] { OnRepairComplete(rid, node); });
+  return RepairAssign::kAssigned;
+}
+
+void SessionEngine::OnRepairComplete(size_t rid, int node) {
+  RepairState& r = repairs[rid];
+  if (r.status != RepairState::Status::kRunning) return;
+  if (!first_error.ok()) {
+    // The session failed; don't mutate DFS state while the queue drains.
+    r.status = RepairState::Status::kQueued;
+    r.prepared.reset();
+    r.target = -1;
+    return;
+  }
+  if (!dfs->cluster().node(node).alive()) {
+    // Target died mid-repair: the written bytes died with it. Replace.
+    r.status = RepairState::Status::kQueued;
+    r.prepared.reset();
+    r.target = -1;
+    RetargetRepair(rid);
+    return;
+  }
+  free_slots[static_cast<size_t>(node)] += 1;
+  if (parallel) {
+    pending_repair_commits.push_back(rid);
+  } else {
+    CommitRepairInline(rid);
+  }
+  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                       [this, node] { Heartbeat(node); });
+}
+
+void SessionEngine::CommitRepairInline(size_t rid) {
+  RepairState& r = repairs[rid];
+  Status st = CommitRepair(dfs, r.entry, r.target, std::move(*r.prepared));
+  r.prepared.reset();
+  if (st.ok()) {
+    r.status = RepairState::Status::kCommitted;
+    ++repairs_completed;
+    return;
+  }
+  // The target vanished between completion and commit (parallel mode's
+  // drain window): place the replica somewhere else.
+  r.status = RepairState::Status::kQueued;
+  r.target = -1;
+  RetargetRepair(rid);
+}
+
+void SessionEngine::RetargetRepair(size_t rid) {
+  RepairState& r = repairs[rid];
+  if (r.status != RepairState::Status::kQueued) return;
+  r.target = PickRepairTarget(*dfs, r.entry);
+  if (r.target < 0) return;  // unplaced; retried after the next revive
+  repairs_by_node[static_cast<size_t>(r.target)].push_back(rid);
+  if (session_done) {
+    const int target = r.target;
+    events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                         [this, target] { Heartbeat(target); });
+  }
+}
+
+void SessionEngine::RequestKill(int victim, double revive_after) {
+  if (!parallel) {
+    ApplyKill(victim, revive_after, /*reserved_seq=*/nullptr);
+    return;
+  }
+  PendingFault f;
+  f.kind = PendingFault::Kind::kKill;
+  f.node = victim;
+  f.revive_after = revive_after;
+  f.seq = events.ReserveSeq();
+  pending_faults.push_back(f);
+}
+
+void SessionEngine::ApplyKill(int victim, double revive_after,
+                              const uint64_t* reserved_seq) {
+  if (victim < 0 || victim >= dfs->cluster().num_nodes()) return;
+  if (!dfs->cluster().node(victim).alive()) return;
+  dfs->KillNode(victim, events.Now());
+  auto detect = [this, victim] { OnFailureDetected(victim); };
+  if (reserved_seq != nullptr) {
+    events.ScheduleAtReserved(*reserved_seq,
+                              events.Now() + constants().expiry_interval_s,
+                              std::move(detect));
+  } else {
+    events.ScheduleAfter(constants().expiry_interval_s, std::move(detect));
+  }
+  if (revive_after >= 0.0) {
+    // Never revive before the failure detection fired — the detector's
+    // requeue/repair bookkeeping assumes the node stayed dead until then.
+    const double delay =
+        std::max(revive_after, constants().expiry_interval_s + 1.0);
+    events.ScheduleAfter(delay, [this, victim] { RequestRevive(victim); });
+  }
+}
+
+void SessionEngine::RequestRevive(int node) {
+  if (!parallel) {
+    ApplyRevive(node);
+    return;
+  }
+  PendingFault f;
+  f.kind = PendingFault::Kind::kRevive;
+  f.node = node;
+  pending_faults.push_back(f);
+}
+
+void SessionEngine::ApplyRevive(int node) {
+  if (dfs->cluster().node(node).alive()) return;
+  dfs->ReviveNode(node);
+  free_slots[static_cast<size_t>(node)] =
+      dfs->cluster().node(node).profile().map_slots;
+  // The node re-joins: kick a heartbeat (its periodic chain stops once
+  // the session ends) and give stalled/unplaced repairs another chance —
+  // the revive may have restored their only source, or made this node an
+  // eligible target.
+  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                       [this, node] { Heartbeat(node); });
+  if (options->self_heal) {
+    for (size_t rid = 0; rid < repairs.size(); ++rid) {
+      if (repairs[rid].status == RepairState::Status::kQueued &&
+          repairs[rid].target < 0) {
+        RetargetRepair(rid);
+      }
+    }
+    for (size_t n = 0; n < repairs_by_node.size(); ++n) {
+      if (repairs_by_node[n].empty()) continue;
+      const int rn = static_cast<int>(n);
+      if (rn == node || !dfs->cluster().node(rn).alive()) continue;
+      events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                           [this, rn] { Heartbeat(rn); });
+    }
+  }
+}
+
+void SessionEngine::RequestCorrupt(int node, int nth_block) {
+  if (!parallel) {
+    ApplyCorrupt(node, nth_block);
+    return;
+  }
+  PendingFault f;
+  f.kind = PendingFault::Kind::kCorrupt;
+  f.node = node;
+  f.nth_block = nth_block;
+  pending_faults.push_back(f);
+}
+
+void SessionEngine::ApplyCorrupt(int node, int nth_block) {
+  if (node < 0 || node >= dfs->cluster().num_nodes() || nth_block < 0) return;
+  // "nth block of node i" resolves against the namenode's block-id-ordered
+  // holdings at injection time — deterministic for a given DFS state.
+  std::vector<uint64_t> blocks = dfs->namenode().BlocksOnDatanode(node);
+  if (blocks.empty()) return;
+  const uint64_t block = blocks[static_cast<size_t>(nth_block) % blocks.size()];
+  (void)dfs->InjectCorruption(node, block);
+}
+
+void SessionEngine::ApplyBadReplicaReports(
+    const std::vector<BadReplicaReport>& reports) {
+  if (reports.empty()) return;
+  if (parallel) {
+    pending_bad_reports.insert(pending_bad_reports.end(), reports.begin(),
+                               reports.end());
+    return;
+  }
+  for (const BadReplicaReport& r : reports) {
+    (void)dfs->ReportBadReplica(r.block_id, r.datanode);
+  }
+  IngestRepairs();
+}
+
 ReadOutcome SessionEngine::ExecuteRead(int j, RecordReader* rdr,
                                        const InputSplit& split,
                                        int node) const {
@@ -622,29 +958,31 @@ ReadOutcome SessionEngine::ExecuteRead(int j, RecordReader* rdr,
   out.fallback_scan = ctx.fallback_scan;
   out.index_scan = ctx.index_scan;
   out.unclustered_scan = ctx.unclustered_scan;
+  out.bad_replicas = std::move(ctx.bad_replicas);
   return out;
 }
 
-Status SessionEngine::FinishRead(int j, size_t task_id, int attempt, int node,
-                                 sim::SimTime assign_time, ReadOutcome outcome,
-                                 const uint64_t* reserved_seq) {
-  HAIL_RETURN_NOT_OK(outcome.cost.status());
-  TaskState& task = jobs[static_cast<size_t>(j)].tasks[task_id];
-  task.output = std::move(outcome.output);
-  task.records_seen = outcome.records_seen;
-  task.records_qualifying = outcome.records_qualifying;
-  task.bad_records = outcome.bad_records;
-  task.fallback_scan = outcome.fallback_scan;
-  task.index_scan = outcome.index_scan;
-  task.unclustered_scan = outcome.unclustered_scan;
-  // RecordReader time = one-time reader construction + the data access.
-  task.rr_seconds =
-      constants().task_rr_init_ms / 1000.0 + outcome.cost->total();
-
-  const double duration = constants().task_setup_s + outcome.cost->total() +
-                          constants().task_cleanup_s;
-  auto completion = [this, j, task_id, attempt, node] {
-    OnTaskComplete(j, task_id, attempt, node);
+void SessionEngine::FinishRead(int j, size_t task_id, int attempt, int node,
+                               sim::SimTime assign_time, ReadOutcome outcome,
+                               const uint64_t* reserved_seq) {
+  // The outcome travels inside the completion event instead of being
+  // written into TaskState here: with speculation two attempts of one task
+  // can be live at once, and only the completion order decides whose
+  // results count. (EventQueue callbacks are copyable std::functions,
+  // hence the shared_ptr.)
+  auto oc = std::make_shared<ReadOutcome>(std::move(outcome));
+  // A failed attempt still occupied its slot for setup + cleanup before
+  // reporting the error.
+  double duration = constants().task_setup_s + constants().task_cleanup_s;
+  double rr = 0.0;
+  if (oc->cost.ok()) {
+    // Slow nodes stretch the data-access portion of the attempt.
+    const double factor = plan.slow_factor(node);
+    rr = constants().task_rr_init_ms / 1000.0 + oc->cost->total() * factor;
+    duration += oc->cost->total() * factor;
+  }
+  auto completion = [this, j, task_id, attempt, node, rr, oc] {
+    OnTaskComplete(j, task_id, attempt, node, rr, oc);
   };
   if (reserved_seq != nullptr) {
     events.ScheduleAtReserved(*reserved_seq, assign_time + duration,
@@ -652,25 +990,87 @@ Status SessionEngine::FinishRead(int j, size_t task_id, int attempt, int node,
   } else {
     events.ScheduleAfter(duration, std::move(completion));
   }
-  return Status::OK();
 }
 
-Status SessionEngine::AssignTask(int j, size_t task_id, int node) {
+void SessionEngine::AssignTask(int j, size_t task_id, int node) {
   JobExec& job = jobs[static_cast<size_t>(j)];
   TaskState& task = job.tasks[task_id];
   task.status = TaskStatus::kRunning;
-  task.attempt += 1;
+  task.attempt = ++task.attempt_serial;
   task.run_on = node;
   task.assign_time = events.Now();
   free_slots[static_cast<size_t>(node)] -= 1;
   scheduler.OnTaskStarted(j);
+  DispatchRead(j, task_id, task.attempt, node);
+}
 
+void SessionEngine::TrySpeculate(int node, int* assigned) {
+  // A straggler is a running task whose elapsed time exceeds
+  // speculative_lag_factor times its job's average completed-task
+  // duration. One duplicate per task, never on the task's own node;
+  // most-overdue first, ties to the lowest (job, task) — all decided on
+  // event-thread state, so serial and parallel pick identically.
+  int best_j = -1;
+  size_t best_t = 0;
+  double best_overdue = 0.0;
+  for (JobExec& job : jobs) {
+    if (job.phase != JobExec::Phase::kActive) continue;
+    if (job.submitted->kind != ClusterSession::Submitted::Kind::kQuery) {
+      continue;
+    }
+    double done_rr = 0.0;
+    uint32_t done_count = 0;
+    for (const TaskState& t : job.tasks) {
+      if (t.status == TaskStatus::kDone) {
+        done_rr += t.rr_seconds;
+        ++done_count;
+      }
+    }
+    if (done_count == 0) continue;  // no duration estimate yet
+    const double avg = constants().task_setup_s +
+                       done_rr / static_cast<double>(done_count) +
+                       constants().task_cleanup_s;
+    const double threshold = options->speculative_lag_factor * avg;
+    for (size_t i = 0; i < job.tasks.size(); ++i) {
+      const TaskState& t = job.tasks[i];
+      if (t.status != TaskStatus::kRunning || t.speculated ||
+          t.spec_attempt != 0 || t.run_on == node) {
+        continue;
+      }
+      const double elapsed = events.Now() - t.assign_time;
+      if (elapsed <= threshold) continue;
+      const double overdue = elapsed - threshold;
+      if (best_j < 0 || overdue > best_overdue) {
+        best_j = job.id;
+        best_t = i;
+        best_overdue = overdue;
+      }
+    }
+  }
+  if (best_j < 0) return;
+  TaskState& task = jobs[static_cast<size_t>(best_j)].tasks[best_t];
+  task.speculated = true;
+  task.spec_attempt = ++task.attempt_serial;
+  task.spec_node = node;
+  task.spec_assign_time = events.Now();
+  free_slots[static_cast<size_t>(node)] -= 1;
+  scheduler.OnTaskStarted(best_j);
+  ++spec_attempts;
+  *assigned += 1;
+  DispatchRead(best_j, best_t, task.spec_attempt, node);
+}
+
+void SessionEngine::DispatchRead(int j, size_t task_id, int attempt,
+                                 int node) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  const InputSplit* split = job.tasks[task_id].split;
   if (!parallel) {
     // Functional read happens now; the simulated duration covers setup +
     // record reading + cleanup.
-    return FinishRead(j, task_id, task.attempt, node, events.Now(),
-                      ExecuteRead(j, job.reader.get(), *task.split, node),
-                      /*reserved_seq=*/nullptr);
+    FinishRead(j, task_id, attempt, node, events.Now(),
+               ExecuteRead(j, job.reader.get(), *split, node),
+               /*reserved_seq=*/nullptr);
+    return;
   }
 
   // Parallel: reserve the completion event's FIFO slot here — exactly
@@ -680,13 +1080,12 @@ Status SessionEngine::AssignTask(int j, size_t task_id, int node) {
   InFlight f;
   f.job = j;
   f.task_id = task_id;
-  f.attempt = task.attempt;
+  f.attempt = attempt;
   f.node = node;
   f.assign_time = events.Now();
   f.earliest_completion =
       f.assign_time + constants().task_setup_s + constants().task_cleanup_s;
   f.seq = events.ReserveSeq();
-  const InputSplit* split = task.split;
   const System system = job.submitted->spec.system;
   f.future = pool->Submit([this, j, split, node, system] {
     // Readers are cheap to construct; a private instance per read keeps
@@ -695,7 +1094,6 @@ Status SessionEngine::AssignTask(int j, size_t task_id, int node) {
     return ExecuteRead(j, rdr.get(), *split, node);
   });
   inflight.push_back(std::move(f));
-  return Status::OK();
 }
 
 void SessionEngine::AssignUpload(int j, size_t task_id, int node) {
@@ -767,7 +1165,8 @@ void SessionEngine::ExecuteUpload(int j, size_t task_id, int node,
       constants().task_setup_s + task.rr_seconds + constants().task_cleanup_s;
   const int attempt = task.attempt;
   auto completion = [this, j, task_id, attempt, node] {
-    OnTaskComplete(j, task_id, attempt, node);
+    OnTaskComplete(j, task_id, attempt, node, /*rr_seconds=*/0.0,
+                   /*outcome=*/nullptr);
   };
   if (reserved_seq != nullptr) {
     events.ScheduleAtReserved(*reserved_seq, start + duration,
@@ -777,16 +1176,11 @@ void SessionEngine::ExecuteUpload(int j, size_t task_id, int node,
   }
 }
 
-Status SessionEngine::JoinOldest() {
+void SessionEngine::JoinOldest() {
   InFlight f = std::move(inflight.front());
   inflight.pop_front();
-  Status st = FinishRead(f.job, f.task_id, f.attempt, f.node, f.assign_time,
-                         f.future.get(), &f.seq);
-  if (!st.ok()) {
-    if (first_error.ok()) first_error = st;
-    session_done = true;
-  }
-  return st;
+  FinishRead(f.job, f.task_id, f.attempt, f.node, f.assign_time,
+             f.future.get(), &f.seq);
 }
 
 void SessionEngine::AccountUsage(int j, const TaskState& task,
@@ -802,10 +1196,34 @@ void SessionEngine::AccountUsage(int j, const TaskState& task,
 }
 
 void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
-                                   int node) {
+                                   int node, double rr_seconds,
+                                   const std::shared_ptr<ReadOutcome>& outcome) {
   JobExec& job = jobs[static_cast<size_t>(j)];
   TaskState& task = job.tasks[task_id];
-  if (task.status != TaskStatus::kRunning || task.attempt != attempt) {
+  // Corrupt-replica sightings are reported no matter whose attempt this is
+  // — the failed-over read really happened. Serial reports inline (before
+  // any kill below); parallel defers to the loop's post-drain window in
+  // the same order.
+  if (outcome != nullptr) ApplyBadReplicaReports(outcome->bad_replicas);
+  if (attempt != 0 && attempt == task.loser_attempt) {
+    // The losing attempt of a task whose race already ended: give the
+    // slot back, discard the result.
+    const int loser_node = task.loser_node;
+    task.loser_attempt = 0;
+    task.loser_node = -1;
+    if (dfs->cluster().node(loser_node).alive()) {
+      free_slots[static_cast<size_t>(loser_node)] += 1;
+      scheduler.OnTaskFinished(j);
+      events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                           [this, loser_node] { Heartbeat(loser_node); });
+    }
+    return;
+  }
+  const bool is_primary =
+      task.status == TaskStatus::kRunning && attempt == task.attempt;
+  const bool is_spec = task.status == TaskStatus::kRunning &&
+                       task.spec_attempt != 0 && attempt == task.spec_attempt;
+  if (!is_primary && !is_spec) {
     return;  // stale completion of a superseded attempt
   }
   if (job.phase == JobExec::Phase::kFailed) {
@@ -813,8 +1231,20 @@ void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
     // back to the cluster. This must run even after the session's last
     // job finished (session_done) — a zombie slot would otherwise block
     // the post-session maintenance drain on this node.
+    if (is_primary && task.spec_attempt != 0) {
+      // A duplicate is still in flight; promote it so its own arrival
+      // lands here too and releases its slot.
+      task.attempt = task.spec_attempt;
+      task.run_on = task.spec_node;
+      task.spec_attempt = 0;
+      task.spec_node = -1;
+    } else if (is_spec) {
+      task.spec_attempt = 0;
+      task.spec_node = -1;
+    } else {
+      task.status = TaskStatus::kDone;
+    }
     if (!dfs->cluster().node(node).alive()) return;  // slot died with it
-    task.status = TaskStatus::kDone;
     free_slots[static_cast<size_t>(node)] += 1;
     scheduler.OnTaskFinished(j);
     events.ScheduleAfter(constants().oob_heartbeat_latency_s,
@@ -823,7 +1253,41 @@ void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
   }
   if (session_done) return;
   if (!dfs->cluster().node(node).alive()) {
-    return;  // node died mid-run; the failure detector requeues it
+    return;  // node died mid-run; the failure detector handles it
+  }
+  if (outcome != nullptr && !outcome->cost.ok()) {
+    HandleFailedAttempt(j, task_id, attempt, node, outcome->cost.status());
+    return;
+  }
+
+  // First completion wins: retire the sibling attempt (if any) as the
+  // loser — its arrival only returns its slot.
+  if (task.spec_attempt != 0) {
+    if (is_spec) {
+      task.loser_attempt = task.attempt;
+      task.loser_node = task.run_on;
+      task.attempt = attempt;
+      task.run_on = node;
+      task.assign_time = task.spec_assign_time;
+      ++spec_wins;
+    } else {
+      task.loser_attempt = task.spec_attempt;
+      task.loser_node = task.spec_node;
+    }
+    task.spec_attempt = 0;
+    task.spec_node = -1;
+  }
+  if (outcome != nullptr) {
+    task.output = std::move(outcome->output);
+    task.records_seen = outcome->records_seen;
+    task.records_qualifying = outcome->records_qualifying;
+    task.bad_records = outcome->bad_records;
+    task.fallback_scan = outcome->fallback_scan;
+    task.index_scan = outcome->index_scan;
+    task.unclustered_scan = outcome->unclustered_scan;
+    // RecordReader time = one-time reader construction + the data access
+    // (already stretched by the executing node's slow factor).
+    task.rr_seconds = rr_seconds;
   }
   task.status = TaskStatus::kDone;
   free_slots[static_cast<size_t>(node)] += 1;
@@ -833,25 +1297,17 @@ void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
                constants().task_setup_s + task.rr_seconds +
                    constants().task_cleanup_s);
 
-  // Failure injection: kill the victim once the designated job crosses the
+  // Failure injection: kill a victim once the designated job crosses its
   // progress threshold ("we kill all Java processes ... after 50% of work
-  // progress", §6.4.3).
-  if (options->kill_node >= 0 && !killed && j == options->kill_progress_job &&
-      static_cast<double>(job.completed) >=
-          options->kill_at_progress * static_cast<double>(job.tasks.size())) {
-    killed = true;
-    const int victim = options->kill_node;
-    if (!parallel) {
-      dfs->KillNode(victim, events.Now());
-      events.ScheduleAfter(constants().expiry_interval_s,
-                           [this, victim] { OnFailureDetected(victim); });
-    } else {
-      // Reserve the detection event's slot now (identical tie-break rank
-      // to serial); the loop applies the kill once in-flight reads have
-      // drained.
-      kill_requested = true;
-      kill_victim = victim;
-      kill_seq = events.ReserveSeq();
+  // progress", §6.4.3). Time-triggered kills fired via their own events.
+  for (size_t k = 0; k < plan.kills.size(); ++k) {
+    const sim::FaultPlan::Kill& kill = plan.kills[k];
+    if (kill_fired[k] || kill.node < 0 || kill.at_progress < 0.0) continue;
+    if (j != kill.progress_job) continue;
+    if (static_cast<double>(job.completed) >=
+        kill.at_progress * static_cast<double>(job.tasks.size())) {
+      kill_fired[k] = 1;
+      RequestKill(kill.node, kill.revive_after);
     }
   }
 
@@ -865,7 +1321,73 @@ void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
                        [this, node] { Heartbeat(node); });
 }
 
+void SessionEngine::HandleFailedAttempt(int j, size_t task_id, int attempt,
+                                        int node, const Status& st) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  TaskState& task = job.tasks[task_id];
+  free_slots[static_cast<size_t>(node)] += 1;
+  scheduler.OnTaskFinished(j);
+  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                       [this, node] { Heartbeat(node); });
+  if (task.spec_attempt != 0) {
+    // The sibling attempt lives on as the sole attempt of the task.
+    if (attempt == task.attempt) {
+      task.attempt = task.spec_attempt;
+      task.run_on = task.spec_node;
+      task.assign_time = task.spec_assign_time;
+    }
+    task.spec_attempt = 0;
+    task.spec_node = -1;
+    return;
+  }
+  // Retryable failures (dead replica set, exhausted failover) requeue
+  // with capped exponential backoff; anything else — and the attempt cap
+  // — fails the job cleanly instead of requeueing forever.
+  const bool retryable = st.IsUnavailable() || st.IsCorruption();
+  if (!retryable || task.reschedules + 1 >= options->max_task_attempts) {
+    task.status = TaskStatus::kDone;  // attempt retired; job is over
+    FailJob(j, st);
+    return;
+  }
+  task.status = TaskStatus::kPending;
+  task.awaiting_backoff = true;
+  task.reschedules += 1;
+  ++task_retries;
+  double backoff = options->retry_backoff_s;
+  for (int i = 1; i < task.reschedules; ++i) backoff *= 2.0;
+  backoff = std::min(backoff, options->retry_backoff_max_s);
+  events.ScheduleAfter(backoff, [this, j, task_id] {
+    JobExec& job2 = jobs[static_cast<size_t>(j)];
+    TaskState& t = job2.tasks[task_id];
+    const bool still_wanted = t.awaiting_backoff &&
+                              job2.phase == JobExec::Phase::kActive &&
+                              !session_done;
+    t.awaiting_backoff = false;
+    if (!still_wanted) return;
+    job2.pending.Push(task_id, t.preferred_nodes());
+    ++foreground_pending;
+    scheduler.SetPending(j, job2.pending.size());
+  });
+}
+
 void SessionEngine::OnFailureDetected(int node) {
+  // Re-replication sees the loss first: every replica the dead node held
+  // goes onto the namenode's under-replicated queue — even when the
+  // session is already winding down, because that queue outlives it.
+  if (options->self_heal) {
+    dfs->namenode().EnqueueLostNodeReplicas(node);
+    IngestRepairs();
+    // Queued repairs that were targeted at the dead node need a new home.
+    if (!repairs_by_node.empty()) {
+      std::deque<size_t>& rq = repairs_by_node[static_cast<size_t>(node)];
+      while (!rq.empty()) {
+        const size_t rid = rq.front();
+        rq.pop_front();
+        repairs[rid].target = -1;
+        RetargetRepair(rid);
+      }
+    }
+  }
   if (session_done) return;
   // Lost in-flight tasks and completed map outputs on the dead node are
   // re-executed elsewhere. Jobs already done keep their numbers (fixed at
@@ -877,6 +1399,19 @@ void SessionEngine::OnFailureDetected(int node) {
     bool requeued = false;
     for (size_t i = 0; i < job.tasks.size(); ++i) {
       TaskState& task = job.tasks[i];
+      // Speculation bookkeeping tied to the dead node dissolves — the
+      // slot died with it, and late completions arrive as superseded
+      // attempts.
+      if (task.loser_attempt != 0 && task.loser_node == node) {
+        task.loser_attempt = 0;
+        task.loser_node = -1;
+      }
+      if (task.status == TaskStatus::kRunning && task.spec_attempt != 0 &&
+          task.spec_node == node) {
+        task.spec_attempt = 0;
+        task.spec_node = -1;
+        scheduler.OnTaskFinished(job.id);
+      }
       if (task.run_on != node) continue;
       if (job.submitted->kind == ClusterSession::Submitted::Kind::kUpload) {
         if (task.status == TaskStatus::kRunning) {
@@ -896,6 +1431,17 @@ void SessionEngine::OnFailureDetected(int node) {
         continue;
       }
       if (task.status == TaskStatus::kRunning) {
+        if (task.spec_attempt != 0) {
+          // The surviving speculative attempt becomes the primary: no
+          // requeue, the task keeps running where the duplicate is.
+          task.attempt = task.spec_attempt;
+          task.run_on = task.spec_node;
+          task.assign_time = task.spec_assign_time;
+          task.spec_attempt = 0;
+          task.spec_node = -1;
+          scheduler.OnTaskFinished(job.id);
+          continue;
+        }
         task.status = TaskStatus::kPending;
         task.reschedules += 1;
         scheduler.OnTaskFinished(job.id);
@@ -936,7 +1482,7 @@ void SessionEngine::RunParallelLoop() {
                    (f.earliest_completion == when && f.seq < seq);
       }
       if (!join_now) break;
-      if (!JoinOldest().ok()) break;  // error: drained below
+      JoinOldest();
     }
     if (!first_error.ok()) break;
     if (events.pending() == 0) {
@@ -944,36 +1490,51 @@ void SessionEngine::RunParallelLoop() {
       continue;  // only in-flight reads remain; join them next pass
     }
     events.RunOne();
-    if (kill_requested || !pending_commits.empty() ||
-        !pending_uploads.empty()) {
+    if (!pending_faults.empty() || !pending_commits.empty() ||
+        !pending_uploads.empty() || !pending_repair_commits.empty() ||
+        !pending_bad_reports.empty()) {
       // Drain all in-flight reads before mutating shared DFS state
-      // (upload execution, reorg commit or kill): they were assigned
-      // pre-mutation and must observe — and may be concurrently reading —
-      // the pre-mutation bytes. At most one category is pending per event
-      // (uploads come from Heartbeat, commits from OnMaintenanceComplete,
-      // kills from OnTaskComplete), so the apply order below is moot but
-      // fixed.
-      Status drained = Status::OK();
-      while (!inflight.empty() && drained.ok()) drained = JoinOldest();
-      if (drained.ok()) {
-        for (const PendingUpload& u : pending_uploads) {
-          ExecuteUpload(u.job, u.task_id, u.node, &u.seq);
+      // (upload execution, reorg/repair commit, bad-replica report or
+      // fault): they were assigned pre-mutation and must observe — and
+      // may be concurrently reading — the pre-mutation bytes. The apply
+      // order mirrors the inline order serial uses within one event:
+      // reports land before fault requests (OnTaskComplete reports at
+      // entry, requests kills later), and at most one category besides
+      // those is pending per event.
+      while (!inflight.empty()) JoinOldest();
+      for (const PendingUpload& u : pending_uploads) {
+        ExecuteUpload(u.job, u.task_id, u.node, &u.seq);
+      }
+      pending_uploads.clear();
+      for (size_t mid : pending_commits) CommitMaintenance(mid);
+      pending_commits.clear();
+      for (size_t rid : pending_repair_commits) CommitRepairInline(rid);
+      pending_repair_commits.clear();
+      if (!pending_bad_reports.empty()) {
+        std::vector<BadReplicaReport> reports =
+            std::move(pending_bad_reports);
+        pending_bad_reports.clear();
+        for (const BadReplicaReport& r : reports) {
+          (void)dfs->ReportBadReplica(r.block_id, r.datanode);
         }
-        pending_uploads.clear();
-        for (size_t mid : pending_commits) CommitMaintenance(mid);
-        pending_commits.clear();
-        if (kill_requested) {
-          kill_requested = false;
-          dfs->KillNode(kill_victim, events.Now());
-          const int victim = kill_victim;
-          events.ScheduleAtReserved(
-              kill_seq, events.Now() + constants().expiry_interval_s,
-              [this, victim] { OnFailureDetected(victim); });
+        IngestRepairs();
+      }
+      if (!pending_faults.empty()) {
+        std::vector<PendingFault> faults = std::move(pending_faults);
+        pending_faults.clear();
+        for (const PendingFault& f : faults) {
+          switch (f.kind) {
+            case PendingFault::Kind::kKill:
+              ApplyKill(f.node, f.revive_after, &f.seq);
+              break;
+            case PendingFault::Kind::kRevive:
+              ApplyRevive(f.node);
+              break;
+            case PendingFault::Kind::kCorrupt:
+              ApplyCorrupt(f.node, f.nth_block);
+              break;
+          }
         }
-      } else {
-        pending_uploads.clear();
-        pending_commits.clear();
-        kill_requested = false;
       }
     }
   }
@@ -1087,6 +1648,24 @@ Result<SessionResult> ClusterSession::Run() {
   eng.parallel = ResolveMode(options_.execution) == ExecutionMode::kParallel;
   if (eng.parallel) eng.pool = SharedPool();
 
+  // Effective fault schedule: the deterministic plan plus the legacy
+  // single-kill knob (kept for callers that predate FaultPlan).
+  eng.plan = options_.fault_plan;
+  if (options_.kill_node >= 0) {
+    sim::FaultPlan::Kill kill;
+    kill.node = options_.kill_node;
+    kill.at_progress = options_.kill_at_progress;
+    kill.progress_job = options_.kill_progress_job;
+    eng.plan.kills.push_back(kill);
+  }
+  eng.kill_fired.assign(eng.plan.kills.size(), 0);
+
+  // Session-start corruptions (at_time <= 0) land before any plan or
+  // read: the fault exists from the first instant in both execution modes.
+  for (const sim::FaultPlan::Corrupt& c : eng.plan.corruptions) {
+    if (c.at_time <= 0.0) eng.ApplyCorrupt(c.node, c.nth_block);
+  }
+
   eng.jobs.resize(jobs_.size());
   for (size_t i = 0; i < jobs_.size(); ++i) {
     JobExec& job = eng.jobs[i];
@@ -1142,6 +1721,10 @@ Result<SessionResult> ClusterSession::Run() {
   // Adaptive maintenance: take every pending replica rewrite; they run on
   // slots with no foreground work and whatever does not finish goes back.
   eng.maint_by_node.resize(static_cast<size_t>(cluster.num_nodes()));
+  eng.repairs_by_node.resize(static_cast<size_t>(cluster.num_nodes()));
+  // Losses recorded by earlier sessions wait in the namenode; a
+  // self-healing session picks them up at the boundary.
+  eng.IngestRepairs();
   if (options_.adaptive != nullptr) {
     std::vector<adaptive::MaintenanceTask> taken =
         options_.adaptive->TakeTasks();
@@ -1177,6 +1760,26 @@ Result<SessionResult> ClusterSession::Run() {
         }
       });
     }
+  }
+
+  // Time-triggered faults fire as plain events; progress-triggered kills
+  // are checked in OnTaskComplete.
+  for (size_t k = 0; k < eng.plan.kills.size(); ++k) {
+    const sim::FaultPlan::Kill& kill = eng.plan.kills[k];
+    if (kill.node < 0 || kill.at_time < 0.0) continue;
+    eng.kill_fired[k] = 1;  // fires exactly once, below
+    const int victim = kill.node;
+    const double revive_after = kill.revive_after;
+    eng.events.ScheduleAt(kill.at_time, [&eng, victim, revive_after] {
+      eng.RequestKill(victim, revive_after);
+    });
+  }
+  for (const sim::FaultPlan::Corrupt& c : eng.plan.corruptions) {
+    if (c.at_time <= 0.0) continue;  // applied at the session boundary
+    const int cn = c.node;
+    const int nth = c.nth_block;
+    eng.events.ScheduleAt(c.at_time,
+                          [&eng, cn, nth] { eng.RequestCorrupt(cn, nth); });
   }
 
   // Per-node TaskTracker heartbeats, staggered like real daemon start
@@ -1232,6 +1835,14 @@ Result<SessionResult> ClusterSession::Run() {
     options_.adaptive->ReturnUnfinished(std::move(unfinished));
     options_.adaptive->NoteCompleted(eng.maint_completed, eng.maint_failed);
   }
+  // Unserviced repairs go back to the namenode *before* any error exit —
+  // a lost replica stays on the books until some session re-creates it.
+  for (const RepairState& r : eng.repairs) {
+    if (r.status == RepairState::Status::kQueued ||
+        r.status == RepairState::Status::kRunning) {
+      dfs_->namenode().RequeueUnderReplicated(r.entry);
+    }
+  }
   HAIL_RETURN_NOT_OK(eng.first_error);
   for (const JobExec& job : eng.jobs) {
     if (job.phase != JobExec::Phase::kDone &&
@@ -1269,6 +1880,13 @@ Result<SessionResult> ClusterSession::Run() {
   out.maintenance_completed = eng.maint_completed;
   out.maintenance_failed = eng.maint_failed;
   out.maintenance_while_foreground_pending = eng.maint_while_fg_pending;
+  out.repairs_scheduled = static_cast<uint32_t>(eng.repairs.size());
+  out.repairs_completed = eng.repairs_completed;
+  out.repairs_abandoned = eng.repairs_abandoned;
+  out.under_replicated_remaining = dfs_->namenode().under_replicated_count();
+  out.task_retries = eng.task_retries;
+  out.speculative_attempts = eng.spec_attempts;
+  out.speculative_wins = eng.spec_wins;
 
   if (options_.adaptive != nullptr) {
     // Close the loop in completion order: record each finished query (and

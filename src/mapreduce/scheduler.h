@@ -45,6 +45,7 @@
 #include "hail/hail_client.h"
 #include "mapreduce/job.h"
 #include "mapreduce/job_runner.h"
+#include "sim/fault_plan.h"
 #include "util/result.h"
 
 namespace hail {
@@ -154,12 +155,33 @@ struct SessionOptions {
   ExecutionMode execution = ExecutionMode::kDefault;
   /// Background replica maintenance rides the whole session's idle slots.
   adaptive::AdaptiveManager* adaptive = nullptr;
-  /// Node to kill mid-session; -1 disables failure injection.
+  /// Node to kill mid-session; -1 disables failure injection. Legacy
+  /// single-kill knob, merged into `fault_plan` at Run time.
   int kill_node = -1;
   /// Kill once this fraction of `kill_progress_job`'s tasks completed.
   double kill_at_progress = 0.5;
   /// Job whose progress triggers the kill (submission index).
   int kill_progress_job = 0;
+  /// Deterministic fault schedule: node kills (with optional revive),
+  /// per-(node, block) replica corruption, slow-node factors.
+  sim::FaultPlan fault_plan;
+  /// Re-replicate lost/corrupt replicas through the maintenance queue
+  /// (strictly below foreground work). Opt-in: sessions that inject
+  /// faults enable it; corrupt replicas are revoked either way.
+  bool self_heal = false;
+  /// Launch duplicate attempts for straggling tasks (first completion
+  /// wins, deterministically). Opt-in, for plans with slow nodes.
+  bool speculative_execution = false;
+  /// A running task becomes a speculation candidate once it has been
+  /// running longer than this factor times the average completed-task
+  /// duration of its job.
+  double speculative_lag_factor = 1.5;
+  /// Read attempts failing with a retryable error (Unavailable dead
+  /// node, Corruption) requeue with capped exponential backoff; at the
+  /// cap the job fails cleanly instead of requeueing forever.
+  int max_task_attempts = 4;
+  double retry_backoff_s = 10.0;
+  double retry_backoff_max_s = 60.0;
 };
 
 /// \brief Per-queue slot usage over one session (fair-share accounting).
@@ -193,6 +215,20 @@ struct SessionResult {
   /// anywhere. The strict low-priority guarantee says this is always 0;
   /// it is recorded (rather than assumed) so tests/bench can pin it.
   uint64_t maintenance_while_foreground_pending = 0;
+  // -- self-healing storage (options.self_heal) --
+  uint32_t repairs_scheduled = 0;
+  uint32_t repairs_completed = 0;
+  /// Repairs dropped because they were no longer needed (node revived
+  /// with its replica intact, file deleted) or could never run.
+  uint32_t repairs_abandoned = 0;
+  /// Lost replicas still waiting for repair when the session ended
+  /// (requeued in the namenode for a later session).
+  uint64_t under_replicated_remaining = 0;
+  // -- task retry / speculative execution --
+  uint32_t task_retries = 0;
+  uint32_t speculative_attempts = 0;
+  /// Speculative attempts that finished before their primaries.
+  uint32_t speculative_wins = 0;
 };
 
 /// \brief N jobs on one simulated clock and one shared cluster state.

@@ -6,14 +6,20 @@ namespace mapreduce {
 
 namespace {
 
-/// Picks the replica to read: local when possible ("it is the local HDFS
-/// client ... that decides from which datanode a map task will read",
-/// §4.2), else the first alive holder.
-int ChooseReplica(const std::vector<int>& holders, int task_node) {
+/// Replica order to try: local first ("it is the local HDFS client ...
+/// that decides from which datanode a map task will read", §4.2), then
+/// the remaining alive holders — failover walks this list.
+std::vector<int> ReplicaOrder(const std::vector<int>& holders,
+                              int task_node) {
+  std::vector<int> order;
+  order.reserve(holders.size());
   for (int dn : holders) {
-    if (dn == task_node) return dn;
+    if (dn == task_node) order.push_back(dn);
   }
-  return holders.empty() ? -1 : holders.front();
+  for (int dn : holders) {
+    if (dn != task_node) order.push_back(dn);
+  }
+  return order;
 }
 
 /// Clears the context's row-matcher pointer on every exit path so it never
@@ -64,31 +70,32 @@ class TextRecordReader : public RecordReader {
                       ReadContext* ctx, TaskCost* cost) {
     const hdfs::BlockLocation& loc =
         ctx->plan->file_blocks[block_index];
-    const int dn = ChooseReplica(loc.datanodes, ctx->task_node);
-    if (dn < 0) {
-      return Status::FailedPrecondition(
-          "no alive replica for block " + std::to_string(loc.block_id));
-    }
-    const hdfs::DfsConfig& cfg = ctx->dfs->config();
-    HAIL_ASSIGN_OR_RETURN(std::string_view data,
-                          ctx->dfs->datanode(dn).ReadBlockVerified(
-                              loc.block_id, cfg.chunk_bytes));
+    std::string_view data;
+    std::vector<int> candidates = ReplicaOrder(loc.datanodes, ctx->task_node);
+    HAIL_ASSIGN_OR_RETURN(
+        size_t winner,
+        ReadReplicaWithFailover(ctx, loc.block_id, loc.logical_bytes,
+                                candidates, cost, &data));
+    const int dn = candidates[winner];
 
     // Boundary rule part 1: if the previous block (of the *same* part
     // file) does not end in a newline, our first line fragment belongs to
-    // the previous reader.
+    // the previous reader. Boundary reads are verified with failover too:
+    // a silently corrupt neighbour would split rows differently and break
+    // result equivalence (the happy-path read itself stays unbilled, as
+    // the split accounting already charges each block to its own task).
     size_t begin = 0;
     if (block_index > 0 &&
         ctx->plan->file_blocks[block_index - 1].file_id == loc.file_id) {
       const hdfs::BlockLocation& prev =
           ctx->plan->file_blocks[block_index - 1];
-      const int prev_dn = ChooseReplica(prev.datanodes, ctx->task_node);
-      if (prev_dn < 0) {
-        return Status::FailedPrecondition("no alive replica for prev block");
-      }
-      HAIL_ASSIGN_OR_RETURN(
-          std::string_view prev_data,
-          ctx->dfs->datanode(prev_dn).ReadBlockRaw(prev.block_id));
+      std::string_view prev_data;
+      TaskCost boundary_cost;  // wasted boundary attempts are negligible
+      HAIL_RETURN_NOT_OK(
+          ReadReplicaWithFailover(ctx, prev.block_id, prev.logical_bytes,
+                                  ReplicaOrder(prev.datanodes, ctx->task_node),
+                                  &boundary_cost, &prev_data)
+              .status());
       if (!prev_data.empty() && prev_data.back() != '\n') {
         const size_t nl = data.find('\n');
         begin = (nl == std::string_view::npos) ? data.size() : nl + 1;
@@ -102,11 +109,14 @@ class TextRecordReader : public RecordReader {
            next < ctx->plan->file_blocks.size(); ++next) {
         const hdfs::BlockLocation& nloc = ctx->plan->file_blocks[next];
         if (nloc.file_id != loc.file_id) break;  // never cross part files
-        const int ndn = ChooseReplica(nloc.datanodes, ctx->task_node);
-        if (ndn < 0) break;
-        HAIL_ASSIGN_OR_RETURN(std::string_view ndata,
-                              ctx->dfs->datanode(ndn).ReadBlockRaw(
-                                  nloc.block_id));
+        std::string_view ndata;
+        TaskCost boundary_cost;
+        HAIL_RETURN_NOT_OK(
+            ReadReplicaWithFailover(ctx, nloc.block_id, nloc.logical_bytes,
+                                    ReplicaOrder(nloc.datanodes,
+                                                 ctx->task_node),
+                                    &boundary_cost, &ndata)
+                .status());
         const size_t nl = ndata.find('\n');
         if (nl == std::string_view::npos) {
           content.append(ndata);  // a row spanning >1 whole block
@@ -138,7 +148,7 @@ class TextRecordReader : public RecordReader {
     ctx->records_seen += records;
 
     // ---- cost ----
-    const double scale = cfg.scale_factor;
+    const double scale = ctx->dfs->config().scale_factor;
     const uint64_t logical_bytes = loc.logical_bytes;
     const uint64_t logical_records =
         static_cast<uint64_t>(static_cast<double>(records) * scale);

@@ -68,18 +68,21 @@ class TrojanRecordReader : public RecordReader {
   Status ReadOneBlock(uint32_t block_index, const CompiledPredicate* filter,
                       ReadContext* ctx, TaskCost* cost) {
     const hdfs::BlockLocation& loc = ctx->plan->file_blocks[block_index];
-    if (loc.datanodes.empty()) {
-      return Status::FailedPrecondition(
-          "no alive replica for block " + std::to_string(loc.block_id));
-    }
-    int dn = loc.datanodes.front();
+    // All replicas are identical: the failover order is locality-only.
+    std::vector<int> candidates;
     for (int h : loc.datanodes) {
-      if (h == ctx->task_node) dn = h;
+      if (h == ctx->task_node) candidates.push_back(h);
+    }
+    for (int h : loc.datanodes) {
+      if (h != ctx->task_node) candidates.push_back(h);
     }
     const hdfs::DfsConfig& cfg = ctx->dfs->config();
-    HAIL_ASSIGN_OR_RETURN(std::string_view bytes,
-                          ctx->dfs->datanode(dn).ReadBlockVerified(
-                              loc.block_id, cfg.chunk_bytes));
+    std::string_view bytes;
+    HAIL_ASSIGN_OR_RETURN(
+        size_t winner,
+        ReadReplicaWithFailover(ctx, loc.block_id, loc.logical_bytes,
+                                candidates, cost, &bytes));
+    const int dn = candidates[winner];
     HAIL_ASSIGN_OR_RETURN(
         std::shared_ptr<const CachedTrojanBlock> cached,
         OpenCachedTrojanBlock(*ctx, dn, loc.block_id, bytes));

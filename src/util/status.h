@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kOutOfRange = 7,
   kFailedPrecondition = 8,
   kUnknown = 9,
+  kUnavailable = 10,
 };
 
 /// \brief Returns a human-readable name for a status code (e.g. "IOError").
@@ -79,6 +80,9 @@ class Status {
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -99,6 +103,7 @@ class Status {
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -138,11 +138,16 @@ std::string DumpResult(const mapreduce::JobResult& r) {
 
 std::string DumpSession(const mapreduce::SessionResult& r) {
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "session=%.17g ms=%u mc=%u mf=%u viol=%llu",
+  std::snprintf(buf, sizeof(buf),
+                "session=%.17g ms=%u mc=%u mf=%u viol=%llu "
+                "rs=%u rc=%u ra=%u ur=%llu retry=%u spec=%u specw=%u",
                 r.session_seconds, r.maintenance_scheduled,
                 r.maintenance_completed, r.maintenance_failed,
                 static_cast<unsigned long long>(
-                    r.maintenance_while_foreground_pending));
+                    r.maintenance_while_foreground_pending),
+                r.repairs_scheduled, r.repairs_completed, r.repairs_abandoned,
+                static_cast<unsigned long long>(r.under_replicated_remaining),
+                r.task_retries, r.speculative_attempts, r.speculative_wins);
   std::string out(buf);
   for (const auto& job : r.jobs) {
     out += '\n';
