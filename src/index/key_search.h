@@ -25,35 +25,59 @@ inline int64_t AsInt64(const Value& v) {
   return v.is_int32() ? v.as_int32() : v.as_int64();
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+#define HAIL_KEYSEARCH_EXPECT(x) __builtin_expect(!!(x), 1)
+#else
+#define HAIL_KEYSEARCH_EXPECT(x) (x)
+#endif
+
 /// Raw typed binary searches. T is the key storage type, L the widened
 /// comparison type (int64_t or double) the caller resolved from the
 /// literal; each iteration is one cast + one compare.
+///
+/// The loop is *branchless*: instead of a taken/not-taken branch per
+/// probe (mispredicted ~50% of the time on random keys), each step
+/// shrinks the window by a fixed half and advances the base with a
+/// conditional move, so the only control dependency is the predictable
+/// `n > 1` counter — the data-dependent compare feeds a cmov. The short
+/// pragma-unrolled body keeps the halving steps in flight, and
+/// __builtin_expect marks the loop as the hot path. Semantics are
+/// identical to std::lower_bound / std::upper_bound (asserted in
+/// tests/index_test.cc against the std versions).
 template <typename T, typename L>
 inline size_t LowerBoundRaw(const std::vector<T>& keys, L v) {
-  size_t lo = 0, hi = keys.size();
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    if (static_cast<L>(keys[mid]) < v) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
+  const T* base = keys.data();
+  size_t n = keys.size();
+#if defined(__clang__)
+#pragma unroll 4
+#elif defined(__GNUC__)
+#pragma GCC unroll 4
+#endif
+  while (HAIL_KEYSEARCH_EXPECT(n > 1)) {
+    const size_t half = n / 2;
+    base += (static_cast<L>(base[half - 1]) < v) ? half : 0;  // cmov
+    n -= half;
   }
-  return lo;
+  return static_cast<size_t>(base - keys.data()) +
+         ((n == 1 && static_cast<L>(base[0]) < v) ? 1 : 0);
 }
 
 template <typename T, typename L>
 inline size_t UpperBoundRaw(const std::vector<T>& keys, L v) {
-  size_t lo = 0, hi = keys.size();
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    if (v < static_cast<L>(keys[mid])) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
+  const T* base = keys.data();
+  size_t n = keys.size();
+#if defined(__clang__)
+#pragma unroll 4
+#elif defined(__GNUC__)
+#pragma GCC unroll 4
+#endif
+  while (HAIL_KEYSEARCH_EXPECT(n > 1)) {
+    const size_t half = n / 2;
+    base += !(v < static_cast<L>(base[half - 1])) ? half : 0;  // cmov
+    n -= half;
   }
-  return lo;
+  return static_cast<size_t>(base - keys.data()) +
+         ((n == 1 && !(v < static_cast<L>(base[0]))) ? 1 : 0);
 }
 
 /// First index whose key is >= v. Numeric widening matches

@@ -1,0 +1,241 @@
+/// \file minipage_encoding.h
+/// \brief Per-minipage light-weight compression for PAX block format v3.
+///
+/// Format v3 (BlockFormatOptions::enable_encoding) stores each minipage
+/// under one of four encodings, chosen independently per column at
+/// serialisation time by comparing encoded sizes (layout/pax_block.cc):
+///
+///   - kPlain: the v1 representation (raw fixed-width array, or sparse-
+///     offset varlen layout) behind a one-byte tag.
+///   - kFor (frame of reference, integer columns): an i64 frame (the
+///     column minimum) plus unsigned offsets of 1/2/4 bytes each;
+///     value = frame + code.
+///   - kRle (run length, any fixed-size column): strictly increasing
+///     u32 run start rows plus one stored value per run; random access
+///     is a binary search over the run starts.
+///   - kDict (dictionary, string columns): a *sorted*, distinct,
+///     NUL-terminated dictionary plus per-row codes of 1/2/4 bytes.
+///     Sorting the dictionary makes the code order the string order, so
+///     range predicates rewrite to integer compares over the codes.
+///
+/// The span classes below are zero-copy readers over these layouts, the
+/// encoded analogues of ColumnSpan<T>: the scan engine filters codes and
+/// runs directly and decodes only qualifying rows. All loads go through
+/// memcpy (well-defined for any alignment); every pointer/extent is
+/// bounds-checked once by PaxBlockView::Open, never per access.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace hail {
+
+/// Physical encoding of one serialised minipage (format v3 tag byte).
+enum class MiniPageEncoding : uint8_t {
+  kPlain = 0,
+  kDict = 1,
+  kRle = 2,
+  kFor = 3,
+};
+
+inline const char* MiniPageEncodingName(MiniPageEncoding e) {
+  switch (e) {
+    case MiniPageEncoding::kPlain: return "plain";
+    case MiniPageEncoding::kDict: return "dict";
+    case MiniPageEncoding::kRle: return "rle";
+    case MiniPageEncoding::kFor: return "for";
+  }
+  return "?";
+}
+
+/// Loads one unsigned code of \p width bytes (1, 2 or 4) at index \p i.
+inline uint64_t LoadCode(const char* base, uint32_t i, uint8_t width) {
+  switch (width) {
+    case 1: {
+      uint8_t v;
+      std::memcpy(&v, base + static_cast<size_t>(i), 1);
+      return v;
+    }
+    case 2: {
+      uint16_t v;
+      std::memcpy(&v, base + static_cast<size_t>(i) * 2, 2);
+      return v;
+    }
+    default: {
+      uint32_t v;
+      std::memcpy(&v, base + static_cast<size_t>(i) * 4, 4);
+      return v;
+    }
+  }
+}
+
+/// \brief Zero-copy view over a frame-of-reference minipage.
+///
+/// value(i) = frame + code(i), computed in uint64 so the addition is
+/// well-defined even when the frame is negative (codes never exceed the
+/// original max − min range, so the result is always the exact value).
+class ForSpan {
+ public:
+  ForSpan() = default;
+  ForSpan(const char* codes, uint32_t size, uint8_t code_width, int64_t frame)
+      : codes_(codes), size_(size), code_width_(code_width), frame_(frame) {}
+
+  uint32_t size() const { return size_; }
+  uint8_t code_width() const { return code_width_; }
+  int64_t frame() const { return frame_; }
+  const char* codes() const { return codes_; }
+
+  uint64_t Code(uint32_t i) const { return LoadCode(codes_, i, code_width_); }
+  int64_t Value(uint32_t i) const {
+    return static_cast<int64_t>(static_cast<uint64_t>(frame_) + Code(i));
+  }
+
+ private:
+  const char* codes_ = nullptr;
+  uint32_t size_ = 0;
+  uint8_t code_width_ = 0;
+  int64_t frame_ = 0;
+};
+
+/// \brief Zero-copy view over a run-length-encoded minipage.
+///
+/// Runs partition [0, num_records): run j covers
+/// [run_start(j), run_end(j)) and every row in it holds run_value(j).
+/// Open() validated run_start(0) == 0 and strict monotonicity, so
+/// RunContaining always terminates and every row is covered.
+template <typename T>
+class RleSpan {
+ public:
+  RleSpan() = default;
+  RleSpan(const char* starts, const char* values, uint32_t num_runs,
+          uint32_t num_records)
+      : starts_(starts),
+        values_(values),
+        num_runs_(num_runs),
+        num_records_(num_records) {}
+
+  uint32_t num_runs() const { return num_runs_; }
+  uint32_t num_records() const { return num_records_; }
+
+  uint32_t run_start(uint32_t j) const {
+    uint32_t v;
+    std::memcpy(&v, starts_ + static_cast<size_t>(j) * 4, 4);
+    return v;
+  }
+  uint32_t run_end(uint32_t j) const {
+    return j + 1 < num_runs_ ? run_start(j + 1) : num_records_;
+  }
+  T run_value(uint32_t j) const {
+    T v;
+    std::memcpy(&v, values_ + static_cast<size_t>(j) * sizeof(T), sizeof(T));
+    return v;
+  }
+
+  /// Index of the run containing \p row (row < num_records()); branchless
+  /// binary search over the run starts.
+  uint32_t RunContaining(uint32_t row) const {
+    uint32_t lo = 0;
+    uint32_t n = num_runs_;
+    while (n > 1) {
+      const uint32_t half = n / 2;
+      lo = run_start(lo + half) <= row ? lo + half : lo;
+      n -= half;
+    }
+    return lo;
+  }
+
+  T Value(uint32_t row) const { return run_value(RunContaining(row)); }
+
+ private:
+  const char* starts_ = nullptr;  // u32[num_runs]
+  const char* values_ = nullptr;  // T[num_runs]
+  uint32_t num_runs_ = 0;
+  uint32_t num_records_ = 0;
+};
+
+/// \brief Zero-copy view over a dictionary-encoded string minipage.
+///
+/// The dictionary is sorted and distinct, so LowerBound/UpperBound over
+/// the entries map a string literal into code space once per block; the
+/// per-row codes then compare as plain integers.
+class DictSpan {
+ public:
+  DictSpan() = default;
+  DictSpan(const char* codes, uint8_t code_width, uint32_t num_records,
+           const char* offsets, const char* values, uint64_t values_bytes,
+           uint32_t dict_size)
+      : codes_(codes),
+        code_width_(code_width),
+        num_records_(num_records),
+        offsets_(offsets),
+        values_(values),
+        values_bytes_(values_bytes),
+        dict_size_(dict_size) {}
+
+  uint32_t num_records() const { return num_records_; }
+  uint32_t dict_size() const { return dict_size_; }
+  uint8_t code_width() const { return code_width_; }
+  const char* codes() const { return codes_; }
+
+  uint32_t Code(uint32_t row) const {
+    return static_cast<uint32_t>(LoadCode(codes_, row, code_width_));
+  }
+
+  /// Dictionary entry for \p code (code < dict_size()); O(1), no scan.
+  std::string_view DictEntry(uint32_t code) const {
+    uint32_t begin;
+    std::memcpy(&begin, offsets_ + static_cast<size_t>(code) * 4, 4);
+    uint32_t end;  // position of this entry's NUL terminator
+    if (code + 1 < dict_size_) {
+      std::memcpy(&end, offsets_ + (static_cast<size_t>(code) + 1) * 4, 4);
+      --end;
+    } else {
+      end = static_cast<uint32_t>(values_bytes_ - 1);
+    }
+    return std::string_view(values_ + begin, end - begin);
+  }
+
+  std::string_view Value(uint32_t row) const { return DictEntry(Code(row)); }
+
+  /// First code whose entry is >= \p s (== dict_size() when none).
+  uint32_t LowerBound(std::string_view s) const {
+    uint32_t lo = 0, hi = dict_size_;
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (DictEntry(mid) < s) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// First code whose entry is > \p s.
+  uint32_t UpperBound(std::string_view s) const {
+    uint32_t lo = 0, hi = dict_size_;
+    while (lo < hi) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (s < DictEntry(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  const char* codes_ = nullptr;
+  uint8_t code_width_ = 0;
+  uint32_t num_records_ = 0;
+  const char* offsets_ = nullptr;  // u32[dict_size]
+  const char* values_ = nullptr;   // NUL-terminated entries, sorted
+  uint64_t values_bytes_ = 0;
+  uint32_t dict_size_ = 0;
+};
+
+}  // namespace hail

@@ -39,6 +39,9 @@ struct TestbedConfig {
   /// One generated text shared by all nodes (memory saver); set false to
   /// give each node distinct rows.
   bool share_text_across_nodes = true;
+  /// Serialise PAX blocks as format v3 (encoded minipages) cluster-wide.
+  /// Off by default so golden byte streams are unchanged.
+  bool encode_blocks = false;
   sim::CostConstants constants;
 };
 

@@ -27,20 +27,33 @@ namespace {
 
 /// A small mixed-type block with bad records, so every section of the
 /// serialised layout (header, fixed/varlen minipages, bad-record tail)
-/// is present and non-trivial.
-PaxBlock MakeBlock(uint64_t seed) {
+/// is present and non-trivial. With \p encoded the same shape serialises
+/// as format v3 with every encoding present: ip draws from a 4-entry pool
+/// (dictionary), date from a narrow range (frame-of-reference), revenue
+/// changes only every ~9 rows (RLE), duration spans the full int32 range
+/// (stays plain).
+PaxBlock MakeBlock(uint64_t seed, bool encoded) {
   Schema schema({Field{"ip", FieldType::kString},
                  Field{"date", FieldType::kDate},
                  Field{"revenue", FieldType::kDouble},
                  Field{"duration", FieldType::kInt32}});
-  PaxBlock block(schema, BlockFormatOptions{8});
+  BlockFormatOptions options;
+  options.varlen_partition_size = 8;
+  options.enable_encoding = encoded;
+  PaxBlock block(schema, options);
   Random rng(seed);
+  static const char* kIps[] = {"10.0.0.1", "10.0.0.2", "172.16.9.8",
+                               "192.168.1.77"};
   const int rows = 40 + static_cast<int>(rng.Uniform(60));
+  double run_rev = 0.0;
   for (int r = 0; r < rows; ++r) {
-    block.AppendRow({Value(rng.NextString(1 + rng.Uniform(14))),
-                     Value(static_cast<int32_t>(rng.UniformRange(0, 20000))),
-                     Value(rng.NextDouble() * 100.0),
-                     Value(static_cast<int32_t>(rng.UniformRange(0, 5000)))});
+    if (r % 9 == 0) run_rev = rng.NextDouble() * 100.0;
+    block.AppendRow(
+        {Value(std::string(kIps[rng.Uniform(4)])),
+         Value(static_cast<int32_t>(rng.UniformRange(15000, 15400))),
+         Value(run_rev),
+         Value(static_cast<int32_t>(
+             rng.UniformRange(-1000000000, 1000000000)))});
     if (rng.Uniform(16) == 0) block.AppendBadRecord("not|a|row");
   }
   return block;
@@ -74,44 +87,60 @@ Status OpenHailDeep(std::string_view bytes) {
 class CorruptionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CorruptionPropertyTest, TruncatedPaxBlockAlwaysErrors) {
-  const std::string bytes = MakeBlock(GetParam()).Serialize();
-  ASSERT_TRUE(PaxBlock::Deserialize(bytes).ok());
-  for (size_t len = 0; len < bytes.size(); ++len) {
-    auto r = PaxBlock::Deserialize(std::string_view(bytes).substr(0, len));
-    EXPECT_FALSE(r.ok()) << "silent success at truncation length " << len
-                         << " of " << bytes.size();
+  for (const bool encoded : {false, true}) {
+    const std::string bytes = MakeBlock(GetParam(), encoded).Serialize();
+    auto view = PaxBlockView::Open(bytes);
+    ASSERT_TRUE(view.ok());
+    ASSERT_EQ(view->encoded_format(), encoded);
+    if (encoded) {
+      // The v3 variant must genuinely exercise encoded minipages.
+      ASSERT_GE(view->num_encoded_columns(), 3);
+    }
+    ASSERT_TRUE(PaxBlock::Deserialize(bytes).ok());
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      auto r = PaxBlock::Deserialize(std::string_view(bytes).substr(0, len));
+      EXPECT_FALSE(r.ok()) << "silent success at truncation length " << len
+                           << " of " << bytes.size()
+                           << " encoded=" << encoded;
+    }
   }
 }
 
 TEST_P(CorruptionPropertyTest, TruncatedHailBlockAlwaysErrors) {
-  const PaxBlock block = MakeBlock(GetParam());
-  const std::string bytes = SerializeHail(block, /*sort_column=*/1);
-  ASSERT_TRUE(OpenHailDeep(bytes).ok());
-  // Every length covers every section boundary (header/index/pax) +- 1.
-  for (size_t len = 0; len < bytes.size(); ++len) {
-    const Status st = OpenHailDeep(std::string_view(bytes).substr(0, len));
-    EXPECT_FALSE(st.ok()) << "silent success at truncation length " << len
-                          << " of " << bytes.size();
+  for (const bool encoded : {false, true}) {
+    const PaxBlock block = MakeBlock(GetParam(), encoded);
+    const std::string bytes = SerializeHail(block, /*sort_column=*/1);
+    ASSERT_TRUE(OpenHailDeep(bytes).ok());
+    // Every length covers every section boundary (header/index/pax) +- 1.
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      const Status st = OpenHailDeep(std::string_view(bytes).substr(0, len));
+      EXPECT_FALSE(st.ok()) << "silent success at truncation length " << len
+                            << " of " << bytes.size()
+                            << " encoded=" << encoded;
+    }
   }
 }
 
 TEST_P(CorruptionPropertyTest, BitFlippedBlocksNeverCrash) {
-  const PaxBlock block = MakeBlock(GetParam());
-  const std::string pax_bytes = block.Serialize();
-  const std::string hail_bytes = SerializeHail(block, /*sort_column=*/3);
-  // A flipped structural field must surface an error; a flipped payload
-  // byte may still parse (the CRC layer owns that case, below). Either
-  // way: no crash, no out-of-bounds access — which ASan/UBSan verify
-  // across every offset here.
-  for (size_t i = 0; i < pax_bytes.size(); ++i) {
-    std::string mutated = pax_bytes;
-    mutated[i] = static_cast<char>(mutated[i] ^ 0x40);
-    (void)PaxBlock::Deserialize(mutated);
-  }
-  for (size_t i = 0; i < hail_bytes.size(); ++i) {
-    std::string mutated = hail_bytes;
-    mutated[i] = static_cast<char>(mutated[i] ^ 0x40);
-    (void)OpenHailDeep(mutated);
+  for (const bool encoded : {false, true}) {
+    const PaxBlock block = MakeBlock(GetParam(), encoded);
+    const std::string pax_bytes = block.Serialize();
+    const std::string hail_bytes = SerializeHail(block, /*sort_column=*/3);
+    // A flipped structural field must surface an error; a flipped payload
+    // byte may still parse (the CRC layer owns that case, below). Either
+    // way: no crash, no out-of-bounds access — which ASan/UBSan verify
+    // across every offset here, including v3's encoding tags, code
+    // widths, run directories, and dictionary offsets.
+    for (size_t i = 0; i < pax_bytes.size(); ++i) {
+      std::string mutated = pax_bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ 0x40);
+      (void)PaxBlock::Deserialize(mutated);
+    }
+    for (size_t i = 0; i < hail_bytes.size(); ++i) {
+      std::string mutated = hail_bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ 0x40);
+      (void)OpenHailDeep(mutated);
+    }
   }
 }
 
@@ -124,30 +153,35 @@ TEST_P(CorruptionPropertyTest, EveryStoredBitFlipFailsCrcVerification) {
   sim::SimCluster cluster(cc);
   hdfs::MiniDfs dfs(&cluster, hdfs::DfsConfig{});
   hdfs::Datanode& dn = dfs.datanode(0);
-  const std::string bytes = SerializeHail(MakeBlock(GetParam()), 1);
-  const uint32_t chunk = 512;
-  const std::vector<uint32_t> crcs = hdfs::ComputeChunkChecksums(bytes, chunk);
+  uint64_t next_id = 1;
+  for (const bool encoded : {false, true}) {
+    const std::string bytes =
+        SerializeHail(MakeBlock(GetParam(), encoded), 1);
+    const uint32_t chunk = 512;
+    const std::vector<uint32_t> crcs =
+        hdfs::ComputeChunkChecksums(bytes, chunk);
 
-  dn.StoreBlock(1, bytes, crcs);
-  ASSERT_TRUE(dn.ReadBlockVerified(1, chunk).ok());
+    const uint64_t clean_id = next_id++;
+    dn.StoreBlock(clean_id, bytes, crcs);
+    ASSERT_TRUE(dn.ReadBlockVerified(clean_id, chunk).ok());
 
-  uint64_t next_id = 2;
-  for (size_t i = 0; i < bytes.size(); i += 13) {
-    std::string mutated = bytes;
-    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
-    const uint64_t id = next_id++;
-    dn.StoreBlock(id, mutated, crcs);
-    const Status st = dn.ReadBlockVerified(id, chunk).status();
-    EXPECT_TRUE(st.IsCorruption())
-        << "flip at offset " << i << " not caught: " << st.ToString();
-  }
+    for (size_t i = 0; i < bytes.size(); i += 13) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+      const uint64_t id = next_id++;
+      dn.StoreBlock(id, mutated, crcs);
+      const Status st = dn.ReadBlockVerified(id, chunk).status();
+      EXPECT_TRUE(st.IsCorruption())
+          << "flip at offset " << i << " not caught: " << st.ToString();
+    }
 
-  // Truncated-at-rest replicas fail verification too (chunk count drift).
-  for (size_t len : {bytes.size() - 1, bytes.size() / 2, size_t{1}}) {
-    const uint64_t id = next_id++;
-    dn.StoreBlock(id, bytes.substr(0, len), crcs);
-    EXPECT_TRUE(dn.ReadBlockVerified(id, chunk).status().IsCorruption())
-        << "truncation to " << len << " not caught";
+    // Truncated-at-rest replicas fail verification (chunk count drift).
+    for (size_t len : {bytes.size() - 1, bytes.size() / 2, size_t{1}}) {
+      const uint64_t id = next_id++;
+      dn.StoreBlock(id, bytes.substr(0, len), crcs);
+      EXPECT_TRUE(dn.ReadBlockVerified(id, chunk).status().IsCorruption())
+          << "truncation to " << len << " not caught";
+    }
   }
 }
 

@@ -344,6 +344,53 @@ TEST(UnclusteredIndexTest, EmptyColumnAndCorruptInput) {
 // Property sweep: index lookup vs naive scan across partition sizes
 // ---------------------------------------------------------------------------
 
+// The branchless (cmov-based) probes in key_search.h promise semantics
+// identical to std::lower_bound / std::upper_bound; assert it across sizes
+// (including 0, 1, and non-powers-of-two), duplicates, widened literals,
+// and probes off both ends.
+TEST(KeySearchTest, BranchlessProbesMatchStd) {
+  Random rng(404);
+  for (const size_t n : {0u, 1u, 2u, 3u, 7u, 64u, 1000u, 1023u}) {
+    std::vector<int32_t> i32;
+    std::vector<double> f64;
+    for (size_t i = 0; i < n; ++i) {
+      i32.push_back(static_cast<int32_t>(rng.Uniform(200)) - 100);
+      f64.push_back(static_cast<double>(rng.Uniform(400)) / 4.0 - 50.0);
+    }
+    std::sort(i32.begin(), i32.end());
+    std::sort(f64.begin(), f64.end());
+    for (int trial = 0; trial < 200; ++trial) {
+      const int64_t vi = static_cast<int64_t>(rng.Uniform(260)) - 130;
+      EXPECT_EQ((key_search::LowerBoundRaw<int32_t, int64_t>(i32, vi)),
+                static_cast<size_t>(
+                    std::lower_bound(i32.begin(), i32.end(), vi) -
+                    i32.begin()))
+          << "n=" << n << " v=" << vi;
+      EXPECT_EQ((key_search::UpperBoundRaw<int32_t, int64_t>(i32, vi)),
+                static_cast<size_t>(
+                    std::upper_bound(i32.begin(), i32.end(), vi) -
+                    i32.begin()))
+          << "n=" << n << " v=" << vi;
+      // Widened comparisons: an int32 column probed with a double literal.
+      const double vd = static_cast<double>(vi) + 0.5;
+      EXPECT_EQ((key_search::LowerBoundRaw<int32_t, double>(i32, vd)),
+                static_cast<size_t>(
+                    std::lower_bound(i32.begin(), i32.end(), vd,
+                                     [](int32_t a, double b) { return a < b; }) -
+                    i32.begin()));
+      const double vf = static_cast<double>(rng.Uniform(480)) / 4.0 - 60.0;
+      EXPECT_EQ((key_search::LowerBoundRaw<double, double>(f64, vf)),
+                static_cast<size_t>(
+                    std::lower_bound(f64.begin(), f64.end(), vf) -
+                    f64.begin()));
+      EXPECT_EQ((key_search::UpperBoundRaw<double, double>(f64, vf)),
+                static_cast<size_t>(
+                    std::upper_bound(f64.begin(), f64.end(), vf) -
+                    f64.begin()));
+    }
+  }
+}
+
 class IndexPropertyTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(IndexPropertyTest, ConservativeAndTight) {
