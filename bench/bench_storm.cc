@@ -1,0 +1,350 @@
+/// \file bench_storm.cc
+/// \brief Overload hardening under a 1000-query skewed-tenant storm.
+///
+/// One storm, run twice on identical submissions (mapreduce/scheduler.h):
+///
+///   OFF — the unhardened baseline: FIFO slots, no SLOs, no admission
+///         control, no preemption, no adaptation. A flood of expensive
+///         full scans head-of-line blocks the short tenant for the whole
+///         backlog.
+///   ON  — the hardened bundle: weighted fair sharing + per-queue latency
+///         SLOs (EDF escalation past deadline), preemption with a
+///         catch-up timeout, bounded admission on the heavy queue
+///         (deterministic Status::Overloaded shedding), and the adaptive
+///         manager running online with aggressive replication under a
+///         storage budget, riding the maintenance queue.
+///
+/// The storm itself: 940 short indexed queries (one every 10 s), a flood
+/// of 45 expensive full scans in the first 90 s, and 15 more sustained
+/// full scans spread across the session — 1000 queries total, submitted
+/// in arrival order so FIFO means genuine arrival order.
+///
+/// Gates (nonzero exit on regression):
+///   1. short-tenant p99 latency improves by at least 2x with hardening;
+///   2. the in-budget short queue has ZERO SLO violations when hardened;
+///   3. some heavy jobs are genuinely shed, and the hardened session is
+///      bit-identical (%.17g dump) between serial and parallel execution
+///      — shedding decisions included;
+///   4. maintenance_while_foreground_pending stays 0 while aggressive
+///      replication runs (replication never starves the foreground);
+///   5. the replication budget is actually exercised: replicas_added > 0.
+///
+/// Usage: bench_storm [BENCH_storm.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adaptive/adaptive_manager.h"
+#include "mapreduce/scheduler.h"
+#include "util/macros.h"
+#include "workload/testbed.h"
+
+namespace hail {
+namespace bench {
+namespace {
+
+using mapreduce::ClusterSession;
+using mapreduce::ExecutionMode;
+using mapreduce::QueueUsage;
+using mapreduce::SchedulerPolicy;
+using mapreduce::SessionOptions;
+using mapreduce::System;
+using workload::QueryDef;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+// Storm shape: 940 + 45 + 15 = 1000 queries.
+constexpr int kShortJobs = 940;
+constexpr double kShortSpacingS = 10.0;
+constexpr int kFloodJobs = 45;
+constexpr double kFloodSpacingS = 2.0;
+constexpr int kSustainedJobs = 15;
+constexpr double kSustainedStartS = 300.0;
+constexpr double kSustainedSpacingS = 600.0;
+
+// Hardened-session knobs.
+constexpr double kShortSloS = 90.0;
+constexpr double kPreemptionCatchupS = 20.0;
+constexpr size_t kHeavyMaxBacklog = 2;
+constexpr double kHeavyShedWaitS = 240.0;
+
+/// 4 nodes, 4 blocks/node at 256 MB logical — full-scan tasks run ~10x
+/// longer than indexed ones, so the flood genuinely saturates all 8 map
+/// slots while each short query stays a two-wave job.
+TestbedConfig StormConfig() {
+  TestbedConfig config;
+  config.num_nodes = 4;
+  config.real_block_bytes = 32 * 1024;
+  config.blocks_per_node = 4;
+  config.logical_block_bytes = 256ull * 1024 * 1024;
+  config.seed = 42;
+  return config;
+}
+
+mapreduce::JobSpec QueryJob(const Testbed& bed, const QueryDef& query) {
+  auto spec = workload::MakeQueryJob(bed.schema(), "/uv", System::kHail, query,
+                                     /*hail_splitting=*/false,
+                                     /*collect_output=*/false);
+  HAIL_CHECK_OK(spec.status());
+  return *spec;
+}
+
+// Shared %.17g bit-identity dump (workload/testbed.h) — same field list
+// as the determinism tests, so the gate cannot silently weaken.
+using workload::DumpSession;
+
+/// Submits the 1000-query storm in arrival order (stable by arrival time,
+/// shorts before heavies at equal instants), so FIFO in the OFF run means
+/// genuine arrival order rather than Submit-call order.
+void SubmitStorm(const Testbed& bed, ClusterSession* session) {
+  const auto bob = workload::BobQueries();
+  // No replica anywhere is sorted on adRevenue at upload time, so every
+  // storm scan starts as a fallback full scan — the expensive tenant.
+  const QueryDef storm_scan{"Storm-Scan", "@4 between(1,10)", "{@1,@4}",
+                            1.7e-2};
+  struct Arrival {
+    double time;
+    int order;  // tie-break: generation order
+    bool heavy;
+  };
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(kShortJobs + kFloodJobs + kSustainedJobs);
+  int order = 0;
+  for (int i = 0; i < kShortJobs; ++i) {
+    arrivals.push_back({kShortSpacingS * i, order++, false});
+  }
+  for (int i = 0; i < kFloodJobs; ++i) {
+    arrivals.push_back({kFloodSpacingS * i, order++, true});
+  }
+  for (int i = 0; i < kSustainedJobs; ++i) {
+    arrivals.push_back(
+        {kSustainedStartS + kSustainedSpacingS * i, order++, true});
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.order < b.order;
+            });
+  for (const Arrival& a : arrivals) {
+    session->Submit(QueryJob(bed, a.heavy ? storm_scan : bob[0]),
+                    a.heavy ? "heavy" : "short", a.time);
+  }
+}
+
+struct StormNumbers {
+  double short_p50 = 0.0;
+  double short_p95 = 0.0;
+  double short_p99 = 0.0;
+  uint64_t short_violations = 0;
+  uint64_t short_completed = 0;
+  uint64_t heavy_completed = 0;
+  uint64_t heavy_shed = 0;
+  uint32_t preemptions = 0;
+  double preempted_slot_seconds = 0.0;
+  uint32_t replicas_added = 0;
+  uint32_t replicas_evicted = 0;
+  uint64_t maintenance_violations = 0;
+  uint32_t maintenance_completed = 0;
+  double session_seconds = 0.0;
+  std::string dump;  // %.17g bit-identity dump
+};
+
+StormNumbers RunStorm(bool hardened, ExecutionMode mode) {
+  Testbed bed(StormConfig());
+  bed.LoadUserVisits();
+  HAIL_CHECK_OK(bed.UploadHail("/uv", {workload::kVisitDate}).status());
+  bed.FreeSourceTexts();
+
+  // Aggressive replication: once the storm makes adRevenue hot, add extra
+  // replicas of its blocks beyond the replication factor, under a 4-block
+  // storage budget. Only wired into the hardened session.
+  adaptive::AdaptiveConfig acfg;
+  acfg.planner.regret_threshold = 0.01;
+  acfg.planner.escalate_after_rounds = 1;
+  acfg.planner.aggressive_replication = true;
+  acfg.planner.replication_budget_bytes =
+      4 * StormConfig().real_block_bytes;
+  adaptive::AdaptiveManager manager(&bed.dfs(), bed.schema(), "/uv", acfg);
+
+  SessionOptions opt;
+  opt.execution = mode;
+  if (hardened) {
+    opt.policy = SchedulerPolicy::kFair;
+    opt.queue_weights = {{"short", 6.0}, {"heavy", 2.0}};
+    opt.queue_slo_s = {{"short", kShortSloS}};
+    opt.queue_admission["heavy"].max_backlog_jobs = kHeavyMaxBacklog;
+    opt.queue_admission["heavy"].shed_wait_s = kHeavyShedWaitS;
+    opt.preemption = true;
+    opt.preemption_catchup_s = kPreemptionCatchupS;
+    opt.adaptive = &manager;
+    opt.online_adaptation = true;
+  }
+  ClusterSession session(&bed.dfs(), opt);
+  SubmitStorm(bed, &session);
+  auto sr = session.Run();
+  HAIL_CHECK_OK(sr.status());
+  for (const auto& job : sr->jobs) {
+    // Shed jobs surface as Status::Overloaded; anything else must be ok.
+    if (!job.ok() && !job.status().IsOverloaded()) {
+      HAIL_CHECK_OK(job.status());
+    }
+  }
+
+  StormNumbers out;
+  for (const QueueUsage& q : sr->queues) {
+    if (q.queue == "short") {
+      out.short_p50 = q.latency_p50_s;
+      out.short_p95 = q.latency_p95_s;
+      out.short_p99 = q.latency_p99_s;
+      out.short_violations = q.slo_violations;
+      out.short_completed = q.jobs_completed;
+    } else if (q.queue == "heavy") {
+      out.heavy_completed = q.jobs_completed;
+      out.heavy_shed = q.jobs_shed;
+    }
+  }
+  out.preemptions = sr->preemptions;
+  out.preempted_slot_seconds = sr->preempted_slot_seconds;
+  out.replicas_added = sr->replicas_added;
+  out.replicas_evicted = sr->replicas_evicted;
+  out.maintenance_violations = sr->maintenance_while_foreground_pending;
+  out.maintenance_completed = sr->maintenance_completed;
+  out.session_seconds = sr->session_seconds;
+  out.dump = DumpSession(*sr);
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_storm.json";
+  constexpr double kP99ImprovementFloor = 2.0;
+
+  std::printf("1000-query skewed-tenant storm: %d short + %d flood + %d "
+              "sustained heavy\n\n",
+              kShortJobs, kFloodJobs, kSustainedJobs);
+
+  const StormNumbers off = RunStorm(/*hardened=*/false, ExecutionMode::kSerial);
+  const StormNumbers on = RunStorm(/*hardened=*/true, ExecutionMode::kSerial);
+  const StormNumbers on_par =
+      RunStorm(/*hardened=*/true, ExecutionMode::kParallel);
+  const bool deterministic = on.dump == on_par.dump;
+
+  const double improvement =
+      on.short_p99 > 0.0 ? off.short_p99 / on.short_p99 : 0.0;
+
+  std::printf("short tenant latency (s):  off p50 %.1f p95 %.1f p99 %.1f\n",
+              off.short_p50, off.short_p95, off.short_p99);
+  std::printf("                           on  p50 %.1f p95 %.1f p99 %.1f "
+              "(p99 %.1fx better, floor %.1fx)\n",
+              on.short_p50, on.short_p95, on.short_p99, improvement,
+              kP99ImprovementFloor);
+  std::printf("short SLO (%.0f s): %llu violations hardened "
+              "(%llu jobs completed)\n",
+              kShortSloS,
+              static_cast<unsigned long long>(on.short_violations),
+              static_cast<unsigned long long>(on.short_completed));
+  std::printf("heavy queue: %llu completed + %llu shed hardened "
+              "(off: %llu completed, %llu shed)\n",
+              static_cast<unsigned long long>(on.heavy_completed),
+              static_cast<unsigned long long>(on.heavy_shed),
+              static_cast<unsigned long long>(off.heavy_completed),
+              static_cast<unsigned long long>(off.heavy_shed));
+  std::printf("preemption: %u tasks preempted, %.1f slot-seconds billed\n",
+              on.preemptions, on.preempted_slot_seconds);
+  std::printf("aggressive replication: %u replicas added, %u evicted, "
+              "%u maintenance tasks drained, %llu priority violations\n",
+              on.replicas_added, on.replicas_evicted,
+              on.maintenance_completed,
+              static_cast<unsigned long long>(on.maintenance_violations));
+  std::printf("hardened session serial == parallel (sheds included): %s\n",
+              deterministic ? "yes" : "NO");
+  if (!deterministic) {
+    std::printf("--- serial ---\n%s\n--- parallel ---\n%s\n", on.dump.c_str(),
+                on_par.dump.c_str());
+  }
+  std::printf("session makespan: off %.0f s, on %.0f s\n", off.session_seconds,
+              on.session_seconds);
+
+  const bool p99_ok = improvement >= kP99ImprovementFloor;
+  const bool slo_ok = on.short_violations == 0 && on.short_completed > 0;
+  const bool shed_ok = on.heavy_shed > 0 && deterministic;
+  const bool maint_ok =
+      on.maintenance_violations == 0 && on.replicas_added > 0;
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"storm_queries\": %d,\n"
+        "  \"short_p50_off_seconds\": %.3f,\n"
+        "  \"short_p95_off_seconds\": %.3f,\n"
+        "  \"short_p99_off_seconds\": %.3f,\n"
+        "  \"short_p50_on_seconds\": %.3f,\n"
+        "  \"short_p95_on_seconds\": %.3f,\n"
+        "  \"short_p99_on_seconds\": %.3f,\n"
+        "  \"short_p99_improvement\": %.2f,\n"
+        "  \"short_p99_improvement_floor\": %.2f,\n"
+        "  \"short_slo_seconds\": %.1f,\n"
+        "  \"short_slo_violations_on\": %llu,\n"
+        "  \"heavy_completed_on\": %llu,\n"
+        "  \"heavy_shed_on\": %llu,\n"
+        "  \"preemptions_on\": %u,\n"
+        "  \"preempted_slot_seconds_on\": %.3f,\n"
+        "  \"replicas_added_on\": %u,\n"
+        "  \"replicas_evicted_on\": %u,\n"
+        "  \"maintenance_completed_on\": %u,\n"
+        "  \"maintenance_priority_violations_on\": %llu,\n"
+        "  \"session_seconds_off\": %.3f,\n"
+        "  \"session_seconds_on\": %.3f,\n"
+        "  \"serial_equals_parallel\": %s\n"
+        "}\n",
+        kShortJobs + kFloodJobs + kSustainedJobs, off.short_p50, off.short_p95,
+        off.short_p99, on.short_p50, on.short_p95, on.short_p99, improvement,
+        kP99ImprovementFloor, kShortSloS,
+        static_cast<unsigned long long>(on.short_violations),
+        static_cast<unsigned long long>(on.heavy_completed),
+        static_cast<unsigned long long>(on.heavy_shed), on.preemptions,
+        on.preempted_slot_seconds, on.replicas_added, on.replicas_evicted,
+        on.maintenance_completed,
+        static_cast<unsigned long long>(on.maintenance_violations),
+        off.session_seconds, on.session_seconds,
+        deterministic ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+
+  if (!p99_ok) {
+    std::fprintf(stderr,
+                 "FAIL: hardened short-tenant p99 improvement %.2fx below "
+                 "%.2fx floor\n",
+                 improvement, kP99ImprovementFloor);
+  }
+  if (!slo_ok) {
+    std::fprintf(stderr,
+                 "FAIL: in-budget short queue violated its SLO under "
+                 "hardening\n");
+  }
+  if (!shed_ok) {
+    std::fprintf(stderr,
+                 "FAIL: shedding absent or not deterministic across "
+                 "serial/parallel\n");
+  }
+  if (!maint_ok) {
+    std::fprintf(stderr,
+                 "FAIL: aggressive replication gate (added=%u, priority "
+                 "violations=%llu)\n",
+                 on.replicas_added,
+                 static_cast<unsigned long long>(on.maintenance_violations));
+  }
+  return p99_ok && slo_ok && shed_ok && maint_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hail
+
+int main(int argc, char** argv) { return hail::bench::Main(argc, argv); }

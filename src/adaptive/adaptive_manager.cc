@@ -65,9 +65,15 @@ void AdaptiveManager::ReturnUnfinished(std::vector<MaintenanceTask> tasks) {
 void AdaptiveManager::PruneConverged() {
   std::deque<MaintenanceTask> kept;
   for (const MaintenanceTask& task : pending_) {
-    if (dfs_->namenode()
-            .GetHostsWithIndex(task.block_id, task.column)
-            .empty()) {
+    // Only index-building rewrites converge by "some host has the index";
+    // replication adds/evictions stay queued (an extra copy is wanted on
+    // its *specific* target even once an indexed replica exists).
+    const bool index_task =
+        task.kind == MaintenanceTask::Kind::kInstallUnclustered ||
+        task.kind == MaintenanceTask::Kind::kResortReplica;
+    if (!index_task || dfs_->namenode()
+                           .GetHostsWithIndex(task.block_id, task.column)
+                           .empty()) {
       kept.push_back(task);
     }
   }

@@ -1,5 +1,6 @@
 #include "adaptive/reorg.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "hail/hail_block.h"
@@ -10,10 +11,82 @@
 namespace hail {
 namespace adaptive {
 
+namespace {
+
+/// Aggressive replication (kAddReplica): a plain byte copy of the block's
+/// best replica for the hot column onto `task.datanode`. Prefers a source
+/// whose replica carries a clustered index on the column (lowest datanode
+/// id), so the extra copy is the *useful* layout; falls back to the
+/// lowest-id alive PAX holder. Billed like a re-replication repair: source
+/// read + network transfer + checksum + target write.
+Result<PreparedReorg> PrepareAddReplica(const hdfs::MiniDfs& dfs,
+                                        const MaintenanceTask& task) {
+  const hdfs::Namenode& nn = dfs.namenode();
+  if (nn.GetReplicaInfo(task.block_id, task.datanode).ok()) {
+    return Status::AlreadyExists("target already holds a replica of block " +
+                                 std::to_string(task.block_id));
+  }
+  int source = -1;
+  const std::vector<int> indexed =
+      nn.GetHostsWithIndex(task.block_id, task.column);
+  if (!indexed.empty()) {
+    source = *std::min_element(indexed.begin(), indexed.end());
+  } else {
+    HAIL_ASSIGN_OR_RETURN(std::vector<int> holders,
+                          nn.GetBlockDatanodes(task.block_id));
+    std::sort(holders.begin(), holders.end());
+    for (int dn : holders) {
+      auto info = nn.GetReplicaInfo(task.block_id, dn);
+      if (info.ok() && info->layout == hdfs::ReplicaLayout::kPax) {
+        source = dn;
+        break;
+      }
+    }
+  }
+  if (source < 0) {
+    return Status::Unavailable("no live PAX source replica for block " +
+                               std::to_string(task.block_id));
+  }
+  HAIL_ASSIGN_OR_RETURN(hdfs::HailBlockReplicaInfo info,
+                        nn.GetReplicaInfo(task.block_id, source));
+  HAIL_ASSIGN_OR_RETURN(std::string_view raw,
+                        dfs.datanode(source).ReadBlockRaw(task.block_id));
+
+  PreparedReorg out;
+  out.bytes = std::string(raw);
+  out.info = info;
+  out.info.replica_bytes = out.bytes.size();
+  out.chunk_crcs = hdfs::ComputeChunkChecksums(
+      out.bytes, static_cast<uint32_t>(dfs.config().chunk_bytes));
+  const double scale = dfs.config().scale_factor;
+  const uint64_t logical = static_cast<uint64_t>(
+      static_cast<double>(out.bytes.size()) * scale);
+  const sim::CostModel& src_cost = dfs.cluster().node(source).cost();
+  const sim::CostModel& dst_cost = dfs.cluster().node(task.datanode).cost();
+  out.seconds = src_cost.DiskAccess(logical);
+  if (source != task.datanode) out.seconds += dst_cost.NetTransfer(logical);
+  out.seconds += dst_cost.Crc(logical) + dst_cost.DiskAccess(logical);
+  return out;
+}
+
+}  // namespace
+
 Result<PreparedReorg> PrepareReorg(const hdfs::MiniDfs& dfs,
                                    const MaintenanceTask& task) {
   if (task.datanode < 0 || task.datanode >= dfs.num_datanodes()) {
     return Status::InvalidArgument("maintenance task names no datanode");
+  }
+  if (task.kind == MaintenanceTask::Kind::kAddReplica) {
+    return PrepareAddReplica(dfs, task);
+  }
+  if (task.kind == MaintenanceTask::Kind::kEvictReplica) {
+    // Dropping a replica is a metadata operation plus an unlink: bill one
+    // seek on the evictee; the actual drop happens at commit.
+    HAIL_RETURN_NOT_OK(
+        dfs.namenode().GetReplicaInfo(task.block_id, task.datanode).status());
+    PreparedReorg out;
+    out.seconds = dfs.cluster().node(task.datanode).cost().DiskAccess(0);
+    return out;
   }
   HAIL_ASSIGN_OR_RETURN(
       hdfs::HailBlockReplicaInfo old_info,
@@ -109,6 +182,17 @@ Status CommitReorg(hdfs::MiniDfs* dfs, const MaintenanceTask& task,
                    PreparedReorg prepared) {
   if (!dfs->cluster().node(task.datanode).alive()) {
     return Status::FailedPrecondition("datanode died mid-reorg");
+  }
+  if (task.kind == MaintenanceTask::Kind::kEvictReplica) {
+    // Never below the configured replication factor: a baseline replica
+    // may have died since planning, making this extra copy load-bearing.
+    HAIL_RETURN_NOT_OK(dfs->namenode().DropReplica(
+        task.block_id, task.datanode, dfs->config().replication));
+    hdfs::Datanode& dn = dfs->datanode(task.datanode);
+    if (dn.HasBlock(task.block_id)) {
+      HAIL_RETURN_NOT_OK(dn.DeleteBlock(task.block_id));
+    }
+    return Status::OK();
   }
   // StoreBlock bumps the replica's generation, which drops every
   // BlockCache entry describing the old bytes.

@@ -36,10 +36,18 @@ struct MaintenanceTask {
     kInstallUnclustered,
     /// Re-sort the replica by `column` + rebuild the clustered index.
     kResortReplica,
+    /// Aggressive replication: copy the block's best replica for `column`
+    /// onto `datanode` (which must not hold one), registering an extra
+    /// replica *beyond* the replication factor. Byte copy, no transform.
+    kAddReplica,
+    /// Drop the extra replica on `datanode` (storage-budget eviction).
+    /// Refused when it would leave fewer than `replication` alive copies.
+    kEvictReplica,
   };
 
   uint64_t block_id = 0;
-  /// Datanode whose replica is rewritten (the rewrite runs there).
+  /// Datanode whose replica is rewritten (the rewrite runs there). For
+  /// kAddReplica the *target* of the copy; for kEvictReplica the evictee.
   int datanode = -1;
   /// The hot column the rewrite serves.
   int column = -1;

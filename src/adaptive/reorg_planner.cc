@@ -155,6 +155,75 @@ std::vector<MaintenanceTask> ReorgPlanner::Plan(const hdfs::MiniDfs& dfs,
       break;
     }
   }
+
+  // Aggressive replication: extra copies of the hot column's blocks beyond
+  // the replication factor, under the storage budget; extras whose column
+  // went cold are evicted first (freeing budget for the new hot set).
+  if (options_.aggressive_replication &&
+      options_.replication_budget_bytes > 0) {
+    const uint64_t block_bytes = dfs.config().block_size;
+    const auto cap_reached = [&]() {
+      return options_.max_tasks_per_round > 0 &&
+             tasks.size() >= options_.max_tasks_per_round;
+    };
+    for (auto it = extras_.begin(); it != extras_.end();) {
+      if (it->second == hot) {
+        ++it;
+        continue;
+      }
+      if (!dfs.namenode()
+               .GetReplicaInfo(it->first.first, it->first.second)
+               .ok()) {
+        // Never registered (commit failed) or superseded: just forget it.
+        it = extras_.erase(it);
+        continue;
+      }
+      if (cap_reached()) break;
+      MaintenanceTask evict;
+      evict.block_id = it->first.first;
+      evict.datanode = it->first.second;
+      evict.column = it->second;
+      evict.kind = MaintenanceTask::Kind::kEvictReplica;
+      tasks.push_back(evict);
+      ++sum.evictions_planned;
+      it = extras_.erase(it);
+    }
+    // Optimistic budget: queued-but-uncommitted adds count too, so one
+    // planning round never over-commits the budget it just spent.
+    uint64_t used = block_bytes * extras_.size();
+    const int n = dfs.num_datanodes();
+    for (size_t b = 0; b < blocks->size() && !cap_reached(); ++b) {
+      if (used + block_bytes > options_.replication_budget_bytes) break;
+      const hdfs::BlockLocation& loc = (*blocks)[b];
+      int extras_here = 0;
+      for (const auto& [key, col] : extras_) {
+        if (key.first == loc.block_id) ++extras_here;
+      }
+      if (extras_here >= options_.max_extra_replicas_per_block) continue;
+      // Round-robin from the block index so extras spread over the
+      // cluster instead of piling onto the lowest node ids.
+      int target = -1;
+      for (int off = 0; off < n; ++off) {
+        const int cand = (static_cast<int>(b) + off) % n;
+        if (!dfs.namenode().IsDatanodeAlive(cand)) continue;
+        if (dfs.namenode().GetReplicaInfo(loc.block_id, cand).ok()) continue;
+        if (extras_.count({loc.block_id, cand}) > 0) continue;
+        target = cand;
+        break;
+      }
+      if (target < 0) continue;
+      MaintenanceTask add;
+      add.block_id = loc.block_id;
+      add.datanode = target;
+      add.column = hot;
+      add.kind = MaintenanceTask::Kind::kAddReplica;
+      tasks.push_back(add);
+      extras_[{loc.block_id, target}] = hot;
+      used += block_bytes;
+      ++sum.replicas_planned;
+    }
+    sum.budget_used_bytes = used;
+  }
   return finish();
 }
 

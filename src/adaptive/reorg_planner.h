@@ -50,6 +50,20 @@ struct PlannerOptions {
   /// decay toward zero and stop justifying reorganization (regret is a
   /// weight *ratio*, so it alone never ages out).
   double min_workload_weight = 0.05;
+  /// Aggressive replication (paper §7 "aggressive elephants"): once a hot
+  /// column is identified, add extra replicas of its blocks *beyond* the
+  /// replication factor — copied from the best (clustered) source onto
+  /// nodes not yet holding the block — and evict extras whose column went
+  /// cold, all under `replication_budget_bytes` of extra storage. The
+  /// planner only ever evicts replicas it added itself; baseline replicas
+  /// are untouched (and the commit path refuses to drop below the
+  /// replication factor regardless).
+  bool aggressive_replication = false;
+  /// Total extra storage for added replicas, in *real* (in-process) bytes,
+  /// accounted at the DFS block size. 0 disables adds.
+  uint64_t replication_budget_bytes = 0;
+  /// Cap of extra replicas per block (beyond the replication factor).
+  int max_extra_replicas_per_block = 1;
 };
 
 /// \brief What one planning round decided (introspection + tests/bench).
@@ -60,6 +74,11 @@ struct PlanSummary {
   int hot_column = -1;
   bool escalated = false;  // true = re-sort stage, false = unclustered
   size_t tasks_emitted = 0;
+  /// Aggressive-replication decisions this round.
+  size_t replicas_planned = 0;
+  size_t evictions_planned = 0;
+  /// Budget consumed by still-registered extras after this round.
+  uint64_t budget_used_bytes = 0;
 };
 
 /// \brief Stateful planner: one instance per adaptively managed file.
@@ -85,6 +104,11 @@ class ReorgPlanner {
  private:
   PlannerOptions options_;
   std::map<int, int> hot_rounds_;
+  /// Extra replicas this planner added: (block, datanode) -> hot column at
+  /// add time. Budget is recomputed each round against what is still
+  /// registered in the namenode (commits can fail, repairs can supersede),
+  /// and only these entries are ever eviction candidates.
+  std::map<std::pair<uint64_t, int>, int> extras_;
 };
 
 }  // namespace adaptive

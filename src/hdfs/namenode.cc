@@ -280,6 +280,32 @@ void Namenode::AbandonRepair(const UnderReplicatedEntry& entry) {
   repair_pending_.erase({entry.block_id, entry.lost_datanode});
 }
 
+Status Namenode::DropReplica(uint64_t block_id, int datanode,
+                             int min_remaining) {
+  if (dir_rep_.count({block_id, datanode}) == 0) {
+    return Status::NotFound("no replica of block " + std::to_string(block_id) +
+                            " on datanode " + std::to_string(datanode));
+  }
+  if (repair_pending_.count({block_id, datanode}) > 0) {
+    return Status::FailedPrecondition("replica is queued for repair");
+  }
+  auto holders = dir_block_.find(block_id);
+  int alive_remaining = 0;
+  if (holders != dir_block_.end()) {
+    for (int dn : holders->second) {
+      if (dn != datanode && IsDatanodeAlive(dn)) ++alive_remaining;
+    }
+  }
+  if (alive_remaining < min_remaining) {
+    return Status::FailedPrecondition(
+        "dropping the replica would leave " +
+        std::to_string(alive_remaining) + " alive copies (< " +
+        std::to_string(min_remaining) + ")");
+  }
+  RevokeReplica(block_id, datanode);
+  return Status::OK();
+}
+
 std::vector<uint64_t> Namenode::TakeRevoked(int datanode) {
   auto it = revoked_.find(datanode);
   if (it == revoked_.end()) return {};

@@ -161,6 +161,13 @@ class Namenode {
   /// revived with its replica intact, so nothing is missing anymore).
   void AbandonRepair(const UnderReplicatedEntry& entry);
 
+  /// Deliberately drops one replica (aggressive-replication eviction):
+  /// removes (block, datanode) from Dir_block/Dir_rep without queueing a
+  /// repair — the drop is wanted, nothing was lost. Refuses when the
+  /// replica is unknown, is being repaired, or when fewer than
+  /// \p min_remaining alive replicas would survive the drop.
+  Status DropReplica(uint64_t block_id, int datanode, int min_remaining);
+
   /// Blocks whose replica on `datanode` was revoked while it was dead
   /// (re-replicated elsewhere or reported corrupt). The revive path
   /// deletes these stale copies before the node rejoins; each call

@@ -21,6 +21,9 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
   session_options.fault_plan = options.fault_plan;
   session_options.self_heal = options.self_heal;
   session_options.speculative_execution = options.speculative_execution;
+  session_options.max_task_attempts = options.max_task_attempts;
+  session_options.retry_backoff_s = options.retry_backoff_s;
+  session_options.retry_backoff_max_s = options.retry_backoff_max_s;
   ClusterSession session(dfs_, std::move(session_options));
   session.Submit(spec);
   HAIL_ASSIGN_OR_RETURN(SessionResult result, session.Run());

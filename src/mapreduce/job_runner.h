@@ -72,6 +72,14 @@ struct RunOptions {
   bool self_heal = false;
   /// Duplicate straggler attempts, first completion wins.
   bool speculative_execution = false;
+  /// Retry policy for retryable read failures (dead replica set, exhausted
+  /// failover): capped exponential backoff, then a clean job failure. The
+  /// defaults match Hadoop's task-attempt behaviour and are pinned by
+  /// tests — simulated outputs at the defaults are bit-identical to the
+  /// formerly hardcoded constants.
+  int max_task_attempts = 4;
+  double retry_backoff_s = 10.0;
+  double retry_backoff_max_s = 60.0;
   /// Serial/parallel execution of the functional reads.
   ExecutionMode execution = ExecutionMode::kDefault;
   /// Adaptive-indexing loop (default off: the paper benches run the

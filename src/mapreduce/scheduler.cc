@@ -1,6 +1,8 @@
 #include "mapreduce/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -65,13 +67,31 @@ int SlotScheduler::queue_of(int job) const {
   return jobs_[static_cast<size_t>(job)].queue;
 }
 
-int SlotScheduler::PickNextJob() const {
+void SlotScheduler::SetJobDeadline(int job, sim::SimTime deadline) {
+  jobs_[static_cast<size_t>(job)].deadline = deadline;
+  jobs_[static_cast<size_t>(job)].has_deadline = true;
+}
+
+int SlotScheduler::PickNextJob(sim::SimTime now) const {
   if (policy_ == SchedulerPolicy::kFifo) {
     for (size_t j = 0; j < jobs_.size(); ++j) {
       if (jobs_[j].pending > 0) return static_cast<int>(j);
     }
     return -1;
   }
+  // EDF above fair share: a job already past its declared SLO deadline
+  // outranks every fair-share deficit — earliest deadline first, ties to
+  // the lowest job id. Queues still inside their SLO keep weighted-fair
+  // shares below.
+  int edf = -1;
+  for (size_t j = 0; j < jobs_.size(); ++j) {
+    const JobEntry& job = jobs_[j];
+    if (job.pending == 0 || !job.has_deadline || job.deadline > now) continue;
+    if (edf < 0 || job.deadline < jobs_[static_cast<size_t>(edf)].deadline) {
+      edf = static_cast<int>(j);
+    }
+  }
+  if (edf >= 0) return edf;
   // Fair: the queue with pending work whose running/weight deficit is
   // smallest wins (work-conserving — queues without pending work never
   // block others). Ties break on first-registration order, then the
@@ -134,6 +154,10 @@ struct TaskState {
   int attempt_serial = 0;
   int run_on = -1;
   sim::SimTime assign_time = 0.0;  // of the latest attempt
+  /// Instant the task last became pending (activation, requeue, backoff
+  /// release, preemption); the preemption trigger measures catch-up wait
+  /// against it.
+  sim::SimTime pending_since = 0.0;
   double rr_seconds = 0.0;
   /// True while a retryable failure waits out its backoff (the task is
   /// in neither the pending index nor any slot).
@@ -244,6 +268,8 @@ struct JobExec {
   uint32_t completed = 0;
   sim::SimTime eligible_at = 0.0;
   sim::SimTime finish_time = 0.0;
+  /// Online adaptation already observed this job (skip it in the epilogue).
+  bool observed = false;
   Status error;  // valid when kFailed
 };
 
@@ -306,6 +332,13 @@ struct SessionEngine {
   uint32_t spec_attempts = 0;
   uint32_t spec_wins = 0;
 
+  // ---- overload hardening ----
+  uint32_t preemptions = 0;
+  double preempted_slot_seconds = 0.0;
+  uint32_t jobs_shed = 0;
+  uint32_t replicas_added = 0;
+  uint32_t replicas_evicted = 0;
+
   // ---- parallel engine state (unused in serial mode) ----
   bool parallel = false;
   ThreadPool* pool = nullptr;
@@ -355,12 +388,25 @@ struct SessionEngine {
   }
 
   void AdmitJob(int j);
+  /// Admission control: true when the job was shed (already failed).
+  bool ShedIfOverloaded(int j);
   void ActivateJob(int j);
   void FailJob(int j, Status st);
   void JobDone(int j);
   void AdmitDependents(int j);
   void CheckSessionDone();
   void Heartbeat(int node);
+  /// Fair-scheduler preemption: when the cluster is fully occupied and a
+  /// queue's pending task has waited past the catch-up deadline while the
+  /// queue is under its fair share, cancel the most recently assigned
+  /// task of the most over-share queue (the attempt requeues; its wasted
+  /// slot-seconds are billed to the preempted queue).
+  void MaybePreempt();
+  /// Online adaptation (options->online_adaptation): observe one finished
+  /// query and enqueue whatever the planner decided, mid-session.
+  void ObserveOnline(int j);
+  /// Files planner output into the per-node maintenance queues.
+  void EnqueueMaintTasks(std::vector<adaptive::MaintenanceTask> tasks);
   void MaintenanceBeat(int node, int assigned);
   void OnTaskComplete(int j, size_t task_id, int attempt, int node,
                       double rr_seconds,
@@ -408,6 +454,7 @@ struct SessionEngine {
 void SessionEngine::AdmitJob(int j) {
   JobExec& job = jobs[static_cast<size_t>(j)];
   if (job.phase != JobExec::Phase::kWaiting) return;
+  if (ShedIfOverloaded(j)) return;
   const ClusterSession::Submitted& sub = *job.submitted;
   const sim::SimTime now = events.Now();
   if (sub.kind == ClusterSession::Submitted::Kind::kQuery) {
@@ -457,12 +504,79 @@ void SessionEngine::AdmitJob(int j) {
   job.phase = JobExec::Phase::kStarting;
 }
 
+bool SessionEngine::ShedIfOverloaded(int j) {
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  const std::string& queue = job.submitted->queue;
+  const auto it = options->queue_admission.find(queue);
+  if (it == options->queue_admission.end()) return false;
+  const AdmissionControl& ac = it->second;
+  // Backlog bound: unfinished jobs already admitted to this queue.
+  if (ac.max_backlog_jobs > 0) {
+    size_t backlog = 0;
+    for (const JobExec& other : jobs) {
+      if (other.id == j || other.submitted->queue != queue) continue;
+      if (other.phase == JobExec::Phase::kStarting ||
+          other.phase == JobExec::Phase::kActive) {
+        ++backlog;
+      }
+    }
+    if (backlog >= ac.max_backlog_jobs) {
+      FailJob(j, Status::Overloaded(
+                     "queue '" + queue + "' backlog at its admission bound (" +
+                     std::to_string(backlog) + " jobs)"));
+      return true;
+    }
+  }
+  // Projected-wait bound: pending foreground tasks of the queue's active
+  // jobs x the queue's observed mean task slot-seconds, divided by the
+  // slots its fair-share weight entitles it to. Needs one completed task.
+  if (ac.shed_wait_s > 0.0) {
+    const int q = scheduler.queue_of(j);
+    const QueueUsage& u = usage[static_cast<size_t>(q)];
+    if (u.tasks > 0 && total_slots > 0) {
+      size_t backlog_tasks = 0;
+      for (const JobExec& other : jobs) {
+        if (other.submitted->queue != queue) continue;
+        if (other.phase == JobExec::Phase::kActive) {
+          backlog_tasks += other.pending.size();
+        } else if (other.phase == JobExec::Phase::kStarting) {
+          backlog_tasks += other.tasks.size();
+        }
+      }
+      const std::vector<SlotScheduler::QueueState>& queues =
+          scheduler.queues();
+      double weight_sum = 0.0;
+      for (const SlotScheduler::QueueState& qs : queues) {
+        weight_sum += qs.weight > 0.0 ? qs.weight : 1.0;
+      }
+      const double own = queues[static_cast<size_t>(q)].weight > 0.0
+                             ? queues[static_cast<size_t>(q)].weight
+                             : 1.0;
+      const double entitled = total_slots * own / weight_sum;
+      const double mean_ss =
+          u.slot_seconds / static_cast<double>(u.tasks);
+      const double projected =
+          static_cast<double>(backlog_tasks) * mean_ss / entitled;
+      if (projected > ac.shed_wait_s) {
+        char wait[32];
+        std::snprintf(wait, sizeof(wait), "%.1f", projected);
+        FailJob(j, Status::Overloaded("queue '" + queue +
+                                      "' projected wait " + wait +
+                                      "s exceeds shed threshold"));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 void SessionEngine::ActivateJob(int j) {
   JobExec& job = jobs[static_cast<size_t>(j)];
   if (job.phase != JobExec::Phase::kStarting) return;
   job.phase = JobExec::Phase::kActive;
   job.pending = PendingTaskIndex(dfs->cluster().num_nodes());
   for (size_t i = 0; i < job.tasks.size(); ++i) {
+    job.tasks[i].pending_since = events.Now();
     job.pending.Push(i, job.tasks[i].preferred_nodes());
   }
   foreground_pending += job.tasks.size();
@@ -482,6 +596,10 @@ void SessionEngine::FailJob(int j, Status st) {
   scheduler.SetPending(j, 0);
   job.phase = JobExec::Phase::kFailed;
   job.finish_time = events.Now();  // failed tenants still count for makespan
+  if (st.IsOverloaded()) {
+    ++jobs_shed;
+    ++usage[static_cast<size_t>(scheduler.queue_of(j))].jobs_shed;
+  }
   job.error = std::move(st);
   ++jobs_finished;
   AdmitDependents(j);
@@ -496,8 +614,50 @@ void SessionEngine::JobDone(int j) {
   job.finish_time = events.Now() + constants().job_cleanup_s;
   completion_order.push_back(j);
   ++jobs_finished;
+  if (options->online_adaptation && options->adaptive != nullptr &&
+      job.submitted->kind == ClusterSession::Submitted::Kind::kQuery) {
+    // Deferred to its own event: at an event boundary both execution
+    // modes have applied every pending shared-DFS mutation, so the
+    // observe/plan round reads identical state serial and parallel.
+    events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                         [this, j] { ObserveOnline(j); });
+  }
   AdmitDependents(j);
   CheckSessionDone();
+}
+
+void SessionEngine::ObserveOnline(int j) {
+  if (!first_error.ok() || options->adaptive == nullptr) return;
+  JobExec& job = jobs[static_cast<size_t>(j)];
+  if (job.phase != JobExec::Phase::kDone || job.observed) return;
+  job.observed = true;
+  const size_t before = maint.size();
+  options->adaptive->ObserveJob(job.submitted->spec, AssembleResult(job));
+  EnqueueMaintTasks(options->adaptive->TakeTasks());
+  if (session_done && first_error.ok()) {
+    // The cluster may already be idle: kick the nodes that just got work
+    // (mid-session the periodic beats pick it up).
+    std::vector<int> kick;
+    for (size_t mid = before; mid < maint.size(); ++mid) {
+      kick.push_back(maint[mid].task.datanode);
+    }
+    std::sort(kick.begin(), kick.end());
+    kick.erase(std::unique(kick.begin(), kick.end()), kick.end());
+    for (int node : kick) {
+      events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                           [this, node] { Heartbeat(node); });
+    }
+  }
+}
+
+void SessionEngine::EnqueueMaintTasks(
+    std::vector<adaptive::MaintenanceTask> tasks) {
+  const int n = dfs->cluster().num_nodes();
+  for (const adaptive::MaintenanceTask& task : tasks) {
+    if (task.datanode < 0 || task.datanode >= n) continue;
+    maint_by_node[static_cast<size_t>(task.datanode)].push_back(maint.size());
+    maint.push_back(MaintState{task, MaintState::Status::kPending, {}});
+  }
 }
 
 void SessionEngine::AdmitDependents(int j) {
@@ -508,9 +668,15 @@ void SessionEngine::AdmitDependents(int j) {
       continue;
     }
     if (done.phase != JobExec::Phase::kDone) {
+      // Fail fast, and keep the overload signal distinct: a dependent of a
+      // shed job is itself "shed by cascade", not a generic precondition
+      // failure (clients retry the two cases differently).
       FailJob(job.id,
-              Status::FailedPrecondition(
-                  "dependency job " + std::to_string(j) + " failed"));
+              done.error.IsOverloaded()
+                  ? Status::Overloaded("dependency job " + std::to_string(j) +
+                                       " was shed")
+                  : Status::FailedPrecondition(
+                        "dependency job " + std::to_string(j) + " failed"));
       continue;
     }
     const int id = job.id;
@@ -559,7 +725,7 @@ void SessionEngine::Heartbeat(int node) {
     // Policy first (which job deserves the slot), locality second (the
     // earliest pending task of that job preferring this node, else its
     // earliest pending task overall).
-    const int j = scheduler.PickNextJob();
+    const int j = scheduler.PickNextJob(events.Now());
     if (j < 0) break;
     JobExec& job = jobs[static_cast<size_t>(j)];
     const bool contended = scheduler.Contended();
@@ -607,6 +773,123 @@ void SessionEngine::Heartbeat(int node) {
     // Foreground tenants are never starved.
     MaintenanceBeat(node, assigned);
   }
+  if (options->preemption &&
+      options->policy == SchedulerPolicy::kFair) {
+    MaybePreempt();
+  }
+}
+
+void SessionEngine::MaybePreempt() {
+  // Only meaningful when the cluster is fully occupied: a free slot
+  // anywhere can serve any pending task (PopFor falls back to the
+  // earliest pending task overall), so starvation self-clears otherwise.
+  for (size_t n = 0; n < free_slots.size(); ++n) {
+    if (free_slots[n] > 0 && dfs->cluster().node(static_cast<int>(n)).alive())
+      return;
+  }
+  const sim::SimTime now = events.Now();
+  const std::vector<SlotScheduler::QueueState>& queues = scheduler.queues();
+  const auto share_of = [&](int q) {
+    const SlotScheduler::QueueState& qs = queues[static_cast<size_t>(q)];
+    return qs.running / (qs.weight > 0.0 ? qs.weight : 1.0);
+  };
+  // Starved queue: running strictly below its fair-share entitlement,
+  // with a runnable pending task older than the catch-up deadline. The
+  // entitlement gate matters: an over-share queue whose *excess* tasks
+  // queue up behind its own running ones is backlogged, not starved.
+  // Lowest queue index wins ties (registration order).
+  double weight_sum = 0.0;
+  for (const SlotScheduler::QueueState& qs : queues) {
+    weight_sum += qs.weight > 0.0 ? qs.weight : 1.0;
+  }
+  const auto entitled = [&](int q) {
+    const SlotScheduler::QueueState& qs = queues[static_cast<size_t>(q)];
+    const double w = qs.weight > 0.0 ? qs.weight : 1.0;
+    return static_cast<double>(total_slots) * w /
+           (weight_sum > 0.0 ? weight_sum : 1.0);
+  };
+  int starved = -1;
+  for (const JobExec& job : jobs) {
+    if (job.phase != JobExec::Phase::kActive || job.pending.size() == 0)
+      continue;
+    const int q = scheduler.queue_of(job.id);
+    if (starved >= 0 && q >= starved) continue;
+    if (static_cast<double>(queues[static_cast<size_t>(q)].running) >=
+        entitled(q)) {
+      continue;
+    }
+    for (const TaskState& t : job.tasks) {
+      if (t.status != TaskStatus::kPending || t.awaiting_backoff) continue;
+      if (now - t.pending_since <= options->preemption_catchup_s) continue;
+      starved = q;
+      break;
+    }
+  }
+  if (starved < 0) return;
+  // Victim queue: the most over-share queue (highest running/weight)
+  // strictly above the starved queue's share. Ties: lowest queue index.
+  int victim_q = -1;
+  double victim_share = share_of(starved);
+  for (size_t q = 0; q < queues.size(); ++q) {
+    if (static_cast<int>(q) == starved || queues[q].running == 0) continue;
+    if (share_of(static_cast<int>(q)) > victim_share) {
+      victim_q = static_cast<int>(q);
+      victim_share = share_of(static_cast<int>(q));
+    }
+  }
+  if (victim_q < 0) return;
+  // Victim task: the most recently assigned running query task of that
+  // queue (least sunk work wasted); ties break on lowest (job, task).
+  int vj = -1;
+  size_t vt = 0;
+  sim::SimTime latest = 0.0;
+  for (const JobExec& job : jobs) {
+    if (job.phase != JobExec::Phase::kActive ||
+        scheduler.queue_of(job.id) != victim_q ||
+        job.submitted->kind != ClusterSession::Submitted::Kind::kQuery) {
+      continue;
+    }
+    for (size_t t = 0; t < job.tasks.size(); ++t) {
+      const TaskState& task = job.tasks[t];
+      if (task.status != TaskStatus::kRunning) continue;
+      if (task.spec_attempt != 0) continue;  // speculation has its own race
+      if (task.run_on < 0 || !dfs->cluster().node(task.run_on).alive())
+        continue;
+      if (vj < 0 || task.assign_time > latest) {
+        vj = job.id;
+        vt = t;
+        latest = task.assign_time;
+      }
+    }
+  }
+  if (vj < 0) return;
+  JobExec& job = jobs[static_cast<size_t>(vj)];
+  TaskState& task = job.tasks[vt];
+  const int node = task.run_on;
+  // Requeue the attempt. The in-flight completion callback goes stale: the
+  // status check (and attempt bump at reassignment) makes it a no-op, so
+  // no result is double-counted and the slot is freed exactly once — here.
+  // Deliberately NOT counted as a reschedule: preemption is the
+  // scheduler's choice, not a task failure, so it neither consumes retry
+  // attempts nor inflates a later failure's backoff.
+  task.status = TaskStatus::kPending;
+  task.run_on = -1;
+  task.pending_since = now;
+  job.pending.Push(vt, task.preferred_nodes());
+  ++foreground_pending;
+  scheduler.SetPending(vj, job.pending.size());
+  scheduler.OnTaskFinished(vj);
+  free_slots[static_cast<size_t>(node)] += 1;
+  const double wasted = now - task.assign_time;
+  QueueUsage& u = usage[static_cast<size_t>(victim_q)];
+  ++u.preemptions;
+  u.preempted_slot_seconds += wasted;
+  ++preemptions;
+  preempted_slot_seconds += wasted;
+  // The freed slot goes to whoever the policy now favors (the starved
+  // queue, by construction) on the next beat.
+  events.ScheduleAfter(constants().oob_heartbeat_latency_s,
+                       [this, node] { Heartbeat(node); });
 }
 
 void SessionEngine::MaintenanceBeat(int node, int assigned) {
@@ -699,6 +982,11 @@ void SessionEngine::CommitMaintenance(size_t mid) {
   if (st.ok()) {
     m.status = MaintState::Status::kCommitted;
     ++maint_completed;
+    if (m.task.kind == adaptive::MaintenanceTask::Kind::kAddReplica) {
+      ++replicas_added;
+    } else if (m.task.kind == adaptive::MaintenanceTask::Kind::kEvictReplica) {
+      ++replicas_evicted;
+    }
   } else {
     m.status = MaintState::Status::kFailed;
     ++maint_failed;
@@ -1364,6 +1652,7 @@ void SessionEngine::HandleFailedAttempt(int j, size_t task_id, int attempt,
                               !session_done;
     t.awaiting_backoff = false;
     if (!still_wanted) return;
+    t.pending_since = events.Now();
     job2.pending.Push(task_id, t.preferred_nodes());
     ++foreground_pending;
     scheduler.SetPending(j, job2.pending.size());
@@ -1444,6 +1733,7 @@ void SessionEngine::OnFailureDetected(int node) {
         }
         task.status = TaskStatus::kPending;
         task.reschedules += 1;
+        task.pending_since = events.Now();
         scheduler.OnTaskFinished(job.id);
         job.pending.Push(i, task.preferred_nodes());
         ++foreground_pending;
@@ -1451,6 +1741,7 @@ void SessionEngine::OnFailureDetected(int node) {
       } else if (task.status == TaskStatus::kDone) {
         task.status = TaskStatus::kPending;
         task.reschedules += 1;
+        task.pending_since = events.Now();
         task.output.reset();
         --job.completed;
         job.pending.Push(i, task.preferred_nodes());
@@ -1672,6 +1963,11 @@ Result<SessionResult> ClusterSession::Run() {
     job.submitted = &jobs_[i];
     job.id = static_cast<int>(i);
     eng.scheduler.RegisterJob(jobs_[i].queue);
+    const auto slo = options_.queue_slo_s.find(jobs_[i].queue);
+    if (slo != options_.queue_slo_s.end() && slo->second > 0.0) {
+      eng.scheduler.SetJobDeadline(static_cast<int>(i),
+                                   jobs_[i].submit_time + slo->second);
+    }
   }
   eng.usage.resize(eng.scheduler.queues().size());
 
@@ -1726,15 +2022,7 @@ Result<SessionResult> ClusterSession::Run() {
   // self-healing session picks them up at the boundary.
   eng.IngestRepairs();
   if (options_.adaptive != nullptr) {
-    std::vector<adaptive::MaintenanceTask> taken =
-        options_.adaptive->TakeTasks();
-    eng.maint.reserve(taken.size());
-    for (const adaptive::MaintenanceTask& task : taken) {
-      if (task.datanode < 0 || task.datanode >= cluster.num_nodes()) continue;
-      eng.maint_by_node[static_cast<size_t>(task.datanode)].push_back(
-          eng.maint.size());
-      eng.maint.push_back(MaintState{task, MaintState::Status::kPending, {}});
-    }
+    eng.EnqueueMaintTasks(options_.adaptive->TakeTasks());
   }
 
   // Activation + deferred-admission events. For time-0 jobs the admission
@@ -1874,7 +2162,44 @@ Result<SessionResult> ClusterSession::Run() {
   for (size_t q = 0; q < queues.size(); ++q) {
     eng.usage[q].queue = queues[q].name;
     eng.usage[q].weight = queues[q].weight;
+    const auto slo = options_.queue_slo_s.find(queues[q].name);
+    if (slo != options_.queue_slo_s.end() && slo->second > 0.0) {
+      eng.usage[q].slo_target_s = slo->second;
+    }
   }
+  // Per-queue latency distribution + SLO accounting over completed jobs.
+  std::vector<std::vector<double>> latencies(queues.size());
+  for (const JobExec& job : eng.jobs) {
+    if (job.phase != JobExec::Phase::kDone) continue;
+    const size_t q = static_cast<size_t>(eng.scheduler.queue_of(job.id));
+    const double latency = job.finish_time - job.submitted->submit_time;
+    latencies[q].push_back(latency);
+    eng.usage[q].jobs_completed += 1;
+    if (eng.usage[q].slo_target_s > 0.0 &&
+        latency > eng.usage[q].slo_target_s) {
+      eng.usage[q].slo_violations += 1;
+    }
+  }
+  for (size_t q = 0; q < queues.size(); ++q) {
+    std::vector<double>& lat = latencies[q];
+    if (lat.empty()) continue;
+    std::sort(lat.begin(), lat.end());
+    // Nearest-rank percentile: ceil(p * N) as a 1-based rank.
+    const auto pct = [&lat](double p) {
+      const size_t rank = static_cast<size_t>(
+          std::ceil(p * static_cast<double>(lat.size())));
+      return lat[std::min(lat.size(), std::max<size_t>(rank, 1)) - 1];
+    };
+    eng.usage[q].latency_p50_s = pct(0.50);
+    eng.usage[q].latency_p95_s = pct(0.95);
+    eng.usage[q].latency_p99_s = pct(0.99);
+    out.slo_violations_total += eng.usage[q].slo_violations;
+  }
+  out.preemptions = eng.preemptions;
+  out.preempted_slot_seconds = eng.preempted_slot_seconds;
+  out.jobs_shed = eng.jobs_shed;
+  out.replicas_added = eng.replicas_added;
+  out.replicas_evicted = eng.replicas_evicted;
   out.queues = std::move(eng.usage);
   out.maintenance_scheduled = static_cast<uint32_t>(eng.maint.size());
   out.maintenance_completed = eng.maint_completed;
@@ -1896,6 +2221,7 @@ Result<SessionResult> ClusterSession::Run() {
     for (int j : eng.completion_order) {
       const Submitted& sub = jobs_[static_cast<size_t>(j)];
       if (sub.kind != Submitted::Kind::kQuery) continue;
+      if (eng.jobs[static_cast<size_t>(j)].observed) continue;  // online path
       const Result<JobResult>& r = out.jobs[static_cast<size_t>(j)];
       if (r.ok()) options_.adaptive->ObserveJob(sub.spec, *r);
     }

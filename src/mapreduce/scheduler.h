@@ -94,11 +94,18 @@ class SlotScheduler {
   void OnTaskStarted(int job);
   void OnTaskFinished(int job);
 
+  /// Declares the job's SLO deadline on the session clock (submit time +
+  /// its queue's latency target). Jobs without a deadline never enter the
+  /// EDF escalation pass.
+  void SetJobDeadline(int job, sim::SimTime deadline);
+
   /// Job that should receive the next free slot, -1 when no job has
-  /// pending work. kFifo: lowest job id with pending work. kFair: queue
-  /// with minimal running/weight (ties: first-registered queue), then
-  /// lowest job id within it.
-  int PickNextJob() const;
+  /// pending work. kFifo: lowest job id with pending work. kFair: first
+  /// an EDF pass — among jobs already past their declared deadline at
+  /// `now` with pending work, the earliest deadline wins (ties: lowest
+  /// job id) — then the queue with minimal running/weight (ties:
+  /// first-registered queue), then lowest job id within it.
+  int PickNextJob(sim::SimTime now = 0.0) const;
 
   /// True while at least two queues have pending foreground work — the
   /// window in which fair-share entitlement is actually measurable.
@@ -113,6 +120,9 @@ class SlotScheduler {
   struct JobEntry {
     int queue = 0;
     size_t pending = 0;
+    /// SLO deadline on the session clock; infinity = never escalates.
+    sim::SimTime deadline = 0.0;
+    bool has_deadline = false;
   };
 
   SchedulerPolicy policy_;
@@ -146,11 +156,41 @@ struct UploadJobSpec {
   std::vector<File> files;
 };
 
+/// \brief Bounded admission for one queue (overload shedding).
+///
+/// Both limits are checked at admission time (activation instant, after
+/// any submit-time/dependency deferral) and shed deterministically with
+/// `Status::Overloaded` — a shed job never computes a plan, never holds a
+/// slot, and never hangs its dependents (they fail fast too). Zero
+/// disables the corresponding check.
+struct AdmissionControl {
+  /// Max unfinished jobs admitted to the queue; one more is shed.
+  size_t max_backlog_jobs = 0;
+  /// Shed when the queue's projected wait — pending foreground tasks x
+  /// observed mean task slot-seconds / the queue's entitled slot share —
+  /// exceeds this many seconds. Needs at least one completed task to
+  /// estimate from; before that only the backlog bound applies.
+  double shed_wait_s = 0.0;
+};
+
 /// \brief Session-wide options (failure injection, policy, engine).
 struct SessionOptions {
   SchedulerPolicy policy = SchedulerPolicy::kFifo;
   /// Per-queue fair-share weights; queues not listed weigh 1.0.
   std::map<std::string, double> queue_weights;
+  /// Per-queue latency SLO: a job's deadline is submit_time + its queue's
+  /// target. Under kFair, jobs past deadline escalate via EDF above the
+  /// fair shares; violations are accounted per queue either way.
+  std::map<std::string, double> queue_slo_s;
+  /// Per-queue admission bounds; unlisted queues admit unboundedly.
+  std::map<std::string, AdmissionControl> queue_admission;
+  /// Allow the fair scheduler to preempt a running task of an over-share
+  /// queue when another queue's pending task has waited longer than
+  /// `preemption_catchup_s` (Hadoop fair-scheduler preemption timeout).
+  /// The preempted attempt requeues; its wasted slot-seconds are billed
+  /// to its queue as `preempted_slot_seconds`.
+  bool preemption = false;
+  double preemption_catchup_s = 60.0;
   /// Serial/parallel execution of the functional reads (shared pool).
   ExecutionMode execution = ExecutionMode::kDefault;
   /// Background replica maintenance rides the whole session's idle slots.
@@ -182,6 +222,13 @@ struct SessionOptions {
   int max_task_attempts = 4;
   double retry_backoff_s = 10.0;
   double retry_backoff_max_s = 60.0;
+  /// Feed each completed query to the adaptive manager as it finishes
+  /// (instead of only in the session epilogue) so the planner can react —
+  /// e.g. add hot-block replicas — while the storm is still running. The
+  /// observe/plan round runs as its own deferred event, after both
+  /// engines have applied every pending shared-DFS mutation, preserving
+  /// serial==parallel.
+  bool online_adaptation = false;
 };
 
 /// \brief Per-queue slot usage over one session (fair-share accounting).
@@ -196,6 +243,24 @@ struct QueueUsage {
   /// contended_slot_seconds shares matching queue weights).
   uint64_t contended_tasks = 0;
   double contended_slot_seconds = 0.0;
+  // -- per-queue SLO accounting (options.queue_slo_s) --
+  /// Latency target; 0 when the queue declared none.
+  double slo_target_s = 0.0;
+  uint64_t jobs_completed = 0;
+  /// Jobs rejected at admission (Status::Overloaded).
+  uint64_t jobs_shed = 0;
+  /// Completed jobs whose end-to-end latency exceeded the SLO target.
+  uint64_t slo_violations = 0;
+  /// Nearest-rank percentiles of completed jobs' submit-to-finish
+  /// latency; 0 when no job of the queue completed.
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  // -- preemption billing --
+  /// Running attempts of this queue preempted for a starved queue, and
+  /// the slot-seconds those attempts had consumed when cancelled.
+  uint64_t preemptions = 0;
+  double preempted_slot_seconds = 0.0;
 };
 
 /// \brief Everything one session produced.
@@ -229,6 +294,14 @@ struct SessionResult {
   uint32_t speculative_attempts = 0;
   /// Speculative attempts that finished before their primaries.
   uint32_t speculative_wins = 0;
+  // -- overload hardening (preemption / shedding / SLOs) --
+  uint32_t preemptions = 0;
+  double preempted_slot_seconds = 0.0;
+  uint32_t jobs_shed = 0;
+  uint64_t slo_violations_total = 0;
+  // -- aggressive replication (maintenance kAddReplica / kEvictReplica) --
+  uint32_t replicas_added = 0;
+  uint32_t replicas_evicted = 0;
 };
 
 /// \brief N jobs on one simulated clock and one shared cluster state.

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unknown";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kFailedPrecondition = 8,
   kUnknown = 9,
   kUnavailable = 10,
+  kOverloaded = 11,
 };
 
 /// \brief Returns a human-readable name for a status code (e.g. "IOError").
@@ -83,6 +84,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -104,6 +108,7 @@ class Status {
     return code() == StatusCode::kFailedPrecondition;
   }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -138,17 +138,21 @@ std::string DumpResult(const mapreduce::JobResult& r) {
 }
 
 std::string DumpSession(const mapreduce::SessionResult& r) {
-  char buf[256];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "session=%.17g ms=%u mc=%u mf=%u viol=%llu "
-                "rs=%u rc=%u ra=%u ur=%llu retry=%u spec=%u specw=%u",
+                "rs=%u rc=%u ra=%u ur=%llu retry=%u spec=%u specw=%u "
+                "pre=%u pss=%.17g shed=%u sviol=%llu radd=%u revt=%u",
                 r.session_seconds, r.maintenance_scheduled,
                 r.maintenance_completed, r.maintenance_failed,
                 static_cast<unsigned long long>(
                     r.maintenance_while_foreground_pending),
                 r.repairs_scheduled, r.repairs_completed, r.repairs_abandoned,
                 static_cast<unsigned long long>(r.under_replicated_remaining),
-                r.task_retries, r.speculative_attempts, r.speculative_wins);
+                r.task_retries, r.speculative_attempts, r.speculative_wins,
+                r.preemptions, r.preempted_slot_seconds, r.jobs_shed,
+                static_cast<unsigned long long>(r.slo_violations_total),
+                r.replicas_added, r.replicas_evicted);
   std::string out(buf);
   for (const auto& job : r.jobs) {
     out += '\n';
@@ -156,11 +160,19 @@ std::string DumpSession(const mapreduce::SessionResult& r) {
   }
   for (const mapreduce::QueueUsage& q : r.queues) {
     std::snprintf(buf, sizeof(buf),
-                  "\nqueue %s w=%.17g tasks=%llu ss=%.17g ct=%llu css=%.17g",
+                  "\nqueue %s w=%.17g tasks=%llu ss=%.17g ct=%llu css=%.17g "
+                  "slo=%.17g done=%llu shedq=%llu qviol=%llu "
+                  "p50=%.17g p95=%.17g p99=%.17g qpre=%llu qpss=%.17g",
                   q.queue.c_str(), q.weight,
                   static_cast<unsigned long long>(q.tasks), q.slot_seconds,
                   static_cast<unsigned long long>(q.contended_tasks),
-                  q.contended_slot_seconds);
+                  q.contended_slot_seconds, q.slo_target_s,
+                  static_cast<unsigned long long>(q.jobs_completed),
+                  static_cast<unsigned long long>(q.jobs_shed),
+                  static_cast<unsigned long long>(q.slo_violations),
+                  q.latency_p50_s, q.latency_p95_s, q.latency_p99_s,
+                  static_cast<unsigned long long>(q.preemptions),
+                  q.preempted_slot_seconds);
     out += buf;
   }
   return out;

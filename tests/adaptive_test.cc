@@ -617,6 +617,161 @@ TEST(AdaptiveLoopTest, UnselectiveProbeAbandonsToFullScan) {
             reference->avg_record_reader_seconds);
 }
 
+// ---------------------------------------------------------------------------
+// Aggressive replication (extra hot-block replicas under a storage budget)
+// ---------------------------------------------------------------------------
+
+TEST(ReorgPlannerTest, AggressiveReplicationStaysWithinBudget) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok());
+
+  WorkloadObserver observer;
+  observer.Observe(Annotate(bed.schema(), "@4 between(1,10)"),
+                   FakeResult(24, 24, 0, 0));  // adRevenue is hot
+  PlannerOptions opt;
+  opt.aggressive_replication = true;
+  const uint64_t block_bytes = bed.dfs().config().block_size;
+  opt.replication_budget_bytes = 3 * block_bytes;  // room for 3 extras
+  ReorgPlanner planner(opt);
+  PlanSummary summary;
+  const auto tasks =
+      planner.Plan(bed.dfs(), bed.schema(), "/d", observer, &summary);
+  // With replication 3 on 4 nodes every block has exactly one non-holder;
+  // the budget admits extras for the first 3 blocks only.
+  size_t adds = 0;
+  for (const MaintenanceTask& t : tasks) {
+    if (t.kind != MaintenanceTask::Kind::kAddReplica) continue;
+    ++adds;
+    EXPECT_EQ(t.column, workload::kAdRevenue);
+    EXPECT_FALSE(
+        bed.dfs().namenode().GetReplicaInfo(t.block_id, t.datanode).ok())
+        << "add must target a node not yet holding the block";
+  }
+  EXPECT_EQ(adds, 3u);
+  EXPECT_EQ(summary.replicas_planned, 3u);
+  EXPECT_EQ(summary.evictions_planned, 0u);
+  EXPECT_LE(summary.budget_used_bytes, opt.replication_budget_bytes);
+  // Identical inputs -> identical plan (determinism).
+  ReorgPlanner replay(opt);
+  EXPECT_EQ(replay.Plan(bed.dfs(), bed.schema(), "/d", observer), tasks);
+
+  // The next round plans no further adds: the budget is fully committed
+  // to the extras already queued (optimistic accounting).
+  PlanSummary again;
+  planner.Plan(bed.dfs(), bed.schema(), "/d", observer, &again);
+  EXPECT_EQ(again.replicas_planned, 0u);
+}
+
+TEST(ReorgExecutionTest, AddReplicaRegistersExtraAndEvictionDropsIt) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok() && !blocks->empty());
+  const hdfs::BlockLocation& loc = blocks->front();
+
+  // The one node not holding the block.
+  int target = -1;
+  for (int dn = 0; dn < bed.dfs().num_datanodes(); ++dn) {
+    if (!bed.dfs().namenode().GetReplicaInfo(loc.block_id, dn).ok()) {
+      target = dn;
+    }
+  }
+  ASSERT_GE(target, 0);
+
+  MaintenanceTask add;
+  add.block_id = loc.block_id;
+  add.datanode = target;
+  add.column = workload::kVisitDate;
+  add.kind = MaintenanceTask::Kind::kAddReplica;
+  auto prepared = PrepareReorg(bed.dfs(), add);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_GT(prepared->seconds, 0.0);
+  ASSERT_TRUE(CommitReorg(&bed.dfs(), add, std::move(*prepared)).ok());
+
+  // The extra copy is live: registered beyond the replication factor,
+  // bytes on disk, and routed to for its indexed column.
+  auto holders = bed.dfs().namenode().GetBlockDatanodes(loc.block_id);
+  ASSERT_TRUE(holders.ok());
+  EXPECT_EQ(holders->size(),
+            static_cast<size_t>(bed.dfs().config().replication) + 1);
+  EXPECT_TRUE(bed.dfs().datanode(target).HasBlock(loc.block_id));
+  auto info = bed.dfs().namenode().GetReplicaInfo(loc.block_id, target);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->sort_column, workload::kVisitDate);
+  // Adding again is refused: the target already holds a replica.
+  EXPECT_FALSE(PrepareReorg(bed.dfs(), add).ok());
+
+  // Evicting the extra brings the block back to the replication factor.
+  MaintenanceTask evict = add;
+  evict.kind = MaintenanceTask::Kind::kEvictReplica;
+  auto prepared_evict = PrepareReorg(bed.dfs(), evict);
+  ASSERT_TRUE(prepared_evict.ok());
+  ASSERT_TRUE(CommitReorg(&bed.dfs(), evict, std::move(*prepared_evict)).ok());
+  EXPECT_FALSE(
+      bed.dfs().namenode().GetReplicaInfo(loc.block_id, target).ok());
+  EXPECT_FALSE(bed.dfs().datanode(target).HasBlock(loc.block_id));
+
+  // One more eviction would cut into the baseline copies: refused.
+  MaintenanceTask below = evict;
+  below.datanode = loc.datanodes.front();
+  auto prepared_below = PrepareReorg(bed.dfs(), below);
+  ASSERT_TRUE(prepared_below.ok());
+  EXPECT_TRUE(CommitReorg(&bed.dfs(), below, std::move(*prepared_below))
+                  .IsFailedPrecondition());
+}
+
+TEST(ReorgPlannerTest, EvictsExtrasWhoseColumnWentCold) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+
+  WorkloadObserver::Options oopt;
+  oopt.decay = 0.5;
+  WorkloadObserver observer(oopt);
+  observer.Observe(Annotate(bed.schema(), "@4 between(1,10)"),
+                   FakeResult(24, 24, 0, 0));
+  PlannerOptions opt;
+  opt.aggressive_replication = true;
+  opt.replication_budget_bytes = 2 * bed.dfs().config().block_size;
+  ReorgPlanner planner(opt);
+  const auto round1 =
+      planner.Plan(bed.dfs(), bed.schema(), "/d", observer, nullptr);
+  // Commit the planned adds so the extras are registered.
+  size_t committed = 0;
+  for (const MaintenanceTask& t : round1) {
+    if (t.kind != MaintenanceTask::Kind::kAddReplica) continue;
+    auto prepared = PrepareReorg(bed.dfs(), t);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    ASSERT_TRUE(CommitReorg(&bed.dfs(), t, std::move(*prepared)).ok());
+    ++committed;
+  }
+  ASSERT_EQ(committed, 2u);
+
+  // The workload shifts to sourceIP; adRevenue's weight decays away.
+  for (int i = 0; i < 8; ++i) {
+    observer.Observe(Annotate(bed.schema(), "@1 = 172.101.11.46"),
+                     FakeResult(24, 24, 0, 0));
+  }
+  PlanSummary summary;
+  const auto round2 =
+      planner.Plan(bed.dfs(), bed.schema(), "/d", observer, &summary);
+  EXPECT_EQ(summary.hot_column, workload::kSourceIP);
+  size_t evictions = 0;
+  for (const MaintenanceTask& t : round2) {
+    if (t.kind != MaintenanceTask::Kind::kEvictReplica) continue;
+    ++evictions;
+    EXPECT_EQ(t.column, workload::kAdRevenue);
+  }
+  EXPECT_EQ(evictions, 2u);
+  EXPECT_EQ(summary.evictions_planned, 2u);
+  // The freed budget immediately funds extras for the new hot column.
+  EXPECT_EQ(summary.replicas_planned, 2u);
+}
+
 }  // namespace
 }  // namespace adaptive
 }  // namespace hail

@@ -467,6 +467,97 @@ TEST(FaultPlanTest, FromSeedIsDeterministic) {
                 a.kills[0].at_time != c.kills[0].at_time)));
 }
 
+// ---------------------------------------------------------------------------
+// Repairs sourced from slow nodes racing a query backlog
+// ---------------------------------------------------------------------------
+
+TEST(FaultRecoveryTest, RepairsFromSlowSurvivorsRaceAQueryBacklog) {
+  // Worst-case re-replication: both permanent kills leave every surviving
+  // replica on a *slow* node, so each repair read is stretched by the
+  // degradation factor exactly while a backlog of foreground queries
+  // competes for the same slots. The repairs must still complete, and the
+  // strict maintenance priority must never assign background work while
+  // foreground tasks are pending.
+  Testbed bed(SmallConfig(17));
+  bed.LoadUserVisits();
+  UploadAllIndexed(&bed, "/d");
+  const QueryDef q1 = workload::BobQueries()[0];
+  const QueryDef q4 = workload::BobQueries()[3];
+
+  std::vector<std::string> clean_rows[2];
+  {
+    ClusterSession session(&bed.dfs());
+    session.Submit(QueryJob(bed, "/d", q1));
+    session.Submit(QueryJob(bed, "/d", q4));
+    auto sr = session.Run();
+    ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+    for (int j = 0; j < 2; ++j) {
+      ASSERT_TRUE(sr->jobs[j].ok());
+      clean_rows[j] = Sorted(sr->jobs[j]->output_rows);
+    }
+  }
+
+  // Blocks already held by both survivors have no alive target: their
+  // deficit (3 replicas wanted, 2 alive nodes) is structural and must be
+  // *reported*, not silently dropped or spun on forever.
+  const auto pre = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(pre.ok());
+  size_t stuck = 0;
+  for (const hdfs::BlockLocation& loc : *pre) {
+    const bool on0 =
+        std::count(loc.datanodes.begin(), loc.datanodes.end(), 0) > 0;
+    const bool on1 =
+        std::count(loc.datanodes.begin(), loc.datanodes.end(), 1) > 0;
+    if (on0 && on1) ++stuck;
+  }
+  ASSERT_GT(stuck, 0u);
+  ASSERT_LT(stuck, pre->size());  // some blocks really need a repair
+
+  SessionOptions opt;
+  opt.self_heal = true;
+  sim::FaultPlan& plan = opt.fault_plan;
+  for (int node : {2, 3}) {
+    sim::FaultPlan::Kill kill;
+    kill.node = node;
+    kill.at_time = 5.0 + node;  // staggered, permanent (no revive)
+    plan.kills.push_back(kill);
+  }
+  plan.slow_nodes.push_back({/*node=*/0, /*factor=*/4.0});
+  plan.slow_nodes.push_back({/*node=*/1, /*factor=*/4.0});
+
+  ClusterSession session(&bed.dfs(), opt);
+  // A staggered backlog keeps foreground work pending across the whole
+  // repair window.
+  session.Submit(QueryJob(bed, "/d", q1), "default", 0.0);
+  session.Submit(QueryJob(bed, "/d", q4), "default", 20.0);
+  session.Submit(QueryJob(bed, "/d", q1), "default", 40.0);
+  session.Submit(QueryJob(bed, "/d", q4), "default", 60.0);
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  for (int j = 0; j < 4; ++j) {
+    ASSERT_TRUE(sr->jobs[j].ok()) << sr->jobs[j].status().ToString();
+    EXPECT_EQ(Sorted(sr->jobs[j]->output_rows), clean_rows[j % 2]);
+  }
+
+  // Blocks with a single surviving replica were copied (from a slow
+  // source) onto the other survivor; the structurally unrepairable rest
+  // is reported as the remaining deficit, and the session still ends.
+  EXPECT_GE(sr->repairs_completed, pre->size() - stuck);
+  EXPECT_EQ(sr->under_replicated_remaining, stuck);
+  EXPECT_EQ(sr->maintenance_while_foreground_pending, 0u);
+  // Every block is readable from both survivors afterwards.
+  const auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok());
+  for (const hdfs::BlockLocation& loc : *blocks) {
+    auto holders = bed.dfs().namenode().GetBlockDatanodes(loc.block_id);
+    ASSERT_TRUE(holders.ok());
+    for (int survivor : {0, 1}) {
+      EXPECT_EQ(std::count(holders->begin(), holders->end(), survivor), 1)
+          << "block " << loc.block_id << " missing from node " << survivor;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mapreduce
 }  // namespace hail

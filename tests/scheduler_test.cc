@@ -502,6 +502,292 @@ TEST(ClusterSessionTest, SerialEqualsParallelAcrossInterleavedJobs) {
   EXPECT_EQ(serial, parallel);
 }
 
+// ---------------------------------------------------------------------------
+// EDF above fair share (per-queue latency SLOs)
+// ---------------------------------------------------------------------------
+
+TEST(SlotSchedulerTest, EdfEscalatesPastDeadlineJobsAboveFairShares) {
+  SlotScheduler sched(SchedulerPolicy::kFair, {{"a", 4.0}, {"b", 1.0}});
+  const int a = sched.RegisterJob("a");
+  const int b = sched.RegisterJob("b");
+  sched.SetPending(a, 10);
+  sched.SetPending(b, 10);
+  sched.SetJobDeadline(b, 50.0);
+  // Before the deadline the weights rule: queue a (weight 4) dominates.
+  EXPECT_EQ(sched.PickNextJob(0.0), a);
+  // Past it, job b jumps every fair-share consideration.
+  EXPECT_EQ(sched.PickNextJob(50.0), b);
+  // Earliest deadline wins among several overdue jobs; ties lowest id.
+  const int c = sched.RegisterJob("a");
+  sched.SetPending(c, 10);
+  sched.SetJobDeadline(c, 20.0);
+  EXPECT_EQ(sched.PickNextJob(60.0), c);
+  // An overdue job with no pending work never blocks the others.
+  sched.SetPending(c, 0);
+  EXPECT_EQ(sched.PickNextJob(60.0), b);
+}
+
+TEST(ClusterSessionTest, QueueSloAccountingAndViolations) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const QueryDef q = workload::BobQueries()[0];
+
+  SessionOptions opt;
+  opt.policy = SchedulerPolicy::kFair;
+  // An impossible target on one queue, a generous one on the other: the
+  // accounting must see exactly the first queue violate.
+  opt.queue_slo_s = {{"tight", 0.001}, {"loose", 1e9}};
+  ClusterSession session(&bed.dfs(), opt);
+  session.Submit(QueryJob(bed, "/d", q), "tight");
+  session.Submit(QueryJob(bed, "/d", q), "loose");
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  ASSERT_TRUE(sr->jobs[0].ok() && sr->jobs[1].ok());
+  ASSERT_EQ(sr->queues.size(), 2u);
+  const QueueUsage& tight = sr->queues[0];
+  const QueueUsage& loose = sr->queues[1];
+  EXPECT_EQ(tight.queue, "tight");
+  EXPECT_DOUBLE_EQ(tight.slo_target_s, 0.001);
+  EXPECT_EQ(tight.jobs_completed, 1u);
+  EXPECT_EQ(tight.slo_violations, 1u);
+  EXPECT_EQ(loose.slo_violations, 0u);
+  EXPECT_EQ(sr->slo_violations_total, 1u);
+  // Percentiles of a single completed job all equal its latency.
+  EXPECT_GT(tight.latency_p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(tight.latency_p50_s, tight.latency_p99_s);
+  EXPECT_DOUBLE_EQ(tight.latency_p50_s,
+                   sr->jobs[0]->end_to_end_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control + load shedding
+// ---------------------------------------------------------------------------
+
+TEST(ClusterSessionTest, BacklogBoundShedsDeterministically) {
+  for (ExecutionMode mode :
+       {ExecutionMode::kSerial, ExecutionMode::kParallel}) {
+    Testbed bed(SmallConfig());
+    bed.LoadUserVisits();
+    ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+    const QueryDef q = workload::BobQueries()[0];
+
+    SessionOptions opt;
+    opt.execution = mode;
+    AdmissionControl ac;
+    ac.max_backlog_jobs = 1;
+    opt.queue_admission = {{"q", ac}};
+    ClusterSession session(&bed.dfs(), opt);
+    session.Submit(QueryJob(bed, "/d", q), "q");
+    session.Submit(QueryJob(bed, "/d", q), "q");
+    session.Submit(QueryJob(bed, "/d", q), "q");
+    session.Submit(QueryJob(bed, "/d", q), "other");  // unbounded queue
+    auto sr = session.Run();
+    ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+    // Job 0 admits (no backlog); jobs 1 and 2 each see the one admitted
+    // job already at the bound and shed. Shed jobs never count towards
+    // the backlog, so the decision is identical in both engines.
+    ASSERT_TRUE(sr->jobs[0].ok());
+    EXPECT_TRUE(sr->jobs[1].status().IsOverloaded())
+        << sr->jobs[1].status().ToString();
+    EXPECT_TRUE(sr->jobs[2].status().IsOverloaded());
+    ASSERT_TRUE(sr->jobs[3].ok());
+    EXPECT_EQ(sr->jobs_shed, 2u);
+    EXPECT_EQ(sr->queues[0].jobs_shed, 2u);
+    EXPECT_EQ(sr->queues[1].jobs_shed, 0u);
+  }
+}
+
+TEST(ClusterSessionTest, ProjectedWaitShedsOnceAQueueHasHistory) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const QueryDef scan{"Scan", "@4 between(1,10)", "{@1,@4}", 1.7e-2};
+
+  SessionOptions opt;
+  AdmissionControl ac;
+  ac.shed_wait_s = 0.5;  // almost any backlog exceeds this
+  opt.queue_admission = {{"q", ac}};
+  ClusterSession session(&bed.dfs(), opt);
+  // The time-0 jobs admit unconditionally (no completed task to estimate
+  // from yet) and build the queue's mean-task history; the late arrival
+  // projects a wait from the still-pending backlog and sheds.
+  session.Submit(QueryJob(bed, "/d", scan), "q");
+  session.Submit(QueryJob(bed, "/d", scan), "q");
+  session.Submit(QueryJob(bed, "/d", scan), "q", 20.0);
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  ASSERT_TRUE(sr->jobs[0].ok()) << sr->jobs[0].status().ToString();
+  ASSERT_TRUE(sr->jobs[1].ok()) << sr->jobs[1].status().ToString();
+  EXPECT_TRUE(sr->jobs[2].status().IsOverloaded())
+      << sr->jobs[2].status().ToString();
+  EXPECT_EQ(sr->jobs_shed, 1u);
+}
+
+TEST(ClusterSessionTest, DependentsOfFailedOrShedJobsFailFast) {
+  Testbed bed(SmallConfig());
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  const QueryDef q = workload::BobQueries()[0];
+
+  SessionOptions opt;
+  AdmissionControl ac;
+  ac.max_backlog_jobs = 1;
+  opt.queue_admission = {{"bounded", ac}};
+  ClusterSession session(&bed.dfs(), opt);
+  const int bad = session.Submit(QueryJob(bed, "/missing", q));  // fails
+  session.Submit(QueryJob(bed, "/d", q), "default", 0.0, /*depends_on=*/bad);
+  session.Submit(QueryJob(bed, "/d", q), "bounded");
+  const int shed = session.Submit(QueryJob(bed, "/d", q), "bounded");
+  session.Submit(QueryJob(bed, "/d", q), "default", 0.0, /*depends_on=*/shed);
+  auto sr = session.Run();
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  // A dependent of a failed job fails fast with the generic dependency
+  // status; a dependent of a *shed* job carries the overload signal so
+  // callers can tell "retry later" from "fix your job".
+  EXPECT_FALSE(sr->jobs[0].ok());
+  EXPECT_TRUE(sr->jobs[1].status().IsFailedPrecondition())
+      << sr->jobs[1].status().ToString();
+  EXPECT_TRUE(sr->jobs[3].status().IsOverloaded());
+  EXPECT_TRUE(sr->jobs[4].status().IsOverloaded())
+      << sr->jobs[4].status().ToString();
+  // The healthy tenant (and the session) is untouched.
+  EXPECT_TRUE(sr->jobs[2].ok());
+}
+
+// ---------------------------------------------------------------------------
+// Preemption with a catch-up timeout
+// ---------------------------------------------------------------------------
+
+// Paper-scale logical blocks: one full-scan map task occupies its slot
+// for tens of simulated seconds, so an all-slots-busy storm really does
+// outlast a preemption catch-up deadline.
+TestbedConfig StormConfig(uint64_t seed) {
+  TestbedConfig config = SmallConfig(seed);
+  config.logical_block_bytes = 1024ull * 1024 * 1024;  // ~50s scan tasks
+  return config;
+}
+
+std::string RunPreemptionScenario(ExecutionMode mode, bool preemption,
+                                  SessionResult* out) {
+  Testbed bed(StormConfig(31));
+  bed.LoadUserVisits();
+  EXPECT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  // Heavy tenant: unindexed full scans that hold every slot for a long
+  // time. Short tenant: a selective indexed query arriving mid-storm.
+  const QueryDef heavy{"Heavy", "@4 between(1,10)", "{@1,@4}", 1.7e-2};
+  const QueryDef light = workload::BobQueries()[0];
+
+  SessionOptions opt;
+  opt.policy = SchedulerPolicy::kFair;
+  opt.execution = mode;
+  opt.preemption = preemption;
+  opt.preemption_catchup_s = 15.0;
+  ClusterSession session(&bed.dfs(), opt);
+  session.Submit(QueryJob(bed, "/d", heavy), "heavy");
+  session.Submit(QueryJob(bed, "/d", light), "short", 10.0);
+  auto sr = session.Run();
+  EXPECT_TRUE(sr.ok()) << sr.status().ToString();
+  if (!sr.ok()) return sr.status().ToString();
+  for (const auto& job : sr->jobs) {
+    EXPECT_TRUE(job.ok()) << job.status().ToString();
+  }
+  if (out != nullptr) *out = *sr;
+  return DumpSession(*sr);
+}
+
+TEST(ClusterSessionTest, PreemptionBoundsAStarvedTenantsWait) {
+  SessionResult without;
+  SessionResult with;
+  RunPreemptionScenario(ExecutionMode::kSerial, false, &without);
+  RunPreemptionScenario(ExecutionMode::kSerial, true, &with);
+  ASSERT_TRUE(without.jobs[1].ok() && with.jobs[1].ok());
+  // The over-share queue really was preempted, the wasted slot-seconds
+  // are billed to it, and the starved tenant's latency improved.
+  EXPECT_GT(with.preemptions, 0u);
+  EXPECT_GT(with.preempted_slot_seconds, 0.0);
+  ASSERT_EQ(with.queues.size(), 2u);
+  EXPECT_EQ(with.queues[0].queue, "heavy");
+  EXPECT_EQ(with.queues[0].preemptions, with.preemptions);
+  EXPECT_EQ(without.preemptions, 0u);
+  EXPECT_LT(with.jobs[1]->end_to_end_seconds,
+            without.jobs[1]->end_to_end_seconds);
+  // Preemption re-runs work but never changes answers.
+  EXPECT_EQ(with.jobs[1]->output_count, without.jobs[1]->output_count);
+}
+
+TEST(ClusterSessionTest, PreemptionSerialEqualsParallel) {
+  const std::string serial =
+      RunPreemptionScenario(ExecutionMode::kSerial, true, nullptr);
+  const std::string parallel =
+      RunPreemptionScenario(ExecutionMode::kParallel, true, nullptr);
+  EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Retry/backoff knobs: defaults pinned to the former hardcoded constants
+// ---------------------------------------------------------------------------
+
+TEST(ClusterSessionTest, RetryBackoffDefaultsArePinned) {
+  // These defaults reproduce the formerly hardcoded retry policy; the
+  // simulated outputs of every existing scenario depend on them.
+  const SessionOptions session_defaults;
+  EXPECT_EQ(session_defaults.max_task_attempts, 4);
+  EXPECT_DOUBLE_EQ(session_defaults.retry_backoff_s, 10.0);
+  EXPECT_DOUBLE_EQ(session_defaults.retry_backoff_max_s, 60.0);
+  const RunOptions run_defaults;
+  EXPECT_EQ(run_defaults.max_task_attempts, 4);
+  EXPECT_DOUBLE_EQ(run_defaults.retry_backoff_s, 10.0);
+  EXPECT_DOUBLE_EQ(run_defaults.retry_backoff_max_s, 60.0);
+
+  // And explicitly passing the defaults is bit-identical to omitting
+  // them, under a fault plan that actually exercises retries.
+  const auto run = [](bool explicit_opts) {
+    Testbed bed(SmallConfig(7));
+    bed.LoadUserVisits();
+    EXPECT_TRUE(bed.UploadHail("/d", {workload::kVisitDate,
+                                      workload::kSourceIP,
+                                      workload::kAdRevenue})
+                    .ok());
+    SessionOptions opt;
+    if (explicit_opts) {
+      opt.max_task_attempts = 4;
+      opt.retry_backoff_s = 10.0;
+      opt.retry_backoff_max_s = 60.0;
+    }
+    opt.kill_node = 2;
+    opt.kill_at_progress = 0.5;
+    ClusterSession session(&bed.dfs(), opt);
+    session.Submit(QueryJob(bed, "/d", workload::BobQueries()[0]));
+    auto sr = session.Run();
+    EXPECT_TRUE(sr.ok()) << sr.status().ToString();
+    return sr.ok() ? DumpSession(*sr) : sr.status().ToString();
+  };
+  EXPECT_EQ(run(false), run(true));
+
+  // Tightened backoff genuinely changes the schedule (the knob is live).
+  Testbed bed(SmallConfig(5));
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/d", {workload::kVisitDate}).ok());
+  auto blocks = bed.dfs().namenode().GetFileBlocks("/d");
+  ASSERT_TRUE(blocks.ok() && !blocks->empty());
+  for (int node : blocks->front().datanodes) {
+    ASSERT_TRUE(bed.dfs().InjectCorruption(node, blocks->front().block_id).ok());
+  }
+  const auto run_attempts = [&](int attempts, double backoff) {
+    SessionOptions opt;
+    opt.max_task_attempts = attempts;
+    opt.retry_backoff_s = backoff;
+    ClusterSession session(&bed.dfs(), opt);
+    session.Submit(QueryJob(bed, "/d", workload::BobQueries()[0]));
+    auto sr = session.Run();
+    EXPECT_TRUE(sr.ok());
+    EXPECT_FALSE(sr->jobs[0].ok());
+    return sr->task_retries;
+  };
+  EXPECT_EQ(run_attempts(2, 1.0), 1u);  // 1 initial + 1 retry
+}
+
 }  // namespace
 }  // namespace mapreduce
 }  // namespace hail
