@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mapreduce/scheduler.h"
+#include "obs/metrics.h"
 #include "sim/fault_plan.h"
 #include "util/macros.h"
 #include "workload/testbed.h"
@@ -178,39 +179,32 @@ int Main(int argc, char** argv) {
   bool all_ok = true;
   for (const SeedReport& rep : reports) all_ok = all_ok && rep.ok();
 
-  FILE* json = std::fopen(json_path.c_str(), "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"seeds\": [\n");
-    for (size_t i = 0; i < reports.size(); ++i) {
-      const SeedReport& rep = reports[i];
-      std::fprintf(
-          json,
-          "    {\n"
-          "      \"seed\": %llu,\n"
-          "      \"serial_equals_parallel\": %s,\n"
-          "      \"results_match_baseline\": %s,\n"
-          "      \"session_seconds\": %.3f,\n"
-          "      \"repairs_scheduled\": %u,\n"
-          "      \"repairs_completed\": %u,\n"
-          "      \"repairs_abandoned\": %u,\n"
-          "      \"under_replicated_remaining\": %llu,\n"
-          "      \"maintenance_priority_violations\": %llu,\n"
-          "      \"task_retries\": %u,\n"
-          "      \"speculative_attempts\": %u,\n"
-          "      \"speculative_wins\": %u\n"
-          "    }%s\n",
-          static_cast<unsigned long long>(rep.seed),
-          rep.deterministic ? "true" : "false",
-          rep.results_ok ? "true" : "false", rep.session_seconds,
-          rep.repairs_scheduled, rep.repairs_completed, rep.repairs_abandoned,
-          static_cast<unsigned long long>(rep.under_replicated_remaining),
-          static_cast<unsigned long long>(rep.priority_violations),
-          rep.task_retries, rep.speculative_attempts, rep.speculative_wins,
-          i + 1 < reports.size() ? "," : "");
-    }
-    std::fprintf(json, "  ],\n  \"pass\": %s\n}\n",
-                 all_ok ? "true" : "false");
-    std::fclose(json);
+  // Flat per-seed keys ("seed101.repairs_completed") in a metrics
+  // registry, serialized by the shared snapshot writer (obs/metrics.h)
+  // so the report keys cannot drift from hand-rolled JSON.
+  obs::MetricsRegistry report;
+  for (const SeedReport& rep : reports) {
+    const std::string p = "seed" + std::to_string(rep.seed) + ".";
+    report.counter(p + "serial_equals_parallel")
+        ->Add(rep.deterministic ? 1 : 0);
+    report.counter(p + "results_match_baseline")
+        ->Add(rep.results_ok ? 1 : 0);
+    report.gauge(p + "session_seconds")->Set(rep.session_seconds);
+    report.counter(p + "repairs_scheduled")->Add(rep.repairs_scheduled);
+    report.counter(p + "repairs_completed")->Add(rep.repairs_completed);
+    report.counter(p + "repairs_abandoned")->Add(rep.repairs_abandoned);
+    report.counter(p + "under_replicated_remaining")
+        ->Add(rep.under_replicated_remaining);
+    report.counter(p + "maintenance_priority_violations")
+        ->Add(rep.priority_violations);
+    report.counter(p + "task_retries")->Add(rep.task_retries);
+    report.counter(p + "speculative_attempts")
+        ->Add(rep.speculative_attempts);
+    report.counter(p + "speculative_wins")->Add(rep.speculative_wins);
+  }
+  report.counter("seeds")->Add(reports.size());
+  report.counter("pass")->Add(all_ok ? 1 : 0);
+  if (obs::WriteTextFile(json_path, report.TakeSnapshot().ToJson())) {
     std::printf("\nwrote %s\n", json_path.c_str());
   } else {
     std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());

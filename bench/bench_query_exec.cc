@@ -9,7 +9,14 @@
 /// doubles as a determinism check at paper scale), and the JSON report
 /// carries the wall-clock speedup and the cache's exactly-once counters.
 ///
-/// Usage: bench_query_exec [BENCH_query.json]
+/// A fourth pass re-runs the HAIL suite serially with span tracing and
+/// EXPLAIN profiling enabled; its results — billed cost ledgers included
+/// — must be bit-identical to the untraced reference (the zero-simulated-
+/// overhead tripwire), every profile's cost buckets must sum exactly to
+/// the billed total, and the pass emits the observability artifacts:
+/// a Chrome trace-event JSON of one fig7 query and a metrics snapshot.
+///
+/// Usage: bench_query_exec [BENCH_query.json [trace.json [metrics.json]]]
 /// (HAIL_THREADS caps the worker pool; the report records both the pool
 /// size and the machine's hardware concurrency — the >=2x acceptance
 /// target applies on >=4 hardware threads.)
@@ -22,6 +29,9 @@
 
 #include "hdfs/block_cache.h"
 #include "mapreduce/job_runner.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/macros.h"
 #include "util/thread_pool.h"
 #include "workload/testbed.h"
@@ -65,14 +75,22 @@ bool BitIdentical(const JobResult& a, const JobResult& b) {
          a.records_seen == b.records_seen &&
          a.records_qualifying == b.records_qualifying &&
          a.output_count == b.output_count &&
-         a.bad_records_seen == b.bad_records_seen;
+         a.bad_records_seen == b.bad_records_seen &&
+         a.cost == b.cost &&
+         a.billed_cost_seconds == b.billed_cost_seconds;
 }
 
 struct SuiteTiming {
   double serial_cold_ms = 0.0;  // first-ever reads: cache fills here
   double serial_hot_ms = 0.0;   // warm cache: the parallel baseline
   double parallel_hot_ms = 0.0;
+  double traced_ms = 0.0;  // serial hot with tracing + profiling on
   bool identical = true;
+  /// Every traced result (costs included) matched the untraced
+  /// reference and every profile's buckets summed to its billed total.
+  bool tracing_free = true;
+  std::string trace_json;    // Chrome trace of the first suite query
+  std::string profile_text;  // FormatProfile of the first suite query
   /// Parallel-engine contribution, cache warmth held equal.
   double engine_speedup() const {
     return parallel_hot_ms > 0 ? serial_hot_ms / parallel_hot_ms : 0.0;
@@ -88,8 +106,16 @@ struct SuiteTiming {
 /// simulated results bit-identical across all three. Comparing the two
 /// hot passes isolates the parallel engine's speedup from cache warming;
 /// the cold/hot serial pair isolates the cache's.
+///
+/// With `traced`, a fourth serial pass re-runs the suite with span
+/// tracing and EXPLAIN profiling enabled. Billed costs must still match
+/// the untraced reference bit-for-bit (observability is free in
+/// simulated time) and each profile's cost buckets must sum exactly to
+/// its billed total; the first query's Chrome trace and rendered
+/// profile are kept as artifacts.
 SuiteTiming RunSuite(Testbed* bed, System system, const std::string& path,
-                     const std::vector<QueryDef>& queries) {
+                     const std::vector<QueryDef>& queries,
+                     bool traced = false) {
   SuiteTiming timing;
   std::vector<JobResult> reference;
 
@@ -121,11 +147,36 @@ SuiteTiming RunSuite(Testbed* bed, System system, const std::string& path,
     timing.identical = timing.identical && BitIdentical(reference[i], *r);
   }
   timing.parallel_hot_ms = MsSince(start);
+
+  if (!traced) return timing;
+  obs::Tracer tracer;
+  RunOptions instrumented = serial;
+  instrumented.tracer = &tracer;
+  instrumented.profile = true;
+  start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    tracer.Clear();
+    auto r = bed->RunQuery(system, path, queries[i], false, instrumented);
+    HAIL_CHECK_OK(r.status());
+    timing.tracing_free =
+        timing.tracing_free && BitIdentical(reference[i], *r) &&
+        r->profile.has_value() &&
+        r->profile->cost.BucketSum() == r->profile->cost.total_nanos;
+    if (i == 0) {
+      timing.trace_json = tracer.ToChromeJson();
+      if (r->profile.has_value()) {
+        timing.profile_text = obs::FormatProfile(*r->profile);
+      }
+    }
+  }
+  timing.traced_ms = MsSince(start);
   return timing;
 }
 
 int Main(int argc, char** argv) {
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_query.json";
+  const std::string trace_path = argc > 2 ? argv[2] : "trace.json";
+  const std::string metrics_path = argc > 3 ? argv[3] : "metrics.json";
   const size_t pool_threads = ThreadPool::DefaultThreads();
   const unsigned hw_threads = std::thread::hardware_concurrency();
 
@@ -138,7 +189,8 @@ int Main(int argc, char** argv) {
   HAIL_CHECK_OK(bed.UploadHail("/syn", {0, 1, 2}).status());
   const hdfs::BlockCacheStats pre_hail = bed.dfs().block_cache().stats();
   const auto queries = workload::SyntheticQueries();
-  const SuiteTiming hail = RunSuite(&bed, System::kHail, "/syn", queries);
+  const SuiteTiming hail =
+      RunSuite(&bed, System::kHail, "/syn", queries, /*traced=*/true);
   const hdfs::BlockCacheStats post_hail = bed.dfs().block_cache().stats();
 
   // Hadoop full-scan path on the same testbed shape (parse-heavy reads).
@@ -161,13 +213,20 @@ int Main(int argc, char** argv) {
               hadoop.engine_speedup(), hadoop.cache_speedup());
   std::printf("\nsimulated results bit-identical across all modes: %s\n",
               hail.identical && hadoop.identical ? "yes" : "NO");
+  std::printf("tracing+profiling left billed costs bit-identical: %s "
+              "(traced pass %.1f ms)\n",
+              hail.tracing_free ? "yes" : "NO", hail.traced_ms);
+  if (!hail.profile_text.empty()) {
+    std::printf("\nEXPLAIN profile (first fig7 query, traced pass):\n%s",
+                hail.profile_text.c_str());
+  }
 
   const uint64_t verify_misses =
       post_hail.verify_misses - pre_hail.verify_misses;
   const uint64_t verify_hits = post_hail.verify_hits - pre_hail.verify_hits;
   const uint64_t index_decodes =
       post_hail.index_decodes - pre_hail.index_decodes;
-  std::printf("\nHAIL suite cache counters (18 job runs over 2030 blocks):\n");
+  std::printf("\nHAIL suite cache counters (24 job runs over 2030 blocks):\n");
   std::printf("  verify misses:  %llu (== blocks verified, once per"
               " version)\n",
               static_cast<unsigned long long>(verify_misses));
@@ -184,57 +243,65 @@ int Main(int argc, char** argv) {
                 static_cast<double>(verify_hits + verify_misses)
           : 0.0;
 
-  FILE* json = std::fopen(json_path.c_str(), "w");
-  if (json != nullptr) {
-    std::fprintf(
-        json,
-        "{\n"
-        "  \"pool_threads\": %zu,\n"
-        "  \"hardware_threads\": %u,\n"
-        "  \"queries_per_suite\": %zu,\n"
-        "  \"hail_suite\": {\n"
-        "    \"serial_cold_ms\": %.3f,\n"
-        "    \"serial_hot_ms\": %.3f,\n"
-        "    \"parallel_hot_ms\": %.3f,\n"
-        "    \"parallel_engine_speedup\": %.2f,\n"
-        "    \"cache_speedup\": %.2f\n"
-        "  },\n"
-        "  \"hadoop_suite\": {\n"
-        "    \"serial_cold_ms\": %.3f,\n"
-        "    \"serial_hot_ms\": %.3f,\n"
-        "    \"parallel_hot_ms\": %.3f,\n"
-        "    \"parallel_engine_speedup\": %.2f,\n"
-        "    \"cache_speedup\": %.2f\n"
-        "  },\n"
-        "  \"cache\": {\n"
-        "    \"verify_misses\": %llu,\n"
-        "    \"verify_hits\": %llu,\n"
-        "    \"verify_hit_rate\": %.4f,\n"
-        "    \"index_decodes\": %llu,\n"
-        "    \"bytes_verified\": %llu\n"
-        "  },\n"
-        "  \"simulated_results_bit_identical\": %s\n"
-        "}\n",
-        pool_threads, hw_threads, queries.size(), hail.serial_cold_ms,
-        hail.serial_hot_ms, hail.parallel_hot_ms, hail.engine_speedup(),
-        hail.cache_speedup(), hadoop.serial_cold_ms, hadoop.serial_hot_ms,
-        hadoop.parallel_hot_ms, hadoop.engine_speedup(),
-        hadoop.cache_speedup(),
-        static_cast<unsigned long long>(verify_misses),
-        static_cast<unsigned long long>(verify_hits), hit_rate,
-        static_cast<unsigned long long>(index_decodes),
-        static_cast<unsigned long long>(post_hail.bytes_verified -
-                                        pre_hail.bytes_verified),
-        hail.identical && hadoop.identical ? "true" : "false");
-    std::fclose(json);
+  // The report is a metrics registry serialized by the shared snapshot
+  // writer (obs/metrics.h), so BENCH_*.json keys cannot drift between
+  // hand-rolled format strings.
+  obs::MetricsRegistry report;
+  report.counter("pool_threads")->Add(pool_threads);
+  report.counter("hardware_threads")->Add(hw_threads);
+  report.counter("queries_per_suite")->Add(queries.size());
+  report.gauge("hail.serial_cold_ms")->Set(hail.serial_cold_ms);
+  report.gauge("hail.serial_hot_ms")->Set(hail.serial_hot_ms);
+  report.gauge("hail.parallel_hot_ms")->Set(hail.parallel_hot_ms);
+  report.gauge("hail.traced_ms")->Set(hail.traced_ms);
+  report.gauge("hail.parallel_engine_speedup")->Set(hail.engine_speedup());
+  report.gauge("hail.cache_speedup")->Set(hail.cache_speedup());
+  report.gauge("hadoop.serial_cold_ms")->Set(hadoop.serial_cold_ms);
+  report.gauge("hadoop.serial_hot_ms")->Set(hadoop.serial_hot_ms);
+  report.gauge("hadoop.parallel_hot_ms")->Set(hadoop.parallel_hot_ms);
+  report.gauge("hadoop.parallel_engine_speedup")
+      ->Set(hadoop.engine_speedup());
+  report.gauge("hadoop.cache_speedup")->Set(hadoop.cache_speedup());
+  report.counter("cache.verify_misses")->Add(verify_misses);
+  report.counter("cache.verify_hits")->Add(verify_hits);
+  report.gauge("cache.verify_hit_rate")->Set(hit_rate);
+  report.counter("cache.index_decodes")->Add(index_decodes);
+  report.counter("cache.bytes_verified")
+      ->Add(post_hail.bytes_verified - pre_hail.bytes_verified);
+  report.counter("simulated_results_bit_identical")
+      ->Add(hail.identical && hadoop.identical ? 1 : 0);
+  report.counter("tracing_zero_simulated_overhead")
+      ->Add(hail.tracing_free ? 1 : 0);
+  if (obs::WriteTextFile(json_path, report.TakeSnapshot().ToJson())) {
     std::printf("\nwrote %s\n", json_path.c_str());
   } else {
     std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
   }
+  if (obs::WriteTextFile(trace_path, hail.trace_json)) {
+    std::printf("wrote %s (Chrome trace, first fig7 query)\n",
+                trace_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", trace_path.c_str());
+  }
+  // Session-level metrics accumulated by the DFS registry across every
+  // run on the HAIL testbed (scheduler.*, cache.*, cost.*, task.*).
+  if (obs::WriteTextFile(metrics_path,
+                         bed.dfs().metrics().TakeSnapshot().ToJson())) {
+    std::printf("wrote %s (metrics snapshot)\n", metrics_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 metrics_path.c_str());
+  }
 
   // Determinism is a hard requirement; a wall-clock regression is not
-  // (CI machines vary), so only result divergence fails the smoke.
-  return hail.identical && hadoop.identical ? 0 : 1;
+  // (CI machines vary), so only result divergence — including any billed
+  // cost drift under tracing — fails the smoke.
+  if (!hail.tracing_free) {
+    std::fprintf(stderr,
+                 "FAIL: tracing/profiling changed simulated results or a "
+                 "profile's cost buckets did not sum to the billed total\n");
+  }
+  return hail.identical && hadoop.identical && hail.tracing_free ? 0 : 1;
 }
 
 }  // namespace

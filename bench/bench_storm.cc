@@ -38,6 +38,7 @@
 
 #include "adaptive/adaptive_manager.h"
 #include "mapreduce/scheduler.h"
+#include "obs/metrics.h"
 #include "util/macros.h"
 #include "workload/testbed.h"
 
@@ -272,46 +273,36 @@ int Main(int argc, char** argv) {
   const bool maint_ok =
       on.maintenance_violations == 0 && on.replicas_added > 0;
 
-  FILE* json = std::fopen(json_path.c_str(), "w");
-  if (json != nullptr) {
-    std::fprintf(
-        json,
-        "{\n"
-        "  \"storm_queries\": %d,\n"
-        "  \"short_p50_off_seconds\": %.3f,\n"
-        "  \"short_p95_off_seconds\": %.3f,\n"
-        "  \"short_p99_off_seconds\": %.3f,\n"
-        "  \"short_p50_on_seconds\": %.3f,\n"
-        "  \"short_p95_on_seconds\": %.3f,\n"
-        "  \"short_p99_on_seconds\": %.3f,\n"
-        "  \"short_p99_improvement\": %.2f,\n"
-        "  \"short_p99_improvement_floor\": %.2f,\n"
-        "  \"short_slo_seconds\": %.1f,\n"
-        "  \"short_slo_violations_on\": %llu,\n"
-        "  \"heavy_completed_on\": %llu,\n"
-        "  \"heavy_shed_on\": %llu,\n"
-        "  \"preemptions_on\": %u,\n"
-        "  \"preempted_slot_seconds_on\": %.3f,\n"
-        "  \"replicas_added_on\": %u,\n"
-        "  \"replicas_evicted_on\": %u,\n"
-        "  \"maintenance_completed_on\": %u,\n"
-        "  \"maintenance_priority_violations_on\": %llu,\n"
-        "  \"session_seconds_off\": %.3f,\n"
-        "  \"session_seconds_on\": %.3f,\n"
-        "  \"serial_equals_parallel\": %s\n"
-        "}\n",
-        kShortJobs + kFloodJobs + kSustainedJobs, off.short_p50, off.short_p95,
-        off.short_p99, on.short_p50, on.short_p95, on.short_p99, improvement,
-        kP99ImprovementFloor, kShortSloS,
-        static_cast<unsigned long long>(on.short_violations),
-        static_cast<unsigned long long>(on.heavy_completed),
-        static_cast<unsigned long long>(on.heavy_shed), on.preemptions,
-        on.preempted_slot_seconds, on.replicas_added, on.replicas_evicted,
-        on.maintenance_completed,
-        static_cast<unsigned long long>(on.maintenance_violations),
-        off.session_seconds, on.session_seconds,
-        deterministic ? "true" : "false");
-    std::fclose(json);
+  // The report is a metrics registry serialized by the shared snapshot
+  // writer (obs/metrics.h) — counters for integral/boolean facts, gauges
+  // for seconds/ratios — so BENCH_*.json keys cannot drift from the
+  // metric names and every bench emits the same JSON shape.
+  obs::MetricsRegistry report;
+  report.counter("storm_queries")
+      ->Add(kShortJobs + kFloodJobs + kSustainedJobs);
+  report.gauge("short_p50_off_seconds")->Set(off.short_p50);
+  report.gauge("short_p95_off_seconds")->Set(off.short_p95);
+  report.gauge("short_p99_off_seconds")->Set(off.short_p99);
+  report.gauge("short_p50_on_seconds")->Set(on.short_p50);
+  report.gauge("short_p95_on_seconds")->Set(on.short_p95);
+  report.gauge("short_p99_on_seconds")->Set(on.short_p99);
+  report.gauge("short_p99_improvement")->Set(improvement);
+  report.gauge("short_p99_improvement_floor")->Set(kP99ImprovementFloor);
+  report.gauge("short_slo_seconds")->Set(kShortSloS);
+  report.counter("short_slo_violations_on")->Add(on.short_violations);
+  report.counter("heavy_completed_on")->Add(on.heavy_completed);
+  report.counter("heavy_shed_on")->Add(on.heavy_shed);
+  report.counter("preemptions_on")->Add(on.preemptions);
+  report.gauge("preempted_slot_seconds_on")->Set(on.preempted_slot_seconds);
+  report.counter("replicas_added_on")->Add(on.replicas_added);
+  report.counter("replicas_evicted_on")->Add(on.replicas_evicted);
+  report.counter("maintenance_completed_on")->Add(on.maintenance_completed);
+  report.counter("maintenance_priority_violations_on")
+      ->Add(on.maintenance_violations);
+  report.gauge("session_seconds_off")->Set(off.session_seconds);
+  report.gauge("session_seconds_on")->Set(on.session_seconds);
+  report.counter("serial_equals_parallel")->Add(deterministic ? 1 : 0);
+  if (obs::WriteTextFile(json_path, report.TakeSnapshot().ToJson())) {
     std::printf("\nwrote %s\n", json_path.c_str());
   } else {
     std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());

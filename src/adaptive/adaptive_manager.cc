@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace hail {
 namespace adaptive {
 
@@ -87,7 +89,13 @@ void AdaptiveManager::ObserveJob(const mapreduce::JobSpec& spec,
   PruneConverged();
   std::vector<MaintenanceTask> tasks =
       planner_.Plan(*dfs_, schema_, file_, observer_, &last_plan_);
-  planned_total_ += Enqueue(std::move(tasks), /*front=*/false);
+  const size_t planned = Enqueue(std::move(tasks), /*front=*/false);
+  planned_total_ += planned;
+  obs::MetricsRegistry& m = dfs_->metrics();
+  m.counter("adaptive.queries_observed")->Inc();
+  m.counter("adaptive.tasks_planned")->Add(planned);
+  m.gauge("adaptive.tasks_pending")
+      ->Set(static_cast<double>(pending_.size()));
 }
 
 }  // namespace adaptive

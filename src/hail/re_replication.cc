@@ -7,6 +7,7 @@
 #include "hdfs/packet.h"
 #include "index/clustered_index.h"
 #include "layout/column_vector.h"
+#include "obs/metrics.h"
 
 namespace hail {
 
@@ -178,6 +179,9 @@ Result<PreparedRepair> PrepareRepair(const hdfs::MiniDfs& dfs,
   out.info.replica_bytes = out.bytes.size();
   out.chunk_crcs = hdfs::ComputeChunkChecksums(
       out.bytes, static_cast<uint32_t>(dfs.config().chunk_bytes));
+  obs::MetricsRegistry& metrics = dfs.metrics();
+  metrics.counter("repair.prepares")->Inc();
+  metrics.counter("repair.bytes_prepared")->Add(out.bytes.size());
   return out;
 }
 
@@ -189,7 +193,10 @@ Status CommitRepair(hdfs::MiniDfs* dfs,
   }
   dfs->datanode(target).StoreBlock(entry.block_id, std::move(prepared.bytes),
                                    prepared.chunk_crcs);
-  return dfs->namenode().CompleteRepair(entry, target, prepared.info);
+  HAIL_RETURN_NOT_OK(
+      dfs->namenode().CompleteRepair(entry, target, prepared.info));
+  dfs->metrics().counter("repair.commits")->Inc();
+  return Status::OK();
 }
 
 }  // namespace hail

@@ -5,6 +5,23 @@
 namespace hail {
 namespace hdfs {
 
+BlockCache::BlockCache(size_t max_entries_per_shard,
+                       obs::MetricsRegistry* registry)
+    : max_entries_per_shard_(max_entries_per_shard) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  verify_hits_ = registry->counter("cache.verify_hits");
+  verify_misses_ = registry->counter("cache.verify_misses");
+  bytes_verified_ = registry->counter("cache.bytes_verified");
+  artifact_hits_ = registry->counter("cache.artifact_hits");
+  artifact_misses_ = registry->counter("cache.artifact_misses");
+  index_decodes_ = registry->counter("cache.index_decodes");
+  invalidated_entries_ = registry->counter("cache.invalidated_entries");
+  evicted_entries_ = registry->counter("cache.evicted_entries");
+}
+
 BlockCache::Entry& BlockCache::LiveEntry(Shard& shard, const Key& key,
                                          uint64_t generation) {
   auto it = shard.map.find(key);
@@ -16,7 +33,7 @@ BlockCache::Entry& BlockCache::LiveEntry(Shard& shard, const Key& key,
       shard.fifo.pop_front();
       if (victim == key) continue;
       if (shard.map.erase(victim) > 0) {
-        evicted_entries_.fetch_add(1, std::memory_order_relaxed);
+        evicted_entries_->Inc();
       }
     }
     it = shard.map.emplace(key, Entry{}).first;
@@ -42,11 +59,11 @@ Status BlockCache::VerifyOnce(int datanode, uint64_t block_id,
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry& entry = LiveEntry(shard, key, generation);
   if (entry.verified) {
-    verify_hits_.fetch_add(1, std::memory_order_relaxed);
+    verify_hits_->Inc();
     return Status::OK();
   }
-  verify_misses_.fetch_add(1, std::memory_order_relaxed);
-  bytes_verified_.fetch_add(bytes, std::memory_order_relaxed);
+  verify_misses_->Inc();
+  bytes_verified_->Add(bytes);
   Status st = verify();
   if (st.ok()) entry.verified = true;
   return st;
@@ -61,10 +78,10 @@ Result<std::shared_ptr<const BlockArtifact>> BlockCache::ArtifactOnce(
   std::lock_guard<std::mutex> lock(shard.mu);
   Entry& entry = LiveEntry(shard, key, generation);
   if (entry.artifact != nullptr) {
-    artifact_hits_.fetch_add(1, std::memory_order_relaxed);
+    artifact_hits_->Inc();
     return entry.artifact;
   }
-  artifact_misses_.fetch_add(1, std::memory_order_relaxed);
+  artifact_misses_->Inc();
   HAIL_ASSIGN_OR_RETURN(std::shared_ptr<const BlockArtifact> artifact,
                         make());
   entry.artifact = std::move(artifact);
@@ -76,7 +93,7 @@ void BlockCache::InvalidateBlock(int datanode, uint64_t block_id) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.map.erase(key) > 0) {
-    invalidated_entries_.fetch_add(1, std::memory_order_relaxed);
+    invalidated_entries_->Inc();
   }
 }
 
@@ -86,7 +103,7 @@ void BlockCache::InvalidateDatanode(int datanode) {
     for (auto it = shard.map.begin(); it != shard.map.end();) {
       if (it->first.datanode == datanode) {
         it = shard.map.erase(it);
-        invalidated_entries_.fetch_add(1, std::memory_order_relaxed);
+        invalidated_entries_->Inc();
       } else {
         ++it;
       }
@@ -97,8 +114,7 @@ void BlockCache::InvalidateDatanode(int datanode) {
 void BlockCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    invalidated_entries_.fetch_add(shard.map.size(),
-                                   std::memory_order_relaxed);
+    invalidated_entries_->Add(shard.map.size());
     shard.map.clear();
     shard.fifo.clear();
   }
@@ -106,15 +122,14 @@ void BlockCache::Clear() {
 
 BlockCacheStats BlockCache::stats() const {
   BlockCacheStats out;
-  out.verify_hits = verify_hits_.load(std::memory_order_relaxed);
-  out.verify_misses = verify_misses_.load(std::memory_order_relaxed);
-  out.bytes_verified = bytes_verified_.load(std::memory_order_relaxed);
-  out.artifact_hits = artifact_hits_.load(std::memory_order_relaxed);
-  out.artifact_misses = artifact_misses_.load(std::memory_order_relaxed);
-  out.index_decodes = index_decodes_.load(std::memory_order_relaxed);
-  out.invalidated_entries =
-      invalidated_entries_.load(std::memory_order_relaxed);
-  out.evicted_entries = evicted_entries_.load(std::memory_order_relaxed);
+  out.verify_hits = verify_hits_->Value();
+  out.verify_misses = verify_misses_->Value();
+  out.bytes_verified = bytes_verified_->Value();
+  out.artifact_hits = artifact_hits_->Value();
+  out.artifact_misses = artifact_misses_->Value();
+  out.index_decodes = index_decodes_->Value();
+  out.invalidated_entries = invalidated_entries_->Value();
+  out.evicted_entries = evicted_entries_->Value();
   return out;
 }
 

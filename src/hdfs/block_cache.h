@@ -22,13 +22,14 @@
 ///
 /// Thread safety: the cache is sharded; each shard's mutex is held across
 /// the miss path (verify/decode + insert), which both serialises duplicate
-/// work and guarantees the exactly-once counters the tests rely on. All
-/// counters are atomic — the parallel task engine hits this cache from
-/// many pool threads at once.
+/// work and guarantees the exactly-once counters the tests rely on. The
+/// counters live on the cluster MetricsRegistry ("cache.*") as sharded
+/// obs::Counters — the parallel task engine hits this cache from many
+/// pool threads at once, and the exactly-once protocol makes the merged
+/// totals identical between serial and parallel execution.
 
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -36,6 +37,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace hail {
@@ -76,8 +78,10 @@ class BlockCache {
   /// \p max_entries_per_shard bounds each of the kShards shards (FIFO
   /// eviction). The default comfortably holds the paper-scale corpus
   /// (3200 blocks x 3 replicas) while bounding worst-case memory.
-  explicit BlockCache(size_t max_entries_per_shard = 4096)
-      : max_entries_per_shard_(max_entries_per_shard) {}
+  /// Counters register on \p registry as "cache.*"; when null, the cache
+  /// owns a private registry (standalone unit tests).
+  explicit BlockCache(size_t max_entries_per_shard = 4096,
+                      obs::MetricsRegistry* registry = nullptr);
 
   /// Memoised checksum verification. On a hit for this exact generation,
   /// returns OK without invoking \p verify; on a miss, runs \p verify and
@@ -104,9 +108,7 @@ class BlockCache {
 
   /// Counter hook for readers' lazy index decodes (the artifact owns the
   /// decode; the cache owns the counter so tests have one place to look).
-  void NoteIndexDecode() {
-    index_decodes_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void NoteIndexDecode() { index_decodes_->Inc(); }
 
   /// Snapshot of the monotonic counters.
   BlockCacheStats stats() const;
@@ -164,14 +166,17 @@ class BlockCache {
   size_t max_entries_per_shard_;
   Shard shards_[kShards];
 
-  std::atomic<uint64_t> verify_hits_{0};
-  std::atomic<uint64_t> verify_misses_{0};
-  std::atomic<uint64_t> bytes_verified_{0};
-  std::atomic<uint64_t> artifact_hits_{0};
-  std::atomic<uint64_t> artifact_misses_{0};
-  std::atomic<uint64_t> index_decodes_{0};
-  std::atomic<uint64_t> invalidated_entries_{0};
-  std::atomic<uint64_t> evicted_entries_{0};
+  // Registry-backed counters ("cache.*"); `stats()` is a snapshot view
+  // over these — there are no per-field atomics anymore.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Counter* verify_hits_;
+  obs::Counter* verify_misses_;
+  obs::Counter* bytes_verified_;
+  obs::Counter* artifact_hits_;
+  obs::Counter* artifact_misses_;
+  obs::Counter* index_decodes_;
+  obs::Counter* invalidated_entries_;
+  obs::Counter* evicted_entries_;
 };
 
 }  // namespace hdfs

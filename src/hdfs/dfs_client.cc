@@ -9,6 +9,7 @@ MiniDfs::MiniDfs(sim::SimCluster* cluster, DfsConfig config)
     : cluster_(cluster),
       config_(config),
       namenode_(cluster->num_nodes()),
+      block_cache_(/*max_entries_per_shard=*/4096, &metrics_),
       pipeline_(cluster, &namenode_, {}, config) {
   datanodes_.reserve(static_cast<size_t>(cluster->num_nodes()));
   for (int i = 0; i < cluster->num_nodes(); ++i) {

@@ -49,6 +49,13 @@ class MiniDfs {
   /// const because reading through the DFS is logically const).
   BlockCache& block_cache() const { return block_cache_; }
 
+  /// Cluster-wide metrics registry (obs/metrics.h): the cache, the
+  /// session engine, the adaptive loop and the repair path all register
+  /// their counters here. Monotonic across sessions; tests that compare
+  /// snapshots call Reset() at their own boundaries. Const for the same
+  /// reason as the cache: observing the DFS is logically const.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+
   std::vector<Datanode*> datanode_ptrs();
 
   /// Kills a node at the given simulated time: marks it dead in both the
@@ -86,6 +93,8 @@ class MiniDfs {
   sim::SimCluster* cluster_;
   DfsConfig config_;
   Namenode namenode_;
+  mutable obs::MetricsRegistry metrics_;  // before block_cache_: it
+                                          // registers counters here
   mutable BlockCache block_cache_;
   std::vector<std::unique_ptr<Datanode>> datanodes_;
   UploadPipeline pipeline_;

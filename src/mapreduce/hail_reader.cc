@@ -213,6 +213,10 @@ class HailRecordReader : public RecordReader {
     const hdfs::BlockLocation& loc = ctx->plan->file_blocks[block_index];
     const hdfs::DfsConfig& cfg = ctx->dfs->config();
     const int index_column = ctx->plan->index_column;
+    const size_t bspan =
+        ctx->trace != nullptr
+            ? ctx->trace->Open("block_read", "read", cost->total())
+            : 0;
 
     // Replica choice via getHostsWithIndex (§4.3): prefer the local node,
     // then any node whose replica has the matching clustered index. When
@@ -308,6 +312,14 @@ class HailRecordReader : public RecordReader {
                             cached->Index(&ctx->dfs->block_cache()));
       range = index->Lookup(*key_range);
       index_scan = true;
+      if (ctx->trace != nullptr) {
+        const size_t probe =
+            ctx->trace->Open("index_probe", "index", cost->total());
+        ctx->trace->Attr(probe, "kind", "clustered");
+        ctx->trace->Attr(probe, "column", index_column);
+        ctx->trace->Attr(probe, "rows", static_cast<uint64_t>(range.size()));
+        ctx->trace->Close(probe, cost->total());
+      }
     } else if (unclustered && view.unclustered_column() == index_column &&
                key_range.has_value()) {
       // Adaptive unclustered path (§3.5 semantics): the dense index yields
@@ -332,6 +344,15 @@ class HailRecordReader : public RecordReader {
         selection.mutable_rows() = std::move(candidates);
         uc_scan = true;
         use_selection = true;
+      }
+      if (ctx->trace != nullptr) {
+        const size_t probe =
+            ctx->trace->Open("index_probe", "index", cost->total());
+        ctx->trace->Attr(probe, "kind", "unclustered");
+        ctx->trace->Attr(probe, "column", index_column);
+        ctx->trace->Attr(probe, "rows", uc_candidates);
+        if (uc_abandoned) ctx->trace->Attr(probe, "abandoned", 1);
+        ctx->trace->Close(probe, cost->total());
       }
     }
 
@@ -401,6 +422,15 @@ class HailRecordReader : public RecordReader {
     ctx->records_qualifying += qualifying;
     if (index_scan) ctx->index_scan = true;
     if (uc_scan) ctx->unclustered_scan = true;
+    const uint64_t rows_touched = uc_scan ? uc_candidates : range.size();
+    if ((index_scan || uc_scan) && rows_touched == 0) {
+      ++ctx->blocks_skipped;
+    } else {
+      ++ctx->blocks_scanned;
+    }
+    if (index_scan || uc_scan) {
+      ctx->rows_skipped += pax.num_records() - rows_touched;
+    }
 
     // ---- cost ----
     const double fraction =
@@ -482,14 +512,19 @@ class HailRecordReader : public RecordReader {
       }
     }
 
-    cost->disk_seconds += c.block_open_ms / 1000.0 +
-                          column_seeks * disk_cost.DiskSeek() +
-                          disk_cost.DiskTransfer(bytes_read);
-    cost->cpu_seconds += node_cost.Crc(bytes_read) +
+    const double seek_s =
+        c.block_open_ms / 1000.0 + column_seeks * disk_cost.DiskSeek();
+    const double transfer_s = disk_cost.DiskTransfer(bytes_read);
+    cost->disk_seconds += seek_s + transfer_s;
+    cost->ledger.Bill(obs::CostBucket::kSeek, seek_s);
+    cost->ledger.Bill(obs::CostBucket::kTransfer, transfer_s);
+    const double cpu_s = node_cost.Crc(bytes_read) +
                          node_cost.PredicateEval(logical_range_records) +
                          node_cost.Reconstruct(logical_qualifying,
                                                static_cast<int>(proj.size())) +
                          node_cost.MapCalls(logical_qualifying);
+    cost->cpu_seconds += cpu_s;
+    cost->ledger.Bill(obs::CostBucket::kCpu, cpu_s);
     // Scan-on-compressed (format v3): the filter ran on the encoded form,
     // so only qualifying rows pay the per-value decode, once per encoded
     // projected column. Zero for v1/v2 blocks (every column reads kPlain).
@@ -500,18 +535,37 @@ class HailRecordReader : public RecordReader {
       }
     }
     if (encoded_projected > 0) {
-      cost->cpu_seconds +=
+      const double decode_s =
           node_cost.DecodeValues(logical_qualifying * encoded_projected);
+      cost->cpu_seconds += decode_s;
+      cost->ledger.Bill(obs::CostBucket::kDecode, decode_s);
     }
     if (!index_scan && !uc_scan) {
       // Full scans decode every record, not just qualifying ones.
-      cost->cpu_seconds += node_cost.Reconstruct(
-          logical_range_records, pax.num_columns());
+      const double scan_cpu_s =
+          node_cost.Reconstruct(logical_range_records, pax.num_columns());
+      cost->cpu_seconds += scan_cpu_s;
+      cost->ledger.Bill(obs::CostBucket::kCpu, scan_cpu_s);
     }
     if (dn != ctx->task_node) {
-      cost->net_seconds += node_cost.NetTransfer(bytes_read);
+      const double net_s = node_cost.NetTransfer(bytes_read);
+      cost->net_seconds += net_s;
+      cost->ledger.Bill(obs::CostBucket::kNetwork, net_s);
     }
     cost->logical_bytes_read += bytes_read;
+    if (ctx->trace != nullptr) {
+      ctx->trace->Attr(bspan, "block", loc.block_id);
+      ctx->trace->Attr(bspan, "datanode", dn);
+      ctx->trace->Attr(bspan, "generation",
+                       ctx->dfs->datanode(dn).block_generation(loc.block_id));
+      ctx->trace->Attr(bspan, "replica",
+                       indexed ? "clustered"
+                               : (unclustered ? "unclustered" : "plain"));
+      ctx->trace->Attr(bspan, "bytes", bytes_read);
+      ctx->trace->Attr(bspan, "rows", rows_touched);
+      ctx->trace->Attr(bspan, "qualifying", qualifying);
+      ctx->trace->Close(bspan, cost->total());
+    }
     return Status::OK();
   }
 };

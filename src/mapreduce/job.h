@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/cost_attribution.h"
+#include "obs/explain.h"
 #include "query/predicate.h"
 #include "schema/schema.h"
 #include "schema/value.h"
@@ -162,6 +164,21 @@ struct JobResult {
   uint64_t output_count = 0;
   uint64_t bad_records_seen = 0;
   std::vector<std::string> output_rows;  // populated when collect_output
+
+  // -- observability (obs/): cost attribution + EXPLAIN inputs --
+  /// Per-bucket breakdown of every cost this job was billed: the winning
+  /// attempts' reader costs plus engine-level waste (preempted slot time,
+  /// speculative losers). Buckets sum exactly to `cost.total_nanos`; the
+  /// companion double `billed_cost_seconds` tracks it within rounding.
+  obs::CostLedger cost;
+  double billed_cost_seconds = 0.0;
+  /// Index/sort column the job plan keyed on (-1 = full scan plan).
+  int index_column = -1;
+  uint64_t blocks_scanned = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t rows_skipped = 0;
+  /// Filled when RunOptions::profile is set (single-job runner path).
+  std::optional<obs::QueryProfile> profile;
 };
 
 }  // namespace mapreduce

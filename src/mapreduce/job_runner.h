@@ -89,6 +89,13 @@ struct RunOptions {
   /// starved — and (2) reports the executed query back to the manager's
   /// workload observer, which may plan further reorganization.
   adaptive::AdaptiveManager* adaptive = nullptr;
+  /// Span tracing on the simulated clock (obs/trace.h). Observational
+  /// only: billed costs are bit-identical with tracing on or off.
+  obs::Tracer* tracer = nullptr;
+  /// Attach an EXPLAIN-style QueryProfile (obs/explain.h) to the
+  /// JobResult: access path, blocks scanned vs skipped, rows through the
+  /// kernels, cache hits, and the per-bucket billed-cost breakdown.
+  bool profile = false;
 };
 
 /// \brief Runs MapReduce jobs against a MiniDfs cluster.

@@ -56,18 +56,35 @@ Result<size_t> ReadReplicaWithFailover(ReadContext* ctx, uint64_t block_id,
       // surfaced: the whole wasted read is billed, then the next replica
       // is tried. The sighting is recorded for the engine to report.
       ctx->bad_replicas.push_back({block_id, dn});
-      cost->disk_seconds +=
+      const double waste_start = cost->total();
+      const double disk =
           c.block_open_ms / 1000.0 +
           ctx->dfs->cluster().node(dn).cost().DiskAccess(logical_bytes);
-      cost->cpu_seconds += node_cost.Crc(logical_bytes);
+      const double cpu = node_cost.Crc(logical_bytes);
+      double net = 0.0;
+      cost->disk_seconds += disk;
+      cost->cpu_seconds += cpu;
       if (dn != ctx->task_node) {
-        cost->net_seconds += node_cost.NetTransfer(logical_bytes);
+        net = node_cost.NetTransfer(logical_bytes);
+        cost->net_seconds += net;
       }
       cost->logical_bytes_read += logical_bytes;
+      cost->ledger.Bill(obs::CostBucket::kFailoverReread, disk + cpu + net);
+      if (ctx->trace != nullptr) {
+        const size_t span =
+            ctx->trace->Open("failover_reread", "failover", waste_start);
+        ctx->trace->Attr(span, "block", block_id);
+        ctx->trace->Attr(span, "datanode", dn);
+        ctx->trace->Attr(span, "bytes", logical_bytes);
+        ctx->trace->Attr(span, "error", "corruption");
+        ctx->trace->Close(span, cost->total());
+      }
     } else if (st.IsUnavailable() || st.IsNotFound()) {
       // Dead node, or a replica deleted after an earlier corruption
       // report: only the connection attempt is paid.
-      cost->disk_seconds += c.block_open_ms / 1000.0;
+      const double open = c.block_open_ms / 1000.0;
+      cost->disk_seconds += open;
+      cost->ledger.Bill(obs::CostBucket::kFailoverReread, open);
     } else {
       return st;
     }

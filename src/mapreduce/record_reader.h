@@ -19,17 +19,26 @@
 #include "hdfs/dfs_client.h"
 #include "mapreduce/input_format.h"
 #include "mapreduce/job.h"
+#include "obs/cost_attribution.h"
+#include "obs/trace.h"
 #include "query/vectorized.h"
 
 namespace hail {
 namespace mapreduce {
 
 /// \brief Simulated cost of one map task's data access.
+///
+/// The three double fields drive the simulated clock and are billed
+/// exactly as before; `ledger` is side-band attribution bookkeeping —
+/// every billing site also books the same seconds into one typed bucket,
+/// so the per-query breakdown sums to the billed total without ever
+/// perturbing the doubles (see obs/cost_attribution.h).
 struct TaskCost {
   double disk_seconds = 0.0;
   double cpu_seconds = 0.0;
   double net_seconds = 0.0;
   uint64_t logical_bytes_read = 0;
+  obs::CostLedger ledger;
 
   double total() const { return disk_seconds + cpu_seconds + net_seconds; }
   void Add(const TaskCost& other) {
@@ -37,6 +46,7 @@ struct TaskCost {
     cpu_seconds += other.cpu_seconds;
     net_seconds += other.net_seconds;
     logical_bytes_read += other.logical_bytes_read;
+    ledger.Add(other.ledger);
   }
 };
 
@@ -85,6 +95,20 @@ struct ReadContext {
   /// Replicas whose CRC verification failed during this task (each was
   /// skipped over by failover; the engine reports them afterwards).
   std::vector<BadReplicaReport> bad_replicas;
+
+  // -- profile counters (EXPLAIN surface; cheap plain increments) --
+  /// Blocks whose rows were actually touched.
+  uint64_t blocks_scanned = 0;
+  /// Blocks an index probe pruned entirely (empty qualifying range).
+  uint64_t blocks_skipped = 0;
+  /// Rows an index scan never had to touch (block rows minus the
+  /// qualifying range the probe returned).
+  uint64_t rows_skipped = 0;
+
+  /// When non-null, readers record block-read / index-probe / failover
+  /// spans here at billed-cost offsets; the engine splices them onto the
+  /// simulated timeline at the completion event (see obs/trace.h).
+  obs::TraceBuffer* trace = nullptr;
 };
 
 /// \brief Abstract reader: one call per map task.

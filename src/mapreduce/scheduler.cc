@@ -15,6 +15,7 @@
 #include "adaptive/reorg.h"
 #include "hail/re_replication.h"
 #include "mapreduce/pending_index.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace hail {
@@ -179,6 +180,14 @@ struct TaskState {
   bool fallback_scan = false;
   bool index_scan = false;
   bool unclustered_scan = false;
+  /// Cost attribution of the winning attempt (obs/cost_attribution.h): the
+  /// reader's per-bucket integer-nanosecond ledger plus the matching double
+  /// total that drove the simulated clock.
+  obs::CostLedger ledger;
+  double billed_seconds = 0.0;
+  uint64_t blocks_scanned = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t rows_skipped = 0;
   int reschedules = 0;
   // Fair-share accounting: whether the latest assignment happened under
   // cross-queue contention, accumulated slot occupancy.
@@ -213,6 +222,13 @@ struct ReadOutcome {
   bool fallback_scan = false;
   bool index_scan = false;
   bool unclustered_scan = false;
+  uint64_t blocks_scanned = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t rows_skipped = 0;
+  /// Reader-level spans recorded at billed-cost offsets (block reads,
+  /// index probes, failover rereads); the engine splices them onto the
+  /// task span at the completion event. Empty when tracing is off.
+  obs::TraceBuffer trace;
   /// Corrupt replicas the read failed over past; the engine reports them
   /// to the namenode at the completion event (readers are const over DFS).
   std::vector<BadReplicaReport> bad_replicas;
@@ -271,6 +287,12 @@ struct JobExec {
   /// Online adaptation already observed this job (skip it in the epilogue).
   bool observed = false;
   Status error;  // valid when kFailed
+  /// Tracing/cost-attribution state: the job's span id (0 = none) and the
+  /// engine-level waste billed to this tenant (preempted slot time,
+  /// speculative losers) on top of the winning attempts' reader costs.
+  uint64_t span = 0;
+  obs::CostLedger waste_ledger;
+  double waste_seconds = 0.0;
 };
 
 }  // namespace
@@ -295,6 +317,16 @@ struct SessionEngine {
   std::vector<int> completion_order;
   bool session_done = false;
   Status first_error;  // session-fatal (scheduler desync, starvation)
+
+  /// Span tracing (obs/trace.h). All tracer mutation happens on the event
+  /// thread inside event callbacks, and only while the session is healthy:
+  /// after a fatal error serial drains the remaining events as no-ops
+  /// while parallel discards unjoined reads, so appending past that
+  /// instant would diverge between the modes. The guard keeps the span
+  /// append order — and hence span ids — bit-identical.
+  obs::Tracer* tracer = nullptr;
+  uint64_t session_span = 0;
+  bool tracing() const { return tracer != nullptr && first_error.ok(); }
 
   /// Effective fault schedule: options->fault_plan plus the legacy
   /// kill_node knob merged in at Run time.
@@ -454,6 +486,19 @@ struct SessionEngine {
 void SessionEngine::AdmitJob(int j) {
   JobExec& job = jobs[static_cast<size_t>(j)];
   if (job.phase != JobExec::Phase::kWaiting) return;
+  if (tracing()) {
+    const ClusterSession::Submitted& s = *job.submitted;
+    job.span = tracer->AddSpan(
+        "job", s.kind == ClusterSession::Submitted::Kind::kQuery ? "query"
+                                                                 : "upload",
+        events.Now(), 0.0, session_span, /*lane=*/-1);
+    tracer->Attr(job.span, "name",
+                 s.kind == ClusterSession::Submitted::Kind::kQuery
+                     ? s.spec.name
+                     : s.upload.name);
+    tracer->Attr(job.span, "job", static_cast<int64_t>(j));
+    tracer->Attr(job.span, "queue", s.queue);
+  }
   if (ShedIfOverloaded(j)) return;
   const ClusterSession::Submitted& sub = *job.submitted;
   const sim::SimTime now = events.Now();
@@ -600,6 +645,10 @@ void SessionEngine::FailJob(int j, Status st) {
     ++jobs_shed;
     ++usage[static_cast<size_t>(scheduler.queue_of(j))].jobs_shed;
   }
+  if (tracing() && job.span != 0) {
+    tracer->Attr(job.span, "error", st.message());
+    tracer->SetEnd(job.span, job.finish_time);
+  }
   job.error = std::move(st);
   ++jobs_finished;
   AdmitDependents(j);
@@ -614,6 +663,7 @@ void SessionEngine::JobDone(int j) {
   job.finish_time = events.Now() + constants().job_cleanup_s;
   completion_order.push_back(j);
   ++jobs_finished;
+  if (tracing() && job.span != 0) tracer->SetEnd(job.span, job.finish_time);
   if (options->online_adaptation && options->adaptive != nullptr &&
       job.submitted->kind == ClusterSession::Submitted::Kind::kQuery) {
     // Deferred to its own event: at an event boundary both execution
@@ -881,6 +931,18 @@ void SessionEngine::MaybePreempt() {
   scheduler.OnTaskFinished(vj);
   free_slots[static_cast<size_t>(node)] += 1;
   const double wasted = now - task.assign_time;
+  // The preempted slot time is billed to the victim tenant's cost ledger:
+  // the cluster did the work, the queue's own overdraft caused its loss.
+  job.waste_ledger.Bill(obs::CostBucket::kWastedPreemption, wasted);
+  job.waste_seconds += wasted;
+  if (tracing()) {
+    const uint64_t sp = tracer->AddSpan("preemption", "sched",
+                                        task.assign_time, wasted, job.span,
+                                        /*lane=*/node);
+    tracer->Attr(sp, "task", static_cast<uint64_t>(vt));
+    tracer->Attr(sp, "node", static_cast<int64_t>(node));
+    tracer->Attr(sp, "wasted_slot_seconds", wasted);
+  }
   QueueUsage& u = usage[static_cast<size_t>(victim_q)];
   ++u.preemptions;
   u.preempted_slot_seconds += wasted;
@@ -965,6 +1027,15 @@ void SessionEngine::OnMaintenanceComplete(size_t mid, int node) {
     return;
   }
   free_slots[static_cast<size_t>(node)] += 1;
+  if (tracing()) {
+    const double duration = m.prepared->seconds;
+    const uint64_t sp =
+        tracer->AddSpan("reorg", "maint", events.Now() - duration, duration,
+                        session_span, /*lane=*/node);
+    tracer->Attr(sp, "block", m.task.block_id);
+    tracer->Attr(sp, "column", static_cast<int64_t>(m.task.column));
+    tracer->Attr(sp, "node", static_cast<int64_t>(node));
+  }
   if (parallel) {
     pending_commits.push_back(mid);
   } else {
@@ -1079,6 +1150,16 @@ void SessionEngine::OnRepairComplete(size_t rid, int node) {
     return;
   }
   free_slots[static_cast<size_t>(node)] += 1;
+  if (tracing()) {
+    const double duration = r.prepared->seconds * plan.slow_factor(node);
+    const uint64_t sp =
+        tracer->AddSpan("repair", "repair", events.Now() - duration, duration,
+                        session_span, /*lane=*/node);
+    tracer->Attr(sp, "block", r.entry.block_id);
+    tracer->Attr(sp, "lost_datanode",
+                 static_cast<int64_t>(r.entry.lost_datanode));
+    tracer->Attr(sp, "target", static_cast<int64_t>(node));
+  }
   if (parallel) {
     pending_repair_commits.push_back(rid);
   } else {
@@ -1239,6 +1320,10 @@ ReadOutcome SessionEngine::ExecuteRead(int j, RecordReader* rdr,
   ctx.plan = &job.plan;
   ctx.task_node = node;
   ctx.out = out.output.get();
+  // Reader spans land in the outcome's buffer (at billed-cost offsets);
+  // the completion event splices them, so pool threads never touch the
+  // session tracer.
+  if (tracer != nullptr) ctx.trace = &out.trace;
   out.cost = rdr->ReadSplit(split, &ctx);
   out.records_seen = ctx.records_seen;
   out.records_qualifying = ctx.records_qualifying;
@@ -1246,6 +1331,9 @@ ReadOutcome SessionEngine::ExecuteRead(int j, RecordReader* rdr,
   out.fallback_scan = ctx.fallback_scan;
   out.index_scan = ctx.index_scan;
   out.unclustered_scan = ctx.unclustered_scan;
+  out.blocks_scanned = ctx.blocks_scanned;
+  out.blocks_skipped = ctx.blocks_skipped;
+  out.rows_skipped = ctx.rows_skipped;
   out.bad_replicas = std::move(ctx.bad_replicas);
   return out;
 }
@@ -1495,7 +1583,28 @@ void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
   if (outcome != nullptr) ApplyBadReplicaReports(outcome->bad_replicas);
   if (attempt != 0 && attempt == task.loser_attempt) {
     // The losing attempt of a task whose race already ended: give the
-    // slot back, discard the result.
+    // slot back, discard the result — but bill the duplicate's reader
+    // cost to the tenant as wasted speculation (the cluster did the work).
+    if (first_error.ok() && outcome != nullptr && outcome->cost.ok()) {
+      const double lost = outcome->cost->total();
+      job.waste_ledger.Bill(obs::CostBucket::kWastedSpeculation, lost);
+      job.waste_seconds += lost;
+      if (tracing()) {
+        const double factor = plan.slow_factor(node);
+        const double duration = constants().task_setup_s +
+                                constants().task_cleanup_s + lost * factor;
+        const sim::SimTime start = events.Now() - duration;
+        const uint64_t sp = tracer->AddSpan("map_task", "task", start,
+                                            duration, job.span, node);
+        tracer->Attr(sp, "task", static_cast<uint64_t>(task_id));
+        tracer->Attr(sp, "attempt", static_cast<int64_t>(attempt));
+        tracer->Attr(sp, "node", static_cast<int64_t>(node));
+        tracer->Attr(sp, "result", "speculative_loser");
+        tracer->Attr(sp, "wasted_cost_seconds", lost);
+        tracer->Splice(outcome->trace, sp, node,
+                       start + constants().task_setup_s, factor);
+      }
+    }
     const int loser_node = task.loser_node;
     task.loser_attempt = 0;
     task.loser_node = -1;
@@ -1573,6 +1682,11 @@ void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
     task.fallback_scan = outcome->fallback_scan;
     task.index_scan = outcome->index_scan;
     task.unclustered_scan = outcome->unclustered_scan;
+    task.ledger = outcome->cost->ledger;
+    task.billed_seconds = outcome->cost->total();
+    task.blocks_scanned = outcome->blocks_scanned;
+    task.blocks_skipped = outcome->blocks_skipped;
+    task.rows_skipped = outcome->rows_skipped;
     // RecordReader time = one-time reader construction + the data access
     // (already stretched by the executing node's slow factor).
     task.rr_seconds = rr_seconds;
@@ -1581,6 +1695,26 @@ void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
   free_slots[static_cast<size_t>(node)] += 1;
   scheduler.OnTaskFinished(j);
   ++job.completed;
+  if (tracing()) {
+    const sim::SimTime start = task.assign_time;
+    const uint64_t sp = tracer->AddSpan(
+        outcome != nullptr ? "map_task" : "upload_task", "task", start,
+        events.Now() - start, job.span, node);
+    tracer->Attr(sp, "task", static_cast<uint64_t>(task_id));
+    tracer->Attr(sp, "attempt", static_cast<int64_t>(attempt));
+    tracer->Attr(sp, "node", static_cast<int64_t>(node));
+    if (outcome != nullptr) {
+      tracer->Attr(sp, "records", task.records_seen);
+      tracer->Attr(sp, "qualifying", task.records_qualifying);
+      tracer->Attr(sp, "billed_cost_seconds", task.billed_seconds);
+      tracer->Attr(sp, "billed_cost_nanos", task.ledger.total_nanos);
+      tracer->Splice(outcome->trace, sp, node,
+                     start + constants().task_setup_s,
+                     plan.slow_factor(node));
+    } else if (task.file != nullptr) {
+      tracer->Attr(sp, "file", task.file->dfs_path);
+    }
+  }
   AccountUsage(j, task,
                constants().task_setup_s + task.rr_seconds +
                    constants().task_cleanup_s);
@@ -1613,6 +1747,17 @@ void SessionEngine::HandleFailedAttempt(int j, size_t task_id, int attempt,
                                         int node, const Status& st) {
   JobExec& job = jobs[static_cast<size_t>(j)];
   TaskState& task = job.tasks[task_id];
+  if (tracing()) {
+    const sim::SimTime start =
+        attempt == task.attempt ? task.assign_time : task.spec_assign_time;
+    const uint64_t sp = tracer->AddSpan("map_task", "task", start,
+                                        events.Now() - start, job.span, node);
+    tracer->Attr(sp, "task", static_cast<uint64_t>(task_id));
+    tracer->Attr(sp, "attempt", static_cast<int64_t>(attempt));
+    tracer->Attr(sp, "node", static_cast<int64_t>(node));
+    tracer->Attr(sp, "result", "failed");
+    tracer->Attr(sp, "error", st.message());
+  }
   free_slots[static_cast<size_t>(node)] += 1;
   scheduler.OnTaskFinished(j);
   events.ScheduleAfter(constants().oob_heartbeat_latency_s,
@@ -1851,6 +1996,15 @@ JobResult SessionEngine::AssembleResult(const JobExec& job) const {
   result.end_to_end_seconds = job.finish_time - sub.submit_time;
   result.map_tasks = static_cast<uint32_t>(job.tasks.size());
 
+  // Per-query cost attribution: winning attempts' reader ledgers plus the
+  // engine-level waste billed to this tenant (preemptions, speculative
+  // losers). Buckets sum exactly to the billed total by construction.
+  result.index_column = sub.kind == ClusterSession::Submitted::Kind::kQuery
+                            ? job.plan.index_column
+                            : -1;
+  result.cost = job.waste_ledger;
+  result.billed_cost_seconds = job.waste_seconds;
+
   double rr_sum = 0.0;
   for (const TaskState& task : job.tasks) {
     rr_sum += task.rr_seconds;
@@ -1858,6 +2012,11 @@ JobResult SessionEngine::AssembleResult(const JobExec& job) const {
     result.records_qualifying += task.records_qualifying;
     result.bad_records_seen += task.bad_records;
     result.rescheduled_tasks += static_cast<uint32_t>(task.reschedules);
+    result.cost.Add(task.ledger);
+    result.billed_cost_seconds += task.billed_seconds;
+    result.blocks_scanned += task.blocks_scanned;
+    result.blocks_skipped += task.blocks_skipped;
+    result.rows_skipped += task.rows_skipped;
     if (task.fallback_scan) result.fallback_scans += 1;
     if (task.index_scan) result.index_scan_tasks += 1;
     if (task.unclustered_scan) result.unclustered_scan_tasks += 1;
@@ -1938,6 +2097,15 @@ Result<SessionResult> ClusterSession::Run() {
   eng.scheduler = SlotScheduler(options_.policy, options_.queue_weights);
   eng.parallel = ResolveMode(options_.execution) == ExecutionMode::kParallel;
   if (eng.parallel) eng.pool = SharedPool();
+  eng.tracer = options_.tracer;
+  if (eng.tracer != nullptr) {
+    eng.session_span = eng.tracer->AddSpan("session", "session", 0.0, 0.0,
+                                           /*parent=*/0, /*lane=*/-1);
+    eng.tracer->Attr(eng.session_span, "jobs",
+                     static_cast<uint64_t>(jobs_.size()));
+    eng.tracer->Attr(eng.session_span, "nodes",
+                     static_cast<int64_t>(cluster.num_nodes()));
+  }
 
   // Effective fault schedule: the deterministic plan plus the legacy
   // single-kill knob (kept for callers that predate FaultPlan).
@@ -2109,6 +2277,11 @@ Result<SessionResult> ClusterSession::Run() {
   } else {
     eng.events.RunUntilEmpty();
   }
+  if (eng.tracer != nullptr && eng.session_span != 0) {
+    // Both modes drain to an empty queue, so Now() — the last executed
+    // event's instant — is identical serial and parallel.
+    eng.tracer->SetEnd(eng.session_span, eng.events.Now());
+  }
 
   // Unfinished maintenance goes back to the manager *before* any error
   // exit — a failed session must not lose queued reorganization work.
@@ -2212,6 +2385,45 @@ Result<SessionResult> ClusterSession::Run() {
   out.task_retries = eng.task_retries;
   out.speculative_attempts = eng.spec_attempts;
   out.speculative_wins = eng.spec_wins;
+
+  // Mirror the session's engine counters into the cluster's unified
+  // registry (monotonic across sessions; a snapshot after N sessions is
+  // byte-identical serial vs parallel because every delta is).
+  {
+    obs::MetricsRegistry& m = dfs_->metrics();
+    m.counter("scheduler.sessions")->Inc();
+    m.counter("scheduler.jobs_submitted")->Add(jobs_.size());
+    m.counter("scheduler.jobs_completed")
+        ->Add(static_cast<uint64_t>(eng.completion_order.size()));
+    m.counter("scheduler.jobs_shed")->Add(eng.jobs_shed);
+    m.counter("scheduler.preemptions")->Add(eng.preemptions);
+    m.counter("scheduler.task_retries")->Add(eng.task_retries);
+    m.counter("scheduler.speculative_attempts")->Add(eng.spec_attempts);
+    m.counter("scheduler.speculative_wins")->Add(eng.spec_wins);
+    m.counter("scheduler.slo_violations")->Add(out.slo_violations_total);
+    m.gauge("scheduler.preempted_slot_seconds")
+        ->Add(eng.preempted_slot_seconds);
+    m.counter("maintenance.scheduled")->Add(eng.maint.size());
+    m.counter("maintenance.completed")->Add(eng.maint_completed);
+    m.counter("maintenance.failed")->Add(eng.maint_failed);
+    m.counter("repair.scheduled")->Add(eng.repairs.size());
+    m.counter("repair.completed")->Add(eng.repairs_completed);
+    m.counter("repair.abandoned")->Add(eng.repairs_abandoned);
+    m.counter("replication.replicas_added")->Add(eng.replicas_added);
+    m.counter("replication.replicas_evicted")->Add(eng.replicas_evicted);
+    obs::Histogram* rr = m.histogram(
+        "task.rr_seconds", {0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0});
+    obs::Counter* billed = m.counter("cost.billed_nanos_total");
+    for (const JobExec& job : eng.jobs) {
+      if (job.phase != JobExec::Phase::kDone) continue;
+      billed->Add(job.waste_ledger.total_nanos);
+      for (const TaskState& task : job.tasks) {
+        if (task.status != TaskStatus::kDone) continue;
+        rr->Observe(task.rr_seconds);
+        billed->Add(task.ledger.total_nanos);
+      }
+    }
+  }
 
   if (options_.adaptive != nullptr) {
     // Close the loop in completion order: record each finished query (and

@@ -45,6 +45,7 @@
 #include "hail/hail_client.h"
 #include "mapreduce/job.h"
 #include "mapreduce/job_runner.h"
+#include "obs/trace.h"
 #include "sim/fault_plan.h"
 #include "util/result.h"
 
@@ -229,6 +230,14 @@ struct SessionOptions {
   /// engines have applied every pending shared-DFS mutation, preserving
   /// serial==parallel.
   bool online_adaptation = false;
+
+  /// When non-null, the session emits spans (session, jobs, tasks, block
+  /// reads, index probes, maintenance, repairs, uploads) into this
+  /// tracer on the *simulated* clock. Purely observational: billed costs
+  /// and every simulated number are bit-identical with tracing on or
+  /// off, and the emitted trace is bit-identical between serial and
+  /// parallel execution (see obs/trace.h).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// \brief Per-queue slot usage over one session (fair-share accounting).

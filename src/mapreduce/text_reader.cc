@@ -70,6 +70,10 @@ class TextRecordReader : public RecordReader {
                       ReadContext* ctx, TaskCost* cost) {
     const hdfs::BlockLocation& loc =
         ctx->plan->file_blocks[block_index];
+    const size_t bspan =
+        ctx->trace != nullptr
+            ? ctx->trace->Open("block_read", "read", cost->total())
+            : 0;
     std::string_view data;
     std::vector<int> candidates = ReplicaOrder(loc.datanodes, ctx->task_node);
     HAIL_ASSIGN_OR_RETURN(
@@ -155,15 +159,35 @@ class TextRecordReader : public RecordReader {
     const sim::CostModel& disk_cost = ctx->dfs->cluster().node(dn).cost();
     const sim::CostModel& cpu_cost =
         ctx->dfs->cluster().node(ctx->task_node).cost();
-    cost->disk_seconds += ctx->dfs->cluster().constants().block_open_ms / 1000.0;
+    const double open_s =
+        ctx->dfs->cluster().constants().block_open_ms / 1000.0;
+    cost->disk_seconds += open_s;
     cost->disk_seconds += disk_cost.DiskAccess(logical_bytes);
-    cost->cpu_seconds += cpu_cost.Crc(logical_bytes) +
+    // Attribution splits the fused DiskAccess term back into its seek and
+    // transfer components (same arithmetic, booked separately).
+    cost->ledger.Bill(obs::CostBucket::kSeek, open_s + disk_cost.DiskSeek());
+    cost->ledger.Bill(obs::CostBucket::kTransfer,
+                      disk_cost.DiskTransfer(logical_bytes));
+    const double cpu_s = cpu_cost.Crc(logical_bytes) +
                          cpu_cost.ScanParse(logical_records) +
                          cpu_cost.MapCalls(logical_records);
+    cost->cpu_seconds += cpu_s;
+    cost->ledger.Bill(obs::CostBucket::kCpu, cpu_s);
     if (dn != ctx->task_node) {
-      cost->net_seconds += cpu_cost.NetTransfer(logical_bytes);
+      const double net_s = cpu_cost.NetTransfer(logical_bytes);
+      cost->net_seconds += net_s;
+      cost->ledger.Bill(obs::CostBucket::kNetwork, net_s);
     }
     cost->logical_bytes_read += logical_bytes;
+    ++ctx->blocks_scanned;
+    if (ctx->trace != nullptr) {
+      ctx->trace->Attr(bspan, "block", loc.block_id);
+      ctx->trace->Attr(bspan, "datanode", dn);
+      ctx->trace->Attr(bspan, "replica", "text");
+      ctx->trace->Attr(bspan, "bytes", logical_bytes);
+      ctx->trace->Attr(bspan, "rows", records);
+      ctx->trace->Close(bspan, cost->total());
+    }
     return Status::OK();
   }
 };

@@ -68,6 +68,10 @@ class TrojanRecordReader : public RecordReader {
   Status ReadOneBlock(uint32_t block_index, const CompiledPredicate* filter,
                       ReadContext* ctx, TaskCost* cost) {
     const hdfs::BlockLocation& loc = ctx->plan->file_blocks[block_index];
+    const size_t bspan =
+        ctx->trace != nullptr
+            ? ctx->trace->Open("block_read", "read", cost->total())
+            : 0;
     // All replicas are identical: the failover order is locality-only.
     std::vector<int> candidates;
     for (int h : loc.datanodes) {
@@ -119,6 +123,15 @@ class TrojanRecordReader : public RecordReader {
         range_start_offset = hit.bytes.begin;
         index_scan = true;
         ctx->index_scan = true;
+        if (ctx->trace != nullptr) {
+          const size_t probe =
+              ctx->trace->Open("index_probe", "index", cost->total());
+          ctx->trace->Attr(probe, "kind", "trojan");
+          ctx->trace->Attr(probe, "column", index_column);
+          ctx->trace->Attr(probe, "rows",
+                           static_cast<uint64_t>(end_row - first_row));
+          ctx->trace->Close(probe, cost->total());
+        }
       }
     } else if (index_column >= 0) {
       ctx->fallback_scan = true;
@@ -137,6 +150,14 @@ class TrojanRecordReader : public RecordReader {
     }
     ctx->records_seen += end_row - first_row;
     ctx->records_qualifying += qualifying;
+    if (index_scan && end_row == first_row) {
+      ++ctx->blocks_skipped;
+    } else {
+      ++ctx->blocks_scanned;
+    }
+    if (index_scan) {
+      ctx->rows_skipped += rows.num_records() - (end_row - first_row);
+    }
 
     // ---- cost ----
     const uint64_t logical_range_records = static_cast<uint64_t>(
@@ -159,16 +180,33 @@ class TrojanRecordReader : public RecordReader {
     } else {
       disk_s += disk_cost.DiskSeek();
     }
-    disk_s += disk_cost.DiskTransfer(bytes_read);
+    const double transfer_s = disk_cost.DiskTransfer(bytes_read);
+    disk_s += transfer_s;
     cost->disk_seconds += disk_s;
-    cost->cpu_seconds += node_cost.Crc(bytes_read) +
+    cost->ledger.Bill(obs::CostBucket::kSeek, disk_s - transfer_s);
+    cost->ledger.Bill(obs::CostBucket::kTransfer, transfer_s);
+    const double cpu_s = node_cost.Crc(bytes_read) +
                          node_cost.BinaryDeserialize(logical_range_records) +
                          node_cost.PredicateEval(logical_range_records) +
                          node_cost.MapCalls(logical_qualifying);
+    cost->cpu_seconds += cpu_s;
+    cost->ledger.Bill(obs::CostBucket::kCpu, cpu_s);
     if (dn != ctx->task_node) {
-      cost->net_seconds += node_cost.NetTransfer(bytes_read);
+      const double net_s = node_cost.NetTransfer(bytes_read);
+      cost->net_seconds += net_s;
+      cost->ledger.Bill(obs::CostBucket::kNetwork, net_s);
     }
     cost->logical_bytes_read += bytes_read;
+    if (ctx->trace != nullptr) {
+      ctx->trace->Attr(bspan, "block", loc.block_id);
+      ctx->trace->Attr(bspan, "datanode", dn);
+      ctx->trace->Attr(bspan, "replica", index_scan ? "trojan" : "plain");
+      ctx->trace->Attr(bspan, "bytes", bytes_read);
+      ctx->trace->Attr(bspan, "rows",
+                       static_cast<uint64_t>(end_row - first_row));
+      ctx->trace->Attr(bspan, "qualifying", qualifying);
+      ctx->trace->Close(bspan, cost->total());
+    }
     return Status::OK();
   }
 };

@@ -1,0 +1,71 @@
+#include "obs/explain.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace hail {
+namespace obs {
+
+std::string FormatProfile(const QueryProfile& p) {
+  char line[256];
+  std::string out;
+
+  std::snprintf(line, sizeof(line), "Query %s  [%s]%s%s\n",
+                p.job_name.c_str(), p.system.c_str(),
+                p.annotation.empty() ? "" : "  where ",
+                p.annotation.c_str());
+  out += line;
+
+  std::snprintf(line, sizeof(line),
+                "  access path : %s (index column %d)\n",
+                p.access_path.c_str(), p.index_column);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  map tasks   : %u total = %u clustered-index + %u "
+                "unclustered-index + %u full-scan fallback\n",
+                p.map_tasks, p.index_scan_tasks, p.unclustered_scan_tasks,
+                p.fallback_scans);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  blocks      : %" PRIu64 " scanned, %" PRIu64
+                " skipped by index probes\n",
+                p.blocks_scanned, p.blocks_skipped);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  rows        : %" PRIu64 " in -> %" PRIu64
+                " qualifying -> %" PRIu64 " emitted (%" PRIu64
+                " never touched)\n",
+                p.rows_in, p.rows_out, p.output_rows, p.rows_skipped);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  cache       : verify %" PRIu64 " hit / %" PRIu64
+                " miss, artifact %" PRIu64 " hit / %" PRIu64
+                " miss, %" PRIu64 " index decodes\n",
+                p.cache_verify_hits, p.cache_verify_misses,
+                p.cache_artifact_hits, p.cache_artifact_misses,
+                p.cache_index_decodes);
+  out += line;
+
+  out += "  billed cost : " + FormatDouble(p.cost.total_seconds()) +
+         " s attributed (end-to-end " + FormatDouble(p.end_to_end_seconds) +
+         " s)\n";
+  for (int i = 0; i < kNumCostBuckets; ++i) {
+    const uint64_t nanos = p.cost.nanos[i];
+    if (nanos == 0) continue;
+    const double seconds = static_cast<double>(nanos) * 1e-9;
+    const double share =
+        p.cost.total_nanos
+            ? 100.0 * static_cast<double>(nanos) /
+                  static_cast<double>(p.cost.total_nanos)
+            : 0.0;
+    std::snprintf(line, sizeof(line), "    %-18s %12.6f s  %5.1f%%\n",
+                  CostBucketName(static_cast<CostBucket>(i)), seconds, share);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hail

@@ -1,0 +1,59 @@
+/// \file explain.h
+/// \brief Plan-shaped per-query profile (EXPLAIN ANALYZE for the sim).
+///
+/// `RunOptions::profile` makes a query come back with one of these:
+/// which access path the planner chose, how much data the path let the
+/// scan skip, rows through the filter kernels, what the block cache
+/// saved, and the billed cost split into attribution buckets.
+/// `FormatProfile` renders the text form printed by the examples and
+/// benches (`bench_query_exec` prints one for the first fig7 query).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/cost_attribution.h"
+
+namespace hail {
+namespace obs {
+
+struct QueryProfile {
+  std::string job_name;
+  std::string system;      // "HAIL", "Hadoop", "Hadoop++"
+  std::string annotation;  // predicate annotation driving path choice
+
+  // ---- access path ----
+  std::string access_path;  // "clustered-index", "full-scan", "mixed", ...
+  int index_column = -1;    // sort/index column the plan keyed on; -1 = none
+  uint32_t map_tasks = 0;
+  uint32_t index_scan_tasks = 0;
+  uint32_t unclustered_scan_tasks = 0;
+  uint32_t fallback_scans = 0;
+
+  // ---- scan effort ----
+  uint64_t blocks_scanned = 0;  // blocks whose rows were touched
+  uint64_t blocks_skipped = 0;  // blocks an index probe pruned entirely
+  uint64_t rows_skipped = 0;    // rows an index let the scan not touch
+  uint64_t rows_in = 0;         // rows into the filter kernels
+  uint64_t rows_out = 0;        // rows qualifying
+  uint64_t output_rows = 0;     // rows emitted by the map function
+
+  // ---- cache ----
+  uint64_t cache_verify_hits = 0;
+  uint64_t cache_verify_misses = 0;
+  uint64_t cache_artifact_hits = 0;
+  uint64_t cache_artifact_misses = 0;
+  uint64_t cache_index_decodes = 0;
+
+  // ---- cost ----
+  CostLedger cost;              // per-bucket billed breakdown
+  double billed_seconds = 0.0;  // double-side billed total (cross-check)
+  double end_to_end_seconds = 0.0;
+};
+
+/// Multi-line EXPLAIN-style rendering.
+std::string FormatProfile(const QueryProfile& profile);
+
+}  // namespace obs
+}  // namespace hail

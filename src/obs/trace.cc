@@ -1,0 +1,191 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hail {
+namespace obs {
+
+size_t TraceBuffer::Open(const char* name, const char* category,
+                         double offset) {
+  LocalSpan span;
+  span.name = name;
+  span.category = category;
+  span.offset = offset;
+  span.parent = open_.empty() ? 0 : open_.back();
+  spans_.push_back(std::move(span));
+  const size_t handle = spans_.size();  // 1-based
+  open_.push_back(handle);
+  return handle;
+}
+
+void TraceBuffer::Close(size_t handle, double end_offset) {
+  LocalSpan& span = spans_[handle - 1];
+  span.duration = std::max(0.0, end_offset - span.offset);
+  // Handles close LIFO in the readers; tolerate out-of-order anyway.
+  auto it = std::find(open_.rbegin(), open_.rend(), handle);
+  if (it != open_.rend()) open_.erase(std::next(it).base());
+}
+
+void TraceBuffer::Attr(size_t handle, const char* key, std::string value) {
+  spans_[handle - 1].attrs.emplace_back(key, std::move(value));
+}
+
+uint64_t Tracer::AddSpan(std::string name, std::string category, double start,
+                         double duration, uint64_t parent, int lane) {
+  TraceSpan span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start = start;
+  span.duration = duration;
+  span.lane = lane;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::SetEnd(uint64_t id, double end) {
+  TraceSpan& span = spans_[id - 1];
+  span.duration = std::max(0.0, end - span.start);
+}
+
+void Tracer::Attr(uint64_t id, const char* key, std::string value) {
+  spans_[id - 1].attrs.emplace_back(key, std::move(value));
+}
+
+void Tracer::Splice(const TraceBuffer& buffer, uint64_t parent, int lane,
+                    double origin, double scale) {
+  // Local ids are 1-based and parents always precede children, so a
+  // single pass with an id-translation table suffices.
+  std::vector<uint64_t> global_of(buffer.spans().size() + 1, parent);
+  size_t local = 1;
+  for (const TraceBuffer::LocalSpan& s : buffer.spans()) {
+    const uint64_t gparent = global_of[s.parent];
+    const uint64_t id =
+        AddSpan(s.name, s.category, origin + s.offset * scale,
+                s.duration * scale, gparent, lane);
+    for (const auto& [k, v] : s.attrs) Attr(id, k.c_str(), v);
+    global_of[local++] = id;
+  }
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeJson() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const TraceSpan& s : spans_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\": \"";
+    AppendJsonEscaped(&out, s.name);
+    out += "\", \"cat\": \"";
+    AppendJsonEscaped(&out, s.category);
+    out += "\", \"ph\": \"X\", \"ts\": ";
+    out += FormatDouble(s.start * 1e6);  // Chrome wants microseconds
+    out += ", \"dur\": ";
+    out += FormatDouble(s.duration * 1e6);
+    out += ", \"pid\": 0, \"tid\": ";
+    out += std::to_string(s.lane);
+    out += ", \"args\": {\"span_id\": ";
+    out += std::to_string(s.id);
+    out += ", \"parent_id\": ";
+    out += std::to_string(s.parent);
+    for (const auto& [k, v] : s.attrs) {
+      out += ", \"";
+      AppendJsonEscaped(&out, k);
+      out += "\": \"";
+      AppendJsonEscaped(&out, v);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::ToTextTree(bool include_times) const {
+  // Children grouped under parents, siblings ordered by (start, id).
+  std::vector<std::vector<size_t>> children(spans_.size() + 1);
+  for (const TraceSpan& s : spans_) {
+    children[s.parent].push_back(s.id);
+  }
+  for (auto& list : children) {
+    std::stable_sort(list.begin(), list.end(),
+                     [this](size_t a, size_t b) {
+                       const TraceSpan& sa = spans_[a - 1];
+                       const TraceSpan& sb = spans_[b - 1];
+                       if (sa.start != sb.start) return sa.start < sb.start;
+                       return sa.id < sb.id;
+                     });
+  }
+  std::string out;
+  // Iterative DFS from the virtual root.
+  struct Frame {
+    size_t id;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const TraceSpan& s = spans_[f.id - 1];
+    out.append(static_cast<size_t>(f.depth) * 2, ' ');
+    if (include_times) {
+      out += '[';
+      out += FormatDouble(s.start);
+      out += " +";
+      out += FormatDouble(s.duration);
+      out += "s] ";
+    }
+    out += s.name;
+    for (const auto& [k, v] : s.attrs) {
+      out += ' ';
+      out += k;
+      out += '=';
+      out += v;
+    }
+    out += '\n';
+    for (auto it = children[f.id].rbegin(); it != children[f.id].rend();
+         ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hail

@@ -1,0 +1,152 @@
+/// \file trace.h
+/// \brief Span tracer on the simulated clock, deterministic in parallel.
+///
+/// Spans live on the *simulated* timeline: a span's start/duration are
+/// simulated seconds, so a trace of a parallel run shows the same
+/// cluster history as the serial run — and must be byte-identical,
+/// which is gated by tests. Two pieces make that work:
+///
+///  - The Tracer itself is only ever mutated on the event thread
+///    (inside simulated events, or in the drain window that
+///    deterministically follows one event in the parallel engine).
+///    Span ids are assigned in append order, which is therefore
+///    identical in both engines.
+///  - Work executed on pool threads (the readers) records spans into a
+///    per-task TraceBuffer with *cost offsets* instead of absolute
+///    times: "this block read covered billed seconds [a, b) of my
+///    task". The engine splices the buffer into the Tracer at the
+///    task's completion event, mapping offsets onto the simulated
+///    timeline (assign time + setup + slowdown factor) — so the trace
+///    content never depends on which wall-clock thread did the work.
+///
+/// Output: Chrome trace-event JSON (`trace.json`, loadable in
+/// chrome://tracing or https://ui.perfetto.dev) and a compact indented
+/// text tree (golden-pinned in tests).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"  // FormatDouble
+
+namespace hail {
+namespace obs {
+
+/// \brief One completed span. `lane` is the Chrome "tid" — the datanode
+/// that did the work, or -1 for the session engine itself.
+struct TraceSpan {
+  uint64_t id = 0;      // 1-based append order
+  uint64_t parent = 0;  // 0 = root
+  std::string name;
+  std::string category;
+  double start = 0.0;     // simulated seconds
+  double duration = 0.0;  // simulated seconds
+  int lane = -1;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// \brief Per-task span buffer filled on whatever thread runs the read.
+///
+/// Offsets are billed-cost seconds relative to the start of the task's
+/// data access; the engine maps them to simulated time at splice.
+/// Open/Close nest (a stack provides parent linkage inside the buffer).
+class TraceBuffer {
+ public:
+  /// Opens a child of the innermost open span (or a buffer root).
+  /// Returns a handle for Close/Attr.
+  size_t Open(const char* name, const char* category, double offset);
+  void Close(size_t handle, double end_offset);
+
+  void Attr(size_t handle, const char* key, std::string value);
+  void Attr(size_t handle, const char* key, const char* value) {
+    Attr(handle, key, std::string(value));
+  }
+  void Attr(size_t handle, const char* key, uint64_t value) {
+    Attr(handle, key, std::to_string(value));
+  }
+  void Attr(size_t handle, const char* key, int64_t value) {
+    Attr(handle, key, std::to_string(value));
+  }
+  void Attr(size_t handle, const char* key, int value) {
+    Attr(handle, key, std::to_string(value));
+  }
+  void Attr(size_t handle, const char* key, double value) {
+    Attr(handle, key, FormatDouble(value));
+  }
+
+  bool empty() const { return spans_.empty(); }
+  void clear() {
+    spans_.clear();
+    open_.clear();
+  }
+
+  struct LocalSpan {
+    std::string name;
+    std::string category;
+    double offset = 0.0;    // cost seconds from task data-access start
+    double duration = 0.0;  // cost seconds
+    size_t parent = 0;      // 1-based local id; 0 = buffer root
+    std::vector<std::pair<std::string, std::string>> attrs;
+  };
+  const std::vector<LocalSpan>& spans() const { return spans_; }
+
+ private:
+  std::vector<LocalSpan> spans_;
+  std::vector<size_t> open_;  // stack of 1-based local ids
+};
+
+/// \brief Session-wide span sink. Event-thread only; a null Tracer*
+/// anywhere means tracing is off and costs nothing but the null check.
+class Tracer {
+ public:
+  /// Appends a span; duration may be patched later via SetEnd.
+  uint64_t AddSpan(std::string name, std::string category, double start,
+                   double duration, uint64_t parent, int lane);
+  /// Sets duration so the span ends at \p end (clamped non-negative).
+  void SetEnd(uint64_t id, double end);
+
+  void Attr(uint64_t id, const char* key, std::string value);
+  void Attr(uint64_t id, const char* key, const char* value) {
+    Attr(id, key, std::string(value));
+  }
+  void Attr(uint64_t id, const char* key, uint64_t value) {
+    Attr(id, key, std::to_string(value));
+  }
+  void Attr(uint64_t id, const char* key, int64_t value) {
+    Attr(id, key, std::to_string(value));
+  }
+  void Attr(uint64_t id, const char* key, int value) {
+    Attr(id, key, std::to_string(value));
+  }
+  void Attr(uint64_t id, const char* key, double value) {
+    Attr(id, key, FormatDouble(value));
+  }
+
+  /// Splices a task-local buffer under \p parent: every buffer span
+  /// lands at `origin + offset * scale` with duration scaled by
+  /// \p scale (the node's slowdown factor).
+  void Splice(const TraceBuffer& buffer, uint64_t parent, int lane,
+              double origin, double scale);
+
+  void Clear() { spans_.clear(); }
+  size_t size() const { return spans_.size(); }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// Chrome trace-event JSON ("X" complete events; span/parent ids kept
+  /// in args). Byte-deterministic for equal span sets.
+  std::string ToChromeJson() const;
+
+  /// Indented tree, children under parents, ordered by (start, id).
+  /// With \p include_times false, only names and attributes print —
+  /// the golden-file tests pin that structural form.
+  std::string ToTextTree(bool include_times = true) const;
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace obs
+}  // namespace hail

@@ -137,6 +137,19 @@ std::string DumpResult(const mapreduce::JobResult& r) {
   return out;
 }
 
+std::string DumpCost(const obs::CostLedger& ledger) {
+  std::string out;
+  for (int b = 0; b < obs::kNumCostBuckets; ++b) {
+    out += obs::CostBucketName(static_cast<obs::CostBucket>(b));
+    out += '=';
+    out += std::to_string(ledger.nanos[b]);
+    out += ' ';
+  }
+  out += "total=";
+  out += std::to_string(ledger.total_nanos);
+  return out;
+}
+
 std::string DumpSession(const mapreduce::SessionResult& r) {
   char buf[640];
   std::snprintf(buf, sizeof(buf),

@@ -104,5 +104,11 @@ std::string DumpResult(const mapreduce::JobResult& result);
 /// slot-second usage and the maintenance counters/invariant.
 std::string DumpSession(const mapreduce::SessionResult& result);
 
+/// Exact textual dump of a per-query cost ledger (integer nanoseconds per
+/// bucket + total), same bit-identity contract as DumpResult. Used by the
+/// cost-attribution determinism tests; deliberately NOT part of
+/// DumpResult so the pre-existing golden dumps stay byte-stable.
+std::string DumpCost(const obs::CostLedger& ledger);
+
 }  // namespace workload
 }  // namespace hail

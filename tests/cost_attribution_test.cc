@@ -1,0 +1,188 @@
+/// \file cost_attribution_test.cc
+/// \brief Per-query cost attribution (obs/cost_attribution.h): the
+/// property that every job's cost buckets sum EXACTLY to its billed
+/// total (integer nanoseconds, no float drift), across random workloads
+/// — systems x seeded fault plans x speculation/self-healing — plus the
+/// cross-checks that the ledger tracks the double-side billed total,
+/// that serial and parallel executions bill identical ledgers, and that
+/// tracing/profiling never changes a single billed nanosecond.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mapreduce/job_runner.h"
+#include "mapreduce/scheduler.h"
+#include "obs/cost_attribution.h"
+#include "obs/trace.h"
+#include "sim/fault_plan.h"
+#include "workload/testbed.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace obs {
+namespace {
+
+using mapreduce::ClusterSession;
+using mapreduce::ExecutionMode;
+using mapreduce::JobResult;
+using mapreduce::RunOptions;
+using mapreduce::SessionOptions;
+using mapreduce::SessionResult;
+using mapreduce::System;
+using workload::DumpCost;
+using workload::QueryDef;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+const bool kForcePoolSize = [] {
+  setenv("HAIL_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+TestbedConfig SmallConfig(uint64_t seed) {
+  TestbedConfig config;
+  config.num_nodes = 4;
+  config.real_block_bytes = 8 * 1024;
+  config.logical_block_bytes = 4 * 1024 * 1024;  // scale 512
+  config.blocks_per_node = 6;
+  config.seed = seed;
+  return config;
+}
+
+/// Each Bill() rounds once to integer nanoseconds (<= 0.5 ns error), so
+/// the double-side billed total and the ledger agree to well under a
+/// microsecond even after thousands of bills.
+constexpr double kLedgerToleranceSeconds = 1e-5;
+
+void CheckJobInvariants(const JobResult& r) {
+  // The hard invariant: buckets sum EXACTLY to the billed total.
+  EXPECT_EQ(r.cost.BucketSum(), r.cost.total_nanos) << DumpCost(r.cost);
+  // The ledger tracks the double-side total within rounding.
+  EXPECT_NEAR(r.cost.total_seconds(), r.billed_cost_seconds,
+              kLedgerToleranceSeconds)
+      << DumpCost(r.cost);
+  // A job that ran tasks billed something.
+  if (r.map_tasks > 0) {
+    EXPECT_GT(r.cost.total_nanos, 0u);
+  }
+}
+
+/// One randomized session: three staggered queries under a seeded fault
+/// plan with speculation + self-healing. Returns the full result.
+SessionResult RunSession(uint64_t seed, System system, ExecutionMode mode,
+                         Tracer* tracer) {
+  Testbed bed(SmallConfig(/*seed=*/seed * 13 + 5));
+  bed.LoadUserVisits();
+  if (system == System::kHail) {
+    auto up = bed.UploadHail("/uv", {workload::kVisitDate});
+    EXPECT_TRUE(up.ok()) << up.status().ToString();
+  } else {
+    auto up = bed.UploadHadoop("/uv");
+    EXPECT_TRUE(up.ok()) << up.status().ToString();
+  }
+  bed.FreeSourceTexts();
+
+  SessionOptions opt;
+  opt.execution = mode;
+  opt.fault_plan = sim::FaultPlan::FromSeed(seed, SmallConfig(0).num_nodes);
+  opt.self_heal = true;
+  opt.speculative_execution = true;
+  opt.tracer = tracer;
+  ClusterSession session(&bed.dfs(), opt);
+  const auto bob = workload::BobQueries();
+  const QueryDef queries[] = {bob[0], bob[3], bob[0]};
+  for (int i = 0; i < 3; ++i) {
+    auto spec = workload::MakeQueryJob(bed.schema(), "/uv", system,
+                                       queries[i], /*hail_splitting=*/false,
+                                       /*collect_output=*/false);
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    session.Submit(*spec, "default", 45.0 * i);
+  }
+  auto sr = session.Run();
+  EXPECT_TRUE(sr.ok()) << sr.status().ToString();
+  return std::move(*sr);
+}
+
+std::string DumpSessionCosts(const SessionResult& sr) {
+  std::string out;
+  for (const auto& job : sr.jobs) {
+    out += job.ok() ? DumpCost(job->cost) : job.status().ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(CostAttributionPropertyTest, BucketsSumExactlyToBilledTotal) {
+  for (uint64_t seed : {11u, 42u, 77u}) {
+    for (System system : {System::kHail, System::kHadoop}) {
+      SCOPED_TRACE("seed " + std::to_string(seed));
+      const SessionResult sr =
+          RunSession(seed, system, ExecutionMode::kSerial, nullptr);
+      for (const auto& job : sr.jobs) {
+        ASSERT_TRUE(job.ok()) << job.status().ToString();
+        CheckJobInvariants(*job);
+      }
+    }
+  }
+}
+
+TEST(CostAttributionPropertyTest, SerialAndParallelBillIdenticalLedgers) {
+  for (uint64_t seed : {11u, 77u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const SessionResult serial =
+        RunSession(seed, System::kHail, ExecutionMode::kSerial, nullptr);
+    const SessionResult parallel =
+        RunSession(seed, System::kHail, ExecutionMode::kParallel, nullptr);
+    // Integer ledgers merge commutatively, so even the wasted-work
+    // buckets (preemption, speculative losers) match bit-for-bit.
+    EXPECT_EQ(DumpSessionCosts(serial), DumpSessionCosts(parallel));
+  }
+}
+
+TEST(CostAttributionPropertyTest, TracingChangesNoBilledNanosecond) {
+  const SessionResult untraced =
+      RunSession(42, System::kHail, ExecutionMode::kSerial, nullptr);
+  Tracer tracer;
+  const SessionResult traced =
+      RunSession(42, System::kHail, ExecutionMode::kSerial, &tracer);
+  EXPECT_GT(tracer.size(), 0u);
+  EXPECT_EQ(DumpSessionCosts(untraced), DumpSessionCosts(traced));
+  ASSERT_EQ(untraced.jobs.size(), traced.jobs.size());
+  for (size_t i = 0; i < untraced.jobs.size(); ++i) {
+    ASSERT_TRUE(untraced.jobs[i].ok());
+    ASSERT_TRUE(traced.jobs[i].ok());
+    EXPECT_EQ(untraced.jobs[i]->billed_cost_seconds,
+              traced.jobs[i]->billed_cost_seconds);
+    EXPECT_EQ(untraced.jobs[i]->end_to_end_seconds,
+              traced.jobs[i]->end_to_end_seconds);
+  }
+}
+
+TEST(CostAttributionPropertyTest, ProfileBreakdownMatchesJobLedger) {
+  Testbed bed(SmallConfig(42));
+  bed.LoadUserVisits();
+  ASSERT_TRUE(bed.UploadHail("/uv", {workload::kVisitDate}).ok());
+  bed.FreeSourceTexts();
+
+  RunOptions options;
+  options.execution = ExecutionMode::kSerial;
+  options.profile = true;
+  auto r = bed.RunQuery(System::kHail, "/uv", workload::BobQueries()[0],
+                        false, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->profile.has_value());
+  // The EXPLAIN profile carries the same ledger the job was billed —
+  // its printed breakdown sums to the billed total by construction.
+  EXPECT_TRUE(r->profile->cost == r->cost);
+  EXPECT_EQ(r->profile->cost.BucketSum(), r->profile->cost.total_nanos);
+  EXPECT_EQ(r->profile->billed_seconds, r->billed_cost_seconds);
+  CheckJobInvariants(*r);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hail
