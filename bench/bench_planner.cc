@@ -1,0 +1,299 @@
+/// \file bench_planner.cc
+/// \brief Cost-based access-path planner: zone-map skipping, planner vs
+/// heuristic billed cost, plan-cache hit rate, and plan determinism.
+///
+/// Two experiments:
+///
+///   fig7+planner — Bob's five UserVisits queries on HAIL (the fig7
+///       suite), each run twice on an identical cluster: with the legacy
+///       per-replica heuristic (use_planner off) and with the cost-based
+///       planner (per-block stats, zone maps, per-block path choice).
+///       The dataset is generated in event-time order (visitDate
+///       monotone), so blocks cover disjoint date ranges — the layout
+///       zone maps are built for.
+///   cache storm — one session cycling the same three queries 60 times
+///       through a session PlanCache, serial and parallel.
+///
+/// Gates (nonzero exit on regression):
+///   1. the selective Bob-Q1 predicate zone-skips at least 30% of the
+///      input blocks;
+///   2. the planner is never worse than the heuristic on billed cost —
+///      per query, across the whole suite;
+///   3. the storm's plan-cache hit rate reaches 90% (57 of 60 admissions
+///      re-use a cached plan) with zero invalidations;
+///   4. plans and the full storm session are bit-identical (%.17g dump)
+///      between serial and parallel execution.
+///
+/// Usage: bench_planner [BENCH_planner.json]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mapreduce/input_format.h"
+#include "mapreduce/scheduler.h"
+#include "obs/metrics.h"
+#include "planner/plan_cache.h"
+#include "util/macros.h"
+#include "workload/queries.h"
+#include "workload/testbed.h"
+#include "workload/uservisits.h"
+
+namespace hail {
+namespace bench {
+namespace {
+
+using mapreduce::ClusterSession;
+using mapreduce::ExecutionMode;
+using mapreduce::JobSpec;
+using mapreduce::SessionOptions;
+using mapreduce::System;
+using workload::QueryDef;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+constexpr double kSkipFloor = 0.30;   // gate 1
+constexpr double kHitRateFloor = 0.9; // gate 3
+constexpr int kStormQueries = 60;
+constexpr double kStormSpacingS = 30.0;
+
+/// 8 nodes x 40 blocks at 256 MB logical; stats built at upload,
+/// visitDate event-time ordered. Three sorted replicas like the paper's
+/// Bob setup: visitDate, sourceIP, adRevenue.
+TestbedConfig PlannerConfig() {
+  TestbedConfig config;
+  config.num_nodes = 8;
+  config.real_block_bytes = 32 * 1024;
+  config.logical_block_bytes = 256ull * 1024 * 1024;
+  config.blocks_per_node = 40;
+  config.seed = 42;
+  config.build_stats = true;
+  config.time_ordered_uservisits = true;
+  return config;
+}
+
+/// Small cluster for the 60-query cache storm (session event count).
+TestbedConfig StormConfig() {
+  TestbedConfig config = PlannerConfig();
+  config.num_nodes = 4;
+  config.blocks_per_node = 6;
+  return config;
+}
+
+JobSpec QueryJob(const Testbed& bed, const QueryDef& query, bool use_planner) {
+  auto spec = workload::MakeQueryJob(bed.schema(), "/uv", System::kHail, query,
+                                     /*hail_splitting=*/false,
+                                     /*collect_output=*/false);
+  HAIL_CHECK_OK(spec.status());
+  spec->use_planner = use_planner;
+  return *spec;
+}
+
+std::vector<int> BobSortColumns() {
+  return {workload::kVisitDate, workload::kSourceIP, workload::kAdRevenue};
+}
+
+struct SuiteNumbers {
+  std::vector<double> billed_heuristic;
+  std::vector<double> billed_planned;
+  std::vector<uint64_t> zone_skipped;
+  std::vector<std::string> plan_dumps;  // planned ComputeJobPlan, per query
+  uint64_t total_blocks = 0;
+};
+
+SuiteNumbers RunFig7Suite(ExecutionMode mode) {
+  Testbed bed(PlannerConfig());
+  bed.LoadUserVisits();
+  HAIL_CHECK_OK(bed.UploadHail("/uv", BobSortColumns()).status());
+  bed.FreeSourceTexts();
+
+  SuiteNumbers out;
+  mapreduce::JobRunner runner(&bed.dfs());
+  mapreduce::RunOptions opt;
+  opt.execution = mode;
+  for (const QueryDef& q : workload::BobQueries()) {
+    const JobSpec heuristic = QueryJob(bed, q, /*use_planner=*/false);
+    const JobSpec planned = QueryJob(bed, q, /*use_planner=*/true);
+    auto plan = mapreduce::ComputeJobPlan(&bed.dfs(), planned);
+    HAIL_CHECK_OK(plan.status());
+    out.total_blocks = plan->file_blocks.size();
+    out.plan_dumps.push_back(workload::DumpPlan(*plan));
+
+    auto r0 = runner.Run(heuristic, opt);
+    HAIL_CHECK_OK(r0.status());
+    auto r1 = runner.Run(planned, opt);
+    HAIL_CHECK_OK(r1.status());
+    out.billed_heuristic.push_back(r0->billed_cost_seconds);
+    out.billed_planned.push_back(r1->billed_cost_seconds);
+    out.zone_skipped.push_back(r1->zone_skipped_blocks);
+  }
+  return out;
+}
+
+struct StormNumbers {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+  uint32_t jobs_planned = 0;
+  std::string dump;  // %.17g bit-identity dump (workload/testbed.h)
+};
+
+StormNumbers RunCacheStorm(ExecutionMode mode) {
+  Testbed bed(StormConfig());
+  bed.LoadUserVisits();
+  HAIL_CHECK_OK(bed.UploadHail("/uv", BobSortColumns()).status());
+  bed.FreeSourceTexts();
+
+  const auto bob = workload::BobQueries();
+  const QueryDef cycle[] = {bob[0], bob[3], bob[4]};
+  planner::PlanCache cache;
+  SessionOptions opt;
+  opt.execution = mode;
+  opt.plan_cache = &cache;
+  ClusterSession session(&bed.dfs(), opt);
+  for (int i = 0; i < kStormQueries; ++i) {
+    session.Submit(QueryJob(bed, cycle[i % 3], /*use_planner=*/true),
+                   "default", kStormSpacingS * i);
+  }
+  auto sr = session.Run();
+  HAIL_CHECK_OK(sr.status());
+  for (const auto& job : sr->jobs) HAIL_CHECK_OK(job.status());
+
+  StormNumbers out;
+  out.hits = sr->plan_cache_hits;
+  out.misses = sr->plan_cache_misses;
+  out.invalidations = sr->plan_cache_invalidations;
+  out.jobs_planned = sr->jobs_planned;
+  out.dump = workload::DumpSession(*sr);
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_planner.json";
+  const auto bob = workload::BobQueries();
+
+  std::printf("cost-based access-path planner: fig7 suite + %d-query cache "
+              "storm\n\n",
+              kStormQueries);
+
+  const SuiteNumbers suite = RunFig7Suite(ExecutionMode::kSerial);
+  const SuiteNumbers suite_par = RunFig7Suite(ExecutionMode::kParallel);
+  const StormNumbers storm = RunCacheStorm(ExecutionMode::kSerial);
+  const StormNumbers storm_par = RunCacheStorm(ExecutionMode::kParallel);
+
+  bool cost_ok = true;
+  double billed_heuristic_total = 0.0;
+  double billed_planned_total = 0.0;
+  std::printf("%-8s %14s %14s %10s\n", "query", "heuristic (s)",
+              "planner (s)", "zone-skip");
+  for (size_t i = 0; i < suite.billed_planned.size(); ++i) {
+    billed_heuristic_total += suite.billed_heuristic[i];
+    billed_planned_total += suite.billed_planned[i];
+    // Bit-for-bit "never worse": binding skips only remove billed work.
+    if (suite.billed_planned[i] > suite.billed_heuristic[i]) cost_ok = false;
+    std::printf("%-8s %14.3f %14.3f %6llu/%llu\n", bob[i].name.c_str(),
+                suite.billed_heuristic[i], suite.billed_planned[i],
+                static_cast<unsigned long long>(suite.zone_skipped[i]),
+                static_cast<unsigned long long>(suite.total_blocks));
+  }
+
+  const double skip_fraction =
+      suite.total_blocks > 0
+          ? static_cast<double>(suite.zone_skipped[0]) /
+                static_cast<double>(suite.total_blocks)
+          : 0.0;
+  std::printf("\nBob-Q1 zone-map skip fraction: %.1f%% (floor %.0f%%)\n",
+              100.0 * skip_fraction, 100.0 * kSkipFloor);
+  std::printf("suite billed cost: heuristic %.3f s -> planner %.3f s "
+              "(%.1f%% saved)\n",
+              billed_heuristic_total, billed_planned_total,
+              billed_heuristic_total > 0.0
+                  ? 100.0 * (1.0 - billed_planned_total /
+                                       billed_heuristic_total)
+                  : 0.0);
+
+  const double hit_rate =
+      storm.hits + storm.misses > 0
+          ? static_cast<double>(storm.hits) /
+                static_cast<double>(storm.hits + storm.misses)
+          : 0.0;
+  std::printf("cache storm: %llu hits / %llu misses / %llu invalidations "
+              "(hit rate %.1f%%, floor %.0f%%), %u jobs planned\n",
+              static_cast<unsigned long long>(storm.hits),
+              static_cast<unsigned long long>(storm.misses),
+              static_cast<unsigned long long>(storm.invalidations),
+              100.0 * hit_rate, 100.0 * kHitRateFloor, storm.jobs_planned);
+
+  bool plans_identical = suite.plan_dumps == suite_par.plan_dumps;
+  const bool session_identical = storm.dump == storm_par.dump;
+  std::printf("plans serial == parallel: %s; storm session serial == "
+              "parallel: %s\n",
+              plans_identical ? "yes" : "NO",
+              session_identical ? "yes" : "NO");
+  if (!session_identical) {
+    std::printf("--- serial ---\n%s\n--- parallel ---\n%s\n",
+                storm.dump.c_str(), storm_par.dump.c_str());
+  }
+
+  const bool skip_ok = skip_fraction >= kSkipFloor;
+  const bool cache_ok =
+      hit_rate >= kHitRateFloor && storm.invalidations == 0 &&
+      storm.hits > 0;
+  const bool det_ok = plans_identical && session_identical;
+
+  // Shared snapshot writer (obs/metrics.h): counters for integral facts,
+  // gauges for seconds/ratios, same JSON shape as every BENCH_*.json.
+  obs::MetricsRegistry report;
+  report.counter("fig7_queries")->Add(bob.size());
+  report.counter("input_blocks")->Add(suite.total_blocks);
+  report.counter("q1_zone_skipped_blocks")->Add(suite.zone_skipped[0]);
+  report.gauge("q1_zone_skip_fraction")->Set(skip_fraction);
+  report.gauge("zone_skip_floor")->Set(kSkipFloor);
+  report.gauge("suite_billed_heuristic_seconds")
+      ->Set(billed_heuristic_total);
+  report.gauge("suite_billed_planner_seconds")->Set(billed_planned_total);
+  report.counter("planner_never_worse")->Add(cost_ok ? 1 : 0);
+  report.counter("storm_queries")->Add(kStormQueries);
+  report.counter("plan_cache_hits")->Add(storm.hits);
+  report.counter("plan_cache_misses")->Add(storm.misses);
+  report.counter("plan_cache_invalidations")->Add(storm.invalidations);
+  report.gauge("plan_cache_hit_rate")->Set(hit_rate);
+  report.gauge("plan_cache_hit_rate_floor")->Set(kHitRateFloor);
+  report.counter("serial_equals_parallel")->Add(det_ok ? 1 : 0);
+  if (obs::WriteTextFile(json_path, report.TakeSnapshot().ToJson())) {
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+
+  if (!skip_ok) {
+    std::fprintf(stderr,
+                 "FAIL: Bob-Q1 zone-map skip fraction %.1f%% below %.0f%% "
+                 "floor\n",
+                 100.0 * skip_fraction, 100.0 * kSkipFloor);
+  }
+  if (!cost_ok) {
+    std::fprintf(stderr,
+                 "FAIL: planner billed cost exceeds the heuristic on some "
+                 "query\n");
+  }
+  if (!cache_ok) {
+    std::fprintf(stderr,
+                 "FAIL: plan-cache gate (hit rate %.1f%%, invalidations "
+                 "%llu)\n",
+                 100.0 * hit_rate,
+                 static_cast<unsigned long long>(storm.invalidations));
+  }
+  if (!det_ok) {
+    std::fprintf(stderr,
+                 "FAIL: plans or storm session not bit-identical between "
+                 "serial and parallel\n");
+  }
+  return skip_ok && cost_ok && cache_ok && det_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hail
+
+int main(int argc, char** argv) { return hail::bench::Main(argc, argv); }

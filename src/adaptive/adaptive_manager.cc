@@ -64,9 +64,24 @@ void AdaptiveManager::ReturnUnfinished(std::vector<MaintenanceTask> tasks) {
   Enqueue(std::move(tasks), /*front=*/true);
 }
 
+size_t AdaptiveManager::RequestStatsBackfill() {
+  const size_t added =
+      Enqueue(PlanStatsBackfill(*dfs_, file_), /*front=*/false);
+  planned_total_ += added;
+  return added;
+}
+
 void AdaptiveManager::PruneConverged() {
   std::deque<MaintenanceTask> kept;
   for (const MaintenanceTask& task : pending_) {
+    // A queued stats backfill converges once the block's sidecar is fresh
+    // (another task or an upload beat it there).
+    if (task.kind == MaintenanceTask::Kind::kBuildStats) {
+      if (!dfs_->namenode().BlockStatsFresh(task.block_id)) {
+        kept.push_back(task);
+      }
+      continue;
+    }
     // Only index-building rewrites converge by "some host has the index";
     // replication adds/evictions stay queued (an extra copy is wanted on
     // its *specific* target even once an indexed replica exists).

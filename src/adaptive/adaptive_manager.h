@@ -56,6 +56,12 @@ class AdaptiveManager {
   void ObserveJob(const mapreduce::JobSpec& spec,
                   const mapreduce::JobResult& result);
 
+  /// Queues a kBuildStats task for every block of the file whose stats
+  /// sidecar is missing or stale (see PlanStatsBackfill). The tasks ride
+  /// the same idle-slot maintenance queue as reorgs. Returns how many
+  /// were newly queued (already-pending duplicates are dropped).
+  size_t RequestStatsBackfill();
+
   /// Completion bookkeeping (counters only; the runner already committed).
   void NoteCompleted(uint32_t completed, uint32_t failed) {
     completed_total_ += completed;

@@ -7,6 +7,7 @@
 #include "hdfs/packet.h"
 #include "index/unclustered_index.h"
 #include "layout/column_vector.h"
+#include "planner/block_stats.h"
 
 namespace hail {
 namespace adaptive {
@@ -101,6 +102,23 @@ Result<PreparedReorg> PrepareReorg(const hdfs::MiniDfs& dfs,
   HAIL_ASSIGN_OR_RETURN(HailBlockView view, HailBlockView::Open(raw));
   HAIL_ASSIGN_OR_RETURN(PaxBlock base,
                         PaxBlock::Deserialize(view.pax_section()));
+  if (task.kind == MaintenanceTask::Kind::kBuildStats) {
+    // Stats backfill: read the replica, summarize every column, hand the
+    // sidecar to CommitReorg. Metadata-only — no bytes are written back.
+    PreparedReorg out;
+    out.info = old_info;
+    out.stats = planner::BlockStats::Build(base).Serialize();
+    const double s = dfs.config().scale_factor;
+    const sim::CostModel& node_cost = dfs.cluster().node(task.datanode).cost();
+    const uint64_t logical_rows = static_cast<uint64_t>(
+        static_cast<double>(base.num_records()) * s);
+    const uint64_t logical_payload = static_cast<uint64_t>(
+        static_cast<double>(base.PayloadBytes()) * s);
+    out.seconds =
+        node_cost.DiskAccess(logical_payload) +
+        node_cost.StatsBuild(logical_rows * base.schema().num_fields());
+    return out;
+  }
   if (task.column < 0 || task.column >= base.schema().num_fields()) {
     return Status::InvalidArgument("reorg column outside the schema");
   }
@@ -192,6 +210,14 @@ Status CommitReorg(hdfs::MiniDfs* dfs, const MaintenanceTask& task,
     if (dn.HasBlock(task.block_id)) {
       HAIL_RETURN_NOT_OK(dn.DeleteBlock(task.block_id));
     }
+    return Status::OK();
+  }
+  if (task.kind == MaintenanceTask::Kind::kBuildStats) {
+    // Metadata-only: register the sidecar (bumps the directory generation,
+    // so cached plans built without these stats are invalidated). The
+    // replica bytes and its datanode generation are untouched.
+    dfs->namenode().RegisterBlockStats(task.block_id,
+                                       std::move(prepared.stats));
     return Status::OK();
   }
   // StoreBlock bumps the replica's generation, which drops every

@@ -43,6 +43,12 @@ struct MaintenanceTask {
     /// Drop the extra replica on `datanode` (storage-budget eviction).
     /// Refused when it would leave fewer than `replication` alive copies.
     kEvictReplica,
+    /// Build the planner's per-column block-statistics sidecar from the
+    /// replica on `datanode` and register it with the namenode (backfill
+    /// for blocks loaded before stats existed, or whose stats went stale
+    /// after a repair/reorg). Metadata-only commit: the replica bytes and
+    /// its generation are untouched. `column` is -1.
+    kBuildStats,
   };
 
   uint64_t block_id = 0;
@@ -64,6 +70,9 @@ struct PreparedReorg {
   std::string bytes;                     // new replica bytes
   std::vector<uint32_t> chunk_crcs;      // recomputed checksums
   hdfs::HailBlockReplicaInfo info;       // new Dir_rep record
+  /// kBuildStats only: the serialized planner::BlockStats sidecar to
+  /// register at commit (replica bytes stay untouched).
+  std::string stats;
   /// Simulated seconds the rewrite occupies its slot (read + CPU + write),
   /// billed on the owning datanode's cost model.
   double seconds = 0.0;

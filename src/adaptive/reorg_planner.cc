@@ -5,6 +5,35 @@
 namespace hail {
 namespace adaptive {
 
+std::vector<MaintenanceTask> PlanStatsBackfill(const hdfs::MiniDfs& dfs,
+                                               const std::string& file) {
+  std::vector<MaintenanceTask> out;
+  Result<std::vector<hdfs::BlockLocation>> blocks =
+      dfs.namenode().GetFileBlocks(file);
+  if (!blocks.ok()) return out;
+  for (const hdfs::BlockLocation& loc : *blocks) {
+    if (dfs.namenode().BlockStatsFresh(loc.block_id)) continue;
+    std::vector<int> holders = loc.datanodes;
+    std::sort(holders.begin(), holders.end());
+    int source = -1;
+    for (int dn : holders) {
+      auto info = dfs.namenode().GetReplicaInfo(loc.block_id, dn);
+      if (info.ok() && info->layout == hdfs::ReplicaLayout::kPax) {
+        source = dn;
+        break;
+      }
+    }
+    if (source < 0) continue;  // no alive PAX source; retry after repair
+    MaintenanceTask t;
+    t.block_id = loc.block_id;
+    t.datanode = source;
+    t.column = -1;
+    t.kind = MaintenanceTask::Kind::kBuildStats;
+    out.push_back(t);
+  }
+  return out;
+}
+
 std::vector<MaintenanceTask> ReorgPlanner::Plan(const hdfs::MiniDfs& dfs,
                                                 const Schema& schema,
                                                 const std::string& file,

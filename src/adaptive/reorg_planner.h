@@ -81,6 +81,15 @@ struct PlanSummary {
   uint64_t budget_used_bytes = 0;
 };
 
+/// Emits one kBuildStats maintenance task per block of \p file whose
+/// planner stats sidecar is missing or stale (upload predates stats, or a
+/// repair/reorg commit bumped the block's mutation count). The task reads
+/// the lowest-id alive PAX replica; blocks without one are left for a
+/// later round (a repair will restore a source). Deterministic: follows
+/// the namenode's file listing, datanode ids ascending.
+std::vector<MaintenanceTask> PlanStatsBackfill(const hdfs::MiniDfs& dfs,
+                                               const std::string& file);
+
 /// \brief Stateful planner: one instance per adaptively managed file.
 class ReorgPlanner {
  public:

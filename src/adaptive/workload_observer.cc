@@ -23,6 +23,7 @@ void WorkloadObserver::Observe(const QueryAnnotation& annotation,
   obs.index_scan_tasks = result.index_scan_tasks;
   obs.billed_seconds = result.avg_record_reader_seconds *
                        static_cast<double>(result.map_tasks);
+  if (result.planned) obs.predicted_seconds = result.predicted_cost_seconds;
   log_.push_back(std::move(obs));
   while (log_.size() > options_.capacity) {
     log_.pop_front();
@@ -77,6 +78,22 @@ double WorkloadObserver::FullScanRegret() const {
 double WorkloadObserver::UnclusteredShare() const {
   return WeightedTaskShare(
       log_, [](const QueryObservation& o) { return o.unclustered_tasks; });
+}
+
+double WorkloadObserver::PredictionError() const {
+  double total = 0.0;
+  double err = 0.0;
+  for (const QueryObservation& obs : log_) {
+    if (obs.predicted_seconds <= 0.0 || obs.billed_seconds <= 0.0) continue;
+    total += obs.weight;
+    err += obs.weight *
+           (obs.billed_seconds > obs.predicted_seconds
+                ? (obs.billed_seconds - obs.predicted_seconds) /
+                      obs.billed_seconds
+                : (obs.predicted_seconds - obs.billed_seconds) /
+                      obs.billed_seconds);
+  }
+  return total > 0.0 ? err / total : 0.0;
 }
 
 }  // namespace adaptive

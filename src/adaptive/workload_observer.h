@@ -46,6 +46,10 @@ struct QueryObservation {
   uint32_t index_scan_tasks = 0;   // served by a clustered index
   /// Billed simulated RecordReader cost of the whole job, seconds.
   double billed_seconds = 0.0;
+  /// Access-path planner's cost prediction for the job, seconds (0 when
+  /// the job ran unplanned). billed vs predicted is the planner's
+  /// feedback signal — see PredictionError().
+  double predicted_seconds = 0.0;
 };
 
 /// \brief Bounded, decayed query log (the JobTracker's workload memory).
@@ -84,6 +88,11 @@ class WorkloadObserver {
   /// Weight fraction served by lazy unclustered probes (cheap, but still
   /// paying random I/O — the planner's escalation signal).
   double UnclusteredShare() const;
+
+  /// Weighted mean relative error |billed - predicted| / billed over the
+  /// logged queries that ran planned (predicted > 0, billed > 0). 0 when
+  /// none did — the planner's calibration health signal.
+  double PredictionError() const;
 
   size_t size() const { return log_.size(); }
   bool empty() const { return log_.empty(); }

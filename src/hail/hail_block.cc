@@ -1,6 +1,7 @@
 #include "hail/hail_block.h"
 
 #include "hdfs/packet.h"
+#include "planner/block_stats.h"
 #include "util/io.h"
 
 namespace hail {
@@ -10,6 +11,13 @@ Status HailReplicaTransformer::BeginBlock(std::string_view reassembled) {
   // permutation of these columns.
   HAIL_ASSIGN_OR_RETURN(PaxBlock base, PaxBlock::Deserialize(reassembled));
   base_.emplace(std::move(base));
+  if (params_.build_stats) {
+    // Built from the shared arrival-order columns: replicas are row
+    // permutations of these, so one sidecar describes them all.
+    stats_bytes_ = planner::BlockStats::Build(*base_).Serialize();
+  } else {
+    stats_bytes_.clear();
+  }
   return Status::OK();
 }
 
@@ -56,6 +64,14 @@ Result<hdfs::ReplicaBlock> HailReplicaTransformer::BuildReplica(
         base_->schema().field(sort_column).type, /*pointer_bytes=*/4);
   } else {
     out.bytes = BuildHailBlock(*base_, nullptr, -1);
+  }
+
+  if (replica_index == 0 && !stats_bytes_.empty()) {
+    // The stats sidecar is built once per block; bill the summary pass on
+    // the first replica's builder so scheduling rides the existing paths.
+    out.cpu_seconds += ctx.cost->StatsBuild(
+        params_.logical_records *
+        static_cast<uint64_t>(base_->schema().num_fields()));
   }
 
   if (base_->options().enable_encoding) {

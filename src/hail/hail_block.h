@@ -68,6 +68,11 @@ struct HailTransformParams {
   uint64_t logical_fixed_bytes = 0;
   uint64_t logical_varlen_bytes = 0;
   uint64_t logical_records = 0;
+  /// Build the per-column planner stats sidecar (planner/block_stats.h)
+  /// from the decoded block and expose it via stats_bytes(). Off by
+  /// default: upload costs and namenode metadata are unchanged unless the
+  /// caller opts into cost-based planning.
+  bool build_stats = false;
 };
 
 /// \brief The HAIL per-replica layout policy (steps 6-9 of Figure 1).
@@ -85,11 +90,14 @@ class HailReplicaTransformer : public hdfs::ReplicaTransformer {
   Status BeginBlock(std::string_view reassembled) override;
   Result<hdfs::ReplicaBlock> BuildReplica(
       size_t replica_index, const hdfs::ReplicaWorkContext& ctx) override;
+  std::string_view stats_bytes() const override { return stats_bytes_; }
 
  private:
   HailTransformParams params_;
   /// Shared arrival-order columnar data, decoded once per block.
   std::optional<PaxBlock> base_;
+  /// Serialized planner::BlockStats when params_.build_stats is set.
+  std::string stats_bytes_;
 };
 
 /// \brief Zero-copy reader for a serialised HAIL block (versions 1 and 2).

@@ -103,6 +103,7 @@ Result<bool> UploadNextHailBlock(hdfs::MiniDfs* dfs,
   // sort/index/flush on the datanodes ----
   HailTransformParams params;
   params.sort_columns = config.sort_columns;
+  params.build_stats = config.build_stats;
   params.chunk_bytes = cfg.chunk_bytes;
   params.varlen_partition_size = cfg.format.varlen_partition_size;
   params.index_partition_logical = cluster.constants().index_partition_logical;

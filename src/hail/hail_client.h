@@ -35,6 +35,10 @@ struct HailUploadConfig {
   /// specified by Bob in a configuration file or as computed by a
   /// physical design algorithm" (§2.2).
   std::vector<int> sort_columns;
+  /// Build per-column block statistics (planner/block_stats.h) during the
+  /// upload and register the sidecar with the namenode. Default off:
+  /// uploads without cost-based planning are bit-identical to before.
+  bool build_stats = false;
 };
 
 /// \brief Upload statistics (extends the HDFS report with conversion info).

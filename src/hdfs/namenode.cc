@@ -40,6 +40,7 @@ Result<BlockAllocation> Namenode::AllocateBlock(const std::string& file,
     return Status::FailedPrecondition("not enough alive datanodes");
   }
   files_[file].push_back(alloc.block_id);
+  ++directory_generation_;
   return alloc;
 }
 
@@ -60,6 +61,7 @@ Status Namenode::RegisterReplica(uint64_t block_id, int datanode,
     rev->second.erase(block_id);
     if (rev->second.empty()) revoked_.erase(rev);
   }
+  NoteBlockMutation(block_id);
   return Status::OK();
 }
 
@@ -175,18 +177,26 @@ Result<std::vector<uint64_t>> Namenode::DeleteFile(const std::string& file) {
       dir_block_.erase(holders);
     }
     block_logical_bytes_.erase(block_id);
+    block_stats_.erase(block_id);
+    block_mutations_.erase(block_id);
   }
+  ++directory_generation_;
   return blocks;
 }
 
 void Namenode::MarkDatanodeDead(int datanode) {
   if (std::find(dead_.begin(), dead_.end(), datanode) == dead_.end()) {
     dead_.push_back(datanode);
+    ++directory_generation_;
   }
 }
 
 void Namenode::MarkDatanodeAlive(int datanode) {
-  dead_.erase(std::remove(dead_.begin(), dead_.end(), datanode), dead_.end());
+  auto it = std::remove(dead_.begin(), dead_.end(), datanode);
+  if (it != dead_.end()) {
+    dead_.erase(it, dead_.end());
+    ++directory_generation_;
+  }
 }
 
 bool Namenode::IsDatanodeAlive(int datanode) const {
@@ -213,6 +223,36 @@ void Namenode::RevokeReplica(uint64_t block_id, int datanode) {
   }
   dir_rep_.erase({block_id, datanode});
   revoked_[datanode].insert(block_id);
+  NoteBlockMutation(block_id);
+}
+
+void Namenode::NoteBlockMutation(uint64_t block_id) {
+  ++block_mutations_[block_id];
+  ++directory_generation_;
+}
+
+void Namenode::RegisterBlockStats(uint64_t block_id, std::string stats) {
+  block_stats_[block_id] = {block_mutations_[block_id], std::move(stats)};
+  // Fresh stats change what the planner would decide: invalidate plans.
+  ++directory_generation_;
+}
+
+Result<std::string_view> Namenode::GetBlockStats(uint64_t block_id) const {
+  auto it = block_stats_.find(block_id);
+  if (it == block_stats_.end()) {
+    return Status::NotFound("no stats for block " + std::to_string(block_id));
+  }
+  auto mut = block_mutations_.find(block_id);
+  const uint64_t current = mut == block_mutations_.end() ? 0 : mut->second;
+  if (it->second.first != current) {
+    return Status::NotFound("stale stats for block " +
+                            std::to_string(block_id));
+  }
+  return std::string_view(it->second.second);
+}
+
+bool Namenode::BlockStatsFresh(uint64_t block_id) const {
+  return GetBlockStats(block_id).ok();
 }
 
 Status Namenode::ReportCorruptReplica(uint64_t block_id, int datanode) {

@@ -178,6 +178,26 @@ class Namenode {
   /// caller can reclaim the replicas from the datanodes.
   Result<std::vector<uint64_t>> DeleteFile(const std::string& file);
 
+  /// Registers the per-column statistics sidecar of a block (opaque
+  /// serialized planner::BlockStats — the namenode does not interpret it).
+  /// The blob is recorded at the block's current mutation count: any later
+  /// replica mutation (repair, reorg commit, eviction, corruption) makes
+  /// it stale, and `GetBlockStats` stops returning it until a rebuild
+  /// re-registers fresh bytes.
+  void RegisterBlockStats(uint64_t block_id, std::string stats);
+
+  /// Stats sidecar if present and fresh; NotFound when absent or stale.
+  Result<std::string_view> GetBlockStats(uint64_t block_id) const;
+
+  /// True when the block has fresh stats (false: backfill candidate).
+  bool BlockStatsFresh(uint64_t block_id) const;
+
+  /// Monotonic counter bumped on every directory mutation (replica
+  /// registration/revocation, node death/revive, file create/delete,
+  /// stats arrival). Plan caches key on this: any change that could alter
+  /// a plan bumps it.
+  uint64_t directory_generation() const { return directory_generation_; }
+
   bool FileExists(const std::string& file) const {
     return files_.count(file) > 0;
   }
@@ -204,6 +224,14 @@ class Namenode {
   std::deque<UnderReplicatedEntry> under_replicated_;
   std::set<std::pair<uint64_t, int>> repair_pending_;
   std::map<int, std::set<uint64_t>> revoked_;
+
+  /// Bumps the block's mutation count and the directory generation.
+  void NoteBlockMutation(uint64_t block_id);
+
+  uint64_t directory_generation_ = 0;
+  std::map<uint64_t, uint64_t> block_mutations_;
+  // Stats sidecar per block: (mutation count at registration, blob).
+  std::map<uint64_t, std::pair<uint64_t, std::string>> block_stats_;
 };
 
 }  // namespace hdfs

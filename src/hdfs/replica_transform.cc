@@ -42,6 +42,10 @@ Result<uint64_t> StoreTransformedReplicas(
         namenode->RegisterReplica(alloc.block_id, dn, replica.info));
   }
   namenode->SetBlockLogicalBytes(alloc.block_id, logical_bytes);
+  if (!transformer->stats_bytes().empty()) {
+    namenode->RegisterBlockStats(alloc.block_id,
+                                 std::string(transformer->stats_bytes()));
+  }
   return stored;
 }
 

@@ -93,6 +93,12 @@ class ReplicaTransformer {
   /// Produces replica \p replica_index (position in the pipeline chain).
   virtual Result<ReplicaBlock> BuildReplica(size_t replica_index,
                                             const ReplicaWorkContext& ctx) = 0;
+
+  /// Serialized planner stats sidecar of the block handed to BeginBlock
+  /// (planner::BlockStats bytes), or empty when the policy does not build
+  /// stats. Stats describe the logical block — identical across replicas —
+  /// so the pipeline registers them once per block with the namenode.
+  virtual std::string_view stats_bytes() const { return {}; }
 };
 
 /// \brief Stock-HDFS policy: every replica is the transferred bytes.

@@ -197,6 +197,13 @@ Result<BlockWriteResult> UploadPipeline::WriteBlock(
     done = std::max(done, replica_done);
   }
   namenode_->SetBlockLogicalBytes(block_id, logical_bytes);
+  // One stats sidecar per logical block (replicas share the same rows);
+  // registered after the replicas so it records the block's final
+  // mutation count and stays fresh until the next replica mutation.
+  if (!transformer->stats_bytes().empty()) {
+    namenode_->RegisterBlockStats(block_id,
+                                  std::string(transformer->stats_bytes()));
+  }
 
   result.completed = done;
   if (streaming) {

@@ -3,6 +3,7 @@
 #include "hail/hail_block.h"
 #include "mapreduce/cached_block.h"
 #include "mapreduce/record_reader.h"
+#include "planner/access_path.h"
 #include "query/vectorized.h"
 
 namespace hail {
@@ -213,6 +214,33 @@ class HailRecordReader : public RecordReader {
     const hdfs::BlockLocation& loc = ctx->plan->file_blocks[block_index];
     const hdfs::DfsConfig& cfg = ctx->dfs->config();
     const int index_column = ctx->plan->index_column;
+
+    // Per-block access decision from the cost-based planner (empty vector
+    // when the job was not planned). kSkipZoneMap is binding: the stats
+    // proved no row qualifies and the block holds no bad records, so it
+    // is never opened and bills nothing — the planning CPU was already
+    // paid in the split phase.
+    const planner::AccessDecision* decision =
+        block_index < ctx->plan->decisions.size()
+            ? &ctx->plan->decisions[block_index]
+            : nullptr;
+    if (decision != nullptr &&
+        decision->path == planner::AccessPath::kSkipZoneMap) {
+      ++ctx->blocks_skipped;
+      ++ctx->zone_skipped_blocks;
+      ctx->rows_skipped += decision->block_records;
+      if (ctx->trace != nullptr) {
+        const size_t span =
+            ctx->trace->Open("block_skip", "read", cost->total());
+        ctx->trace->Attr(span, "block", loc.block_id);
+        ctx->trace->Attr(span, "reason", "zone_map");
+        ctx->trace->Attr(span, "rows",
+                         static_cast<uint64_t>(decision->block_records));
+        ctx->trace->Close(span, cost->total());
+      }
+      return Status::OK();
+    }
+
     const size_t bspan =
         ctx->trace != nullptr
             ? ctx->trace->Open("block_read", "read", cost->total())
@@ -246,7 +274,14 @@ class HailRecordReader : public RecordReader {
       }
       for (int h : hosts) add_one(h);
     };
-    if (index_column >= 0) {
+    // A planned full scan (fresh stats predicted an unclustered probe
+    // would be abandoned, or no index exists) goes straight to the plain
+    // replicas: no dense-index read is wasted before the inevitable pass.
+    // Advisory only — with a clustered replica alive the planner never
+    // chooses kFullScan, and missing stats leave the dynamic path intact.
+    const bool planned_scan = decision != nullptr && decision->stats_fresh &&
+                              decision->path == planner::AccessPath::kFullScan;
+    if (index_column >= 0 && !planned_scan) {
       add_hosts(ctx->dfs->namenode().GetHostsWithIndex(loc.block_id,
                                                        index_column),
                 kIndexed);

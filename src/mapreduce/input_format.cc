@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "planner/access_planner.h"
+
 namespace hail {
 namespace mapreduce {
 
@@ -82,6 +84,25 @@ Result<JobPlan> ComputeJobPlan(hdfs::MiniDfs* dfs, const JobSpec& spec) {
 
   const bool index_scan =
       plan.index_column >= 0 && spec.system != System::kHadoop;
+
+  // Cost-based planning (opt-in): only HAIL uploads produce the stats
+  // sidecars, and only a filtered query gives zone maps anything to
+  // prune. The per-block planning CPU is recorded separately so a
+  // plan-cache hit does not re-pay it.
+  if (spec.use_planner && spec.system == System::kHail &&
+      spec.annotation.has_value() && spec.annotation->has_filter()) {
+    planner::FilePlan fp =
+        planner::PlanAccessPaths(*dfs, spec.schema, *spec.annotation,
+                                 plan.index_column, plan.file_blocks);
+    plan.planned = true;
+    plan.decisions = std::move(fp.decisions);
+    plan.predicted_cost_seconds = fp.predicted_cost_seconds;
+    plan.planner_blocks_skipped = fp.blocks_skipped;
+    plan.planner_fresh_stats_blocks = fp.blocks_with_fresh_stats;
+    plan.planner_seconds =
+        static_cast<double>(plan.file_blocks.size()) *
+        dfs->cluster().constants().planner_block_plan_us / 1e6;
+  }
 
   if (spec.system == System::kHail && spec.hail_splitting && index_scan) {
     HailSplits(dfs, plan.file_blocks, plan.index_column, &plan);

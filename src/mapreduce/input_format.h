@@ -14,6 +14,7 @@
 
 #include "hdfs/dfs_client.h"
 #include "mapreduce/job.h"
+#include "planner/access_path.h"
 
 namespace hail {
 namespace mapreduce {
@@ -42,6 +43,23 @@ struct JobPlan {
   double split_phase_seconds = 0.0;
   /// Index column the job will use, -1 for full scans.
   int index_column = -1;
+
+  // -- cost-based planning (spec.use_planner; see planner/access_planner.h)
+  /// True when the access-path planner ran for this job.
+  bool planned = false;
+  /// One decision per file_blocks entry (same order); empty when not
+  /// planned. Readers index it by a split's block_indexes.
+  std::vector<planner::AccessDecision> decisions;
+  /// Per-block planning CPU (constants().planner_block_plan_us × blocks).
+  /// Not folded into split_phase_seconds: a plan-cache hit re-uses the
+  /// plan without re-paying it.
+  double planner_seconds = 0.0;
+  /// Sum of the per-block cost estimates (the admission/observer signal).
+  double predicted_cost_seconds = 0.0;
+  /// Blocks the zone maps proved empty (binding skips).
+  uint64_t planner_blocks_skipped = 0;
+  /// Blocks planned from fresh statistics.
+  uint64_t planner_fresh_stats_blocks = 0;
 };
 
 /// Computes the plan for a job: default splitting for full scans and for

@@ -126,6 +126,12 @@ struct JobSpec {
   /// jobs. Disabled in §6.4's experiments, enabled in §6.5's.
   bool hail_splitting = false;
 
+  /// Cost-based access-path planning (planner/access_planner.h): choose a
+  /// path per block from upload-time statistics and skip blocks whose
+  /// zone map is disjoint from the filter. Off by default: unplanned jobs
+  /// execute bit-identically to before the planner existed.
+  bool use_planner = false;
+
   /// Store emitted rows in the JobResult (tests) or only count (benches).
   bool collect_output = false;
 };
@@ -177,6 +183,15 @@ struct JobResult {
   uint64_t blocks_scanned = 0;
   uint64_t blocks_skipped = 0;
   uint64_t rows_skipped = 0;
+
+  // -- cost-based planning (JobSpec::use_planner) --
+  /// True when the access-path planner produced this job's plan.
+  bool planned = false;
+  /// Planner-predicted billed cost (sum of per-block estimates), seconds.
+  double predicted_cost_seconds = 0.0;
+  /// Blocks never read because their zone map was disjoint from the
+  /// filter (subset of blocks_skipped).
+  uint64_t zone_skipped_blocks = 0;
   /// Filled when RunOptions::profile is set (single-job runner path).
   std::optional<obs::QueryProfile> profile;
 };

@@ -47,6 +47,8 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
   session_options.retry_backoff_s = options.retry_backoff_s;
   session_options.retry_backoff_max_s = options.retry_backoff_max_s;
   session_options.tracer = options.tracer;
+  session_options.plan_cache = options.plan_cache;
+  session_options.admission_from_planner = options.admission_from_planner;
   // Profile support: the block cache counters are cluster-global, so a
   // per-query view is the delta across this (single-job) session.
   const hdfs::BlockCacheStats cache_before =
@@ -71,6 +73,9 @@ Result<JobResult> JobRunner::Run(const JobSpec& spec,
     p.fallback_scans = job->fallback_scans;
     p.blocks_scanned = job->blocks_scanned;
     p.blocks_skipped = job->blocks_skipped;
+    p.planned = job->planned;
+    p.predicted_seconds = job->predicted_cost_seconds;
+    p.zone_skipped_blocks = job->zone_skipped_blocks;
     p.rows_skipped = job->rows_skipped;
     p.rows_in = job->records_seen;
     p.rows_out = job->records_qualifying;

@@ -45,6 +45,9 @@ namespace hail {
 namespace adaptive {
 class AdaptiveManager;
 }  // namespace adaptive
+namespace planner {
+class PlanCache;
+}  // namespace planner
 namespace mapreduce {
 
 /// \brief How map-task reads execute under the simulated scheduler.
@@ -96,6 +99,12 @@ struct RunOptions {
   /// JobResult: access path, blocks scanned vs skipped, rows through the
   /// kernels, cache hits, and the per-bucket billed-cost breakdown.
   bool profile = false;
+  /// Session plan cache consulted at admission (planner/plan_cache.h);
+  /// nullptr = plans are recomputed per run, exactly as before.
+  planner::PlanCache* plan_cache = nullptr;
+  /// Feed admission control's overload projection from planner-predicted
+  /// per-job cost instead of the historical mean (scheduler.h knob).
+  bool admission_from_planner = false;
 };
 
 /// \brief Runs MapReduce jobs against a MiniDfs cluster.

@@ -104,6 +104,9 @@ struct ReadContext {
   /// Rows an index scan never had to touch (block rows minus the
   /// qualifying range the probe returned).
   uint64_t rows_skipped = 0;
+  /// Blocks never opened because the plan's zone map proved them empty
+  /// (binding kSkipZoneMap decisions; subset of blocks_skipped).
+  uint64_t zone_skipped_blocks = 0;
 
   /// When non-null, readers record block-read / index-probe / failover
   /// spans here at billed-cost offsets; the engine splices them onto the

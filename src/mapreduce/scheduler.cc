@@ -16,6 +16,7 @@
 #include "hail/re_replication.h"
 #include "mapreduce/pending_index.h"
 #include "obs/metrics.h"
+#include "planner/plan_cache.h"
 #include "util/thread_pool.h"
 
 namespace hail {
@@ -188,6 +189,7 @@ struct TaskState {
   uint64_t blocks_scanned = 0;
   uint64_t blocks_skipped = 0;
   uint64_t rows_skipped = 0;
+  uint64_t zone_skipped_blocks = 0;
   int reschedules = 0;
   // Fair-share accounting: whether the latest assignment happened under
   // cross-queue contention, accumulated slot occupancy.
@@ -225,6 +227,7 @@ struct ReadOutcome {
   uint64_t blocks_scanned = 0;
   uint64_t blocks_skipped = 0;
   uint64_t rows_skipped = 0;
+  uint64_t zone_skipped_blocks = 0;
   /// Reader-level spans recorded at billed-cost offsets (block reads,
   /// index probes, failover rereads); the engine splices them onto the
   /// task span at the completion event. Empty when tracing is off.
@@ -371,6 +374,13 @@ struct SessionEngine {
   uint32_t replicas_added = 0;
   uint32_t replicas_evicted = 0;
 
+  // ---- cost-based planning (options->plan_cache / spec.use_planner) ----
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_invalidations = 0;  // this session's share
+  uint32_t jobs_planned = 0;
+  uint32_t stats_backfilled = 0;  // kBuildStats maintenance commits
+
   // ---- parallel engine state (unused in serial mode) ----
   bool parallel = false;
   ThreadPool* pool = nullptr;
@@ -503,12 +513,41 @@ void SessionEngine::AdmitJob(int j) {
   const ClusterSession::Submitted& sub = *job.submitted;
   const sim::SimTime now = events.Now();
   if (sub.kind == ClusterSession::Submitted::Kind::kQuery) {
-    Result<JobPlan> plan = ComputeJobPlan(dfs, sub.spec);
-    if (!plan.ok()) {
-      FailJob(j, plan.status());
-      return;
+    // Plan cache: a repeat submission of the same query at an unchanged
+    // directory generation re-uses the cached plan and skips both the
+    // computation and its billed planning CPU.
+    bool cache_hit = false;
+    if (options->plan_cache != nullptr) {
+      const std::string key = planner::PlanCache::KeyFor(sub.spec);
+      const uint64_t generation = dfs->namenode().directory_generation();
+      const uint64_t inval_before =
+          options->plan_cache->stats().invalidations;
+      const JobPlan* cached = options->plan_cache->Lookup(key, generation);
+      plan_cache_invalidations +=
+          options->plan_cache->stats().invalidations - inval_before;
+      if (cached != nullptr) {
+        job.plan = *cached;
+        cache_hit = true;
+        ++plan_cache_hits;
+      } else {
+        Result<JobPlan> plan = ComputeJobPlan(dfs, sub.spec);
+        if (!plan.ok()) {
+          FailJob(j, plan.status());
+          return;
+        }
+        job.plan = std::move(*plan);
+        options->plan_cache->Insert(key, generation, job.plan);
+        ++plan_cache_misses;
+      }
+    } else {
+      Result<JobPlan> plan = ComputeJobPlan(dfs, sub.spec);
+      if (!plan.ok()) {
+        FailJob(j, plan.status());
+        return;
+      }
+      job.plan = std::move(*plan);
     }
-    job.plan = std::move(*plan);
+    if (job.plan.planned) ++jobs_planned;
     if (job.plan.splits.empty()) {
       FailJob(j, Status::InvalidArgument("job '" + sub.spec.name +
                                          "' has no input"));
@@ -519,9 +558,12 @@ void SessionEngine::AdmitJob(int j) {
     for (size_t i = 0; i < job.plan.splits.size(); ++i) {
       job.tasks[i].split = &job.plan.splits[i];
     }
-    // Job submission pays startup + the split phase before tasks appear.
-    job.eligible_at =
-        now + constants().job_startup_s + job.plan.split_phase_seconds;
+    // Job submission pays startup + the split phase before tasks appear;
+    // the per-block planning CPU is paid only when the plan was actually
+    // computed (a cache hit re-uses the already-paid work).
+    job.eligible_at = now + constants().job_startup_s +
+                      job.plan.split_phase_seconds +
+                      (cache_hit ? 0.0 : job.plan.planner_seconds);
   } else {
     if (sub.upload.files.empty()) {
       FailJob(j, Status::InvalidArgument("upload job '" + sub.upload.name +
@@ -578,15 +620,35 @@ bool SessionEngine::ShedIfOverloaded(int j) {
   if (ac.shed_wait_s > 0.0) {
     const int q = scheduler.queue_of(j);
     const QueueUsage& u = usage[static_cast<size_t>(q)];
-    if (u.tasks > 0 && total_slots > 0) {
+    // The legacy estimator needs one completed task for its observed mean;
+    // the planner-fed estimator (options->admission_from_planner) can
+    // project from predicted job costs before anything completed.
+    const bool planner_fed = options->admission_from_planner;
+    if ((u.tasks > 0 || planner_fed) && total_slots > 0) {
+      const double mean_ss =
+          u.tasks > 0 ? u.slot_seconds / static_cast<double>(u.tasks) : 0.0;
       size_t backlog_tasks = 0;
+      double backlog_cost = 0.0;  // planner-fed: predicted slot-seconds
       for (const JobExec& other : jobs) {
         if (other.submitted->queue != queue) continue;
+        size_t pending = 0;
         if (other.phase == JobExec::Phase::kActive) {
-          backlog_tasks += other.pending.size();
+          pending = other.pending.size();
         } else if (other.phase == JobExec::Phase::kStarting) {
-          backlog_tasks += other.tasks.size();
+          pending = other.tasks.size();
+        } else {
+          continue;
         }
+        backlog_tasks += pending;
+        // A shed candidate never computes a plan, so predictions come
+        // from the *already admitted* jobs' plans; unplanned jobs fall
+        // back to the observed mean.
+        const double per_task =
+            other.plan.planned && !other.tasks.empty()
+                ? other.plan.predicted_cost_seconds /
+                      static_cast<double>(other.tasks.size())
+                : mean_ss;
+        backlog_cost += static_cast<double>(pending) * per_task;
       }
       const std::vector<SlotScheduler::QueueState>& queues =
           scheduler.queues();
@@ -598,10 +660,10 @@ bool SessionEngine::ShedIfOverloaded(int j) {
                              ? queues[static_cast<size_t>(q)].weight
                              : 1.0;
       const double entitled = total_slots * own / weight_sum;
-      const double mean_ss =
-          u.slot_seconds / static_cast<double>(u.tasks);
       const double projected =
-          static_cast<double>(backlog_tasks) * mean_ss / entitled;
+          planner_fed
+              ? backlog_cost / entitled
+              : static_cast<double>(backlog_tasks) * mean_ss / entitled;
       if (projected > ac.shed_wait_s) {
         char wait[32];
         std::snprintf(wait, sizeof(wait), "%.1f", projected);
@@ -1057,6 +1119,8 @@ void SessionEngine::CommitMaintenance(size_t mid) {
       ++replicas_added;
     } else if (m.task.kind == adaptive::MaintenanceTask::Kind::kEvictReplica) {
       ++replicas_evicted;
+    } else if (m.task.kind == adaptive::MaintenanceTask::Kind::kBuildStats) {
+      ++stats_backfilled;
     }
   } else {
     m.status = MaintState::Status::kFailed;
@@ -1334,6 +1398,7 @@ ReadOutcome SessionEngine::ExecuteRead(int j, RecordReader* rdr,
   out.blocks_scanned = ctx.blocks_scanned;
   out.blocks_skipped = ctx.blocks_skipped;
   out.rows_skipped = ctx.rows_skipped;
+  out.zone_skipped_blocks = ctx.zone_skipped_blocks;
   out.bad_replicas = std::move(ctx.bad_replicas);
   return out;
 }
@@ -1687,6 +1752,7 @@ void SessionEngine::OnTaskComplete(int j, size_t task_id, int attempt,
     task.blocks_scanned = outcome->blocks_scanned;
     task.blocks_skipped = outcome->blocks_skipped;
     task.rows_skipped = outcome->rows_skipped;
+    task.zone_skipped_blocks = outcome->zone_skipped_blocks;
     // RecordReader time = one-time reader construction + the data access
     // (already stretched by the executing node's slow factor).
     task.rr_seconds = rr_seconds;
@@ -2002,6 +2068,8 @@ JobResult SessionEngine::AssembleResult(const JobExec& job) const {
   result.index_column = sub.kind == ClusterSession::Submitted::Kind::kQuery
                             ? job.plan.index_column
                             : -1;
+  result.planned = job.plan.planned;
+  result.predicted_cost_seconds = job.plan.predicted_cost_seconds;
   result.cost = job.waste_ledger;
   result.billed_cost_seconds = job.waste_seconds;
 
@@ -2017,6 +2085,7 @@ JobResult SessionEngine::AssembleResult(const JobExec& job) const {
     result.blocks_scanned += task.blocks_scanned;
     result.blocks_skipped += task.blocks_skipped;
     result.rows_skipped += task.rows_skipped;
+    result.zone_skipped_blocks += task.zone_skipped_blocks;
     if (task.fallback_scan) result.fallback_scans += 1;
     if (task.index_scan) result.index_scan_tasks += 1;
     if (task.unclustered_scan) result.unclustered_scan_tasks += 1;
@@ -2385,6 +2454,11 @@ Result<SessionResult> ClusterSession::Run() {
   out.task_retries = eng.task_retries;
   out.speculative_attempts = eng.spec_attempts;
   out.speculative_wins = eng.spec_wins;
+  out.jobs_planned = eng.jobs_planned;
+  out.plan_cache_hits = eng.plan_cache_hits;
+  out.plan_cache_misses = eng.plan_cache_misses;
+  out.plan_cache_invalidations = eng.plan_cache_invalidations;
+  out.stats_backfilled = eng.stats_backfilled;
 
   // Mirror the session's engine counters into the cluster's unified
   // registry (monotonic across sessions; a snapshot after N sessions is
@@ -2411,6 +2485,27 @@ Result<SessionResult> ClusterSession::Run() {
     m.counter("repair.abandoned")->Add(eng.repairs_abandoned);
     m.counter("replication.replicas_added")->Add(eng.replicas_added);
     m.counter("replication.replicas_evicted")->Add(eng.replicas_evicted);
+    // Planner counters only materialize when planning is in play, so the
+    // metric snapshots of planner-free runs stay byte-identical to before
+    // the planner existed.
+    if (eng.jobs_planned > 0 || options_.plan_cache != nullptr ||
+        eng.stats_backfilled > 0) {
+      uint64_t zone_skips = 0;
+      for (const JobExec& job : eng.jobs) {
+        for (const TaskState& task : job.tasks) {
+          if (task.status == TaskStatus::kDone) {
+            zone_skips += task.zone_skipped_blocks;
+          }
+        }
+      }
+      m.counter("planner.jobs_planned")->Add(eng.jobs_planned);
+      m.counter("planner.blocks_skipped")->Add(zone_skips);
+      m.counter("planner.plan_cache_hits")->Add(eng.plan_cache_hits);
+      m.counter("planner.plan_cache_misses")->Add(eng.plan_cache_misses);
+      m.counter("planner.plan_cache_invalidations")
+          ->Add(eng.plan_cache_invalidations);
+      m.counter("planner.stats_backfilled")->Add(eng.stats_backfilled);
+    }
     obs::Histogram* rr = m.histogram(
         "task.rr_seconds", {0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0});
     obs::Counter* billed = m.counter("cost.billed_nanos_total");

@@ -53,6 +53,9 @@ namespace hail {
 namespace adaptive {
 class AdaptiveManager;
 }  // namespace adaptive
+namespace planner {
+class PlanCache;
+}  // namespace planner
 namespace mapreduce {
 
 /// \brief How free map slots are shared between admitted jobs.
@@ -196,6 +199,18 @@ struct SessionOptions {
   ExecutionMode execution = ExecutionMode::kDefault;
   /// Background replica maintenance rides the whole session's idle slots.
   adaptive::AdaptiveManager* adaptive = nullptr;
+  /// When non-null, job plans are cached here keyed on (spec, directory
+  /// generation): repeat submissions of the same query skip both the plan
+  /// computation and its billed planning CPU. Owned by the caller so the
+  /// cache survives across sessions; invalidated automatically by any
+  /// namenode directory mutation.
+  planner::PlanCache* plan_cache = nullptr;
+  /// Estimate a queue's projected wait from the planner's predicted job
+  /// costs (admitted jobs' plan.predicted_cost_seconds spread over their
+  /// pending tasks) instead of the observed mean task duration. Falls
+  /// back to the observed mean for unplanned jobs. Off by default: the
+  /// legacy estimator's shed decisions are preserved bit-for-bit.
+  bool admission_from_planner = false;
   /// Node to kill mid-session; -1 disables failure injection. Legacy
   /// single-kill knob, merged into `fault_plan` at Run time.
   int kill_node = -1;
@@ -311,6 +326,15 @@ struct SessionResult {
   // -- aggressive replication (maintenance kAddReplica / kEvictReplica) --
   uint32_t replicas_added = 0;
   uint32_t replicas_evicted = 0;
+  // -- cost-based planning (spec.use_planner / options.plan_cache) --
+  /// Query jobs whose plan carried per-block access decisions.
+  uint32_t jobs_planned = 0;
+  /// Plan-cache traffic for this session's admissions (0 when no cache).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_invalidations = 0;
+  /// kBuildStats maintenance commits (stats sidecar backfills).
+  uint32_t stats_backfilled = 0;
 };
 
 /// \brief N jobs on one simulated clock and one shared cluster state.

@@ -68,6 +68,16 @@ class TrojanRecordReader : public RecordReader {
   Status ReadOneBlock(uint32_t block_index, const CompiledPredicate* filter,
                       ReadContext* ctx, TaskCost* cost) {
     const hdfs::BlockLocation& loc = ctx->plan->file_blocks[block_index];
+    // Binding zone-map skip from the cost-based planner (currently only
+    // HAIL jobs are planned, but the decision surface is generic).
+    if (block_index < ctx->plan->decisions.size() &&
+        ctx->plan->decisions[block_index].path ==
+            planner::AccessPath::kSkipZoneMap) {
+      ++ctx->blocks_skipped;
+      ++ctx->zone_skipped_blocks;
+      ctx->rows_skipped += ctx->plan->decisions[block_index].block_records;
+      return Status::OK();
+    }
     const size_t bspan =
         ctx->trace != nullptr
             ? ctx->trace->Open("block_read", "read", cost->total())

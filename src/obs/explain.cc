@@ -33,6 +33,17 @@ std::string FormatProfile(const QueryProfile& p) {
                 " skipped by index probes\n",
                 p.blocks_scanned, p.blocks_skipped);
   out += line;
+  if (p.planned) {
+    // Planner rows render only for planned queries, so unplanned EXPLAIN
+    // output is byte-identical to before the planner existed.
+    std::snprintf(line, sizeof(line),
+                  "  planner     : cost-based, %" PRIu64
+                  " blocks zone-map skipped\n",
+                  p.zone_skipped_blocks);
+    out += line;
+    out += "  predicted   : " + FormatDouble(p.predicted_seconds) +
+           " s billed-cost estimate\n";
+  }
   std::snprintf(line, sizeof(line),
                 "  rows        : %" PRIu64 " in -> %" PRIu64
                 " qualifying -> %" PRIu64 " emitted (%" PRIu64

@@ -39,6 +39,11 @@ struct QueryProfile {
   uint64_t rows_out = 0;        // rows qualifying
   uint64_t output_rows = 0;     // rows emitted by the map function
 
+  // ---- cost-based planner (JobSpec::use_planner) ----
+  bool planned = false;          // per-block access decisions were computed
+  double predicted_seconds = 0;  // planner's cost estimate for the job
+  uint64_t zone_skipped_blocks = 0;  // blocks pruned by zone-map disproof
+
   // ---- cache ----
   uint64_t cache_verify_hits = 0;
   uint64_t cache_verify_misses = 0;

@@ -1,0 +1,58 @@
+/// \file access_path.h
+/// \brief Per-block access-path decisions produced by the planner.
+///
+/// The planner annotates every block of a job's input with one decision.
+/// All decisions are *advisory* — readers keep their dynamic replica
+/// failover, so a node death between planning and execution degrades the
+/// path, never the answer — except kSkipZoneMap, which is *binding*: the
+/// zone map proved no row of the block can qualify (and the block holds
+/// no bad records), so the reader accounts the skip and reads nothing.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hail {
+namespace planner {
+
+/// \brief How one block should be accessed.
+enum class AccessPath : uint8_t {
+  kFullScan = 0,          // sequential pass over a plain replica
+  kClusteredIndex = 1,    // sparse index on the sorted replica
+  kUnclusteredIndex = 2,  // adaptive dense index, random accesses
+  kSkipZoneMap = 3,       // predicate disjoint from block min/max: no read
+};
+
+inline std::string_view AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kFullScan:
+      return "full_scan";
+    case AccessPath::kClusteredIndex:
+      return "clustered";
+    case AccessPath::kUnclusteredIndex:
+      return "unclustered";
+    case AccessPath::kSkipZoneMap:
+      return "zone_skip";
+  }
+  return "unknown";
+}
+
+/// \brief The planner's verdict for one block.
+struct AccessDecision {
+  AccessPath path = AccessPath::kFullScan;
+  /// True when fresh block stats informed this decision. False means the
+  /// planner fell back to worst-case assumptions (never a skip).
+  bool stats_fresh = false;
+  /// Estimated fraction of the block's records qualifying (all filter
+  /// terms combined, independence assumed).
+  double est_selectivity = 1.0;
+  /// Predicted billed cost of reading the block on `path`, seconds.
+  double est_cost_seconds = 0.0;
+  /// Records in the block (from stats; 0 when stats were missing). Lets a
+  /// skipping reader account rows_skipped without opening the block.
+  uint32_t block_records = 0;
+};
+
+}  // namespace planner
+}  // namespace hail

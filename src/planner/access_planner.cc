@@ -1,0 +1,228 @@
+#include "planner/access_planner.h"
+
+#include <algorithm>
+
+#include "index/clustered_index.h"
+#include "planner/block_stats.h"
+
+namespace hail {
+namespace planner {
+
+namespace {
+
+/// Shared per-query inputs resolved once, not per block.
+struct QueryShape {
+  std::vector<int> proj;          // projected columns (all when empty spec)
+  std::vector<int> accessed;      // filter ∪ projection
+  std::vector<int> filter_cols;   // filter columns with a key range
+  std::optional<KeyRange> index_range;  // range on the index column
+};
+
+QueryShape ResolveShape(const Schema& schema,
+                        const QueryAnnotation& annotation, int index_column) {
+  QueryShape shape;
+  if (!annotation.projection.empty()) {
+    shape.proj = annotation.projection;
+  } else {
+    for (int i = 0; i < schema.num_fields(); ++i) shape.proj.push_back(i);
+  }
+  shape.filter_cols = annotation.filter.ReferencedColumns();
+  shape.accessed = shape.filter_cols;
+  for (int c : shape.proj) {
+    if (std::find(shape.accessed.begin(), shape.accessed.end(), c) ==
+        shape.accessed.end()) {
+      shape.accessed.push_back(c);
+    }
+  }
+  if (index_column >= 0) {
+    shape.index_range = annotation.filter.KeyRangeFor(index_column);
+  }
+  return shape;
+}
+
+/// Logical values-only bytes of one column, from its stats sidecar.
+uint64_t ColumnLogicalBytes(const BlockStats& stats, int column,
+                            double scale) {
+  if (column < 0 || column >= static_cast<int>(stats.columns.size())) {
+    return 0;
+  }
+  return static_cast<uint64_t>(
+      static_cast<double>(stats.columns[static_cast<size_t>(column)]
+                              .value_bytes) *
+      scale);
+}
+
+/// Predicted billed cost of reading one block on \p path — the same
+/// arithmetic the HAIL reader bills at execution time (hail_reader.cc),
+/// fed from stats instead of the opened block. Estimates use node 0's
+/// cost model: path choice only needs relative costs, and a fixed node
+/// keeps plans independent of scheduling.
+double EstimateBlockCost(const hdfs::MiniDfs& dfs, const Schema& schema,
+                         const QueryShape& shape, int index_column,
+                         AccessPath path, const BlockStats& stats,
+                         double sel_index, double sel_combined) {
+  const sim::CostModel& cm = dfs.cluster().node(0).cost();
+  const sim::CostConstants& c = dfs.cluster().constants();
+  const double scale = dfs.config().scale_factor;
+  const uint64_t logical_records = static_cast<uint64_t>(
+      static_cast<double>(stats.num_records) * scale);
+  const uint64_t logical_qualifying = static_cast<uint64_t>(
+      sel_combined * static_cast<double>(logical_records));
+
+  uint64_t bytes = 0;
+  double seeks = 0.0;
+  uint64_t logical_range = 0;
+  if (path == AccessPath::kUnclusteredIndex) {
+    const FieldType key_type = schema.field(index_column).type;
+    bytes += LogicalDenseIndexBytes(logical_records, key_type);
+    seeks += 1.0;
+    const uint64_t logical_candidates = static_cast<uint64_t>(
+        sel_index * static_cast<double>(logical_records));
+    const uint64_t logical_partitions =
+        logical_records / c.index_partition_logical + 1;
+    const uint64_t partitions_touched =
+        std::min<uint64_t>(logical_candidates, logical_partitions);
+    for (int colm : shape.accessed) {
+      const uint64_t col_logical = ColumnLogicalBytes(stats, colm, scale);
+      bytes += partitions_touched * (col_logical / logical_partitions);
+      seeks += static_cast<double>(partitions_touched);
+    }
+    logical_range = logical_candidates;
+  } else if (path == AccessPath::kClusteredIndex) {
+    const FieldType key_type = schema.field(index_column).type;
+    bytes += LogicalSparseIndexBytes(logical_records,
+                                     c.index_partition_logical, key_type,
+                                     /*pointer_bytes=*/4);
+    seeks += 1.0;
+    if (sel_index > 0.0) {
+      for (int colm : shape.accessed) {
+        const uint64_t col_logical = ColumnLogicalBytes(stats, colm, scale);
+        bytes += static_cast<uint64_t>(sel_index *
+                                       static_cast<double>(col_logical));
+        seeks += 1.0;
+      }
+    }
+    logical_range = static_cast<uint64_t>(
+        sel_index * static_cast<double>(logical_records));
+  } else {
+    for (int colm = 0; colm < static_cast<int>(stats.columns.size());
+         ++colm) {
+      bytes += ColumnLogicalBytes(stats, colm, scale);
+    }
+    seeks += 1.0;
+    logical_range = logical_records;
+  }
+
+  const double seek_s = c.block_open_ms / 1000.0 + seeks * cm.DiskSeek();
+  const double transfer_s = cm.DiskTransfer(bytes);
+  double cpu_s = cm.Crc(bytes) + cm.PredicateEval(logical_range) +
+                 cm.Reconstruct(logical_qualifying,
+                                static_cast<int>(shape.proj.size())) +
+                 cm.MapCalls(logical_qualifying);
+  if (path == AccessPath::kFullScan) {
+    // Full scans decode every record, not just qualifying ones.
+    cpu_s += cm.Reconstruct(logical_range,
+                            static_cast<int>(stats.columns.size()));
+  }
+  return seek_s + transfer_s + cpu_s;
+}
+
+}  // namespace
+
+FilePlan PlanAccessPaths(const hdfs::MiniDfs& dfs, const Schema& schema,
+                         const QueryAnnotation& annotation, int index_column,
+                         const std::vector<hdfs::BlockLocation>& blocks) {
+  const hdfs::Namenode& nn = dfs.namenode();
+  const sim::CostConstants& c = dfs.cluster().constants();
+  const QueryShape shape = ResolveShape(schema, annotation, index_column);
+
+  FilePlan plan;
+  plan.decisions.resize(blocks.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const hdfs::BlockLocation& loc = blocks[i];
+    AccessDecision& d = plan.decisions[i];
+
+    std::optional<BlockStats> stats;
+    Result<std::string_view> blob = nn.GetBlockStats(loc.block_id);
+    if (blob.ok()) {
+      Result<BlockStats> parsed = BlockStats::Deserialize(*blob);
+      if (parsed.ok()) stats.emplace(std::move(*parsed));
+    }
+
+    const bool clustered_alive =
+        index_column >= 0 && shape.index_range.has_value() &&
+        !nn.GetHostsWithIndex(loc.block_id, index_column).empty();
+    const bool unclustered_alive =
+        index_column >= 0 && shape.index_range.has_value() &&
+        !nn.GetHostsWithUnclusteredIndex(loc.block_id, index_column).empty();
+
+    if (!stats.has_value()) {
+      // Missing or stale sidecar: worst-case assumptions. Never a skip;
+      // the cost estimate is a sequential pass over the block's logical
+      // extent (what the reader bills when no index helps).
+      d.stats_fresh = false;
+      d.est_selectivity = 1.0;
+      d.path = clustered_alive ? AccessPath::kClusteredIndex
+                               : AccessPath::kFullScan;
+      const sim::CostModel& cm = dfs.cluster().node(0).cost();
+      d.est_cost_seconds = c.block_open_ms / 1000.0 + cm.DiskSeek() +
+                           cm.DiskTransfer(loc.logical_bytes) +
+                           cm.Crc(loc.logical_bytes);
+      plan.predicted_cost_seconds += d.est_cost_seconds;
+      continue;
+    }
+
+    d.stats_fresh = true;
+    d.block_records = stats->num_records;
+    ++plan.blocks_with_fresh_stats;
+
+    // Combined qualifying selectivity: product over the filter columns'
+    // range estimates (independence assumed). A provably disjoint column
+    // makes the whole conjunction empty.
+    bool disjoint = false;
+    double sel_combined = 1.0;
+    for (int colm : shape.filter_cols) {
+      const std::optional<KeyRange> kr = annotation.filter.KeyRangeFor(colm);
+      if (!kr.has_value()) continue;  // only !=-terms: no range to estimate
+      if (stats->RangeDisjoint(colm, *kr)) disjoint = true;
+      sel_combined *= stats->EstimateSelectivity(colm, *kr);
+    }
+
+    if (disjoint && stats->num_bad_records == 0) {
+      // No row can qualify and no bad record forces the block open: the
+      // block is never read. Billed only the per-block planning CPU.
+      d.path = AccessPath::kSkipZoneMap;
+      d.est_selectivity = 0.0;
+      d.est_cost_seconds = 0.0;
+      ++plan.blocks_skipped;
+      continue;
+    }
+
+    const double sel_index =
+        shape.index_range.has_value()
+            ? stats->EstimateSelectivity(index_column, *shape.index_range)
+            : 1.0;
+    if (clustered_alive) {
+      // A sparse-index range read is never costlier than the full pass in
+      // this billing model, so keep the clustered replica when it exists.
+      d.path = AccessPath::kClusteredIndex;
+    } else if (unclustered_alive &&
+               sel_index <= c.unclustered_max_selectivity) {
+      d.path = AccessPath::kUnclusteredIndex;
+    } else {
+      // Either no index at all, or the dense index would be abandoned at
+      // run time (predicted candidates above the threshold): plan the
+      // scan outright so the reader does not pay the probe first.
+      d.path = AccessPath::kFullScan;
+    }
+    d.est_selectivity = sel_combined;
+    d.est_cost_seconds =
+        EstimateBlockCost(dfs, schema, shape, index_column, d.path, *stats,
+                          sel_index, sel_combined);
+    plan.predicted_cost_seconds += d.est_cost_seconds;
+  }
+  return plan;
+}
+
+}  // namespace planner
+}  // namespace hail

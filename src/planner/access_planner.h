@@ -1,0 +1,57 @@
+/// \file access_planner.h
+/// \brief Cost-based per-block access-path choice from block statistics.
+///
+/// For every block of a job's input the planner consults the namenode's
+/// stats sidecar (planner/block_stats.h) and the replica directory, then
+/// picks the cheapest sound path under the same seek/transfer/decode cost
+/// constants the readers bill against:
+///
+///   - kSkipZoneMap when the filter is provably disjoint from the block's
+///     min/max (and the block holds no bad records — those must reach the
+///     mapper regardless of the filter);
+///   - kClusteredIndex whenever a replica with the matching sorted index
+///     is alive (a sparse-index range read never costs more than a full
+///     pass in this billing model);
+///   - kUnclusteredIndex when only the adaptive dense index exists and
+///     the estimated selectivity clears the same threshold the runtime
+///     heuristic uses — predicting (and avoiding) the reader's
+///     "probe, then abandon" dead weight;
+///   - kFullScan otherwise.
+///
+/// Missing or stale stats degrade to worst-case assumptions (never a
+/// skip), so planning is always sound, merely less sharp.
+
+#pragma once
+
+#include <vector>
+
+#include "hdfs/dfs_client.h"
+#include "planner/access_path.h"
+#include "query/predicate.h"
+#include "schema/schema.h"
+
+namespace hail {
+namespace planner {
+
+/// \brief Per-block decisions plus file-level prediction aggregates.
+struct FilePlan {
+  /// One decision per entry of the file's block list, in block order.
+  std::vector<AccessDecision> decisions;
+  /// Sum of the per-block cost estimates (zone-map skips contribute 0).
+  double predicted_cost_seconds = 0.0;
+  /// Blocks proven empty by their zone maps.
+  uint64_t blocks_skipped = 0;
+  /// Blocks whose decision was informed by fresh statistics.
+  uint64_t blocks_with_fresh_stats = 0;
+};
+
+/// Plans every block of \p blocks for a query with \p annotation whose
+/// preferred index column is \p index_column (-1 for none). Reads only
+/// namenode metadata — the caller bills the per-block planning CPU
+/// (CostConstants::planner_block_plan_us) into the split phase.
+FilePlan PlanAccessPaths(const hdfs::MiniDfs& dfs, const Schema& schema,
+                         const QueryAnnotation& annotation, int index_column,
+                         const std::vector<hdfs::BlockLocation>& blocks);
+
+}  // namespace planner
+}  // namespace hail

@@ -101,6 +101,18 @@ class CostModel {
     return CpuUs(static_cast<double>(logical_records) * c_.map_call_us);
   }
 
+  /// Building the per-column block-stats sidecar at upload:
+  /// records × columns summarized.
+  double StatsBuild(uint64_t logical_values) const {
+    return CpuUs(static_cast<double>(logical_values) *
+                 c_.stats_build_us_per_value);
+  }
+
+  /// Cost-based planning of \p blocks blocks during the split phase.
+  double PlanBlocks(uint64_t blocks) const {
+    return CpuUs(static_cast<double>(blocks) * c_.planner_block_plan_us);
+  }
+
   // ---- disk ----
 
   /// One random seek.

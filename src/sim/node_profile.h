@@ -117,6 +117,16 @@ struct CostConstants {
   /// (§3.5: unclustered indexes only pay off for very selective queries).
   double unclustered_max_selectivity = 0.05;
 
+  // --- cost-based planner ---
+  /// Building the per-column block-statistics sidecar at upload (one
+  /// sorted summary pass per column), per logical value. Cheaper than a
+  /// sort-based replica build: the summaries are tiny and column-local.
+  double stats_build_us_per_value = 0.02;
+  /// Planning one block (zone-map check + per-access-path cost estimates)
+  /// during the split phase, when cost-based planning is on. This is the
+  /// "billed only metadata" price of a zone-map-skipped block.
+  double planner_block_plan_us = 5.0;
+
   // --- MapReduce framework (Hadoop 0.20.203 era) ---
   /// TaskTracker heartbeat interval; 0.20 assigns map tasks on heartbeats.
   double heartbeat_interval_s = 3.0;

@@ -53,6 +53,7 @@ void Testbed::LoadUserVisits() {
     uv.rows = RowsPerNode(UserVisitsAvgRowBytes());
     uv.seed = config_.seed + static_cast<uint64_t>(i) * 977;
     uv.scale_factor = scale_factor();
+    uv.time_ordered = config_.time_ordered_uservisits;
     texts_.push_back(GenerateUserVisitsText(uv));
   }
 }
@@ -98,6 +99,7 @@ Result<HailUploadReport> Testbed::UploadHail(const std::string& dfs_path,
   HailUploadConfig config;
   config.schema = schema_;
   config.sort_columns = std::move(sort_columns);
+  config.build_stats = config_.build_stats;
   return HailParallelUpload(dfs_.get(), config, MakeSpecs(dfs_path));
 }
 
@@ -147,6 +149,44 @@ std::string DumpCost(const obs::CostLedger& ledger) {
   }
   out += "total=";
   out += std::to_string(ledger.total_nanos);
+  return out;
+}
+
+std::string DumpPlan(const mapreduce::JobPlan& plan) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "plan idx=%d planned=%d psec=%.17g pred=%.17g skip=%llu "
+                "fresh=%llu",
+                plan.index_column, plan.planned ? 1 : 0, plan.planner_seconds,
+                plan.predicted_cost_seconds,
+                static_cast<unsigned long long>(plan.planner_blocks_skipped),
+                static_cast<unsigned long long>(
+                    plan.planner_fresh_stats_blocks));
+  std::string out(buf);
+  for (const mapreduce::InputSplit& split : plan.splits) {
+    out += "\nsplit b=";
+    for (uint64_t b : split.blocks) {
+      out += std::to_string(b);
+      out += ',';
+    }
+    out += " n=";
+    for (int n : split.preferred_nodes) {
+      out += std::to_string(n);
+      out += ',';
+    }
+    std::snprintf(buf, sizeof(buf), " lb=%llu",
+                  static_cast<unsigned long long>(split.logical_bytes));
+    out += buf;
+  }
+  for (const planner::AccessDecision& d : plan.decisions) {
+    const std::string_view path = planner::AccessPathName(d.path);
+    std::snprintf(buf, sizeof(buf),
+                  "\ndec %.*s fresh=%d sel=%.17g est=%.17g rows=%u",
+                  static_cast<int>(path.size()), path.data(),
+                  d.stats_fresh ? 1 : 0, d.est_selectivity, d.est_cost_seconds,
+                  d.block_records);
+    out += buf;
+  }
   return out;
 }
 

@@ -42,6 +42,12 @@ struct TestbedConfig {
   /// Serialise PAX blocks as format v3 (encoded minipages) cluster-wide.
   /// Off by default so golden byte streams are unchanged.
   bool encode_blocks = false;
+  /// Build per-column block statistics during HAIL uploads (the input of
+  /// the cost-based access-path planner). Off by default.
+  bool build_stats = false;
+  /// Generate UserVisits with visitDate in event-time order (disjoint
+  /// per-block date ranges — what zone-map skipping prunes).
+  bool time_ordered_uservisits = false;
   sim::CostConstants constants;
 };
 
@@ -109,6 +115,13 @@ std::string DumpSession(const mapreduce::SessionResult& result);
 /// cost-attribution determinism tests; deliberately NOT part of
 /// DumpResult so the pre-existing golden dumps stay byte-stable.
 std::string DumpCost(const obs::CostLedger& ledger);
+
+/// Exact textual dump of a computed JobPlan — splits with block ids and
+/// preferred nodes, index column, and (when planned) every per-block
+/// access decision with %.17g estimates. Two dumps compare equal iff the
+/// plans are bit-identical; the serial==parallel plan-identity gate in
+/// bench_planner rests on it.
+std::string DumpPlan(const mapreduce::JobPlan& plan);
 
 }  // namespace workload
 }  // namespace hail

@@ -1,5 +1,6 @@
 #include "workload/uservisits.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 
@@ -107,6 +108,10 @@ std::string GenerateUserVisitsText(const UserVisitsConfig& config) {
     int32_t days;
     if (is_needle && (needle_count % 5) == 1) {
       days = *ParseDateToDays(kNeedleDate);
+    } else if (config.time_ordered) {
+      days = kDateBaseDays +
+             static_cast<int32_t>(r * static_cast<uint64_t>(kDateSpanDays) /
+                                  std::max<uint64_t>(config.rows, 1));
     } else {
       days = kDateBaseDays + static_cast<int32_t>(rng.Uniform(kDateSpanDays));
     }

@@ -51,6 +51,11 @@ struct UserVisitsConfig {
   /// so that needle density matches 3.2e-8 at paper scale.
   uint64_t needle_every = 0;
   double scale_factor = 1.0;
+  /// Emit visitDate monotonically increasing over the file (log data
+  /// arriving in event-time order) instead of uniformly shuffled. Blocks
+  /// then cover disjoint date ranges — the workload zone maps are built
+  /// for. Off by default: the shuffled generator stays byte-identical.
+  bool time_ordered = false;
 };
 
 /// Generates delimited text rows (newline-terminated).
